@@ -1,0 +1,470 @@
+(* The experiment harness: regenerates every quantitative claim of the
+   paper (see EXPERIMENTS.md for the claim-by-claim index).
+
+     E1  label size vs n      — Theorem 1 O(log n) vs FMR O(log² n) vs the
+                                universal scheme (Θ((n+m) log n))
+     E2  Prop 4.6 bounds      — lanes ≤ f(w), congestion ≤ g/h(w)
+     E3  Obs 5.5 bounds       — hierarchy depth and edge congestion ≤ 2k
+     E5  soundness            — mutation detection rates
+     E6  property catalogue   — certify + verify across MSO₂ properties
+     E7  ablation             — Prop 4.6 partition vs greedy Obs 4.3
+     timing                   — bechamel micro-benchmarks (prover, verifier,
+                                baseline; one Test.make per reported table)
+
+   Usage: main.exe [e1|e2|e3|e5|e6|e7|timing|all] (default: all). *)
+
+module G = Lcp_graph.Graph
+module Gen = Lcp_graph.Gen
+module Rep = Lcp_interval.Representation
+module PW = Lcp_interval.Pathwidth
+module B = Lcp_lanes.Bounds
+module LC = Lcp_lanes.Low_congestion
+module H = Lcp_lanewidth.Hierarchy
+module Tr = Lcp_lanewidth.Trace
+module Bld = Lcp_lanewidth.Builder
+module PLS = Lcp_pls
+module S = PLS.Scheme
+module EM = S.Edge_map
+module A = Lcp_algebra
+module Cert = Lcp_cert.Certificate
+
+module T1conn = Lcp_cert.Theorem1.Make (A.Connectivity)
+module T1acy = Lcp_cert.Theorem1.Make (A.Acyclicity)
+module T1bip = Lcp_cert.Theorem1.Make (A.Bipartite)
+module T1path = Lcp_cert.Theorem1.Make (A.Combinators.Is_path_graph)
+module T1cyc = Lcp_cert.Theorem1.Make (A.Combinators.Is_cycle_graph)
+module T1tri = Lcp_cert.Theorem1.Make (A.Triangle_free)
+module T1pm = Lcp_cert.Theorem1.Make (A.Matching)
+module T1ham = Lcp_cert.Theorem1.Make (A.Hamiltonian.Path_alg)
+module Fconn = Lcp_cert.Baseline_fmr.Make (A.Connectivity)
+
+let rng = Random.State.make [| 20250705 |]
+let log2 x = log (float_of_int x) /. log 2.0
+let line () = print_endline (String.make 78 '-')
+
+let header title =
+  line ();
+  Printf.printf "%s\n" title;
+  line ()
+
+(* ------------------------------------------------------------------ *)
+(* E1: label size as a function of n                                    *)
+
+let e1 () =
+  header
+    "E1  Proof size vs n  (Theorem 1 claim: O(log n); FMR+24 baseline: \
+     O(log^2 n))";
+  Printf.printf
+    "family=path (pw 1), property=connectivity; bits = max label length\n\n";
+  Printf.printf "%8s %12s %14s %12s %14s %12s\n" "n" "T1 bits" "T1/log2(n)"
+    "FMR bits" "FMR/log2^2(n)" "universal";
+  let universal =
+    PLS.Universal.scheme ~name:"universal" ~property:(fun _ -> true)
+  in
+  let heur c =
+    Some (PW.heuristic_interval_representation (PLS.Config.graph c))
+  in
+  List.iter
+    (fun n ->
+      let g = Gen.path n in
+      let cfg = PLS.Config.make g in
+      let t1 = T1conn.edge_scheme ~rep:heur ~k:1 () in
+      let t1_bits = S.max_edge_label_bits t1 (Option.get (t1.S.es_prove cfg)) in
+      let fmr = Fconn.scheme ~rep:heur ~k:1 () in
+      let fmr_bits =
+        S.max_vertex_label_bits fmr (Option.get (fmr.S.vs_prove cfg))
+      in
+      let uni_bits =
+        S.max_vertex_label_bits universal
+          (Option.get (universal.S.vs_prove cfg))
+      in
+      Printf.printf "%8d %12d %14.1f %12d %14.1f %12d\n" n t1_bits
+        (float_of_int t1_bits /. log2 n)
+        fmr_bits
+        (float_of_int fmr_bits /. (log2 n *. log2 n))
+        uni_bits)
+    [ 16; 32; 64; 128; 256; 512; 1024; 2048 ];
+  Printf.printf
+    "\nShape check: T1/log2(n) must flatten (O(log n)); FMR/log2^2(n) must\n\
+     flatten (O(log^2 n)); the universal column grows superlinearly.\n\n";
+  Printf.printf "family=cycle (pw 2), property=connectivity\n\n";
+  Printf.printf "%8s %12s %14s %12s %14s\n" "n" "T1 bits" "T1/log2(n)"
+    "FMR bits" "FMR/log2^2(n)";
+  List.iter
+    (fun n ->
+      let g = Gen.cycle n in
+      let cfg = PLS.Config.make g in
+      let t1 = T1conn.edge_scheme ~rep:heur ~k:2 () in
+      let t1_bits = S.max_edge_label_bits t1 (Option.get (t1.S.es_prove cfg)) in
+      let fmr = Fconn.scheme ~rep:heur ~k:2 () in
+      let fmr_bits =
+        S.max_vertex_label_bits fmr (Option.get (fmr.S.vs_prove cfg))
+      in
+      Printf.printf "%8d %12d %14.1f %12d %14.1f\n" n t1_bits
+        (float_of_int t1_bits /. log2 n)
+        fmr_bits
+        (float_of_int fmr_bits /. (log2 n *. log2 n)))
+    [ 16; 32; 64; 128; 256; 512 ];
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* E2: the Prop 4.6 bounds                                              *)
+
+let e2 () =
+  header "E2  Prop 4.6: lanes <= f(w), congestion <= g(w)/h(w)";
+  Printf.printf "%4s %6s | %10s %8s | %10s %8s | %10s %8s\n" "k" "width"
+    "lanes(max)" "f(w)" "weak(max)" "g(w)" "full(max)" "h(w)";
+  List.iter
+    (fun k ->
+      let trials = 40 in
+      let max_lanes = ref 0 and max_weak = ref 0 and max_full = ref 0 in
+      let max_w = ref 0 in
+      for _ = 1 to trials do
+        let n = 60 + Random.State.int rng 120 in
+        let g, ivs = Gen.random_pathwidth rng ~n ~k () in
+        let rep = Rep.of_pairs g ivs in
+        let w = Rep.width rep in
+        max_w := max !max_w w;
+        let r = LC.construct rep in
+        max_lanes := max !max_lanes (LC.lane_count r);
+        max_weak := max !max_weak (LC.congestion_weak r);
+        max_full := max !max_full (LC.congestion_full r)
+      done;
+      let w = !max_w in
+      Printf.printf "%4d %6d | %10d %8d | %10d %8d | %10d %8d\n" k w !max_lanes
+        (B.f w) !max_weak (B.g w) !max_full (B.h w))
+    [ 1; 2; 3; 4 ];
+  Printf.printf
+    "\nEvery measured column must stay within its bound column (the paper\n\
+     proves worst cases; measured values are typically far below).\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* E3: Obs 5.5                                                          *)
+
+let e3 () =
+  header "E3  Obs 5.5: hierarchical decompositions have depth <= 2k";
+  Printf.printf "%4s | %10s %8s | %12s %8s\n" "k" "depth(max)" "2k"
+    "edge-cong." "2k";
+  List.iter
+    (fun k ->
+      let max_depth = ref 0 and max_cong = ref 0 in
+      for _ = 1 to 60 do
+        let tr = Tr.random rng ~k ~ops:(40 + Random.State.int rng 80) in
+        let h = Bld.of_trace tr in
+        max_depth := max !max_depth (H.depth h);
+        max_cong := max !max_cong (H.edge_congestion h)
+      done;
+      Printf.printf "%4d | %10d %8d | %12d %8d\n" k !max_depth (2 * k)
+        !max_cong (2 * k))
+    [ 1; 2; 3; 4; 5; 6 ];
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* E5: soundness under mutation                                         *)
+
+let e5 () =
+  header "E5  Soundness: corrupted certificates must be rejected somewhere";
+  let kinds =
+    [ "stack swap"; "transport drop"; "rank shift"; "pointer"; "truncate" ]
+  in
+  let attempts = Hashtbl.create 8 and caught = Hashtbl.create 8 in
+  List.iter
+    (fun k ->
+      Hashtbl.replace attempts k 0;
+      Hashtbl.replace caught k 0)
+    kinds;
+  let bump tbl k = Hashtbl.replace tbl k (Hashtbl.find tbl k + 1) in
+  for _ = 1 to 25 do
+    let k = 1 + Random.State.int rng 2 in
+    let n = 8 + Random.State.int rng 30 in
+    let g, ivs = Gen.random_pathwidth rng ~n ~k () in
+    let cfg = PLS.Config.random_ids rng g in
+    let rep = Rep.of_pairs g ivs in
+    let scheme = T1conn.edge_scheme ~rep:(fun _ -> Some rep) ~k () in
+    match scheme.S.es_prove cfg with
+    | None -> ()
+    | Some labels ->
+        let edges = List.map fst (EM.bindings labels) in
+        let pick () =
+          List.nth edges (Random.State.int rng (List.length edges))
+        in
+        let try_mut kind forged =
+          bump attempts kind;
+          if not (S.accepted (S.run_edge cfg scheme forged)) then
+            bump caught kind
+        in
+        let e1 = pick () and e2 = pick () in
+        let l1 = Option.get (EM.find labels e1) in
+        let l2 = Option.get (EM.find labels e2) in
+        if e1 <> e2 && l1.Cert.frames <> l2.Cert.frames then
+          try_mut "stack swap"
+            (EM.add
+               (EM.add labels e1 { l1 with Cert.frames = l2.Cert.frames })
+               e2
+               { l2 with Cert.frames = l1.Cert.frames });
+        let e = pick () in
+        let l = Option.get (EM.find labels e) in
+        if l.Cert.transported <> [] then
+          try_mut "transport drop"
+            (EM.add labels e { l with Cert.transported = [] });
+        let e = pick () in
+        let l = Option.get (EM.find labels e) in
+        (match l.Cert.transported with
+        | r :: rest ->
+            try_mut "rank shift"
+              (EM.add labels e
+                 {
+                   l with
+                   Cert.transported =
+                     { r with Cert.rank_fwd = r.Cert.rank_fwd + 1 } :: rest;
+                 })
+        | [] -> ());
+        let e = pick () in
+        let l = Option.get (EM.find labels e) in
+        try_mut "pointer"
+          (EM.add labels e
+             {
+               l with
+               Cert.global_ptr =
+                 {
+                   l.Cert.global_ptr with
+                   PLS.Spanning_tree.target =
+                     l.Cert.global_ptr.PLS.Spanning_tree.target + 1;
+                 };
+             });
+        let e = pick () in
+        let l = Option.get (EM.find labels e) in
+        (match l.Cert.frames with
+        | _ :: (_ :: _ as rest) ->
+            try_mut "truncate" (EM.add labels e { l with Cert.frames = rest })
+        | _ -> ())
+  done;
+  Printf.printf "%-16s %10s %10s %10s\n" "mutation" "attempts" "caught" "rate";
+  List.iter
+    (fun k ->
+      let a = Hashtbl.find attempts k and c = Hashtbl.find caught k in
+      Printf.printf "%-16s %10d %10d %9.0f%%\n" k a c
+        (if a = 0 then 100.0 else 100.0 *. float_of_int c /. float_of_int a))
+    kinds;
+  (* bit-level corruption: flip one bit of a real encoded label *)
+  let module B = Lcp_util.Bitenc in
+  let dfail = ref 0 and rej = ref 0 and acc = ref 0 in
+  for _ = 1 to 15 do
+    let k = 1 + Random.State.int rng 2 in
+    let n = 8 + Random.State.int rng 25 in
+    let g, ivs = Gen.random_pathwidth rng ~n ~k () in
+    let cfg = PLS.Config.random_ids rng g in
+    let rep = Rep.of_pairs g ivs in
+    let scheme = T1conn.edge_scheme ~rep:(fun _ -> Some rep) ~k () in
+    match scheme.S.es_prove cfg with
+    | None -> ()
+    | Some labels ->
+        let edges = List.map fst (EM.bindings labels) in
+        for _ = 1 to 4 do
+          let e = List.nth edges (Random.State.int rng (List.length edges)) in
+          let l = Option.get (EM.find labels e) in
+          let w = B.writer () in
+          Cert.encode ~encode_state:A.Connectivity.encode w l;
+          let bits = B.length_bits w in
+          let bytes = B.to_bytes w in
+          let pos = Random.State.int rng bits in
+          Bytes.set bytes (pos / 8)
+            (Char.chr
+               (Char.code (Bytes.get bytes (pos / 8)) lxor (1 lsl (pos mod 8))));
+          match
+            try
+              Some
+                (Cert.decode ~decode_state:A.Connectivity.decode
+                   (B.reader bytes))
+            with _ -> None
+          with
+          | None -> incr dfail
+          | Some l' when l' = l -> ()
+          | Some l' -> (
+              match S.run_edge cfg scheme (EM.add labels e l') with
+              | S.Accepted -> incr acc
+              | S.Rejected _ -> incr rej)
+        done
+  done;
+  Printf.printf "%-16s %10d %10d %9.0f%%   (+%d broke decoding)\n" "bit flip"
+    (!dfail + !rej + !acc)
+    (!dfail + !rej)
+    (100.0
+    *. float_of_int (!dfail + !rej)
+    /. float_of_int (max 1 (!dfail + !rej + !acc)))
+    !dfail;
+  Printf.printf "\nEvery rate must be 100%% (soundness).\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* E6: the property catalogue                                           *)
+
+let e6 () =
+  header
+    "E6  MSO2 catalogue: certify positive instances, decline negative ones";
+  Printf.printf "%-18s %-16s %-10s %-10s %10s\n" "property" "instance"
+    "expected" "outcome" "bits";
+  let row name scheme g expected =
+    let cfg = PLS.Config.random_ids rng g in
+    match scheme.S.es_prove cfg with
+    | None ->
+        Printf.printf "%-18s %-16s %-10s %-10s %10s\n" name
+          (Printf.sprintf "n=%d m=%d" (G.n g) (G.m g))
+          expected "declined" "-"
+    | Some labels ->
+        let ok = S.accepted (S.run_edge cfg scheme labels) in
+        Printf.printf "%-18s %-16s %-10s %-10s %10d\n" name
+          (Printf.sprintf "n=%d m=%d" (G.n g) (G.m g))
+          expected
+          (if ok then "accepted" else "REJECTED")
+          (S.max_edge_label_bits scheme labels)
+  in
+  row "connected" (T1conn.edge_scheme ~k:2 ()) (Gen.cycle 16) "accepted";
+  row "acyclic" (T1acy.edge_scheme ~k:1 ()) (Gen.caterpillar ~spine:5 ~legs:2)
+    "accepted";
+  row "acyclic" (T1acy.edge_scheme ~k:2 ()) (Gen.cycle 12) "declined";
+  row "bipartite" (T1bip.edge_scheme ~k:2 ()) (Gen.cycle 12) "accepted";
+  row "bipartite" (T1bip.edge_scheme ~k:2 ()) (Gen.cycle 11) "declined";
+  row "is_path" (T1path.edge_scheme ~k:1 ()) (Gen.path 16) "accepted";
+  row "is_path" (T1path.edge_scheme ~k:2 ()) (Gen.cycle 16) "declined";
+  row "is_cycle" (T1cyc.edge_scheme ~k:2 ()) (Gen.cycle 16) "accepted";
+  row "is_cycle" (T1cyc.edge_scheme ~k:1 ()) (Gen.path 16) "declined";
+  row "triangle_free" (T1tri.edge_scheme ~k:2 ()) (Gen.cycle 14) "accepted";
+  row "triangle_free" (T1tri.edge_scheme ~k:3 ()) (Gen.complete 4) "declined";
+  row "perfect_matching" (T1pm.edge_scheme ~k:1 ()) (Gen.path 12) "accepted";
+  row "perfect_matching" (T1pm.edge_scheme ~k:1 ()) (Gen.path 11) "declined";
+  row "hamiltonian_path" (T1ham.edge_scheme ~k:2 ()) (Gen.cycle 10) "accepted";
+  row "hamiltonian_path" (T1ham.edge_scheme ~k:1 ()) (Gen.star 5) "declined";
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* E7: ablation — Prop 4.6 vs greedy lane partition                     *)
+
+let e7 () =
+  header
+    "E7  Ablation: Prop 4.6 partition (guaranteed congestion) vs greedy \
+     Obs 4.3 partition";
+  Printf.printf "%4s | %10s %10s | %12s %12s | %12s %12s\n" "k" "lanes(46)"
+    "lanes(gr)" "cong(46)" "cong(gr)" "bits(46)" "bits(gr)";
+  List.iter
+    (fun k ->
+      let lanes46 = ref 0 and lanesgr = ref 0 in
+      let cong46 = ref 0 and conggr = ref 0 in
+      let bits46 = ref 0 and bitsgr = ref 0 in
+      for _ = 1 to 12 do
+        let n = 80 + Random.State.int rng 60 in
+        let g, ivs = Gen.random_pathwidth rng ~n ~k () in
+        let cfg = PLS.Config.random_ids rng g in
+        let rep = Rep.of_pairs g ivs in
+        List.iter
+          (fun (strategy, lanes, cong, bits) ->
+            match T1conn.P.prepare ~strategy ~rep cfg with
+            | Error _ -> ()
+            | Ok art ->
+                lanes := max !lanes art.T1conn.P.lane_count;
+                cong := max !cong art.T1conn.P.congestion;
+                let scheme = T1conn.edge_scheme ~k () in
+                bits :=
+                  max !bits (S.max_edge_label_bits scheme art.T1conn.P.labels))
+          [
+            (`Prop46, lanes46, cong46, bits46);
+            (`Greedy, lanesgr, conggr, bitsgr);
+          ]
+      done;
+      Printf.printf "%4d | %10d %10d | %12d %12d | %12d %12d\n" k !lanes46
+        !lanesgr !cong46 !conggr !bits46 !bitsgr)
+    [ 1; 2; 3 ];
+  Printf.printf
+    "\nGreedy uses fewer lanes (cheaper DP states, smaller labels) but its\n\
+     congestion is unbounded in theory; Prop 4.6 trades label size for the\n\
+     worst-case guarantee the O(log n) proof needs.\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* timing: bechamel micro-benchmarks                                    *)
+
+let timing () =
+  header "Timing (bechamel): prover and verifier costs";
+  let open Bechamel in
+  let n = 128 in
+  let g, ivs = Gen.random_pathwidth rng ~n ~k:2 () in
+  let cfg = PLS.Config.random_ids rng g in
+  let rep = Rep.of_pairs g ivs in
+  let t1 = T1conn.edge_scheme ~rep:(fun _ -> Some rep) ~k:2 () in
+  let labels = Option.get (t1.PLS.Scheme.es_prove cfg) in
+  let fmr = Fconn.scheme ~rep:(fun _ -> Some rep) ~k:2 () in
+  let fmr_labels = Option.get (fmr.PLS.Scheme.vs_prove cfg) in
+  let path_g = Gen.path 256 in
+  let path_cfg = PLS.Config.make path_g in
+  let heur c =
+    Some (PW.heuristic_interval_representation (PLS.Config.graph c))
+  in
+  let t1_path = T1conn.edge_scheme ~rep:heur ~k:1 () in
+  let tests =
+    Test.make_grouped ~name:"lcp"
+      [
+        Test.make ~name:"theorem1 prover (path n=256)"
+          (Staged.stage (fun () -> ignore (t1_path.PLS.Scheme.es_prove path_cfg)));
+        Test.make ~name:"theorem1 prover (random pw2 n=128)"
+          (Staged.stage (fun () -> ignore (t1.PLS.Scheme.es_prove cfg)));
+        Test.make ~name:"fmr baseline prover (random pw2 n=128)"
+          (Staged.stage (fun () -> ignore (fmr.PLS.Scheme.vs_prove cfg)));
+        Test.make ~name:"theorem1 full verification (n=128)"
+          (Staged.stage (fun () -> ignore (PLS.Scheme.run_edge cfg t1 labels)));
+        Test.make ~name:"fmr full verification (n=128)"
+          (Staged.stage (fun () -> ignore (PLS.Scheme.run_vertex cfg fmr fmr_labels)));
+        Test.make ~name:"Prop 4.6 construction (n=128)"
+          (Staged.stage (fun () -> ignore (LC.construct rep)));
+        Test.make ~name:"hierarchy build (n=128)"
+          (Staged.stage (fun () ->
+               let r = LC.construct rep in
+               let part = r.LC.partition in
+               let tr, to_host =
+                 Lcp_lanewidth.Prop52.trace_of_partition part
+               in
+               let host = Lcp_lanes.Completion.completion part in
+               ignore (Bld.of_trace_on ~host ~to_host tr)));
+      ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg_b =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+  in
+  let raw = Benchmark.all cfg_b instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Printf.printf "%-50s %15s\n" "benchmark" "time/run";
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] ->
+          let human =
+            if est > 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+            else if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+            else if est > 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
+            else Printf.sprintf "%.0f ns" est
+          in
+          Printf.printf "%-50s %15s\n" name human
+      | _ -> Printf.printf "%-50s %15s\n" name "?")
+    results;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let all =
+    [
+      ("e1", e1); ("e2", e2); ("e3", e3); ("e5", e5); ("e6", e6); ("e7", e7);
+      ("timing", timing);
+    ]
+  in
+  match List.assoc_opt what all with
+  | Some f -> f ()
+  | None ->
+      if what = "all" then List.iter (fun (_, f) -> f ()) all
+      else begin
+        Printf.eprintf "unknown experiment %S; known: %s all\n" what
+          (String.concat " " (List.map fst all));
+        exit 1
+      end

@@ -1,0 +1,261 @@
+(* Regenerate the paper's ten construction figures as ASCII demos.
+
+   Usage: figures.exe [1..10|all] (default: all). Each figure is produced
+   by running the actual library code on the figure's example (or the
+   closest concrete instance the paper describes). *)
+
+module G = Lcp_graph.Graph
+module Gen = Lcp_graph.Gen
+module I = Lcp_interval.Interval
+module Rep = Lcp_interval.Representation
+module PW = Lcp_interval.Pathwidth
+module LP = Lcp_lanes.Lane_partition
+module Cmp = Lcp_lanes.Completion
+module LC = Lcp_lanes.Low_congestion
+module E = Lcp_lanes.Embedding
+module K = Lcp_lanewidth.Klane
+module M = Lcp_lanewidth.Merge
+module Tr = Lcp_lanewidth.Trace
+module P52 = Lcp_lanewidth.Prop52
+module H = Lcp_lanewidth.Hierarchy
+module Bld = Lcp_lanewidth.Builder
+module A = Lcp_algebra
+
+let header n title =
+  Printf.printf "\n=== Figure %d: %s ===\n\n" n title
+
+(* Figure 1: path decomposition and interval representation of a 6-cycle *)
+let fig1 () =
+  header 1 "path decomposition and interval representation of a 6-cycle";
+  let g = Gen.cycle 6 in
+  let rep = PW.exact_interval_representation g in
+  Printf.printf "%s\n\n" (G.to_string g);
+  Format.printf "%a" Rep.pp rep;
+  let pd = Lcp_interval.Path_decomposition.of_interval_representation rep in
+  Format.printf "\nbags:\n%a" Lcp_interval.Path_decomposition.pp pd;
+  Printf.printf "width %d = pathwidth 2 + 1\n" (Rep.width rep)
+
+(* Figure 2: combining two 3-terminal graphs — we show the k-lane analogue,
+   a Bridge-merge of two 2-vertex pieces inside a host *)
+let fig2 () =
+  header 2 "combining two terminal graphs (k-lane analogue)";
+  let host = G.of_edges ~n:6 [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5) ] in
+  let left =
+    K.make ~host ~vertices:[ 0; 1; 2 ] ~edges:[ (0, 1); (1, 2) ]
+      ~lane_in:[ (0, 0) ] ~lane_out:[ (0, 2) ]
+  in
+  let right =
+    K.make ~host ~vertices:[ 3; 4; 5 ] ~edges:[ (3, 4); (4, 5) ]
+      ~lane_in:[ (1, 5) ] ~lane_out:[ (1, 3) ]
+  in
+  Format.printf "G1 = %a@.G2 = %a@." K.pp left K.pp right;
+  let merged = M.bridge_merge left right ~i:0 ~j:1 in
+  Format.printf "Bridge-merge(G1, G2, 0, 1) = %a@." K.pp merged
+
+(* Figure 3: weak completion and completion *)
+let fig3 () =
+  header 3 "weak completion and completion";
+  let g = Gen.cycle 6 in
+  let rep = PW.exact_interval_representation g in
+  let r = LC.construct rep in
+  let p = r.LC.partition in
+  Format.printf "lanes:@.%a@." LP.pp p;
+  Printf.printf "E1 (lane paths):     %s\n"
+    (String.concat ", "
+       (List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) (Cmp.e1_edges p)));
+  Printf.printf "E2 (initial chain):  %s\n"
+    (String.concat ", "
+       (List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) (Cmp.e2_edges p)));
+  Printf.printf "weak completion: %s\n" (G.to_string (Cmp.weak_completion p));
+  Printf.printf "completion:      %s\n" (G.to_string (Cmp.completion p))
+
+(* Figures 4-6: the Prop 4.6 construction internals on a concrete graph *)
+let construction_demo () =
+  let rng = Random.State.make [| 7 |] in
+  let g, ivs = Gen.random_pathwidth rng ~n:14 ~k:2 () in
+  let rep = Rep.of_pairs g ivs in
+  (g, rep, LC.construct rep)
+
+let fig4 () =
+  header 4 "Section 4.2 terminology: v_st, v_ed, P, S, S1, S2";
+  let g, rep, r = construction_demo () in
+  Printf.printf "%s\n\n" (G.to_string g);
+  Format.printf "%a@." Rep.pp rep;
+  let s = r.LC.spine in
+  Printf.printf "v_st = %d (min left endpoint), v_ed = %d (max right)\n"
+    s.LC.v_st s.LC.v_ed;
+  Printf.printf "P    = %s\n"
+    (String.concat " - " (List.map string_of_int s.LC.path));
+  Printf.printf "S    = %s\n"
+    (String.concat ", " (List.map string_of_int s.LC.s_seq));
+  let rec split i = function
+    | [] -> ([], [])
+    | x :: rest ->
+        let a, b = split (i + 1) rest in
+        if i mod 2 = 0 then (x :: a, b) else (a, x :: b)
+  in
+  let s1, s2 = split 0 s.LC.s_seq in
+  Printf.printf "S1   = %s\nS2   = %s\n"
+    (String.concat ", " (List.map string_of_int s1))
+    (String.concat ", " (List.map string_of_int s2))
+
+let fig5 () =
+  header 5 "Case 1 embedding: spine lanes route through P";
+  let g, _, r = construction_demo () in
+  ignore g;
+  Printf.printf "embedded virtual edges (weak completion):\n";
+  List.iter
+    (fun ((u, v), path) ->
+      Printf.printf "  %d-%d  ~>  %s\n" u v
+        (String.concat " - " (List.map string_of_int path)))
+    r.LC.weak_embedding;
+  Printf.printf "\nweak congestion = %d (bound g(w))\n" (LC.congestion_weak r)
+
+let fig6 () =
+  header 6 "Case 2.2 embedding across components + completion edges";
+  let g, _, r = construction_demo () in
+  Printf.printf "completion edges (E2) and their paths:\n";
+  let weak = List.map fst r.LC.weak_embedding in
+  List.iter
+    (fun ((u, v), path) ->
+      if not (List.mem (u, v) weak) then
+        Printf.printf "  %d-%d  ~>  %s\n" u v
+          (String.concat " - " (List.map string_of_int path)))
+    r.LC.full_embedding;
+  Printf.printf "\nfull congestion = %d (bound h(w))\n" (LC.congestion_full r);
+  Printf.printf "per-edge loads:\n";
+  List.iter
+    (fun ((u, v), c) -> Printf.printf "  edge %d-%d: %d paths\n" u v c)
+    (E.edge_loads g r.LC.full_embedding)
+
+(* Figure 7: a bounded-lanewidth construction *)
+let fig7 () =
+  header 7 "a bounded-lanewidth graph built by V-insert/E-insert (Def 5.1)";
+  let tr =
+    {
+      Tr.k = 3;
+      ops =
+        [
+          Tr.V_insert 0; Tr.V_insert 1; Tr.E_insert (0, 1); Tr.V_insert 0;
+          Tr.E_insert (0, 2); Tr.V_insert 2; Tr.E_insert (1, 2);
+        ];
+    }
+  in
+  Format.printf "trace: %a@." Tr.pp tr;
+  let g = Tr.eval tr in
+  Printf.printf "result: %s\n" (G.to_string g);
+  Printf.printf "designated history (v, first, last):\n";
+  List.iter
+    (fun (v, l, r) -> Printf.printf "  v%d: [%d, %d] lane %d\n" v l r
+        (Tr.lane_assignment tr).(v))
+    (Tr.designated_history tr);
+  let rep, part = P52.completion_of_trace tr in
+  Format.printf "\nProp 5.2 interval view:@.%a@.lanes:@.%a@." Rep.pp rep LP.pp
+    part
+
+(* Figure 8: Bridge-merge and Parent-merge *)
+let fig8 () =
+  header 8 "Bridge-merge and Parent-merge";
+  let host = G.of_edges ~n:6 [ (0, 1); (1, 2); (2, 3); (1, 4); (4, 5) ] in
+  let base =
+    K.make ~host ~vertices:[ 0; 1 ] ~edges:[ (0, 1) ]
+      ~lane_in:[ (0, 0) ] ~lane_out:[ (0, 1) ]
+  in
+  let child = K.single_edge ~host ~lane:0 ~t_in:1 ~t_out:2 in
+  Format.printf "parent = %a@.child  = %a@." K.pp base K.pp child;
+  let pm = M.parent_merge ~child ~parent:base in
+  Format.printf "Parent-merge(child, parent) = %a@.@." K.pp pm;
+  let other = K.make ~host ~vertices:[ 4; 5 ] ~edges:[ (4, 5) ]
+      ~lane_in:[ (1, 5) ] ~lane_out:[ (1, 4) ]
+  in
+  Format.printf "other  = %a@." K.pp other;
+  (* bridge at lane 0 out-terminal 1? 1-4 is a host edge *)
+  let left = K.make ~host ~vertices:[ 0; 1 ] ~edges:[ (0, 1) ]
+      ~lane_in:[ (0, 0) ] ~lane_out:[ (0, 1) ]
+  in
+  let bm = M.bridge_merge left other ~i:0 ~j:1 in
+  Format.printf "Bridge-merge(left, other, 0, 1) = %a@." K.pp bm
+
+(* Figure 9: Tree-merge *)
+let fig9 () =
+  header 9 "Tree-merge";
+  let host =
+    G.of_edges ~n:7 [ (0, 1); (1, 2); (0, 3); (3, 4); (1, 5); (5, 6) ]
+  in
+  let root = K.of_path ~host [ 0; 1; 2 ] in
+  let c1 = K.single_edge ~host ~lane:0 ~t_in:0 ~t_out:3 in
+  let c11 = K.single_edge ~host ~lane:0 ~t_in:3 ~t_out:4 in
+  let c2 = K.single_edge ~host ~lane:1 ~t_in:1 ~t_out:5 in
+  let c21 = K.single_edge ~host ~lane:1 ~t_in:5 ~t_out:6 in
+  let tree =
+    {
+      M.piece = root;
+      children =
+        [
+          { M.piece = c1; children = [ { M.piece = c11; children = [] } ] };
+          { M.piece = c2; children = [ { M.piece = c21; children = [] } ] };
+        ];
+    }
+  in
+  Format.printf "root  = %a@.c1    = %a@.c1.1  = %a@.c2    = %a@.c2.1  = %a@."
+    K.pp root K.pp c1 K.pp c11 K.pp c2 K.pp c21;
+  Format.printf "Tree-merge = %a@." K.pp (M.tree_merge tree)
+
+(* Figure 10: constructing a bounded-lanewidth graph as a T-node *)
+let fig10 () =
+  header 10 "a lanewidth construction as a T-node hierarchy (Prop 5.6)";
+  let tr =
+    {
+      Tr.k = 2;
+      ops =
+        [
+          Tr.V_insert 0; Tr.V_insert 1; Tr.E_insert (0, 1); Tr.V_insert 0;
+          Tr.E_insert (0, 1);
+        ];
+    }
+  in
+  Format.printf "trace: %a@." Tr.pp tr;
+  let g = Tr.eval tr in
+  Printf.printf "graph: %s\n\n" (G.to_string g);
+  let h = Bld.of_trace tr in
+  Format.printf "%a@.@." H.pp_summary h;
+  let rec render indent node =
+    let pad = String.make indent ' ' in
+    let kl = H.klane_of node in
+    let kind =
+      match node with
+      | H.V_node _ -> "V-node"
+      | H.E_node _ -> "E-node"
+      | H.P_node _ -> "P-node"
+      | H.B_node _ -> "B-node"
+      | H.T_node _ -> "T-node"
+    in
+    Format.printf "%s%s %a@." pad kind K.pp kl;
+    match node with
+    | H.B_node { left; right; _ } ->
+        render (indent + 2) left;
+        render (indent + 2) right
+    | H.T_node { tree; _ } ->
+        let rec walk indent (t : H.ttree) =
+          render indent t.H.piece;
+          List.iter (walk (indent + 2)) t.H.children
+        in
+        walk (indent + 2) tree
+    | _ -> ()
+  in
+  render 0 h;
+  Printf.printf "\ndepth = %d <= 2k = %d\n" (H.depth h) (2 * tr.Tr.k)
+
+let () =
+  let figs =
+    [ (1, fig1); (2, fig2); (3, fig3); (4, fig4); (5, fig5); (6, fig6);
+      (7, fig7); (8, fig8); (9, fig9); (10, fig10) ]
+  in
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  if which = "all" then List.iter (fun (_, f) -> f ()) figs
+  else
+    match int_of_string_opt which with
+    | Some n when List.mem_assoc n figs -> (List.assoc n figs) ()
+    | _ ->
+        prerr_endline "usage: figures.exe [1..10|all]";
+        exit 1

@@ -1,0 +1,1 @@
+examples/minor_free.ml: Lcp_algebra Lcp_cert Lcp_graph Lcp_interval Lcp_pls List Printf Random

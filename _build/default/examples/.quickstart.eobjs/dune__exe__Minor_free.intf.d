@@ -1,0 +1,1 @@
+examples/minor_free.mli:

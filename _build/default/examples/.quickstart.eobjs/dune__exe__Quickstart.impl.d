@@ -1,0 +1,1 @@
+examples/quickstart.ml: Lcp_algebra Lcp_cert Lcp_graph Lcp_pls List Printf Random

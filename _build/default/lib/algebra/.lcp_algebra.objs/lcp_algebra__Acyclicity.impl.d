@@ -1,0 +1,1 @@
+lib/algebra/acyclicity.ml: Format Lcp_graph Lcp_util Slot_partition

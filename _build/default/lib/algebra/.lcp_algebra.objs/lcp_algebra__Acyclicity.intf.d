@@ -1,0 +1,1 @@
+lib/algebra/acyclicity.mli: Algebra_sig Lcp_util

@@ -1,0 +1,1 @@
+lib/algebra/algebra_sig.ml: Format Lcp_graph Lcp_util

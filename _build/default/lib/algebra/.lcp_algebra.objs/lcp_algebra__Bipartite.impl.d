@@ -1,0 +1,1 @@
+lib/algebra/bipartite.ml: Array Format Lcp_graph Lcp_util List Printf Queue String

@@ -1,0 +1,1 @@
+lib/algebra/bipartite.mli: Algebra_sig Lcp_util

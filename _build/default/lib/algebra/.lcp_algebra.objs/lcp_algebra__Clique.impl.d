@@ -1,0 +1,1 @@
+lib/algebra/clique.ml: Format Hashtbl Lcp_graph Lcp_util List Option Printf String

@@ -1,0 +1,1 @@
+lib/algebra/clique.mli: Algebra_sig

@@ -1,0 +1,1 @@
+lib/algebra/colorable.ml: Array Format Lcp_graph Lcp_util List Printf String

@@ -1,0 +1,1 @@
+lib/algebra/colorable.mli: Algebra_sig

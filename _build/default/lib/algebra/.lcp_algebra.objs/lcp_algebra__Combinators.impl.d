@@ -1,0 +1,1 @@
+lib/algebra/combinators.ml: Acyclicity Algebra_sig Connectivity Degree Format Lcp_graph

@@ -1,0 +1,1 @@
+lib/algebra/combinators.mli: Algebra_sig

@@ -1,0 +1,1 @@
+lib/algebra/connectivity.mli: Algebra_sig Lcp_util

@@ -1,0 +1,1 @@
+lib/algebra/degree.mli: Algebra_sig

@@ -1,0 +1,1 @@
+lib/algebra/diameter.ml: Format Lcp_graph Lcp_util List Printf String

@@ -1,0 +1,1 @@
+lib/algebra/diameter.mli: Algebra_sig

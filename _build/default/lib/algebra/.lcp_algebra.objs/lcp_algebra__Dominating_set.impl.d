@@ -1,0 +1,1 @@
+lib/algebra/dominating_set.ml: Format Hashtbl Lcp_graph Lcp_util List Option Printf String

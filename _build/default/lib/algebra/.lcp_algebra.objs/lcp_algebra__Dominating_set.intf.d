@@ -1,0 +1,1 @@
+lib/algebra/dominating_set.mli: Algebra_sig

@@ -1,0 +1,1 @@
+lib/algebra/hamiltonian.ml: Array Format Lcp_graph Lcp_util List String

@@ -1,0 +1,1 @@
+lib/algebra/hamiltonian.mli: Algebra_sig

@@ -1,0 +1,1 @@
+lib/algebra/independent_set.ml: Format Hashtbl Lcp_graph Lcp_util List Printf String

@@ -1,0 +1,1 @@
+lib/algebra/independent_set.mli: Algebra_sig

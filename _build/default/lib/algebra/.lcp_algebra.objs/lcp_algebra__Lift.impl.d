@@ -1,0 +1,1 @@
+lib/algebra/lift.ml: Algebra_sig Array Lcp_graph Lcp_lanewidth List

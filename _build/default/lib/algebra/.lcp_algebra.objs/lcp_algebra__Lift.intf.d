@@ -1,0 +1,1 @@
+lib/algebra/lift.mli: Algebra_sig Lcp_graph Lcp_lanewidth

@@ -1,0 +1,1 @@
+lib/algebra/matching.mli: Algebra_sig

@@ -1,0 +1,1 @@
+lib/algebra/slot_partition.ml: Format Lcp_util List String

@@ -1,0 +1,1 @@
+lib/algebra/slot_partition.mli: Format Lcp_util

@@ -1,0 +1,1 @@
+lib/algebra/terminal_graph.ml: Algebra_sig Array Lcp_graph List Printf

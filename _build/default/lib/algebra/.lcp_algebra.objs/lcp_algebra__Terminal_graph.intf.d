@@ -1,0 +1,1 @@
+lib/algebra/terminal_graph.mli: Algebra_sig Lcp_graph

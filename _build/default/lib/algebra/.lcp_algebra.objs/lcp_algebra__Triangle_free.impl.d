@@ -1,0 +1,1 @@
+lib/algebra/triangle_free.ml: Format Lcp_graph Lcp_util List String

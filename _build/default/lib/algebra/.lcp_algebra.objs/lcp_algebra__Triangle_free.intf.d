@@ -1,0 +1,1 @@
+lib/algebra/triangle_free.mli: Algebra_sig

@@ -1,0 +1,1 @@
+lib/algebra/vertex_cover.ml: Format Hashtbl Lcp_graph Lcp_util List Printf String

@@ -1,0 +1,1 @@
+lib/algebra/vertex_cover.mli: Algebra_sig

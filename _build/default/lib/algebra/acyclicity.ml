@@ -1,0 +1,68 @@
+(** The acyclicity (forest) algebra: partition of the boundary by tree
+    component plus a sticky "cycle seen" flag. An edge or identification
+    inside one component closes a cycle. *)
+
+module Bitenc = Lcp_util.Bitenc
+
+type state = {
+  partition : Slot_partition.t;
+  cyclic : bool;
+}
+
+let name = "acyclic"
+let description = "the graph has no cycle (is a forest)"
+
+let empty = { partition = Slot_partition.empty; cyclic = false }
+
+let introduce st s =
+  { st with partition = Slot_partition.add_singleton st.partition s }
+
+let add_edge st a b =
+  if Slot_partition.same_class st.partition a b then { st with cyclic = true }
+  else { st with partition = Slot_partition.merge st.partition a b }
+
+let forget st s =
+  let partition, _ = Slot_partition.remove st.partition s in
+  { st with partition }
+
+let union a b =
+  {
+    partition = Slot_partition.union a.partition b.partition;
+    cyclic = a.cyclic || b.cyclic;
+  }
+
+let identify st ~keep ~drop =
+  if Slot_partition.same_class st.partition keep drop then
+    let partition, _ = Slot_partition.remove st.partition drop in
+    { partition; cyclic = true }
+  else begin
+    let partition = Slot_partition.merge st.partition keep drop in
+    let partition, _ = Slot_partition.remove partition drop in
+    { st with partition }
+  end
+
+let rename st ~old_slot ~new_slot =
+  { st with partition = Slot_partition.rename st.partition ~old_slot ~new_slot }
+
+let slots st = Slot_partition.slots st.partition
+
+let accepts st =
+  assert (slots st = []);
+  not st.cyclic
+
+let equal a b = Slot_partition.equal a.partition b.partition && a.cyclic = b.cyclic
+
+let encode w st =
+  Slot_partition.encode w st.partition;
+  Bitenc.bit w st.cyclic
+
+let decode r =
+  let partition = Slot_partition.decode r in
+  let cyclic = Bitenc.read_bit r in
+  { partition; cyclic }
+
+let pp ppf st =
+  Format.fprintf ppf "acyclic(%a; cyclic=%b)" Slot_partition.pp st.partition
+    st.cyclic
+
+let oracle = Lcp_graph.Traversal.is_acyclic

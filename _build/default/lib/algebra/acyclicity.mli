@@ -1,0 +1,8 @@
+(** The acyclicity (forest) algebra: partition of the boundary by tree
+    component plus a sticky cycle flag. MSO₂ counterpart:
+    [Lcp_mso.Properties.acyclic]. *)
+
+include Algebra_sig.ORACLE
+
+val decode : Lcp_util.Bitenc.reader -> state
+(** Inverse of [encode] (for states whose slots are vertex ids). *)

@@ -1,0 +1,9 @@
+(** The bipartiteness (2-colorability) algebra: a parity partition of the
+    boundary plus a sticky odd-cycle flag — the compact state that replaces
+    the exponential set-of-colorings view. MSO₂ counterpart:
+    [Lcp_mso.Properties.bipartite]. *)
+
+include Algebra_sig.ORACLE
+
+val decode : Lcp_util.Bitenc.reader -> state
+(** Inverse of [encode] (for states whose slots are vertex ids). *)

@@ -1,0 +1,17 @@
+(** The "contains a clique on [size] vertices" algebra (K_c subgraph).
+
+    A clique's edges are added one at a time, possibly with no moment when
+    all clique vertices are simultaneously on the boundary, so — like
+    {!Triangle_free} — the state remembers completed sub-structure: a
+    profile (T, t) asserts that t already-forgotten vertices are pairwise
+    adjacent and adjacent to every vertex of the boundary subset T; the
+    boundary part T still needs its own edges, which are tracked in the
+    boundary adjacency. [Make (struct let size = 3 end)] is the complement
+    of {!Triangle_free} (tested against it). MSO₂: ∃x₁…x_c pairwise
+    distinct and adjacent. *)
+
+module type PARAM = sig
+  val size : int
+end
+
+module Make (P : PARAM) : Algebra_sig.ORACLE

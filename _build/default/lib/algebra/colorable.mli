@@ -1,0 +1,14 @@
+(** The q-colorability algebra: the state is the explicit set of proper
+    q-colorings restricted to the boundary — the textbook homomorphism
+    class, exponential in the boundary size, practical only for small lane
+    counts (for q = 2 prefer the compact {!Bipartite}). MSO₂ counterpart:
+    [Lcp_mso.Properties.three_colorable]. *)
+
+module type PARAM = sig
+  val q : int
+end
+
+module Make (P : PARAM) : Algebra_sig.ORACLE
+
+module Three : Algebra_sig.ORACLE
+(** [Make (struct let q = 3 end)]. *)

@@ -1,0 +1,20 @@
+(** Boolean combinators on property algebras (products of homomorphism
+    classes), plus two assembled recognizers the paper's lower bound is
+    stated with: path graphs and cycle graphs. *)
+
+module Not (A : Algebra_sig.S) : Algebra_sig.S with type state = A.state
+
+module And (A : Algebra_sig.S) (B : Algebra_sig.S) :
+  Algebra_sig.S with type state = A.state * B.state
+
+module Or (A : Algebra_sig.S) (B : Algebra_sig.S) :
+  Algebra_sig.S with type state = A.state * B.state
+
+(** "The graph is a simple path": connected ∧ acyclic ∧ max degree ≤ 2.
+    MSO₂ counterpart: [Lcp_mso.Properties.is_path_graph]. *)
+module Is_path_graph : Algebra_sig.ORACLE
+
+(** "The graph is a simple cycle": connected ∧ 2-regular — one half of the
+    Ω(log n) path/cycle pair (§1.2). MSO₂ counterpart:
+    [Lcp_mso.Properties.is_cycle_graph]. *)
+module Is_cycle_graph : Algebra_sig.ORACLE

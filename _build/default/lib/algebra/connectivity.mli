@@ -1,0 +1,10 @@
+(** The connectivity algebra: the homomorphism class is the partition of
+    the boundary into connected components plus a (capped) count of
+    components that already lost their last boundary vertex. Connectivity
+    is MSO₂ ([Lcp_mso.Properties.connected]); tests check this algebra
+    against both that formula and a BFS oracle. *)
+
+include Algebra_sig.ORACLE
+
+val decode : Lcp_util.Bitenc.reader -> state
+(** Inverse of [encode] (for states whose slots are vertex ids). *)

@@ -1,0 +1,13 @@
+(** Degree-constraint algebras, parameterized by the bound d: per-boundary-
+    vertex degree counters capped at d+1 plus a sticky violation flag.
+    "max degree <= d" and "d-regular" are MSO₂ for fixed d
+    ([Lcp_mso.Properties.max_degree_at_most], [.regular]); combined with
+    {!Connectivity} and {!Acyclicity} they recognize the paper's canonical
+    path/cycle pair (see {!Combinators}). *)
+
+module type PARAM = sig
+  val d : int
+end
+
+module Max_degree (P : PARAM) : Algebra_sig.ORACLE
+module Regular (P : PARAM) : Algebra_sig.ORACLE

@@ -1,0 +1,22 @@
+(** The "diameter ≤ d" algebra (for fixed d this is first-order, hence
+    MSO₂: every pair of vertices is joined by a path of ≤ d edges).
+
+    Distances only decrease as composition adds edges, so the state keeps:
+    the (capped, closed) metric among boundary slots; the set of
+    distance-to-boundary vectors of forgotten vertices (two forgotten
+    vertices with the same vector are indistinguishable forever — the
+    vector is the homomorphism class of a sealed vertex); which vectors are
+    held by ≥ 2 vertices; and, per unordered pair of vector classes, the
+    best distance ever available between their members. Every pair is
+    re-relaxed through the boundary after each edge; the final verdict is
+    taken when the last slot is forgotten (no edge can ever be added with
+    fewer than two boundary slots, so the metric is final there).
+
+    Diameter ≤ d implies connectivity: disconnected pairs stay at the
+    ∞-cap and reject. *)
+
+module type PARAM = sig
+  val d : int
+end
+
+module Make (P : PARAM) : Algebra_sig.ORACLE

@@ -1,0 +1,13 @@
+(** The "dominating set of size <= budget" algebra: each boundary vertex
+    is in the set, dominated, or not yet dominated; profiles map to the
+    minimum number of forgotten set members (capped). A vertex may only be
+    forgotten once it is in the set or dominated. MSO₂ counterpart:
+    [Lcp_mso.Properties.dominating_set_at_most]. *)
+
+type status = In_set | Dominated | Undominated
+
+module type PARAM = sig
+  val budget : int
+end
+
+module Make (P : PARAM) : Algebra_sig.ORACLE

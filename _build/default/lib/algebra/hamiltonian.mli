@@ -1,0 +1,9 @@
+(** Hamiltonicity algebras. A profile describes a partial edge subset that
+    could still complete into a Hamiltonian cycle (or path): open segments
+    with their boundary endpoints, interior (degree-2) boundary vertices,
+    and — for the path variant — up to two forgotten dangling ends. The
+    state is the set of achievable profiles. MSO₂ counterparts:
+    [Lcp_mso.Properties.hamiltonian_cycle], [.hamiltonian_path]. *)
+
+module Cycle_alg : Algebra_sig.ORACLE
+module Path_alg : Algebra_sig.ORACLE

@@ -1,0 +1,10 @@
+(** The "independent set of size >= target" algebra: profiles fix the
+    membership of boundary vertices and map to the maximum number of
+    forgotten members, capped at the target. MSO₂ counterpart:
+    [Lcp_mso.Properties.independent_set_at_least]. *)
+
+module type PARAM = sig
+  val target : int
+end
+
+module Make (P : PARAM) : Algebra_sig.ORACLE

@@ -1,0 +1,95 @@
+module Klane = Lcp_lanewidth.Klane
+module Hierarchy = Lcp_lanewidth.Hierarchy
+module Merge = Lcp_lanewidth.Merge
+module Graph = Lcp_graph.Graph
+
+module Make (A : Algebra_sig.S) = struct
+  let terminals (k : Klane.t) =
+    List.sort_uniq compare
+      (List.map snd k.Klane.lane_in @ List.map snd k.Klane.lane_out)
+
+  let forget_to st keep =
+    List.fold_left
+      (fun st s -> if List.mem s keep then st else A.forget st s)
+      st (A.slots st)
+
+  let of_small (k : Klane.t) =
+    let st = List.fold_left A.introduce A.empty k.Klane.vertices in
+    let st = List.fold_left (fun st (u, v) -> A.add_edge st u v) st k.Klane.edges in
+    forget_to st (terminals k)
+
+  let bridge (s1, k1) (s2, k2) ~i ~j =
+    let st = A.union s1 s2 in
+    A.add_edge st (Klane.tau_out k1 i) (Klane.tau_out k2 j)
+
+  let parent ~child:(sc, kc) ~parent:(sp, kp) ~result =
+    let glued = List.map (fun i -> Klane.tau_in kc i) (Klane.lanes kc) in
+    let sc, temp_pairs =
+      List.fold_left
+        (fun (st, acc) v ->
+          let tmp = -(v + 1) in
+          (A.rename st ~old_slot:v ~new_slot:tmp, (v, tmp) :: acc))
+        (sc, []) glued
+    in
+    let st = A.union sc sp in
+    let st =
+      List.fold_left
+        (fun st (v, tmp) -> A.identify st ~keep:v ~drop:tmp)
+        st temp_pairs
+    in
+    ignore kp;
+    forget_to st (terminals result)
+
+  let rec eval (h : Hierarchy.t) =
+    match h with
+    | Hierarchy.V_node k | Hierarchy.E_node k | Hierarchy.P_node k ->
+        of_small k
+    | Hierarchy.B_node { left; right; i; j; _ } ->
+        bridge
+          (eval left, Hierarchy.klane_of left)
+          (eval right, Hierarchy.klane_of right)
+          ~i ~j
+    | Hierarchy.T_node { tree; _ } -> eval_ttree tree
+
+  and eval_ttree { Hierarchy.piece; children; merged = _ } =
+    let st0 = eval piece in
+    let st, _ =
+      List.fold_left
+        (fun (sp, kp) (c : Hierarchy.ttree) ->
+          let sc = eval_ttree c in
+          let kr = Merge.parent_merge ~child:c.Hierarchy.merged ~parent:kp in
+          ( parent ~child:(sc, c.Hierarchy.merged) ~parent:(sp, kp) ~result:kr,
+            kr ))
+        (st0, Hierarchy.klane_of piece)
+        children
+    in
+    st
+
+  let holds h =
+    let st = eval h in
+    A.accepts (forget_to st [])
+
+  let decide_graph g =
+    (* sweep in vertex order, forgetting each vertex as soon as all its
+       neighbors are present — the boundary stays small whenever the vertex
+       numbering is a good layout (true for all our generators) *)
+    let n = Graph.n g in
+    let st = ref A.empty in
+    let forgotten = Array.make n false in
+    for v = 0 to n - 1 do
+      st := A.introduce !st v;
+      List.iter
+        (fun w -> if w < v && not forgotten.(w) then st := A.add_edge !st v w)
+        (Graph.neighbors g v);
+      for u = 0 to v do
+        if
+          (not forgotten.(u))
+          && List.for_all (fun w -> w <= v) (Graph.neighbors g u)
+        then begin
+          forgotten.(u) <- true;
+          st := A.forget !st u
+        end
+      done
+    done;
+    A.accepts !st
+end

@@ -1,0 +1,44 @@
+(** Lifting a property algebra to k-lane recursive graphs — the executable
+    form of Prop 6.1. The homomorphism class [h*(G)] of a k-lane graph is
+    its algebra state with boundary slots named by the host vertices of its
+    in/out terminals (together with the basic information carried by the
+    [Klane.t] itself). [f_B] is [bridge]; [f_P] is [parent]. *)
+
+module Make (A : Algebra_sig.S) : sig
+  val of_small : Lcp_lanewidth.Klane.t -> A.state
+  (** State of a base node (V-, E-, or P-node): introduce every vertex, add
+      every edge, forget non-terminals. *)
+
+  val terminals : Lcp_lanewidth.Klane.t -> int list
+  (** The boundary: in-terminals ∪ out-terminals, sorted. *)
+
+  val bridge :
+    A.state * Lcp_lanewidth.Klane.t ->
+    A.state * Lcp_lanewidth.Klane.t ->
+    i:int ->
+    j:int ->
+    A.state
+  (** [f_B]: disjoint union plus the bridge edge. *)
+
+  val parent :
+    child:A.state * Lcp_lanewidth.Klane.t ->
+    parent:A.state * Lcp_lanewidth.Klane.t ->
+    result:Lcp_lanewidth.Klane.t ->
+    A.state
+  (** [f_P]: rename the child's glued in-terminals to temporaries, union,
+      identify each with the parent's same-lane out-terminal, then forget
+      every slot that is not a terminal of the merged graph — the "3k
+      temporary terminals" detour in the proof of Prop 6.1. *)
+
+  val eval : Lcp_lanewidth.Hierarchy.t -> A.state
+  (** Bottom-up evaluation of a hierarchical decomposition. *)
+
+  val holds : Lcp_lanewidth.Hierarchy.t -> bool
+  (** Forget the remaining terminals of the root state and test acceptance:
+      whether the underlying graph satisfies the property. *)
+
+  val decide_graph : Lcp_graph.Graph.t -> bool
+  (** Run the algebra linearly over a plain graph (introduce all vertices,
+      add all edges, forget everything) — a hierarchy-free sanity check of
+      the algebra against its oracle. *)
+end

@@ -1,0 +1,6 @@
+(** The perfect-matching algebra: the state is the set of achievable
+    profiles (subsets of the boundary already covered by the partial
+    matching, with every forgotten vertex covered). MSO₂ counterpart:
+    [Lcp_mso.Properties.perfect_matching]. *)
+
+include Algebra_sig.ORACLE

@@ -1,0 +1,84 @@
+type t = int list list
+(* canonical: each class sorted ascending; classes sorted by head *)
+
+let canonical classes =
+  classes
+  |> List.filter (fun c -> c <> [])
+  |> List.map (List.sort compare)
+  |> List.sort compare
+
+let empty = []
+
+let mem t s = List.exists (List.mem s) t
+
+let add_singleton t s =
+  if mem t s then invalid_arg "Slot_partition.add_singleton: slot exists";
+  canonical ([ s ] :: t)
+
+let class_of t s = List.find_opt (List.mem s) t
+
+let merge t a b =
+  match (class_of t a, class_of t b) with
+  | Some ca, Some cb ->
+      if ca == cb || ca = cb then t
+      else
+        canonical ((ca @ cb) :: List.filter (fun c -> c <> ca && c <> cb) t)
+  | _ -> invalid_arg "Slot_partition.merge: unknown slot"
+
+let same_class t a b =
+  match (class_of t a, class_of t b) with
+  | Some ca, Some cb -> ca = cb
+  | _ -> invalid_arg "Slot_partition.same_class: unknown slot"
+
+let remove t s =
+  match class_of t s with
+  | None -> invalid_arg "Slot_partition.remove: unknown slot"
+  | Some c ->
+      let c' = List.filter (fun x -> x <> s) c in
+      (canonical (c' :: List.filter (fun cl -> cl <> c) t), c' = [])
+
+let slots t = List.concat t |> List.sort compare
+
+let classes t = t
+
+let class_count t = List.length t
+
+let rename t ~old_slot ~new_slot =
+  if mem t new_slot then invalid_arg "Slot_partition.rename: slot exists";
+  canonical
+    (List.map (List.map (fun x -> if x = old_slot then new_slot else x)) t)
+
+let union t1 t2 =
+  let s1 = slots t1 in
+  if List.exists (fun s -> mem t2 s) s1 then
+    invalid_arg "Slot_partition.union: slot sets not disjoint";
+  canonical (t1 @ t2)
+
+let equal a b = a = b
+let compare = compare
+
+let encode w t =
+  Lcp_util.Bitenc.varint w (List.length t);
+  List.iter
+    (fun c ->
+      Lcp_util.Bitenc.varint w (List.length c);
+      List.iter (fun s -> Lcp_util.Bitenc.varint w (abs s)) c)
+    t
+
+let rec read_n n f = if n <= 0 then [] else
+  let x = f () in
+  x :: read_n (n - 1) f
+
+let decode r =
+  let nclasses = Lcp_util.Bitenc.read_varint r in
+  canonical
+    (read_n nclasses (fun () ->
+         let size = Lcp_util.Bitenc.read_varint r in
+         read_n size (fun () -> Lcp_util.Bitenc.read_varint r)))
+
+let pp ppf t =
+  Format.fprintf ppf "{%s}"
+    (String.concat " | "
+       (List.map
+          (fun c -> String.concat "," (List.map string_of_int c))
+          t))

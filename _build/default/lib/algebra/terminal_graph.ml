@@ -1,0 +1,160 @@
+module Graph = Lcp_graph.Graph
+module UF = Lcp_graph.Union_find
+
+type t = {
+  graph : Graph.t;
+  terminals : (int * int) list;
+}
+
+let make ~graph ~terminals =
+  let terminals = List.sort compare terminals in
+  let positions = List.map fst terminals and vertices = List.map snd terminals in
+  if List.exists (fun p -> p < 1) positions then
+    invalid_arg "Terminal_graph.make: positions are 1-based";
+  if List.length (List.sort_uniq compare positions) <> List.length positions
+  then invalid_arg "Terminal_graph.make: duplicate position";
+  if List.length (List.sort_uniq compare vertices) <> List.length vertices then
+    invalid_arg "Terminal_graph.make: terminals must be distinct vertices";
+  List.iter
+    (fun v ->
+      if v < 0 || v >= Graph.n graph then
+        invalid_arg "Terminal_graph.make: terminal out of range")
+    vertices;
+  { graph; terminals }
+
+let terminal t p = List.assoc_opt p t.terminals
+
+type term =
+  | Base of t
+  | Compose of {
+      k : int;
+      f1 : int -> int option;
+      f2 : int -> int option;
+      left : term;
+      right : term;
+    }
+
+let rec eval_graph = function
+  | Base t -> t
+  | Compose { k; f1; f2; left; right } ->
+      let l = eval_graph left and r = eval_graph right in
+      let n1 = Graph.n l.graph and n2 = Graph.n r.graph in
+      let uf = UF.create (n1 + n2) in
+      let resolve name f t shift p =
+        match f p with
+        | None -> None
+        | Some q -> (
+            match terminal t q with
+            | Some v -> Some (v + shift)
+            | None ->
+                invalid_arg
+                  (Printf.sprintf "Terminal_graph.eval_graph: %s references \
+                                   missing terminal %d" name q))
+      in
+      (* glue *)
+      for p = 1 to k do
+        match (resolve "f1" f1 l 0 p, resolve "f2" f2 r n1 p) with
+        | Some a, Some b -> ignore (UF.union uf a b)
+        | _ -> ()
+      done;
+      (* compress to new ids *)
+      let rep = Array.init (n1 + n2) (UF.find uf) in
+      let ids = Array.make (n1 + n2) (-1) in
+      let next = ref 0 in
+      Array.iter
+        (fun r ->
+          if ids.(r) < 0 then begin
+            ids.(r) <- !next;
+            incr next
+          end)
+        rep;
+      let map v = ids.(rep.(v)) in
+      let edges =
+        List.map (fun (u, v) -> (map u, map v)) (Graph.edges l.graph)
+        @ List.map
+            (fun (u, v) -> (map (u + n1), map (v + n1)))
+            (Graph.edges r.graph)
+      in
+      let graph = Graph.of_edges ~n:!next edges in
+      let terminals =
+        List.filter_map
+          (fun p ->
+            match (resolve "f1" f1 l 0 p, resolve "f2" f2 r n1 p) with
+            | Some a, _ -> Some (p, map a)
+            | None, Some b -> Some (p, map b)
+            | None, None -> None)
+          (List.init k (fun i -> i + 1))
+      in
+      make ~graph ~terminals
+
+module Eval (A : Algebra_sig.S) = struct
+  let big = 1 lsl 40
+
+  let forget_to st keep =
+    List.fold_left
+      (fun st s -> if List.mem s keep then st else A.forget st s)
+      st (A.slots st)
+
+  let rec state = function
+    | Base t ->
+        let slot_of v =
+          match List.find_opt (fun (_, u) -> u = v) t.terminals with
+          | Some (p, _) -> p
+          | None -> -(v + 1)
+        in
+        let st =
+          Graph.fold_vertices
+            (fun v st -> A.introduce st (slot_of v))
+            t.graph A.empty
+        in
+        let st =
+          Graph.fold_edges
+            (fun (u, v) st -> A.add_edge st (slot_of u) (slot_of v))
+            t.graph st
+        in
+        forget_to st (List.map fst t.terminals)
+    | Compose { k; f1; f2; left; right } ->
+        let sl = state left and sr = state right in
+        let positions = List.init k (fun i -> i + 1) in
+        (* left slots: to big+j when referenced, else forgotten *)
+        let sl =
+          List.fold_left
+            (fun st a ->
+              match
+                List.find_opt (fun j -> f1 j = Some a) positions
+              with
+              | Some j -> A.rename st ~old_slot:a ~new_slot:(big + j)
+              | None -> A.forget st a)
+            sl (A.slots sl)
+        in
+        let sr =
+          List.fold_left
+            (fun st b ->
+              match List.find_opt (fun j -> f2 j = Some b) positions with
+              | Some j -> A.rename st ~old_slot:b ~new_slot:(-(j + 1))
+              | None -> A.forget st b)
+            sr (A.slots sr)
+        in
+        let st = A.union sl sr in
+        let st =
+          List.fold_left
+            (fun st j ->
+              let from_left = List.mem (big + j) (A.slots st) in
+              let from_right = List.mem (-(j + 1)) (A.slots st) in
+              match (from_left, from_right) with
+              | true, true -> A.identify st ~keep:(big + j) ~drop:(-(j + 1))
+              | false, true ->
+                  A.rename st ~old_slot:(-(j + 1)) ~new_slot:(big + j)
+              | _ -> st)
+            st positions
+        in
+        (* final positions *)
+        List.fold_left
+          (fun st j ->
+            if List.mem (big + j) (A.slots st) then
+              A.rename st ~old_slot:(big + j) ~new_slot:j
+            else st)
+          st positions
+
+  let holds term = A.accepts (forget_to (state term) [])
+end

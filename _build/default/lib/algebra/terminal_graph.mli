@@ -1,0 +1,51 @@
+(** k-terminal graphs and their composition (Def 2.3) — the classical
+    algebra behind Courcelle's theorem, of which the paper's k-lane graphs
+    are the specialized variant (Prop 6.1 reduces k-lane merges to
+    3k-terminal compositions).
+
+    A k-terminal graph is a graph with an ordered, injective assignment of
+    at most k terminal positions to vertices. The composition
+    [⊙_{f1,f2}] takes the disjoint union of two k-terminal graphs, makes
+    position i's terminal the [f1 i]-th terminal of the left operand and
+    the [f2 i]-th of the right (gluing the two vertices when both are
+    given), and drops unreferenced terminals to non-terminal status.
+
+    {!Eval} evaluates any property algebra compositionally over a term —
+    the executable statement of Prop 2.4: the homomorphism class of a
+    composition is a function of the classes of the parts. Tests check it
+    against evaluating the materialized graph directly. *)
+
+type t = private {
+  graph : Lcp_graph.Graph.t;
+  terminals : (int * int) list;  (** position (1-based) ↦ vertex, sorted *)
+}
+
+val make :
+  graph:Lcp_graph.Graph.t -> terminals:(int * int) list -> t
+(** Validates: positions ≥ 1 and distinct, vertices distinct and in
+    range. *)
+
+val terminal : t -> int -> int option
+
+type term =
+  | Base of t
+  | Compose of {
+      k : int;
+      f1 : int -> int option;  (** result position ↦ left position *)
+      f2 : int -> int option;
+      left : term;
+      right : term;
+    }
+
+val eval_graph : term -> t
+(** Materialize the term: disjoint unions with terminal gluing. Raises
+    [Invalid_argument] if some [f1]/[f2] references a missing terminal or
+    maps two result positions to one vertex. *)
+
+module Eval (A : Algebra_sig.S) : sig
+  val state : term -> A.state
+  (** Compositional evaluation: boundary slots are terminal positions.
+      Equals (tested) the state obtained from the materialized graph. *)
+
+  val holds : term -> bool
+end

@@ -1,0 +1,5 @@
+(** The triangle-freeness algebra: boundary adjacency, the set of boundary
+    pairs sharing a forgotten common neighbor, and a sticky triangle flag.
+    MSO₂ counterpart: [Lcp_mso.Properties.triangle_free]. *)
+
+include Algebra_sig.ORACLE

@@ -1,0 +1,10 @@
+(** The "vertex cover of size <= budget" algebra: profiles fix the cover
+    membership of every boundary vertex and map to the minimum number of
+    forgotten cover members, capped at budget+1. MSO₂ counterpart:
+    [Lcp_mso.Properties.vertex_cover_at_most]. *)
+
+module type PARAM = sig
+  val budget : int
+end
+
+module Make (P : PARAM) : Algebra_sig.ORACLE

@@ -1,0 +1,1 @@
+lib/core/baseline_fmr.ml: Array Lcp_algebra Lcp_graph Lcp_interval Lcp_pls Lcp_util List Option Printf

@@ -1,0 +1,1 @@
+lib/core/baseline_fmr.mli: Lcp_algebra Lcp_interval Lcp_pls

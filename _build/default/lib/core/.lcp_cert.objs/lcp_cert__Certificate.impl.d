@@ -1,0 +1,1 @@
+lib/core/certificate.ml: Format Lcp_pls Lcp_util List Printf

@@ -1,0 +1,1 @@
+lib/core/compose.ml: Certificate Lcp_algebra Lcp_lanewidth List

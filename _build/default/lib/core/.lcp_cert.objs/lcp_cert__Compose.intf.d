@@ -1,0 +1,1 @@
+lib/core/compose.mli: Certificate Lcp_algebra Lcp_lanewidth

@@ -1,0 +1,1 @@
+lib/core/prover.ml: Array Certificate Compose Hashtbl Lcp_algebra Lcp_graph Lcp_interval Lcp_lanes Lcp_lanewidth Lcp_pls List Option Queue

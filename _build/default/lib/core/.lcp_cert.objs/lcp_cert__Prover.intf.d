@@ -1,0 +1,1 @@
+lib/core/prover.mli: Certificate Lcp_algebra Lcp_graph Lcp_interval Lcp_lanewidth Lcp_pls

@@ -1,0 +1,1 @@
+lib/core/theorem1.ml: Certificate Lcp_algebra Lcp_lanes Lcp_pls Printf Prover Verifier

@@ -1,0 +1,1 @@
+lib/core/theorem1.mli: Certificate Lcp_algebra Lcp_interval Lcp_pls Prover Verifier

@@ -1,0 +1,1 @@
+lib/core/verifier.ml: Certificate Compose Hashtbl Lcp_algebra Lcp_pls List Option Printf

@@ -1,0 +1,1 @@
+lib/core/verifier.mli: Certificate Lcp_algebra Lcp_pls

@@ -1,0 +1,360 @@
+module Graph = Lcp_graph.Graph
+module Representation = Lcp_interval.Representation
+module Interval = Lcp_interval.Interval
+module Config = Lcp_pls.Config
+module Scheme = Lcp_pls.Scheme
+module Bitenc = Lcp_util.Bitenc
+
+exception Reject of string
+
+module Make (A : Lcp_algebra.Algebra_sig.S) = struct
+  type segment = {
+    lo : int;
+    hi : int;
+    boundary : int list;
+    state : A.state;
+  }
+
+  type level = {
+    seg : segment;
+    left : segment option;
+    right : segment option;
+  }
+
+  type leaf_data = {
+    bag : int list;
+    bag_edges : (int * int) list;
+  }
+
+  type label = {
+    interval : int * int;
+    pos : int;
+    levels : level list;
+    leaf : leaf_data;
+    accepted : bool;
+  }
+
+  let fail fmt = Printf.ksprintf (fun s -> raise (Reject s)) fmt
+
+  let require cond fmt =
+    Printf.ksprintf (fun s -> if not cond then raise (Reject s)) fmt
+
+  let forget_to st keep =
+    List.fold_left
+      (fun st s -> if List.mem s keep then st else A.forget st s)
+      st (A.slots st)
+
+  (* compose two adjacent segments: identify the shared boundary vertices
+     (present in both states under the same id slots), keep the claimed
+     result boundary. Deterministic, used verbatim by the verifier. *)
+  let compose (l : segment) (r : segment) ~boundary =
+    let shared = List.filter (fun x -> List.mem x r.boundary) l.boundary in
+    let rstate, temps =
+      List.fold_left
+        (fun (st, acc) x ->
+          let tmp = -(x + 1) in
+          (A.rename st ~old_slot:x ~new_slot:tmp, (x, tmp) :: acc))
+        (r.state, []) shared
+    in
+    let st = A.union l.state rstate in
+    let st =
+      List.fold_left
+        (fun st (x, tmp) -> A.identify st ~keep:x ~drop:tmp)
+        st temps
+    in
+    { lo = l.lo; hi = r.hi; boundary; state = forget_to st boundary }
+
+  (* ---------------------------------------------------------------- *)
+
+  let prove ~rep cfg =
+    let g = Config.graph cfg in
+    let n = Graph.n g in
+    let vid v = Config.id cfg v in
+    (* positions: vertices sorted by left endpoint (ties by index) *)
+    let order = Array.init n (fun v -> v) in
+    Array.sort
+      (fun a b ->
+        compare
+          (Interval.l (Representation.interval rep a), a)
+          (Interval.l (Representation.interval rep b), b))
+      order;
+    let pos = Array.make n 0 in
+    Array.iteri (fun p v -> pos.(v) <- p) order;
+    (* position-space intervals: l' = pos, r' = last position whose point
+       is within the original right endpoint *)
+    let lo' = Array.make n 0 and hi' = Array.make n 0 in
+    Array.iteri
+      (fun p v ->
+        lo'.(v) <- p;
+        let r = Interval.r (Representation.interval rep v) in
+        let q = ref p in
+        while
+          !q + 1 < n
+          && Interval.l (Representation.interval rep order.(!q + 1)) <= r
+        do
+          incr q
+        done;
+        hi'.(v) <- !q)
+      order;
+    let bag p =
+      List.filter
+        (fun v -> lo'.(v) <= p && p <= hi'.(v))
+        (List.init n (fun v -> v))
+    in
+    let crossing p q =
+      (* vertices active at both positions p and q (out of range: none) *)
+      if p < 0 || q >= n then []
+      else
+        List.filter (fun v -> lo'.(v) <= p && q <= hi'.(v))
+          (List.init n (fun v -> v))
+    in
+    let boundary_of lo hi =
+      List.sort_uniq compare
+        (List.map vid (crossing (lo - 1) lo) @ List.map vid (crossing hi (hi + 1)))
+    in
+    (* edges assigned to the first bag containing both endpoints *)
+    let assigned = Array.make n [] in
+    Graph.iter_edges
+      (fun (u, v) ->
+        let p = max lo'.(u) lo'.(v) in
+        assigned.(p) <- (u, v) :: assigned.(p))
+      g;
+    (* build the balanced tree; record per-position root-to-leaf paths *)
+    let paths = Array.make n [] in
+    let rec build lo hi =
+      if lo = hi then begin
+        let members = bag lo in
+        let st =
+          List.fold_left (fun st v -> A.introduce st (vid v)) A.empty members
+        in
+        let st =
+          List.fold_left
+            (fun st (u, v) -> A.add_edge st (vid u) (vid v))
+            st assigned.(lo)
+        in
+        let seg =
+          { lo; hi; boundary = boundary_of lo hi; state = forget_to st (boundary_of lo hi) }
+        in
+        paths.(lo) <- [ { seg; left = None; right = None } ];
+        seg
+      end
+      else begin
+        let mid = (lo + hi) / 2 in
+        let lseg = build lo mid and rseg = build (mid + 1) hi in
+        let seg = compose lseg rseg ~boundary:(boundary_of lo hi) in
+        let lev = { seg; left = Some lseg; right = Some rseg } in
+        for p = lo to hi do
+          paths.(p) <- lev :: paths.(p)
+        done;
+        seg
+      end
+    in
+    let root = build 0 (n - 1) in
+    let accepted = A.accepts (forget_to root.state []) in
+    let labels =
+      Array.init n (fun v ->
+          let p = pos.(v) in
+          {
+            interval = (lo'.(v), hi'.(v));
+            pos = p;
+            levels = paths.(p);
+            leaf =
+              {
+                bag = List.map vid (bag p);
+                bag_edges =
+                  List.map
+                    (fun (a, b) ->
+                      let x = vid a and y = vid b in
+                      if x < y then (x, y) else (y, x))
+                    assigned.(p);
+              };
+            accepted;
+          })
+    in
+    (labels, accepted)
+
+  (* ---------------------------------------------------------------- *)
+
+  let verify ~k (view : label Scheme.vertex_view) =
+    try
+      let me = view.Scheme.vv_label in
+      let my_id = view.Scheme.vv_id in
+      let l, r = me.interval in
+      require (l = me.pos && l <= r) "fmr: malformed interval";
+      require me.accepted "fmr: the prover admits the property fails";
+      (* neighbors: intersecting intervals, distinct positions, agreement *)
+      List.iter
+        (fun ((nid, nl) : int * label) ->
+          let nlo, nhi = nl.interval in
+          require (nlo <= r && l <= nhi) "fmr: neighbor %d interval disjoint" nid;
+          require (nl.pos <> me.pos) "fmr: duplicate position";
+          require (nl.accepted = me.accepted) "fmr: accept bit disagreement")
+        view.Scheme.vv_neighbors;
+      (* bag width *)
+      require
+        (List.length me.leaf.bag <= k + 1)
+        "fmr: bag larger than the width bound";
+      require (List.mem my_id me.leaf.bag) "fmr: I am not in my own bag";
+      (* neighbors active at my position must be in my bag *)
+      List.iter
+        (fun (nid, (nl : label)) ->
+          let nlo, nhi = nl.interval in
+          if nlo <= me.pos && me.pos <= nhi then
+            require (List.mem nid me.leaf.bag)
+              "fmr: active neighbor %d missing from my bag" nid)
+        view.Scheme.vv_neighbors;
+      (* my incident edges assigned to my bag appear in its edge list, and
+         every listed edge naming me is one of my real edges *)
+      let canon a b = if a < b then (a, b) else (b, a) in
+      let my_assigned =
+        List.filter_map
+          (fun (nid, (nl : label)) ->
+            if max me.pos nl.pos = me.pos then Some (canon my_id nid) else None)
+          view.Scheme.vv_neighbors
+      in
+      List.iter
+        (fun e ->
+          require (List.mem e me.leaf.bag_edges)
+            "fmr: my assigned edge missing from the bag edge list")
+        my_assigned;
+      List.iter
+        (fun (a, b) ->
+          if a = my_id || b = my_id then
+            require (List.mem (a, b) my_assigned)
+              "fmr: bag edge list names a non-edge at me")
+        me.leaf.bag_edges;
+      (* the level path: nesting, recomposition, leaf consistency *)
+      let rec walk levels =
+        match levels with
+        | [] -> fail "fmr: empty level path"
+        | [ leaf_level ] ->
+            require
+              (leaf_level.seg.lo = me.pos && leaf_level.seg.hi = me.pos)
+              "fmr: leaf segment is not my position";
+            require
+              (leaf_level.left = None && leaf_level.right = None)
+              "fmr: leaf with children"
+        | lev :: (next :: _ as rest) -> (
+            require (lev.seg.lo <= me.pos && me.pos <= lev.seg.hi)
+              "fmr: segment does not contain my position";
+            match (lev.left, lev.right) with
+            | Some ls, Some rs ->
+                require (ls.lo = lev.seg.lo && rs.hi = lev.seg.hi
+                         && ls.hi + 1 = rs.lo)
+                  "fmr: children do not tile the segment";
+                let recomposed =
+                  try compose ls rs ~boundary:lev.seg.boundary
+                  with Invalid_argument m -> fail "fmr: compose: %s" m
+                in
+                require
+                  (A.equal recomposed.state lev.seg.state)
+                  "fmr: segment class differs from the composition";
+                let child = if me.pos <= ls.hi then ls else rs in
+                require
+                  (next.seg.lo = child.lo && next.seg.hi = child.hi
+                  && next.seg.boundary = child.boundary
+                  && A.equal next.seg.state child.state)
+                  "fmr: next level does not match the child record";
+                walk rest
+            | _ -> fail "fmr: internal segment missing children")
+      in
+      walk me.levels;
+      (* root checks *)
+      (match me.levels with
+      | root :: _ ->
+          require (root.seg.lo = 0) "fmr: root does not start at 0";
+          require (root.seg.hi >= me.pos) "fmr: root too small";
+          let ok =
+            try A.accepts (forget_to root.seg.state [])
+            with Invalid_argument m -> fail "fmr: root: %s" m
+          in
+          require (ok = me.accepted) "fmr: root class does not accept"
+      | [] -> fail "fmr: no root level");
+      (* cross-check records with neighbors: same segment bounds must mean
+         the same record *)
+      let my_segments =
+        List.concat_map
+          (fun lev ->
+            (lev.seg :: Option.to_list lev.left) @ Option.to_list lev.right)
+          me.levels
+      in
+      let seg_eq (a : segment) (b : segment) =
+        a.boundary = b.boundary && A.equal a.state b.state
+      in
+      List.iter
+        (fun ((_, nl) : int * label) ->
+          List.iter
+            (fun lev ->
+              List.iter
+                (fun (ns : segment) ->
+                  List.iter
+                    (fun (ms : segment) ->
+                      if ms.lo = ns.lo && ms.hi = ns.hi then
+                        require (seg_eq ms ns)
+                          "fmr: neighbor disagrees on segment %d..%d" ms.lo
+                          ms.hi)
+                    my_segments)
+                ((lev.seg :: Option.to_list lev.left)
+                @ Option.to_list lev.right))
+            nl.levels)
+        view.Scheme.vv_neighbors;
+      Ok ()
+    with Reject m -> Error m
+
+  (* ---------------------------------------------------------------- *)
+
+  let encode_segment w (s : segment) =
+    Bitenc.varint w s.lo;
+    Bitenc.varint w s.hi;
+    Bitenc.varint w (List.length s.boundary);
+    List.iter (fun x -> Bitenc.varint w x) s.boundary;
+    A.encode w s.state
+
+  let encode w (lab : label) =
+    Bitenc.varint w (fst lab.interval);
+    Bitenc.varint w (snd lab.interval);
+    Bitenc.varint w lab.pos;
+    Bitenc.bit w lab.accepted;
+    Bitenc.varint w (List.length lab.levels);
+    List.iter
+      (fun lev ->
+        encode_segment w lev.seg;
+        let opt = function
+          | None -> Bitenc.bit w false
+          | Some s ->
+              Bitenc.bit w true;
+              encode_segment w s
+        in
+        opt lev.left;
+        opt lev.right)
+      lab.levels;
+    Bitenc.varint w (List.length lab.leaf.bag);
+    List.iter (fun x -> Bitenc.varint w x) lab.leaf.bag;
+    Bitenc.varint w (List.length lab.leaf.bag_edges);
+    List.iter
+      (fun (a, b) ->
+        Bitenc.varint w a;
+        Bitenc.varint w b)
+      lab.leaf.bag_edges
+
+  let scheme ?rep ~k () =
+    let prove_opt cfg =
+      let g = Config.graph cfg in
+      if Graph.n g = 0 || not (Lcp_graph.Traversal.is_connected g) then None
+      else begin
+        let rep =
+          match Option.bind rep (fun f -> f cfg) with
+          | Some r -> r
+          | None -> Lcp_interval.Pathwidth.exact_interval_representation g
+        in
+        let labels, accepted = prove ~rep cfg in
+        if accepted then Some labels else None
+      end
+    in
+    {
+      Scheme.vs_name = Printf.sprintf "fmr_baseline(%s, pw<=%d)" A.name k;
+      vs_prove = prove_opt;
+      vs_verify = verify ~k;
+      vs_encode = encode;
+    }
+end

@@ -1,0 +1,55 @@
+(** The O(log² n)-bit baseline, in the style of Fraigniaud–Montealegre–
+    Rapaport–Todinca (Algorithmica 2024): certify the Courcelle dynamic
+    program over a balanced binary division of the path decomposition.
+
+    Every vertex carries one record per level of a balanced binary tree
+    over the bag sequence (depth ⌈log₂ n⌉). A segment's record holds its
+    homomorphism class with the ≤ 2(k+1) segment-boundary vertices as
+    slots, plus both children's records, so each vertex can recompute every
+    composition on its root-to-leaf path; leaves carry their bag and its
+    assigned edges. Labels are Θ(log n) bits per level and Θ(log² n) bits
+    in total for fixed k — the label-size gap to Theorem 1's O(log n) is
+    exactly what experiment E1 measures.
+
+    The verifier checks interval validity against neighbors, position and
+    bag membership, record agreement between neighbors sharing segments,
+    bit-for-bit recomputation of every composition on the vertex's path,
+    leaf edge-list consistency with the vertex's actual incident edges, and
+    acceptance at the root. (This reproduces the baseline's label-size
+    shape and its completeness; the soundness argument of the original
+    paper relies on further machinery that is out of scope here — see
+    DESIGN.md.) *)
+
+module Make (A : Lcp_algebra.Algebra_sig.S) : sig
+  type segment = {
+    lo : int;
+    hi : int;
+    boundary : int list;  (** segment-boundary vertex ids, sorted *)
+    state : A.state;
+  }
+
+  type level = {
+    seg : segment;
+    left : segment option;  (** children, absent at leaves *)
+    right : segment option;
+  }
+
+  type leaf_data = {
+    bag : int list;  (** ids of the leaf bag *)
+    bag_edges : (int * int) list;  (** edges assigned to this bag, by id *)
+  }
+
+  type label = {
+    interval : int * int;
+    pos : int;  (** position of this vertex in the left-endpoint order *)
+    levels : level list;  (** root first *)
+    leaf : leaf_data;
+    accepted : bool;
+  }
+
+  val scheme :
+    ?rep:(Lcp_pls.Config.t -> Lcp_interval.Representation.t option) ->
+    k:int ->
+    unit ->
+    label Lcp_pls.Scheme.vertex_scheme
+end

@@ -1,0 +1,93 @@
+(** The Theorem 1 certificate structure (§6.2).
+
+    Every edge of the completion G' carries a stack of frames describing
+    the branch of the hierarchical decomposition that contains it — at most
+    2k levels by Obs 5.5, each of size O_k(log n) bits. Real edges carry
+    their stack directly; each virtual edge's stack rides along its
+    embedding path as a transported record (§6.2, "certifying the
+    embedding"), at most h(k+1) records per real edge by Prop 4.6.
+
+    The basic information B(Q) of a hierarchy node (Def 6.3) is the [info]
+    record: lane set, terminals by vertex identifier, and the homomorphism
+    class — an algebra state whose boundary slots are named by the vertex
+    identifiers of the terminals, so that prover and verifier compute in
+    the same slot language. [node_id] is a prover-chosen serial number that
+    lets a vertex group the labels of its incident edges by hierarchy node;
+    it carries no trusted content (all consistency is re-checked). *)
+
+type 'state info = {
+  node_id : int;
+  lanes : int list;
+  t_in : (int * int) list;  (** lane ↦ in-terminal vertex id *)
+  t_out : (int * int) list;  (** lane ↦ out-terminal vertex id *)
+  state : 'state;
+}
+
+type kind = KV | KE | KP | KB | KT
+
+type 'state frame =
+  | T_frame of {
+      member : 'state info * kind;
+          (** B(G') and node type of the tree member containing the edge *)
+      merged : 'state info;  (** B(Tree-merge(T_{G'})) *)
+      is_tree_root : bool;
+      member_real : bool list;
+          (** for E/P members: realness of each member edge (E: the single
+              edge; P: path edges in lane order) — needed to recompute the
+              member's class on the real-edge subgraph *)
+      children : (int * 'state info) list;
+          (** (root-member node id, B(Tree-merge(T_child))) per child *)
+    }
+  | B_frame of {
+      bnode : 'state info;
+      i : int;
+      j : int;
+      left : 'state info * kind;  (** kind ∈ {KV, KT} *)
+      right : 'state info * kind;
+      bridge_real : bool;  (** whether the bridge edge is a real G edge *)
+      left_root_member : int option;
+          (** node id of the left tree's root member, when left is a T-node *)
+      right_root_member : int option;
+      position : [ `Bridge | `Left | `Right ];
+          (** where this edge sits inside the B-node *)
+      left_ptr : Lcp_pls.Spanning_tree.label option;
+          (** per-edge pointer sub-label certifying a V-node part *)
+      right_ptr : Lcp_pls.Spanning_tree.label option;
+    }
+
+type 'state vrecord = {
+  vu : int;  (** id of the first endpoint of the virtual edge *)
+  vv : int;
+  rank_fwd : int;  (** 1-based rank of this real edge along the path *)
+  rank_bwd : int;
+  vframes : 'state frame list;  (** the virtual edge's own stack *)
+}
+
+type 'state label = {
+  frames : 'state frame list;  (** root-first stack of this real edge *)
+  global_ptr : Lcp_pls.Spanning_tree.label;
+      (** Prop 2.2 pointer to a vertex of the root member, over G *)
+  accept_state : bool;
+      (** the prover's claim that the root class is accepting; checked by
+          every vertex against the root merged state it can see *)
+  transported : 'state vrecord list;
+}
+
+val kind_code : kind -> int
+
+val encode :
+  encode_state:(Lcp_util.Bitenc.writer -> 'state -> unit) ->
+  Lcp_util.Bitenc.writer ->
+  'state label ->
+  unit
+(** Bit-exact serialization (for proof-size measurement). *)
+
+val decode :
+  decode_state:(Lcp_util.Bitenc.reader -> 'state) ->
+  Lcp_util.Bitenc.reader ->
+  'state label
+(** Inverse of {!encode}, given the state decoder of the property algebra
+    in use — certificates really are just the emitted bits (tested by
+    round-tripping full labelings). *)
+
+val pp_kind : Format.formatter -> kind -> unit

@@ -1,0 +1,509 @@
+module Scheme = Lcp_pls.Scheme
+module Spanning_tree = Lcp_pls.Spanning_tree
+open Certificate
+
+exception Reject of string
+
+module Make (A : Lcp_algebra.Algebra_sig.S) = struct
+  module C = Compose.Make (A)
+
+  type item = {
+    frames : A.state frame list;
+    is_real : bool;
+  }
+
+  let fail fmt = Printf.ksprintf (fun s -> raise (Reject s)) fmt
+
+  let require cond fmt =
+    Printf.ksprintf (fun s -> if not cond then raise (Reject s)) fmt
+
+  let info_equal (a : A.state info) (b : A.state info) =
+    a.node_id = b.node_id && a.lanes = b.lanes && a.t_in = b.t_in
+    && a.t_out = b.t_out
+    && A.equal a.state b.state
+
+  (* frame equality: T-frames fully; B-frames modulo per-edge fields *)
+  let frames_equal f1 f2 =
+    match (f1, f2) with
+    | ( T_frame { member = m1, k1; merged = g1; is_tree_root = r1;
+                  member_real = e1; children = c1 },
+        T_frame { member = m2, k2; merged = g2; is_tree_root = r2;
+                  member_real = e2; children = c2 } ) ->
+        info_equal m1 m2 && k1 = k2 && info_equal g1 g2 && r1 = r2 && e1 = e2
+        && List.length c1 = List.length c2
+        && List.for_all2
+             (fun (i1, a) (i2, b) -> i1 = i2 && info_equal a b)
+             c1 c2
+    | ( B_frame { bnode = b1; i = i1; j = j1; left = l1, lk1;
+                  right = r1, rk1; bridge_real = br1;
+                  left_root_member = lm1; right_root_member = rm1; _ },
+        B_frame { bnode = b2; i = i2; j = j2; left = l2, lk2;
+                  right = r2, rk2; bridge_real = br2;
+                  left_root_member = lm2; right_root_member = rm2; _ } ) ->
+        info_equal b1 b2 && i1 = i2 && j1 = j2 && info_equal l1 l2 && lk1 = lk2
+        && info_equal r1 r2 && rk1 = rk2 && br1 = br2 && lm1 = lm2 && rm1 = rm2
+    | _ -> false
+
+  (* ---------------------------------------------------------------- *)
+  (* virtual-edge transport (§6.2, certifying the embedding)           *)
+
+  let check_transport ~my_id labels =
+    let groups = Hashtbl.create 8 in
+    List.iter
+      (fun (l : A.state label) ->
+        List.iter
+          (fun r ->
+            let key = (r.vu, r.vv) in
+            Hashtbl.replace groups key
+              (r :: Option.value ~default:[] (Hashtbl.find_opt groups key)))
+          l.transported)
+      labels;
+    let virtual_items = ref [] in
+    Hashtbl.iter
+      (fun (vu, vv) records ->
+        require (vu <> vv) "transport: degenerate virtual edge %d-%d" vu vv;
+        (match records with
+        | r0 :: rest ->
+            List.iter
+              (fun r ->
+                require (r.vframes = r0.vframes)
+                  "transport: inconsistent payload for %d-%d" vu vv)
+              rest
+        | [] -> ());
+        if my_id = vu || my_id = vv then begin
+          match records with
+          | [ r ] ->
+              require
+                ((r.rank_fwd = 1 && vu = my_id)
+                || (r.rank_bwd = 1 && vv = my_id))
+                "transport: endpoint %d has wrong rank for %d-%d" my_id vu vv;
+              virtual_items :=
+                { frames = r.vframes; is_real = false } :: !virtual_items
+          | rs ->
+              fail "transport: endpoint %d sees %d records for %d-%d" my_id
+                (List.length rs) vu vv
+        end
+        else begin
+          match records with
+          | [ r1; r2 ] ->
+              require
+                (r1.rank_fwd + r1.rank_bwd = r2.rank_fwd + r2.rank_bwd)
+                "transport: rank sums differ for %d-%d" vu vv;
+              require
+                (abs (r1.rank_fwd - r2.rank_fwd) = 1)
+                "transport: ranks not consecutive for %d-%d" vu vv;
+              require
+                (r1.rank_fwd >= 1 && r2.rank_fwd >= 1 && r1.rank_bwd >= 1
+               && r2.rank_bwd >= 1)
+                "transport: non-positive rank for %d-%d" vu vv
+          | rs ->
+              fail "transport: interior vertex sees %d records for %d-%d"
+                (List.length rs) vu vv
+        end)
+      groups;
+    !virtual_items
+
+  (* ---------------------------------------------------------------- *)
+  (* stack shape: alternating T/B frames, bounded depth, bounded lanes *)
+
+  let check_stack ~max_lanes (it : item) =
+    let frames = it.frames in
+    require (frames <> []) "stack: edge with empty frame stack";
+    require
+      (List.length frames <= 2 * max_lanes)
+      "stack: deeper than 2k (Obs 5.5 violated)";
+    let check_info (info : A.state info) =
+      require (info.lanes <> []) "stack: empty lane set";
+      List.iter
+        (fun l ->
+          require (l >= 0 && l < max_lanes) "stack: lane %d out of range" l)
+        info.lanes
+    in
+    let rec walk frames =
+      match frames with
+      | [] -> fail "stack: dangling branch"
+      | T_frame { member = minfo, mkind; merged; _ } :: rest -> (
+          check_info minfo;
+          check_info merged;
+          match mkind with
+          | KE | KP ->
+              require (rest = []) "stack: frames below a leaf member"
+          | KB -> (
+              match rest with
+              | B_frame { bnode; _ } :: _ ->
+                  require
+                    (bnode.node_id = minfo.node_id && info_equal bnode minfo)
+                    "stack: B-frame does not match its member";
+                  walk rest
+              | _ -> fail "stack: B member without B-frame")
+          | KV | KT -> fail "stack: tree member of kind V or T")
+      | B_frame { bnode; left = _, lkind; right = _, rkind; position; _ }
+        :: rest -> (
+          check_info bnode;
+          require
+            (lkind = KV || lkind = KT)
+            "stack: B-node left part of invalid kind";
+          require
+            (rkind = KV || rkind = KT)
+            "stack: B-node right part of invalid kind";
+          match position with
+          | `Bridge -> require (rest = []) "stack: frames below a bridge edge"
+          | `Left ->
+              require (lkind = KT) "stack: edge inside a V-node part";
+              (match rest with
+              | T_frame _ :: _ -> walk rest
+              | _ -> fail "stack: B side without inner tree frame")
+          | `Right ->
+              require (rkind = KT) "stack: edge inside a V-node part";
+              (match rest with
+              | T_frame _ :: _ -> walk rest
+              | _ -> fail "stack: B side without inner tree frame"))
+    in
+    (* first frame must be a T-frame: the whole certificate is a T-node *)
+    (match frames with
+    | T_frame _ :: _ -> ()
+    | _ -> fail "stack: top frame is not a T-frame");
+    walk frames
+
+  (* ---------------------------------------------------------------- *)
+  (* grouping frames by hierarchy node                                 *)
+
+  type t_group = {
+    tg_level : int;
+    tg_frame : A.state frame; (* representative T_frame *)
+    mutable tg_items : item list; (* items whose stack carries it *)
+  }
+
+  type b_group = {
+    bg_level : int;
+    bg_frame : A.state frame;
+    mutable bg_items : (item * [ `Bridge | `Left | `Right ]
+                        * Spanning_tree.label option
+                        * Spanning_tree.label option) list;
+  }
+
+  let collect_groups items =
+    let tgroups : (int, t_group) Hashtbl.t = Hashtbl.create 16 in
+    let bgroups : (int, b_group) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun it ->
+        List.iteri
+          (fun level frame ->
+            match frame with
+            | T_frame { member = minfo, _; _ } -> (
+                match Hashtbl.find_opt tgroups minfo.node_id with
+                | None ->
+                    Hashtbl.replace tgroups minfo.node_id
+                      { tg_level = level; tg_frame = frame; tg_items = [ it ] }
+                | Some g ->
+                    require (g.tg_level = level)
+                      "group: node %d appears at two levels" minfo.node_id;
+                    require
+                      (frames_equal g.tg_frame frame)
+                      "group: inconsistent T-frames for node %d" minfo.node_id;
+                    g.tg_items <- it :: g.tg_items)
+            | B_frame { bnode; position; left_ptr; right_ptr; _ } -> (
+                match Hashtbl.find_opt bgroups bnode.node_id with
+                | None ->
+                    Hashtbl.replace bgroups bnode.node_id
+                      {
+                        bg_level = level;
+                        bg_frame = frame;
+                        bg_items = [ (it, position, left_ptr, right_ptr) ];
+                      }
+                | Some g ->
+                    require (g.bg_level = level)
+                      "group: node %d appears at two levels" bnode.node_id;
+                    require
+                      (frames_equal g.bg_frame frame)
+                      "group: inconsistent B-frames for node %d" bnode.node_id;
+                    g.bg_items <-
+                      (it, position, left_ptr, right_ptr) :: g.bg_items))
+          it.frames)
+      items;
+    (tgroups, bgroups)
+
+  (* ---------------------------------------------------------------- *)
+
+  let multiset_eq a b = List.sort compare a = List.sort compare b
+
+  let check_t_group ~my_id ~accept_claim tgroups (g : t_group) =
+    match g.tg_frame with
+    | B_frame _ -> assert false
+    | T_frame { member = minfo, mkind; merged; is_tree_root; member_real;
+                children } ->
+        let iface = C.iface_of_info minfo in
+        (* member-kind specific checks *)
+        (match mkind with
+        | KE ->
+            require (List.length member_real = 1) "E-member: bad realness mask";
+            let real = List.hd member_real in
+            let st =
+              try C.e_state iface ~real
+              with Invalid_argument m -> fail "E-member: %s" m
+            in
+            require (A.equal st minfo.state) "E-member: wrong class";
+            let a = snd (List.hd iface.C.t_in)
+            and b = snd (List.hd iface.C.t_out) in
+            require
+              (my_id = a || my_id = b)
+              "E-member: I carry an edge of an E-node I am not in";
+            (match g.tg_items with
+            | [ it ] ->
+                require (it.is_real = real) "E-member: realness mismatch"
+            | items ->
+                fail "E-member: %d incident edges of a single-edge node"
+                  (List.length items))
+        | KP ->
+            let st =
+              try C.p_state iface ~mask:member_real
+              with Invalid_argument m -> fail "P-member: %s" m
+            in
+            require (A.equal st minfo.state) "P-member: wrong class";
+            let path = List.map snd iface.C.t_in in
+            let len = List.length path in
+            let pos =
+              match
+                List.find_index (fun v -> v = my_id)
+                  path
+              with
+              | Some p -> p
+              | None -> fail "P-member: I carry an edge of a path I am not on"
+            in
+            let expected_flags =
+              (if pos > 0 then [ List.nth member_real (pos - 1) ] else [])
+              @
+              if pos < len - 1 then [ List.nth member_real pos ] else []
+            in
+            require
+              (multiset_eq expected_flags
+                 (List.map (fun it -> it.is_real) g.tg_items))
+              "P-member: incident edges do not match the path"
+        | KB ->
+            require (member_real = []) "B-member: unexpected realness mask"
+            (* class and topology checked by the B-group *)
+        | KV | KT -> fail "T-group: member of invalid kind");
+        (* merged class = f_P fold of member and children *)
+        let merged_state, merged_iface =
+          try
+            List.fold_left
+              (fun (sp, fp) ((_, cinfo) : int * A.state info) ->
+                C.parent
+                  ~child:(cinfo.state, C.iface_of_info cinfo)
+                  ~parent:(sp, fp))
+              (minfo.state, iface) children
+          with Invalid_argument m -> fail "Tree-merge: %s" m
+        in
+        require
+          (A.equal merged_state merged.state)
+          "Tree-merge: claimed class differs from f_P of the parts";
+        require
+          (merged_iface = C.iface_of_info merged)
+          "Tree-merge: claimed terminals differ from the merge of the parts";
+        (* junction: children claiming me as in-terminal must be visible *)
+        List.iter
+          (fun ((rid, cinfo) : int * A.state info) ->
+            if List.exists (fun (_, v) -> v = my_id) cinfo.t_in then begin
+              match Hashtbl.find_opt tgroups rid with
+              | None ->
+                  fail
+                    "Tree-merge: a child attaching at me (node %d) is invisible"
+                    rid
+              | Some cg -> (
+                  match cg.tg_frame with
+                  | T_frame { merged = cmerged; is_tree_root = croot; _ } ->
+                      require (not croot)
+                        "Tree-merge: child root member claims to be tree root";
+                      require (cg.tg_level = g.tg_level)
+                        "Tree-merge: child member at wrong level";
+                      require
+                        (info_equal cmerged cinfo)
+                        "Tree-merge: child merged info mismatch"
+                  | B_frame _ -> assert false)
+            end)
+          children;
+        (* the root of the outermost tree carries the global class *)
+        if is_tree_root && g.tg_level = 0 then begin
+          let ok = try C.accepts merged.state with Invalid_argument m -> fail "root: %s" m in
+          require (ok = accept_claim)
+            "root: accept bit does not match the root class";
+          require ok "root: the property does not hold"
+        end
+
+  let check_b_group ~my_id tgroups (g : b_group) =
+    match g.bg_frame with
+    | T_frame _ -> assert false
+    | B_frame { bnode; i; j; left = linfo, lkind; right = rinfo, rkind;
+                bridge_real; left_root_member; right_root_member; _ } ->
+        let lif = C.iface_of_info linfo and rif = C.iface_of_info rinfo in
+        (* recompute f_B *)
+        let st, iface =
+          try C.bridge (linfo.state, lif) (rinfo.state, rif) ~i ~j
+                ~real:bridge_real
+          with Invalid_argument m -> fail "Bridge-merge: %s" m
+        in
+        require (A.equal st bnode.state)
+          "Bridge-merge: claimed class differs from f_B of the parts";
+        require
+          (iface = C.iface_of_info bnode)
+          "Bridge-merge: claimed terminals differ from the merge";
+        (* V-node parts: class recomputation + pointer certification *)
+        let check_side side_info side_kind root_member get_ptr =
+          match side_kind with
+          | KV -> begin
+              let vif = C.iface_of_info side_info in
+              let st =
+                try C.v_state vif
+                with Invalid_argument m -> fail "V-part: %s" m
+              in
+              require (A.equal st side_info.state) "V-part: wrong class";
+              let target = snd (List.hd side_info.t_in) in
+              let ptrs =
+                List.map
+                  (fun entry ->
+                    match get_ptr entry with
+                    | Some p -> p
+                    | None -> fail "V-part: missing pointer sub-label")
+                  g.bg_items
+              in
+              let view =
+                {
+                  Scheme.ev_id = my_id;
+                  ev_degree = List.length ptrs;
+                  ev_labels = ptrs;
+                }
+              in
+              match Spanning_tree.verify ~target view with
+              | Ok () -> ()
+              | Error m -> fail "V-part: %s" m
+            end
+          | KT ->
+              require (root_member <> None)
+                "T-part: missing root member reference"
+          | _ -> fail "B-node part of invalid kind"
+        in
+        check_side linfo lkind left_root_member (fun (_, _, lp, _) -> lp);
+        check_side rinfo rkind right_root_member (fun (_, _, _, rp) -> rp);
+        (* bridge edge endpoints *)
+        let a =
+          match List.assoc_opt i linfo.t_out with
+          | Some v -> v
+          | None -> fail "Bridge-merge: lane %d missing in left part" i
+        in
+        let b =
+          match List.assoc_opt j rinfo.t_out with
+          | Some v -> v
+          | None -> fail "Bridge-merge: lane %d missing in right part" j
+        in
+        let bridge_items =
+          List.filter (fun (_, p, _, _) -> p = `Bridge) g.bg_items
+        in
+        if my_id = a || my_id = b then begin
+          match bridge_items with
+          | [ (it, _, _, _) ] ->
+              require (it.is_real = bridge_real)
+                "Bridge-merge: bridge realness mismatch"
+          | items ->
+              fail "Bridge-merge: endpoint sees %d bridge edges"
+                (List.length items)
+        end
+        else
+          require (bridge_items = [])
+            "Bridge-merge: non-endpoint carries the bridge edge";
+        (* side items link into the inner trees *)
+        let check_side_items position side_info root_member =
+          List.iter
+            (fun (it, p, _, _) ->
+              if p = position then begin
+                (* locate the frame right below this B-frame in the stack *)
+                let rec below = function
+                  | B_frame { bnode = b'; _ } :: rest
+                    when b'.node_id = bnode.node_id ->
+                      rest
+                  | _ :: rest -> below rest
+                  | [] -> []
+                in
+                match below it.frames with
+                | T_frame { member; merged; is_tree_root; _ } :: _ ->
+                    if is_tree_root then begin
+                      require (Some (fst member).node_id = root_member)
+                        "B-part: inner tree root member mismatch";
+                      require
+                        (info_equal merged side_info)
+                        "B-part: inner tree class differs from the part info"
+                    end
+                | _ -> fail "B-part: side edge without inner frame"
+              end)
+            g.bg_items
+        in
+        check_side_items `Left linfo left_root_member;
+        check_side_items `Right rinfo right_root_member;
+        (* tie to the enclosing tree: the root member of a side tree must
+           be visible at the in-terminals *)
+        ignore tgroups
+
+  (* ---------------------------------------------------------------- *)
+
+  let verify ~max_lanes (view : A.state label Scheme.edge_view) =
+    try
+      let my_id = view.Scheme.ev_id in
+      match view.Scheme.ev_labels with
+      | [] ->
+          (* the whole (connected) network is this single vertex *)
+          let st = A.introduce A.empty my_id in
+          if C.accepts st then Ok ()
+          else Error "singleton: the property does not hold"
+      | labels ->
+          (* consistent accept bit, required true *)
+          let accept_claim = (List.hd labels).accept_state in
+          List.iter
+            (fun (l : A.state label) ->
+              require (l.accept_state = accept_claim)
+                "inconsistent accept bits")
+            labels;
+          require accept_claim "the prover admits the property fails";
+          (* global pointer *)
+          (match
+             Spanning_tree.verify
+               {
+                 Scheme.ev_id = my_id;
+                 ev_degree = view.Scheme.ev_degree;
+                 ev_labels = List.map (fun l -> l.global_ptr) labels;
+               }
+           with
+          | Ok () -> ()
+          | Error m -> fail "global %s" m);
+          (* virtual-edge transport *)
+          let virtual_items = check_transport ~my_id labels in
+          let items =
+            List.map (fun (l : A.state label) ->
+                { frames = l.frames; is_real = true })
+              labels
+            @ virtual_items
+          in
+          List.iter (check_stack ~max_lanes) items;
+          let tgroups, bgroups = collect_groups items in
+          (* the pointer's target must be a root-member vertex: if it is
+             me, I must carry a root-member edge *)
+          let ptr_target = (List.hd labels).global_ptr.Spanning_tree.target in
+          if ptr_target = my_id then begin
+            let has_root =
+              Hashtbl.fold
+                (fun _ g acc ->
+                  acc
+                  ||
+                  match g.tg_frame with
+                  | T_frame { is_tree_root; _ } ->
+                      is_tree_root && g.tg_level = 0
+                  | B_frame _ -> false)
+                tgroups false
+            in
+            require has_root "pointer target is not in the root member"
+          end;
+          Hashtbl.iter
+            (fun _ g -> check_t_group ~my_id ~accept_claim tgroups g)
+            tgroups;
+          Hashtbl.iter (fun _ g -> check_b_group ~my_id tgroups g) bgroups;
+          Ok ()
+    with Reject reason -> Error reason
+end

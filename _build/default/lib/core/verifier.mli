@@ -1,0 +1,30 @@
+(** The local verification algorithm V of Theorem 1 (§6.2).
+
+    A pure function of the vertex's local view (its identifier and the
+    multiset of labels on its incident edges — nothing else). The checks,
+    following Lemmas 6.4/6.5 and the embedding certification of §6.2:
+
+    - the global pointer labels form a valid Prop 2.2 pointer;
+    - transported virtual-edge records form simple paths with consecutive
+      ranks and consistent payloads; records naming this vertex make it an
+      endpoint of the virtual edge, which then joins its G'-edge set;
+    - every G'-edge (real or virtual) carries a well-shaped frame stack of
+      bounded depth (Obs 5.5) whose lane indices are bounded;
+    - all frames of the same hierarchy node agree;
+    - E-/P-node members match the local topology (edge counts per claimed
+      terminal position, realness masks);
+    - every B-node class equals f_B of its parts, with V-node parts
+      certified by per-node pointer sub-labels, and bridge endpoints
+      checking the bridge edge;
+    - every Tree-merge class equals the f_P fold of its member and
+      children, with junction vertices checking that claimed children
+      actually attach to them;
+    - vertices of the root member check that the root class is accepting,
+      and the pointer target is a root-member vertex. *)
+
+module Make (A : Lcp_algebra.Algebra_sig.S) : sig
+  val verify :
+    max_lanes:int ->
+    A.state Certificate.label Lcp_pls.Scheme.edge_view ->
+    (unit, string) result
+end

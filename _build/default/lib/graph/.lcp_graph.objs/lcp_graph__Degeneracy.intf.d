@@ -1,0 +1,1 @@
+lib/graph/degeneracy.mli: Graph

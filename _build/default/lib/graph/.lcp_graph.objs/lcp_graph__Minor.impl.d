@@ -1,0 +1,1 @@
+lib/graph/minor.ml: Array Graph List Traversal

@@ -1,0 +1,38 @@
+let degeneracy_order g =
+  let n = Graph.n g in
+  let deg = Array.init n (Graph.degree g) in
+  let removed = Array.make n false in
+  let order = Array.make n 0 in
+  let d = ref 0 in
+  for step = 0 to n - 1 do
+    let v = ref (-1) in
+    for u = 0 to n - 1 do
+      if (not removed.(u)) && (!v < 0 || deg.(u) < deg.(!v)) then v := u
+    done;
+    let v = !v in
+    d := max !d deg.(v);
+    removed.(v) <- true;
+    order.(step) <- v;
+    List.iter (fun w -> if not removed.(w) then deg.(w) <- deg.(w) - 1)
+      (Graph.neighbors g v)
+  done;
+  (!d, order)
+
+let degeneracy g = fst (degeneracy_order g)
+
+let orientation g =
+  let _, order = degeneracy_order g in
+  let pos = Array.make (Graph.n g) 0 in
+  Array.iteri (fun i v -> pos.(v) <- i) order;
+  Graph.fold_edges
+    (fun (u, v) acc -> (if pos.(u) < pos.(v) then (u, v) else (v, u)) :: acc)
+    g []
+  |> List.rev
+
+let out_edges g =
+  let out = Array.make (Graph.n g) [] in
+  List.iter (fun (u, v) -> out.(u) <- v :: out.(u)) (orientation g);
+  Array.map List.rev out
+
+let max_outdegree g =
+  Array.fold_left (fun acc l -> max acc (List.length l)) 0 (out_edges g)

@@ -1,0 +1,24 @@
+(** Degeneracy orderings and bounded-outdegree orientations.
+
+    A graph is d-degenerate if its edges can be acyclically oriented with
+    outdegree at most d (paper, §2.1). Prop 2.1 turns an f(n)-bit
+    edge-labeling scheme into an O(d·f(n))-bit vertex-labeling scheme by
+    moving each edge label to the tail of its oriented edge. *)
+
+val degeneracy_order : Graph.t -> int * int array
+(** [(d, order)] where repeatedly removing a minimum-degree vertex yields
+    the elimination order [order] (a permutation of vertices, removal order)
+    and [d] is the maximum degree seen at removal time — the degeneracy. *)
+
+val degeneracy : Graph.t -> int
+
+val orientation : Graph.t -> (int * int) list
+(** Each edge of the graph oriented from the endpoint that appears earlier
+    in the degeneracy order to the later one; outdegree is at most the
+    degeneracy, and the orientation is acyclic. *)
+
+val out_edges : Graph.t -> int list array
+(** [out_edges g] lists, for each vertex, the heads of its out-oriented
+    edges under {!orientation}. *)
+
+val max_outdegree : Graph.t -> int

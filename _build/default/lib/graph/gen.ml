@@ -1,0 +1,129 @@
+type rng = Random.State.t
+
+let path n =
+  Graph.of_edges ~n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 3 then invalid_arg "Gen.cycle: need n >= 3";
+  Graph.of_edges ~n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let complete n =
+  let es = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      es := (u, v) :: !es
+    done
+  done;
+  Graph.of_edges ~n !es
+
+let complete_bipartite a b =
+  let es = ref [] in
+  for u = 0 to a - 1 do
+    for v = a to a + b - 1 do
+      es := (u, v) :: !es
+    done
+  done;
+  Graph.of_edges ~n:(a + b) !es
+
+let star n = Graph.of_edges ~n:(n + 1) (List.init n (fun i -> (0, i + 1)))
+
+let caterpillar ~spine ~legs =
+  if spine < 1 then invalid_arg "Gen.caterpillar: need spine >= 1";
+  let n = spine * (1 + legs) in
+  let spine_edges = List.init (spine - 1) (fun i -> (i, i + 1)) in
+  let leg_edges = ref [] in
+  for s = 0 to spine - 1 do
+    for j = 0 to legs - 1 do
+      leg_edges := (s, spine + (s * legs) + j) :: !leg_edges
+    done
+  done;
+  Graph.of_edges ~n (spine_edges @ !leg_edges)
+
+let grid w h =
+  if w < 1 || h < 1 then invalid_arg "Gen.grid: need positive dimensions";
+  let idx x y = (y * w) + x in
+  let es = ref [] in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      if x + 1 < w then es := (idx x y, idx (x + 1) y) :: !es;
+      if y + 1 < h then es := (idx x y, idx x (y + 1)) :: !es
+    done
+  done;
+  Graph.of_edges ~n:(w * h) !es
+
+let ladder n = grid n 2
+
+let binary_tree ~depth =
+  let n = (1 lsl (depth + 1)) - 1 in
+  let es = List.init (n - 1) (fun i -> ((i + 1 - 1) / 2, i + 1)) in
+  Graph.of_edges ~n es
+
+let random_tree rng n =
+  let es =
+    List.init (max 0 (n - 1)) (fun i ->
+        (Random.State.int rng (i + 1), i + 1))
+  in
+  Graph.of_edges ~n es
+
+let diamond = Graph.of_edges ~n:4 [ (0, 1); (0, 2); (1, 2); (1, 3); (2, 3) ]
+
+let random_pathwidth rng ~n ~k ?(extra_edge_prob = 0.3) () =
+  if n < 1 then invalid_arg "Gen.random_pathwidth: need n >= 1";
+  if k < 1 then invalid_arg "Gen.random_pathwidth: need k >= 1";
+  let width = k + 1 in
+  let intervals = Array.make n (0, 0) in
+  let edges = ref [] in
+  (* [open_] holds vertices whose interval has not closed yet. *)
+  let open_ = ref [ 0 ] in
+  let created = ref 1 in
+  let time = ref 0 in
+  intervals.(0) <- (0, 0);
+  let pick_open () =
+    let l = !open_ in
+    List.nth l (Random.State.int rng (List.length l))
+  in
+  let close v =
+    let l, _ = intervals.(v) in
+    intervals.(v) <- (l, !time);
+    open_ := List.filter (fun u -> u <> v) !open_
+  in
+  while !created < n do
+    incr time;
+    let can_open = List.length !open_ < width in
+    let must_open = List.length !open_ <= 1 in
+    if must_open || (can_open && Random.State.bool rng) then begin
+      (* introduce a fresh vertex attached to some open vertex *)
+      let v = !created in
+      incr created;
+      intervals.(v) <- (!time, !time);
+      let anchor = pick_open () in
+      edges := (anchor, v) :: !edges;
+      (* extra edges among currently open vertices *)
+      List.iter
+        (fun u ->
+          if u <> anchor && Random.State.float rng 1.0 < extra_edge_prob then
+            edges := (u, v) :: !edges)
+        !open_;
+      open_ := v :: !open_
+    end
+    else close (pick_open ())
+  done;
+  (* close the remaining intervals *)
+  incr time;
+  List.iter
+    (fun v ->
+      let l, _ = intervals.(v) in
+      intervals.(v) <- (l, !time))
+    !open_;
+  (Graph.of_edges ~n !edges, intervals)
+
+let shuffle_vertices rng g =
+  let n = Graph.n g in
+  let perm = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- t
+  done;
+  (Graph.relabel g perm, perm)

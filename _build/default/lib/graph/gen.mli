@@ -1,0 +1,55 @@
+(** Graph generators.
+
+    Deterministic families used throughout the paper (paths, cycles,
+    caterpillars, trees, grids) and a random generator for connected graphs
+    of bounded pathwidth that also returns a width-(k+1) interval
+    representation witness (as raw [(l, r)] pairs; see [Lcp_interval] for the
+    typed view). The witness is what lets the prover run at benchmark scale
+    without solving exact pathwidth. *)
+
+type rng = Random.State.t
+
+val path : int -> Graph.t
+(** [path n]: vertices [0..n-1], edges [i]-[i+1]. Pathwidth 1 (for n >= 2). *)
+
+val cycle : int -> Graph.t
+(** [cycle n] for [n >= 3]. Pathwidth 2. *)
+
+val complete : int -> Graph.t
+val complete_bipartite : int -> int -> Graph.t
+(** [complete_bipartite a b]: parts [0..a-1] and [a..a+b-1]. *)
+
+val star : int -> Graph.t
+(** [star n]: center [0] and [n] leaves. *)
+
+val caterpillar : spine:int -> legs:int -> Graph.t
+(** A spine path of [spine] vertices, each with [legs] pendant leaves.
+    Pathwidth 1: the canonical hard family for label-size lower bounds. *)
+
+val grid : int -> int -> Graph.t
+(** [grid w h]: the w×h grid; pathwidth [min w h]. *)
+
+val ladder : int -> Graph.t
+(** [ladder n] = [grid n 2]; pathwidth 2. *)
+
+val binary_tree : depth:int -> Graph.t
+(** Complete binary tree; pathwidth [ceil(depth/2)]-ish, grows with depth. *)
+
+val random_tree : rng -> int -> Graph.t
+(** Uniform attachment tree: vertex [i] attaches to a uniform earlier vertex. *)
+
+val diamond : Graph.t
+(** K4 minus an edge, one of the [BFP24] forbidden minors. *)
+
+val random_pathwidth :
+  rng -> n:int -> k:int -> ?extra_edge_prob:float -> unit -> Graph.t * (int * int) array
+(** [random_pathwidth rng ~n ~k ()] generates a connected graph on [n]
+    vertices of pathwidth at most [k], together with an interval
+    representation of width at most [k+1]: [intervals.(v) = (l_v, r_v)].
+    Every vertex beyond the first attaches to a vertex whose interval is
+    still open, which forces connectivity; [extra_edge_prob] (default 0.3)
+    controls additional random edges between concurrently-open vertices,
+    pushing the realized width toward [k+1]. *)
+
+val shuffle_vertices : rng -> Graph.t -> Graph.t * int array
+(** Random relabeling; returns the permutation used ([perm.(old) = new]). *)

@@ -1,0 +1,208 @@
+type edge = int * int
+
+type t = {
+  n : int;
+  adj : int list array; (* sorted, duplicate-free *)
+  m : int;
+}
+
+let canonical_edge u v =
+  if u = v then invalid_arg "Graph.canonical_edge: self-loop";
+  if u < v then (u, v) else (v, u)
+
+let n g = g.n
+let m g = g.m
+
+let of_edges ~n edges =
+  if n < 0 then invalid_arg "Graph.of_edges: negative n";
+  let adj = Array.make (max n 1) [] in
+  let check v =
+    if v < 0 || v >= n then
+      invalid_arg (Printf.sprintf "Graph.of_edges: vertex %d out of [0,%d)" v n)
+  in
+  let seen = Hashtbl.create (2 * List.length edges + 1) in
+  let m = ref 0 in
+  let add (u, v) =
+    let (u, v) = canonical_edge u v in
+    check u;
+    check v;
+    if not (Hashtbl.mem seen (u, v)) then begin
+      Hashtbl.add seen (u, v) ();
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v);
+      incr m
+    end
+  in
+  List.iter add edges;
+  let adj = if n = 0 then [||] else Array.sub adj 0 n in
+  Array.iteri (fun i l -> adj.(i) <- List.sort_uniq compare l) adj;
+  { n; adj; m = !m }
+
+let empty ~n = of_edges ~n []
+
+let neighbors g v =
+  if v < 0 || v >= g.n then invalid_arg "Graph.neighbors: vertex out of range";
+  g.adj.(v)
+
+let degree g v = List.length (neighbors g v)
+
+let mem_edge g u v =
+  u <> v && u >= 0 && u < g.n && v >= 0 && v < g.n && List.mem v g.adj.(u)
+
+let fold_edges f g acc =
+  let acc = ref acc in
+  for u = 0 to g.n - 1 do
+    List.iter (fun v -> if u < v then acc := f (u, v) !acc) g.adj.(u)
+  done;
+  !acc
+
+let edges g = List.rev (fold_edges (fun e l -> e :: l) g [])
+
+let iter_edges f g = fold_edges (fun e () -> f e) g ()
+
+let fold_vertices f g acc =
+  let acc = ref acc in
+  for v = 0 to g.n - 1 do
+    acc := f v !acc
+  done;
+  !acc
+
+let max_degree g = fold_vertices (fun v acc -> max acc (degree g v)) g 0
+
+let add_edges g new_edges = of_edges ~n:g.n (new_edges @ edges g)
+let union_edges = add_edges
+
+let induced g vs =
+  let vs = List.sort_uniq compare vs in
+  List.iter (fun v ->
+      if v < 0 || v >= g.n then invalid_arg "Graph.induced: vertex out of range")
+    vs;
+  let back = Array.of_list vs in
+  let fwd = Hashtbl.create (List.length vs) in
+  Array.iteri (fun i v -> Hashtbl.add fwd v i) back;
+  let es =
+    fold_edges
+      (fun (u, v) acc ->
+        match (Hashtbl.find_opt fwd u, Hashtbl.find_opt fwd v) with
+        | Some u', Some v' -> (u', v') :: acc
+        | _ -> acc)
+      g []
+  in
+  (of_edges ~n:(Array.length back) es, back)
+
+let subgraph_edges g es =
+  List.iter (fun (u, v) ->
+      if not (mem_edge g u v) then
+        invalid_arg "Graph.subgraph_edges: not an edge of the graph")
+    es;
+  of_edges ~n:g.n es
+
+let relabel g perm =
+  if Array.length perm <> g.n then invalid_arg "Graph.relabel: bad permutation";
+  let seen = Array.make g.n false in
+  Array.iter (fun v ->
+      if v < 0 || v >= g.n || seen.(v) then
+        invalid_arg "Graph.relabel: not a permutation"
+      else seen.(v) <- true)
+    perm;
+  of_edges ~n:g.n (List.map (fun (u, v) -> (perm.(u), perm.(v))) (edges g))
+
+let disjoint_union g1 g2 =
+  let shift = g1.n in
+  of_edges ~n:(g1.n + g2.n)
+    (edges g1 @ List.map (fun (u, v) -> (u + shift, v + shift)) (edges g2))
+
+let contract_edge g u v =
+  if not (mem_edge g u v) then invalid_arg "Graph.contract_edge: not an edge";
+  let (u, v) = canonical_edge u v in
+  (* v is merged into u; vertices above v shift down by one *)
+  let map = Array.make g.n 0 in
+  for x = 0 to g.n - 1 do
+    map.(x) <- (if x = v then u else if x > v then x - 1 else x)
+  done;
+  let es =
+    fold_edges
+      (fun (a, b) acc ->
+        let a' = map.(a) and b' = map.(b) in
+        if a' = b' then acc else canonical_edge a' b' :: acc)
+      g []
+  in
+  (of_edges ~n:(g.n - 1) es, map)
+
+let remove_vertex g v =
+  if v < 0 || v >= g.n then invalid_arg "Graph.remove_vertex: out of range";
+  let map = Array.make g.n 0 in
+  for x = 0 to g.n - 1 do
+    map.(x) <- (if x = v then -1 else if x > v then x - 1 else x)
+  done;
+  let es =
+    fold_edges
+      (fun (a, b) acc ->
+        if a = v || b = v then acc else (map.(a), map.(b)) :: acc)
+      g []
+  in
+  (of_edges ~n:(g.n - 1) es, map)
+
+let remove_edge g u v =
+  let (u, v) = canonical_edge u v in
+  of_edges ~n:g.n (List.filter (fun e -> e <> (u, v)) (edges g))
+
+let equal g1 g2 = g1.n = g2.n && edges g1 = edges g2
+
+(* Backtracking isomorphism for small graphs: map vertices of g1 one by one,
+   pruning on degree and adjacency consistency. *)
+let is_isomorphic g1 g2 =
+  if g1.n <> g2.n || g1.m <> g2.m then false
+  else begin
+    let n = g1.n in
+    let deg1 = Array.init n (degree g1) and deg2 = Array.init n (degree g2) in
+    let sorted a =
+      let b = Array.copy a in
+      Array.sort compare b;
+      b
+    in
+    if sorted deg1 <> sorted deg2 then false
+    else begin
+      let image = Array.make n (-1) in
+      let used = Array.make n false in
+      let rec assign u =
+        if u = n then true
+        else
+          let rec try_candidates v =
+            if v = n then false
+            else if
+              (not used.(v))
+              && deg1.(u) = deg2.(v)
+              && List.for_all
+                   (fun w ->
+                     w >= u || mem_edge g2 image.(w) v)
+                   (neighbors g1 u)
+              && List.for_all
+                   (fun w -> w >= u || mem_edge g1 u w = mem_edge g2 image.(w) v)
+                   (List.init u (fun i -> i))
+            then begin
+              image.(u) <- v;
+              used.(v) <- true;
+              if assign (u + 1) then true
+              else begin
+                image.(u) <- -1;
+                used.(v) <- false;
+                try_candidates (v + 1)
+              end
+            end
+            else try_candidates (v + 1)
+          in
+          try_candidates 0
+      in
+      assign 0
+    end
+  end
+
+let pp ppf g =
+  Format.fprintf ppf "@[<hov 2>graph(n=%d, m=%d;@ %a)@]" g.n g.m
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf (u, v) -> Format.fprintf ppf "%d-%d" u v))
+    (edges g)
+
+let to_string g = Format.asprintf "%a" pp g

@@ -1,0 +1,90 @@
+(** Finite simple undirected graphs on vertices [0 .. n-1].
+
+    This is the network substrate of the paper's model (§1.1): an n-vertex
+    connected undirected graph whose vertices are processors and whose edges
+    are communication links. The representation is immutable once built. *)
+
+type t
+
+type edge = int * int
+(** Undirected edge, canonically stored with the smaller endpoint first. *)
+
+val canonical_edge : int -> int -> edge
+(** Order the endpoints. Raises [Invalid_argument] on a self-loop. *)
+
+(** {1 Construction} *)
+
+val of_edges : n:int -> edge list -> t
+(** [of_edges ~n edges] builds the graph with vertex set [0..n-1]. Duplicate
+    edges are collapsed; self-loops are rejected. Raises [Invalid_argument]
+    if an endpoint is out of range. *)
+
+val empty : n:int -> t
+
+val add_edges : t -> edge list -> t
+
+(** {1 Accessors} *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val m : t -> int
+(** Number of edges. *)
+
+val neighbors : t -> int -> int list
+(** Sorted, duplicate-free. *)
+
+val degree : t -> int -> int
+val mem_edge : t -> int -> int -> bool
+val edges : t -> edge list
+(** Sorted lexicographically; each edge appears once. *)
+
+val fold_edges : (edge -> 'a -> 'a) -> t -> 'a -> 'a
+val iter_edges : (edge -> unit) -> t -> unit
+val fold_vertices : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val max_degree : t -> int
+
+(** {1 Transformations} *)
+
+val induced : t -> int list -> t * int array
+(** [induced g vs] is the subgraph induced by the vertex set [vs] (duplicates
+    ignored), with vertices renumbered [0..|vs|-1] in increasing original
+    order, together with the map from new index to original vertex. *)
+
+val subgraph_edges : t -> edge list -> t
+(** Same vertex set, keep only the listed edges (all must be edges of [g]). *)
+
+val union_edges : t -> edge list -> t
+(** Alias of {!add_edges}, named for readability at call sites that build
+    completions. *)
+
+val relabel : t -> int array -> t
+(** [relabel g perm] renames vertex [v] to [perm.(v)]; [perm] must be a
+    permutation of [0..n-1]. *)
+
+val disjoint_union : t -> t -> t
+(** Vertices of the second graph are shifted by [n] of the first. *)
+
+val contract_edge : t -> int -> int -> t * int array
+(** [contract_edge g u v] contracts edge [{u,v}] (which must exist), removing
+    any parallel edges/self-loops created; returns the new graph and the map
+    from old vertex to new vertex. *)
+
+val remove_vertex : t -> int -> t * int array
+(** Delete a vertex; returns the new graph and old→new map, where the removed
+    vertex maps to [-1]. *)
+
+val remove_edge : t -> int -> int -> t
+
+(** {1 Comparison and printing} *)
+
+val equal : t -> t -> bool
+(** Same vertex count and same edge set. *)
+
+val is_isomorphic : t -> t -> bool
+(** Exact isomorphism test by backtracking; intended for small graphs
+    (tests and figure demos only). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

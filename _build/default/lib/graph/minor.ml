@@ -1,0 +1,145 @@
+(* Subgraph isomorphism: map each vertex of [sub] to a distinct vertex of
+   [g] such that sub-edges land on g-edges. *)
+let has_subgraph g ~sub =
+  let hn = Graph.n sub and gn = Graph.n g in
+  if hn > gn || Graph.m sub > Graph.m g then false
+  else begin
+    let image = Array.make hn (-1) in
+    let used = Array.make gn false in
+    let rec assign u =
+      if u = hn then true
+      else
+        let ok v =
+          (not used.(v))
+          && Graph.degree g v >= Graph.degree sub u
+          && List.for_all
+               (fun w -> w >= u || Graph.mem_edge g image.(w) v)
+               (Graph.neighbors sub u)
+        in
+        let rec try_v v =
+          if v = gn then false
+          else if ok v then begin
+            image.(u) <- v;
+            used.(v) <- true;
+            if assign (u + 1) then true
+            else begin
+              image.(u) <- -1;
+              used.(v) <- false;
+              try_v (v + 1)
+            end
+          end
+          else try_v (v + 1)
+        in
+        try_v 0
+    in
+    assign 0
+  end
+
+(* H-model search. [assign.(v)] is the branch set of g-vertex v, or -1.
+   We build branch sets one H-vertex at a time: pick a seed, then grow the
+   set through neighbors; when a branch set is complete, the next H-vertex
+   starts. On completion check inter-branch edges. Connectivity of each
+   branch set is maintained by construction (growth through neighbors). *)
+let has_minor g ~minor:h =
+  let hn = Graph.n h and gn = Graph.n g in
+  if hn = 0 then true
+  else if hn > gn || Graph.m h > Graph.m g then false
+  else begin
+    let assign = Array.make gn (-1) in
+    (* branch_adj.(i).(j) = true when an edge between branch i and j exists *)
+    let branch_adj = Array.make_matrix hn hn false in
+    let record_edges v i =
+      (* update branch adjacency for edges incident to v *)
+      List.iter
+        (fun w ->
+          let j = assign.(w) in
+          if j >= 0 && j <> i then begin
+            branch_adj.(i).(j) <- true;
+            branch_adj.(j).(i) <- true
+          end)
+        (Graph.neighbors g v)
+    in
+    let recompute_branch_adj () =
+      for i = 0 to hn - 1 do
+        for j = 0 to hn - 1 do
+          branch_adj.(i).(j) <- false
+        done
+      done;
+      Graph.iter_edges
+        (fun (u, v) ->
+          let i = assign.(u) and j = assign.(v) in
+          if i >= 0 && j >= 0 && i <> j then begin
+            branch_adj.(i).(j) <- true;
+            branch_adj.(j).(i) <- true
+          end)
+        g
+    in
+    let h_edges_ok upto =
+      (* all h-edges within branches 0..upto must be realized *)
+      Graph.fold_edges
+        (fun (a, b) ok -> ok && (a > upto || b > upto || branch_adj.(a).(b)))
+        h true
+    in
+    (* grow branch set i; [frontier] are assigned vertices of branch i *)
+    let rec grow i =
+      (* Option 1: branch i is complete; edges among branches 0..i are now
+         final, so they must all be realized before moving on *)
+      (if h_edges_ok i then next_branch (i + 1) else false)
+      ||
+      (* Option 2: extend branch i by an unassigned neighbor *)
+      let candidates =
+        Graph.fold_vertices
+          (fun v acc ->
+            if assign.(v) = i then
+              List.filter (fun w -> assign.(w) = -1) (Graph.neighbors g v) @ acc
+            else acc)
+          g []
+        |> List.sort_uniq compare
+      in
+      List.exists
+        (fun w ->
+          assign.(w) <- i;
+          record_edges w i;
+          let found = grow i in
+          if not found then begin
+            assign.(w) <- -1;
+            recompute_branch_adj ()
+          end;
+          found)
+        candidates
+    and next_branch i =
+      if i = hn then h_edges_ok (hn - 1)
+      else
+        (* choose a seed for branch i among unassigned vertices; to break
+           symmetry, only seeds larger than the smallest unassigned vertex
+           would be wrong — any unassigned vertex may seed, so try all. *)
+        Graph.fold_vertices
+          (fun v found ->
+            found
+            ||
+            if assign.(v) = -1 then begin
+              assign.(v) <- i;
+              record_edges v i;
+              let ok = grow i in
+              if not ok then begin
+                assign.(v) <- -1;
+                recompute_branch_adj ()
+              end;
+              ok
+            end
+            else false)
+          g false
+    in
+    next_branch 0
+  end
+
+let is_minor_free g ~minor = not (has_minor g ~minor)
+
+let has_k3_minor g = not (Traversal.is_acyclic g)
+
+let has_path_minor g ~t = Traversal.longest_path_length g >= t
+
+let excluding_forest_pathwidth_bound f =
+  if not (Traversal.is_acyclic f) then
+    invalid_arg "Minor.excluding_forest_pathwidth_bound: not a forest";
+  max 0 (Graph.n f - 2)

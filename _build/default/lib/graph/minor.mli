@@ -1,0 +1,32 @@
+(** Graph minor containment.
+
+    H is a minor of G if H can be obtained from G by vertex deletions, edge
+    deletions, and edge contractions (paper, §1.3). Equivalently, G contains
+    an H-model: disjoint connected branch sets, one per vertex of H, with an
+    edge of G between the branch sets of every edge of H.
+
+    The generic test is exact but exponential — it is meant for the small
+    graphs used in tests, examples, and figure demos. The special cases
+    ([K3], paths) are fast and used by the F-minor-free example. *)
+
+val has_subgraph : Graph.t -> sub:Graph.t -> bool
+(** Is there a (not necessarily induced) subgraph of the first graph
+    isomorphic to [sub]? Backtracking; small graphs. *)
+
+val has_minor : Graph.t -> minor:Graph.t -> bool
+(** Exact H-model search by branch-set backtracking; small graphs. *)
+
+val is_minor_free : Graph.t -> minor:Graph.t -> bool
+
+val has_k3_minor : Graph.t -> bool
+(** Fast: equivalent to containing a cycle. *)
+
+val has_path_minor : Graph.t -> t:int -> bool
+(** Fast-ish: a graph has a [P_t] minor iff it has a simple path on [t]
+    vertices. *)
+
+val excluding_forest_pathwidth_bound : Graph.t -> int
+(** The quantitative Excluding Forest Theorem: every F-minor-free graph has
+    pathwidth at most [|V(F)| - 2] (Bienstock–Robertson–Seymour–Thomas).
+    Given a forest [F], return that bound; raises [Invalid_argument] if the
+    graph is not a forest. *)

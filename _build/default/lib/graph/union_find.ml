@@ -1,0 +1,44 @@
+type t = {
+  parent : int array;
+  rank : int array;
+  mutable count : int;
+}
+
+let create n =
+  { parent = Array.init n (fun i -> i); rank = Array.make n 0; count = n }
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let union t x y =
+  let rx = find t x and ry = find t y in
+  if rx = ry then false
+  else begin
+    t.count <- t.count - 1;
+    if t.rank.(rx) < t.rank.(ry) then t.parent.(rx) <- ry
+    else if t.rank.(rx) > t.rank.(ry) then t.parent.(ry) <- rx
+    else begin
+      t.parent.(ry) <- rx;
+      t.rank.(rx) <- t.rank.(rx) + 1
+    end;
+    true
+  end
+
+let same t x y = find t x = find t y
+let count t = t.count
+
+let groups t =
+  let tbl = Hashtbl.create 16 in
+  Array.iteri
+    (fun x _ ->
+      let r = find t x in
+      Hashtbl.replace tbl r (x :: Option.value ~default:[] (Hashtbl.find_opt tbl r)))
+    t.parent;
+  Hashtbl.fold (fun _ vs acc -> List.rev vs :: acc) tbl []
+  |> List.sort compare

@@ -1,0 +1,19 @@
+(** Disjoint-set forest with path compression and union by rank. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets [0..n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative. *)
+
+val union : t -> int -> int -> bool
+(** Merge the two sets; returns [false] if they were already merged. *)
+
+val same : t -> int -> int -> bool
+val count : t -> int
+(** Number of distinct sets. *)
+
+val groups : t -> int list list
+(** The sets, each sorted, ordered by smallest element. *)

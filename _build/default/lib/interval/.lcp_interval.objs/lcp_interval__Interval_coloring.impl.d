@@ -1,0 +1,1 @@
+lib/interval/interval_coloring.ml: Array Interval List

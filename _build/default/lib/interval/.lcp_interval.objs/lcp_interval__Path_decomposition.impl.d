@@ -1,0 +1,1 @@
+lib/interval/path_decomposition.ml: Array Format Interval Lcp_graph List Printf Representation String

@@ -1,0 +1,1 @@
+lib/interval/path_decomposition.mli: Format Lcp_graph Representation

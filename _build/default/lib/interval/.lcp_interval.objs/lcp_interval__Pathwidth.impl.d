@@ -1,0 +1,1 @@
+lib/interval/pathwidth.ml: Array Interval Lcp_graph List Representation

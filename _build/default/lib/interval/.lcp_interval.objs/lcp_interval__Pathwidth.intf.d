@@ -1,0 +1,1 @@
+lib/interval/pathwidth.mli: Lcp_graph Representation

@@ -1,0 +1,1 @@
+lib/interval/representation.ml: Array Bytes Format Interval Lcp_graph List Printf

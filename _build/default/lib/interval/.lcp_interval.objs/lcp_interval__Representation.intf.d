@@ -1,0 +1,1 @@
+lib/interval/representation.mli: Format Interval Lcp_graph

@@ -1,0 +1,1 @@
+lib/interval/tree_decomposition.ml: Array Format Lcp_graph List Path_decomposition Printf String

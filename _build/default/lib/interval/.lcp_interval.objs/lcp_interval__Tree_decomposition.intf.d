@@ -1,0 +1,1 @@
+lib/interval/tree_decomposition.mli: Format Lcp_graph Path_decomposition

@@ -1,0 +1,1 @@
+lib/interval/treewidth.ml: Array Lcp_graph List Tree_decomposition

@@ -1,0 +1,1 @@
+lib/interval/treewidth.mli: Lcp_graph Tree_decomposition

@@ -1,0 +1,23 @@
+type t = { l : int; r : int }
+
+let make l r =
+  if l > r then invalid_arg "Interval.make: empty interval";
+  { l; r }
+
+let point x = { l = x; r = x }
+let l t = t.l
+let r t = t.r
+let strictly_before a b = a.r < b.l
+let intersects a b = a.l <= b.r && b.l <= a.r
+let mem x t = t.l <= x && x <= t.r
+let hull a b = { l = min a.l b.l; r = max a.r b.r }
+
+let hull_list = function
+  | [] -> invalid_arg "Interval.hull_list: empty"
+  | x :: xs -> List.fold_left hull x xs
+
+let compare_by_left a b =
+  match compare a.l b.l with 0 -> compare a.r b.r | c -> c
+
+let equal a b = a.l = b.l && a.r = b.r
+let pp ppf t = Format.fprintf ppf "[%d,%d]" t.l t.r

@@ -1,0 +1,28 @@
+(** Non-empty closed integer intervals [l, r].
+
+    The building block of interval representations (Def 4.1). The order
+    [strictly_before] is the paper's [≺]: [a, b] ≺ [c, d] iff [b < c]. *)
+
+type t = private { l : int; r : int }
+
+val make : int -> int -> t
+(** Raises [Invalid_argument] unless [l <= r]. *)
+
+val point : int -> t
+val l : t -> int
+val r : t -> int
+
+val strictly_before : t -> t -> bool
+(** The paper's [≺]. *)
+
+val intersects : t -> t -> bool
+val mem : int -> t -> bool
+val hull : t -> t -> t
+(** Smallest interval containing both. *)
+
+val hull_list : t list -> t
+(** Raises [Invalid_argument] on the empty list. *)
+
+val compare_by_left : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+let color intervals =
+  let idx = Array.init (Array.length intervals) (fun i -> i) in
+  Array.sort
+    (fun a b -> Interval.compare_by_left intervals.(a) intervals.(b))
+    idx;
+  let lane = Array.make (Array.length intervals) (-1) in
+  (* last_end.(l) = right endpoint of the last interval placed in lane l *)
+  let last_end = ref [||] in
+  let lanes = ref 0 in
+  Array.iter
+    (fun i ->
+      let iv = intervals.(i) in
+      let rec find l =
+        if l = !lanes then begin
+          last_end := Array.append !last_end [| Interval.r iv |];
+          incr lanes;
+          l
+        end
+        else if !last_end.(l) < Interval.l iv then begin
+          !last_end.(l) <- Interval.r iv;
+          l
+        end
+        else find (l + 1)
+      in
+      lane.(i) <- find 0)
+    idx;
+  (lane, !lanes)
+
+let lanes_of_coloring intervals lane =
+  let lanes = Array.fold_left (fun acc l -> max acc (l + 1)) 0 lane in
+  let out = Array.make lanes [] in
+  Array.iteri (fun i l -> out.(l) <- intervals.(i) :: out.(l)) lane;
+  Array.map
+    (fun ivs -> List.sort Interval.compare_by_left ivs)
+    out
+
+let is_valid_coloring intervals lane =
+  let groups = lanes_of_coloring intervals lane in
+  Array.for_all
+    (fun ivs ->
+      let rec ok = function
+        | [] | [ _ ] -> true
+        | a :: (b :: _ as rest) -> Interval.strictly_before a b && ok rest
+      in
+      ok ivs)
+    groups

@@ -1,0 +1,16 @@
+(** Partitioning intervals into lanes of pairwise-disjoint intervals
+    (Observation 4.3): any family of width k splits into k such lanes —
+    the clique number of an interval graph equals its chromatic number.
+
+    Greedy sweep: process intervals by increasing left endpoint and assign
+    each to the first lane whose last interval ends before it starts. *)
+
+val color : Interval.t array -> int array * int
+(** [(lane, lanes)] where [lane.(i)] ∈ [0 .. lanes-1]. The number of lanes
+    equals the width of the family. *)
+
+val lanes_of_coloring : Interval.t array -> int array -> Interval.t list array
+(** Group intervals per lane, each sorted by [≺]. *)
+
+val is_valid_coloring : Interval.t array -> int array -> bool
+(** Every lane pairwise disjoint. *)

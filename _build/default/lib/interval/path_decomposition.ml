@@ -1,0 +1,103 @@
+module Graph = Lcp_graph.Graph
+
+type t = int list array
+
+let validate g bags =
+  let n = Graph.n g in
+  let s = Array.length bags in
+  let first = Array.make n max_int and last = Array.make n (-1) in
+  let count = Array.make n 0 in
+  let bad = ref None in
+  Array.iteri
+    (fun i bag ->
+      List.iter
+        (fun v ->
+          if v < 0 || v >= n then
+            bad := Some (Printf.sprintf "bag %d: vertex %d out of range" i v)
+          else begin
+            first.(v) <- min first.(v) i;
+            last.(v) <- max last.(v) i;
+            count.(v) <- count.(v) + 1
+          end)
+        (List.sort_uniq compare bag))
+    bags;
+  match !bad with
+  | Some msg -> Error msg
+  | None ->
+      let vertex_ok = ref (Ok ()) in
+      for v = 0 to n - 1 do
+        match !vertex_ok with
+        | Error _ -> ()
+        | Ok () ->
+            if last.(v) < 0 then
+              vertex_ok := Error (Printf.sprintf "vertex %d is in no bag" v)
+            else if count.(v) <> last.(v) - first.(v) + 1 then
+              (* (P2): bags containing v must be contiguous *)
+              vertex_ok :=
+                Error (Printf.sprintf "vertex %d: bags not contiguous" v)
+      done;
+      (match !vertex_ok with
+      | Error _ as e -> e
+      | Ok () ->
+          (* (P1): every edge inside some bag <=> interval intersection *)
+          Graph.fold_edges
+            (fun (u, v) acc ->
+              match acc with
+              | Error _ -> acc
+              | Ok () ->
+                  if first.(u) <= last.(v) && first.(v) <= last.(u) then Ok ()
+                  else
+                    Error
+                      (Printf.sprintf "edge %d-%d is in no common bag" u v))
+            g (Ok ()))
+  |> fun res -> if s = 0 && n > 0 then Error "no bags" else res
+
+let make g bags =
+  match validate g bags with
+  | Ok () -> Array.map (List.sort_uniq compare) bags
+  | Error msg -> invalid_arg ("Path_decomposition.make: " ^ msg)
+
+let bags t = Array.map (fun b -> b) t
+
+let width t =
+  Array.fold_left (fun acc bag -> max acc (List.length bag)) 0 t - 1
+
+let of_interval_representation rep =
+  let g = Representation.graph rep in
+  let n = Graph.n g in
+  if n = 0 then [||]
+  else begin
+    let points =
+      List.init n (fun v ->
+          let iv = Representation.interval rep v in
+          [ Interval.l iv; Interval.r iv ])
+      |> List.concat |> List.sort_uniq compare
+    in
+    let bag_at x =
+      List.filter
+        (fun v -> Interval.mem x (Representation.interval rep v))
+        (List.init n (fun v -> v))
+    in
+    Array.of_list (List.map bag_at points)
+  end
+
+let to_interval_representation g t =
+  let n = Graph.n g in
+  let first = Array.make n max_int and last = Array.make n (-1) in
+  Array.iteri
+    (fun i bag ->
+      List.iter
+        (fun v ->
+          first.(v) <- min first.(v) i;
+          last.(v) <- max last.(v) i)
+        bag)
+    t;
+  Representation.make g
+    (Array.init n (fun v -> Interval.make first.(v) last.(v)))
+
+let pp ppf t =
+  Array.iteri
+    (fun i bag ->
+      Format.fprintf ppf "X%-3d {%s}@." (i + 1)
+        (String.concat ", " (List.map string_of_int bag)))
+    t

@@ -1,0 +1,22 @@
+(** Path decompositions (Def 1.1): a sequence of bags [X_1 .. X_s] covering
+    every edge, with each vertex's bags forming a contiguous run. Width is
+    [max |X_i| - 1]. Interchangeable with interval representations. *)
+
+type t = private int list array
+(** Bags in sequence order; each bag is sorted. *)
+
+val make : Lcp_graph.Graph.t -> int list array -> t
+(** Validates (P1) and (P2); raises [Invalid_argument] with a diagnostic. *)
+
+val validate : Lcp_graph.Graph.t -> int list array -> (unit, string) result
+val bags : t -> int list array
+val width : t -> int
+
+val of_interval_representation : Representation.t -> t
+(** One bag per event point that matters (the distinct interval endpoints),
+    in increasing order. *)
+
+val to_interval_representation : Lcp_graph.Graph.t -> t -> Representation.t
+(** [I_v] = the index range of the bags containing [v]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,145 @@
+module Graph = Lcp_graph.Graph
+
+(* boundary size of prefix-set [s] (bitmask): vertices in s with a neighbor
+   outside s *)
+let boundary_size g nbr_mask s =
+  let n = Graph.n g in
+  let count = ref 0 in
+  for v = 0 to n - 1 do
+    if s land (1 lsl v) <> 0 && nbr_mask.(v) land lnot s <> 0 then incr count
+  done;
+  !count
+
+let neighbor_masks g =
+  Array.init (Graph.n g) (fun v ->
+      List.fold_left (fun acc w -> acc lor (1 lsl w)) 0 (Graph.neighbors g v))
+
+let check_size g =
+  if Graph.n g > 24 then
+    invalid_arg "Pathwidth.exact: graph too large for the exact algorithm"
+
+(* f(S) = min over v in S of max(f(S \ v), boundary(S)); the DP fills
+   subsets in increasing popcount order implicitly via increasing mask
+   value (S \ v < S). choice.(s) records the last vertex of the optimal
+   ordering of S, for layout reconstruction. *)
+let solve g =
+  check_size g;
+  let n = Graph.n g in
+  let nbr = neighbor_masks g in
+  let size = 1 lsl n in
+  let cost = Array.make size max_int in
+  let choice = Array.make size (-1) in
+  cost.(0) <- 0;
+  for s = 1 to size - 1 do
+    let b = boundary_size g nbr s in
+    for v = 0 to n - 1 do
+      if s land (1 lsl v) <> 0 then begin
+        let prev = cost.(s lxor (1 lsl v)) in
+        let c = max prev b in
+        if c < cost.(s) then begin
+          cost.(s) <- c;
+          choice.(s) <- v
+        end
+      end
+    done
+  done;
+  (cost, choice)
+
+let exact_layout g =
+  let n = Graph.n g in
+  if n = 0 then (0, [||])
+  else begin
+    let cost, choice = solve g in
+    let full = (1 lsl n) - 1 in
+    let order = Array.make n 0 in
+    let s = ref full in
+    for i = n - 1 downto 0 do
+      let v = choice.(!s) in
+      order.(i) <- v;
+      s := !s lxor (1 lsl v)
+    done;
+    (cost.(full), order)
+  end
+
+let exact g = fst (exact_layout g)
+
+let interval_representation_of_layout g order =
+  let n = Graph.n g in
+  let pos = Array.make n 0 in
+  Array.iteri (fun i v -> pos.(v) <- i) order;
+  let intervals =
+    Array.init n (fun v ->
+        let r =
+          List.fold_left (fun acc w -> max acc pos.(w)) pos.(v)
+            (Graph.neighbors g v)
+        in
+        Interval.make pos.(v) r)
+  in
+  Representation.make g intervals
+
+let exact_interval_representation g =
+  let _, order = exact_layout g in
+  interval_representation_of_layout g order
+
+let vertex_separation_of_layout g order =
+  let n = Graph.n g in
+  let nbr = neighbor_masks g in
+  check_size g;
+  let s = ref 0 and best = ref 0 in
+  Array.iter
+    (fun v ->
+      s := !s lor (1 lsl v);
+      best := max !best (boundary_size g nbr !s))
+    order;
+  ignore n;
+  !best
+
+let heuristic_layout g =
+  let n = Graph.n g in
+  let placed = Array.make n false in
+  let outside_deg = Array.init n (Graph.degree g) in
+  (* boundary = placed vertices with outside_deg > 0 *)
+  let order = Array.make n 0 in
+  let boundary = ref 0 in
+  for i = 0 to n - 1 do
+    (* choose the unplaced vertex minimizing the boundary after placing it *)
+    let best_v = ref (-1) and best_b = ref max_int in
+    for v = 0 to n - 1 do
+      if not placed.(v) then begin
+        (* placing v: v joins the boundary if it keeps outside neighbors;
+           each placed neighbor of v with outside_deg = 1 leaves it *)
+        let leaves =
+          List.fold_left
+            (fun acc w ->
+              if placed.(w) && outside_deg.(w) = 1 then acc + 1 else acc)
+            0 (Graph.neighbors g v)
+        in
+        let joins = if outside_deg.(v) - List.length
+                         (List.filter (fun w -> placed.(w)) (Graph.neighbors g v))
+                       > 0 then 1 else 0
+        in
+        let b = !boundary - leaves + joins in
+        if b < !best_b then begin
+          best_b := b;
+          best_v := v
+        end
+      end
+    done;
+    let v = !best_v in
+    placed.(v) <- true;
+    order.(i) <- v;
+    List.iter
+      (fun w -> if placed.(w) then outside_deg.(w) <- outside_deg.(w) - 1)
+      (Graph.neighbors g v);
+    outside_deg.(v) <-
+      List.length (List.filter (fun w -> not placed.(w)) (Graph.neighbors g v));
+    let b = ref 0 in
+    for u = 0 to n - 1 do
+      if placed.(u) && outside_deg.(u) > 0 then incr b
+    done;
+    boundary := !b
+  done;
+  order
+
+let heuristic_interval_representation g =
+  interval_representation_of_layout g (heuristic_layout g)

@@ -1,0 +1,34 @@
+(** Computing pathwidth and width-optimal interval representations.
+
+    Pathwidth equals the vertex separation number: the minimum over vertex
+    orderings of the maximum, over prefixes, of the number of prefix
+    vertices with a neighbor outside the prefix. The exact algorithm is a
+    dynamic program over vertex subsets — O(2^n · n) time and O(2^n) space —
+    intended for n up to ~20 (the prover is allowed unlimited computation;
+    at benchmark scale the generator supplies witness representations
+    instead). *)
+
+val exact : Lcp_graph.Graph.t -> int
+(** The pathwidth. Raises [Invalid_argument] when [n > 24]. *)
+
+val exact_layout : Lcp_graph.Graph.t -> int * int array
+(** [(pw, order)]: an optimal vertex ordering realizing the vertex
+    separation number [pw]. *)
+
+val interval_representation_of_layout :
+  Lcp_graph.Graph.t -> int array -> Representation.t
+(** The standard conversion: position [pos v] of each vertex in the layout;
+    [I_v = [pos v, max(pos v, max pos of neighbors)]]. Width equals the
+    layout's vertex separation + 1. *)
+
+val exact_interval_representation : Lcp_graph.Graph.t -> Representation.t
+(** Width = pathwidth + 1. Small graphs only (see {!exact}). *)
+
+val heuristic_layout : Lcp_graph.Graph.t -> int array
+(** Greedy layout: repeatedly append the vertex minimizing the resulting
+    boundary size. No width guarantee, but valid, and good on path-like
+    graphs. *)
+
+val heuristic_interval_representation : Lcp_graph.Graph.t -> Representation.t
+
+val vertex_separation_of_layout : Lcp_graph.Graph.t -> int array -> int

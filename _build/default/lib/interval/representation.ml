@@ -1,0 +1,85 @@
+module Graph = Lcp_graph.Graph
+
+type t = {
+  graph : Graph.t;
+  intervals : Interval.t array;
+}
+
+let validate g intervals =
+  if Array.length intervals <> Graph.n g then
+    Error
+      (Printf.sprintf "interval count %d does not match vertex count %d"
+         (Array.length intervals) (Graph.n g))
+  else
+    Graph.fold_edges
+      (fun (u, v) acc ->
+        match acc with
+        | Error _ -> acc
+        | Ok () ->
+            if Interval.intersects intervals.(u) intervals.(v) then Ok ()
+            else
+              Error
+                (Format.asprintf "edge %d-%d: intervals %a and %a are disjoint"
+                   u v Interval.pp intervals.(u) Interval.pp intervals.(v)))
+      g (Ok ())
+
+let make g intervals =
+  match validate g intervals with
+  | Ok () -> { graph = g; intervals = Array.copy intervals }
+  | Error msg -> invalid_arg ("Representation.make: " ^ msg)
+
+let of_pairs g pairs = make g (Array.map (fun (l, r) -> Interval.make l r) pairs)
+
+let graph t = t.graph
+let interval t v = t.intervals.(v)
+let intervals t = Array.copy t.intervals
+
+let width_of_intervals intervals =
+  (* sweep: +1 at l, -1 just after r *)
+  let events =
+    Array.to_list intervals
+    |> List.concat_map (fun iv ->
+           [ (Interval.l iv, 1); (Interval.r iv + 1, -1) ])
+    |> List.sort compare
+  in
+  let _, best =
+    List.fold_left
+      (fun (cur, best) (_, delta) ->
+        let cur = cur + delta in
+        (cur, max best cur))
+      (0, 0) events
+  in
+  best
+
+let width t = width_of_intervals t.intervals
+
+let restrict t vs =
+  let sub, back = Graph.induced t.graph vs in
+  let sub_intervals = Array.map (fun old -> t.intervals.(old)) back in
+  ({ graph = sub; intervals = sub_intervals }, back)
+
+let hull_of t vs =
+  match vs with
+  | [] -> invalid_arg "Representation.hull_of: empty vertex set"
+  | _ -> Interval.hull_list (List.map (fun v -> t.intervals.(v)) vs)
+
+let pp ppf t =
+  let n = Graph.n t.graph in
+  if n = 0 then Format.fprintf ppf "(empty)"
+  else begin
+    let lo =
+      Array.fold_left (fun acc iv -> min acc (Interval.l iv)) max_int t.intervals
+    in
+    let hi =
+      Array.fold_left (fun acc iv -> max acc (Interval.r iv)) min_int t.intervals
+    in
+    let span = hi - lo + 1 in
+    for v = 0 to n - 1 do
+      let iv = t.intervals.(v) in
+      let line = Bytes.make span ' ' in
+      for x = Interval.l iv - lo to Interval.r iv - lo do
+        Bytes.set line x '='
+      done;
+      Format.fprintf ppf "v%-3d %s  %a@." v (Bytes.to_string line) Interval.pp iv
+    done
+  end

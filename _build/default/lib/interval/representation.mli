@@ -1,0 +1,42 @@
+(** Interval representations of graphs (Def 4.1): an assignment of a
+    non-empty interval to each vertex such that the intervals of adjacent
+    vertices intersect. The width is the maximum number of intervals sharing
+    a point; a graph has pathwidth k iff it has an interval representation
+    of width k+1. *)
+
+type t = private {
+  graph : Lcp_graph.Graph.t;
+  intervals : Interval.t array;
+}
+
+val make : Lcp_graph.Graph.t -> Interval.t array -> t
+(** Validates (raises [Invalid_argument] with a diagnostic on failure). *)
+
+val of_pairs : Lcp_graph.Graph.t -> (int * int) array -> t
+(** Same, from raw [(l, r)] pairs such as those produced by
+    [Lcp_graph.Gen.random_pathwidth]. *)
+
+val validate : Lcp_graph.Graph.t -> Interval.t array -> (unit, string) result
+
+val graph : t -> Lcp_graph.Graph.t
+val interval : t -> int -> Interval.t
+val intervals : t -> Interval.t array
+
+val width : t -> int
+(** Maximum number of intervals overlapping at a common point (sweep line);
+    0 for the empty graph. *)
+
+val width_of_intervals : Interval.t array -> int
+
+val restrict : t -> int list -> t * int array
+(** Interval representation induced on a vertex subset; returns the
+    new-index → old-vertex map. *)
+
+val hull_of : t -> int list -> Interval.t
+(** [I_U]: the hull of the intervals of the given non-empty vertex set. For
+    a connected set this is exactly the union of the intervals (paper,
+    §4.2). *)
+
+val pp : Format.formatter -> t -> unit
+(** ASCII rendering: one line per vertex showing its interval — the style of
+    the paper's Figure 1. *)

@@ -1,0 +1,100 @@
+module Graph = Lcp_graph.Graph
+
+type t = {
+  bags : int list array;
+  edges : (int * int) list;
+}
+
+let validate g ~bags ~edges =
+  let n = Graph.n g in
+  let s = Array.length bags in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let bad_edge =
+    List.find_opt (fun (a, b) -> a < 0 || b < 0 || a >= s || b >= s || a = b)
+      edges
+  in
+  if s = 0 && n > 0 then err "no bags"
+  else if bad_edge <> None then err "tree edge out of range"
+  else begin
+    (* the bag graph must be a tree *)
+    let tree = Graph.of_edges ~n:(max s 1) edges in
+    if s > 0 && not (Lcp_graph.Traversal.is_tree tree) then
+      err "bag graph is not a tree"
+    else begin
+      (* every vertex in some bag; every edge inside some bag *)
+      let holding = Array.make n [] in
+      Array.iteri
+        (fun i bag ->
+          List.iter
+            (fun v ->
+              if v < 0 || v >= n then raise Exit;
+              holding.(v) <- i :: holding.(v))
+            bag)
+        bags;
+      let vertex_missing = ref None in
+      for v = 0 to n - 1 do
+        if holding.(v) = [] && !vertex_missing = None then
+          vertex_missing := Some v
+      done;
+      match !vertex_missing with
+      | Some v -> err "vertex %d is in no bag" v
+      | None ->
+          let edge_uncovered =
+            Graph.fold_edges
+              (fun (u, v) acc ->
+                match acc with
+                | Some _ -> acc
+                | None ->
+                    if
+                      List.exists (fun i -> List.mem v bags.(i)) holding.(u)
+                    then None
+                    else Some (u, v))
+              g None
+          in
+          (match edge_uncovered with
+          | Some (u, v) -> err "edge %d-%d is in no bag" u v
+          | None ->
+              (* connectivity of each vertex's bag set within the tree *)
+              let rec find_disconnected v =
+                if v = n then None
+                else begin
+                  let mine = List.sort_uniq compare holding.(v) in
+                  let sub, _ = Graph.induced tree mine in
+                  if Lcp_graph.Traversal.is_connected sub then
+                    find_disconnected (v + 1)
+                  else Some v
+                end
+              in
+              (match find_disconnected 0 with
+              | Some v -> err "bags of vertex %d are not connected" v
+              | None -> Ok ()))
+    end
+  end
+
+let make g ~bags ~edges =
+  match
+    try validate g ~bags ~edges with Exit -> Error "bag vertex out of range"
+  with
+  | Ok () ->
+      { bags = Array.map (List.sort_uniq compare) bags; edges }
+  | Error m -> invalid_arg ("Tree_decomposition.make: " ^ m)
+
+let width t =
+  Array.fold_left (fun acc bag -> max acc (List.length bag)) 0 t.bags - 1
+
+let bag_count t = Array.length t.bags
+
+let of_path_decomposition pd =
+  let bags = Path_decomposition.bags pd in
+  let s = Array.length bags in
+  { bags; edges = List.init (max 0 (s - 1)) (fun i -> (i, i + 1)) }
+
+let pp ppf t =
+  Array.iteri
+    (fun i bag ->
+      Format.fprintf ppf "B%-3d {%s}@." i
+        (String.concat ", " (List.map string_of_int bag)))
+    t.bags;
+  Format.fprintf ppf "tree: %s@."
+    (String.concat ", "
+       (List.map (fun (a, b) -> Printf.sprintf "%d-%d" a b) t.edges))

@@ -1,0 +1,33 @@
+(** Tree decompositions — the general setting the paper's path
+    decompositions specialize (§2.2: graphs of treewidth k are exactly the
+    (k+1)-terminal recursive graphs), and the setting of the FMR⁺24
+    baseline and of the paper's §7 future-work question.
+
+    A tree decomposition is a tree of bags covering every edge, such that
+    the bags containing any fixed vertex form a subtree. Width =
+    max bag size − 1. Every path decomposition is a tree decomposition
+    whose tree is a path. *)
+
+type t = private {
+  bags : int list array;  (** each sorted *)
+  edges : (int * int) list;  (** tree edges between bag indices *)
+}
+
+val make :
+  Lcp_graph.Graph.t -> bags:int list array -> edges:(int * int) list -> t
+(** Validates all three conditions; raises [Invalid_argument] with a
+    diagnostic. *)
+
+val validate :
+  Lcp_graph.Graph.t ->
+  bags:int list array ->
+  edges:(int * int) list ->
+  (unit, string) result
+
+val width : t -> int
+val bag_count : t -> int
+
+val of_path_decomposition : Path_decomposition.t -> t
+(** The trivial embedding: bags in a path. *)
+
+val pp : Format.formatter -> t -> unit

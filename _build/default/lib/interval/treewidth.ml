@@ -1,0 +1,123 @@
+module Graph = Lcp_graph.Graph
+
+let check_size g =
+  if Graph.n g > 18 then
+    invalid_arg "Treewidth.exact: graph too large for the exact algorithm"
+
+(* Q(v, X): number of vertices outside X ∪ {v} reachable from v through X *)
+let reach_count g v x =
+  let n = Graph.n g in
+  let seen = Array.make n false in
+  let count = ref 0 in
+  let rec go u =
+    List.iter
+      (fun w ->
+        if not seen.(w) then begin
+          seen.(w) <- true;
+          if x land (1 lsl w) <> 0 then go w
+          else if w <> v then incr count
+        end)
+      (Graph.neighbors g u)
+  in
+  seen.(v) <- true;
+  go v;
+  !count
+
+let solve g =
+  check_size g;
+  let n = Graph.n g in
+  let size = 1 lsl n in
+  let cost = Array.make size max_int in
+  let choice = Array.make size (-1) in
+  cost.(0) <- 0;
+  for s = 1 to size - 1 do
+    for v = 0 to n - 1 do
+      if s land (1 lsl v) <> 0 then begin
+        let without = s lxor (1 lsl v) in
+        let prev = cost.(without) in
+        if prev < max_int then begin
+          let c = max prev (reach_count g v without) in
+          if c < cost.(s) then begin
+            cost.(s) <- c;
+            choice.(s) <- v
+          end
+        end
+      end
+    done
+  done;
+  (cost, choice)
+
+let exact_order g =
+  let n = Graph.n g in
+  if n = 0 then (0, [||])
+  else begin
+    let cost, choice = solve g in
+    let full = (1 lsl n) - 1 in
+    let order = Array.make n 0 in
+    let s = ref full in
+    for i = n - 1 downto 0 do
+      let v = choice.(!s) in
+      order.(i) <- v;
+      s := !s lxor (1 lsl v)
+    done;
+    (cost.(full), order)
+  end
+
+let exact g = fst (exact_order g)
+
+let decomposition_of_order g order =
+  let n = Graph.n g in
+  if n = 0 then Tree_decomposition.make g ~bags:[||] ~edges:[]
+  else begin
+    let pos = Array.make n 0 in
+    Array.iteri (fun i v -> pos.(v) <- i) order;
+    (* fill-in elimination with adjacency sets *)
+    let adj = Array.make n [] in
+    Graph.iter_edges
+      (fun (u, v) ->
+        adj.(u) <- v :: adj.(u);
+        adj.(v) <- u :: adj.(v))
+      g;
+    let adj = Array.map (List.sort_uniq compare) adj in
+    let bags = Array.make n [] in
+    let parent = Array.make n (-1) in
+    let eliminated = Array.make n false in
+    Array.iter
+      (fun v ->
+        let nbrs = List.filter (fun w -> not eliminated.(w)) adj.(v) in
+        bags.(pos.(v)) <- List.sort_uniq compare (v :: nbrs);
+        (* make the remaining neighborhood a clique *)
+        List.iter
+          (fun a ->
+            List.iter
+              (fun b ->
+                if a <> b && not (List.mem b adj.(a)) then
+                  adj.(a) <- List.sort_uniq compare (b :: adj.(a)))
+              nbrs)
+          nbrs;
+        (* attach to the earliest-eliminated remaining neighbor's bag *)
+        (match nbrs with
+        | [] -> ()
+        | _ ->
+            let next =
+              List.fold_left
+                (fun acc w -> if pos.(w) < pos.(acc) then w else acc)
+                (List.hd nbrs) nbrs
+            in
+            parent.(pos.(v)) <- pos.(next));
+        eliminated.(v) <- true)
+      order;
+    (* bags with no parent (the last one, or isolated pieces) attach to the
+       final bag to keep the bag graph a tree *)
+    let edges = ref [] in
+    Array.iteri
+      (fun i p ->
+        if p >= 0 then edges := (i, p) :: !edges
+        else if i < n - 1 then edges := (i, n - 1) :: !edges)
+      parent;
+    Tree_decomposition.make g ~bags ~edges:!edges
+  end
+
+let exact_decomposition g =
+  let _, order = exact_order g in
+  decomposition_of_order g order

@@ -1,0 +1,25 @@
+(** Exact treewidth for small graphs, via the elimination-ordering subset
+    dynamic program (O(2ⁿ·n·(n+m))): the treewidth is the minimum over
+    elimination orders of the maximum, over vertices, of the number of
+    later vertices reachable through already-eliminated ones.
+
+    Provides the reference values for the tree-decomposition substrate and
+    the treewidth-vs-pathwidth comparisons (tw ≤ pw always; the paper's
+    open question in §7 asks whether its techniques lift from pathwidth to
+    treewidth). *)
+
+val exact : Lcp_graph.Graph.t -> int
+(** Raises [Invalid_argument] when [n > 18]. *)
+
+val exact_order : Lcp_graph.Graph.t -> int * int array
+(** [(tw, elimination order)]. *)
+
+val decomposition_of_order :
+  Lcp_graph.Graph.t -> int array -> Tree_decomposition.t
+(** The standard construction: eliminate along the order on the fill-in
+    graph; bag of v = v plus its current neighbors; each bag attaches to
+    the bag of its earliest-eliminated remaining neighbor. The width equals
+    the order's elimination width. *)
+
+val exact_decomposition : Lcp_graph.Graph.t -> Tree_decomposition.t
+(** Width = treewidth. Small graphs only. *)

@@ -1,0 +1,1 @@
+lib/lanes/bounds.mli:

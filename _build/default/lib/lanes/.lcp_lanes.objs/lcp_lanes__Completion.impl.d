@@ -1,0 +1,1 @@
+lib/lanes/completion.ml: Array Lane_partition Lcp_graph Lcp_interval List

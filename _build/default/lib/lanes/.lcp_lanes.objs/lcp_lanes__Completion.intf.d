@@ -1,0 +1,1 @@
+lib/lanes/completion.mli: Lane_partition Lcp_graph

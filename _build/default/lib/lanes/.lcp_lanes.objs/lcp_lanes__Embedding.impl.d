@@ -1,0 +1,1 @@
+lib/lanes/embedding.ml: Hashtbl Lcp_graph List Option Printf

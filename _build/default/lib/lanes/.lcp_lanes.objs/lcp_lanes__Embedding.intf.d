@@ -1,0 +1,1 @@
+lib/lanes/embedding.mli: Lcp_graph

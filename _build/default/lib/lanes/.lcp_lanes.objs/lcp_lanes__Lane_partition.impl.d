@@ -1,0 +1,1 @@
+lib/lanes/lane_partition.ml: Array Format Lcp_graph Lcp_interval List Printf String

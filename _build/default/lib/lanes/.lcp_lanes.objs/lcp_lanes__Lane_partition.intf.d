@@ -1,0 +1,1 @@
+lib/lanes/lane_partition.mli: Format Lcp_interval

@@ -1,0 +1,1 @@
+lib/lanes/low_congestion.ml: Array Completion Embedding Hashtbl Lane_partition Lcp_graph Lcp_interval List

@@ -1,0 +1,1 @@
+lib/lanes/low_congestion.mli: Embedding Lane_partition Lcp_interval

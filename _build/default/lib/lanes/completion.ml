@@ -1,0 +1,33 @@
+module Graph = Lcp_graph.Graph
+module Representation = Lcp_interval.Representation
+
+let e1_edges p =
+  Lane_partition.lanes p |> Array.to_list
+  |> List.concat_map (fun lane ->
+         let rec pairs = function
+           | a :: (b :: _ as rest) -> Graph.canonical_edge a b :: pairs rest
+           | [] | [ _ ] -> []
+         in
+         pairs lane)
+
+let e2_edges p =
+  let rec pairs = function
+    | a :: (b :: _ as rest) -> Graph.canonical_edge a b :: pairs rest
+    | [] | [ _ ] -> []
+  in
+  pairs (Lane_partition.first_vertices p)
+
+let base_graph p = Representation.graph (Lane_partition.rep p)
+
+let weak_completion p = Graph.add_edges (base_graph p) (e1_edges p)
+
+let completion p =
+  Graph.add_edges (base_graph p) (e1_edges p @ e2_edges p)
+
+let missing p es =
+  let g = base_graph p in
+  List.filter (fun (u, v) -> not (Graph.mem_edge g u v)) es
+  |> List.sort_uniq compare
+
+let new_edges_weak p = missing p (e1_edges p)
+let new_edges_full p = missing p (e1_edges p @ e2_edges p)

@@ -1,0 +1,18 @@
+(** Completions of a lane partition (Def 4.4).
+
+    [E1] turns each lane into a path (consecutive vertices of the lane),
+    [E2] concatenates the initial vertices of all lanes into a path. The
+    weak completion adds [E1]; the completion adds [E1 ∪ E2]. *)
+
+val e1_edges : Lane_partition.t -> Lcp_graph.Graph.edge list
+val e2_edges : Lane_partition.t -> Lcp_graph.Graph.edge list
+
+val weak_completion : Lane_partition.t -> Lcp_graph.Graph.t
+val completion : Lane_partition.t -> Lcp_graph.Graph.t
+
+val new_edges_weak : Lane_partition.t -> Lcp_graph.Graph.edge list
+(** [E1 \ E]: the edges the weak completion adds that are not already in the
+    graph — exactly the edges an embedding must route. *)
+
+val new_edges_full : Lane_partition.t -> Lcp_graph.Graph.edge list
+(** [(E1 ∪ E2) \ E]. *)

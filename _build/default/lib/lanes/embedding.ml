@@ -1,0 +1,78 @@
+module Graph = Lcp_graph.Graph
+
+type t = (Graph.edge * int list) list
+
+let path_of t e =
+  let e = Graph.canonical_edge (fst e) (snd e) in
+  List.assoc_opt e t
+
+let validate g required t =
+  let check_path (u, v) path =
+    match path with
+    | [] -> Error (Printf.sprintf "edge %d-%d: empty path" u v)
+    | first :: _ ->
+        let last = List.nth path (List.length path - 1) in
+        if not ((first = u && last = v) || (first = v && last = u)) then
+          Error (Printf.sprintf "edge %d-%d: path endpoints %d,%d" u v first last)
+        else if List.length (List.sort_uniq compare path) <> List.length path
+        then Error (Printf.sprintf "edge %d-%d: path not simple" u v)
+        else begin
+          let rec steps = function
+            | a :: (b :: _ as rest) ->
+                if Graph.mem_edge g a b then steps rest
+                else
+                  Error
+                    (Printf.sprintf "edge %d-%d: step %d-%d not a base edge" u v
+                       a b)
+            | [] | [ _ ] -> Ok ()
+          in
+          steps path
+        end
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | e :: rest -> (
+        match path_of t e with
+        | None ->
+            Error
+              (Printf.sprintf "edge %d-%d has no embedded path" (fst e) (snd e))
+        | Some p -> ( match check_path e p with Ok () -> go rest | err -> err))
+  in
+  go required
+
+let loop_erase walk =
+  (* keep a stack of the simple prefix; on a repeat, pop back to the first
+     occurrence *)
+  let rec go stack = function
+    | [] -> List.rev stack
+    | v :: rest ->
+        if List.mem v stack then
+          let rec pop = function
+            | w :: tl when w <> v -> pop tl
+            | s -> s
+          in
+          go (pop stack) rest
+        else go (v :: stack) rest
+  in
+  go [] walk
+
+let edge_loads g t =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (_, path) ->
+      let rec steps = function
+        | a :: (b :: _ as rest) ->
+            if not (Graph.mem_edge g a b) then
+              invalid_arg "Embedding.edge_loads: path step not a base edge";
+            let e = Graph.canonical_edge a b in
+            Hashtbl.replace tbl e
+              (1 + Option.value ~default:0 (Hashtbl.find_opt tbl e));
+            steps rest
+        | [] | [ _ ] -> ()
+      in
+      steps path)
+    t;
+  Hashtbl.fold (fun e c acc -> (e, c) :: acc) tbl [] |> List.sort compare
+
+let congestion g t =
+  List.fold_left (fun acc (_, c) -> max acc c) 0 (edge_loads g t)

@@ -1,0 +1,31 @@
+(** Embeddings of a supergraph into a graph (Def 4.5): each added edge
+    [{u,v}] is realized as a u–v path in the base graph. The congestion is
+    the maximum number of embedded paths through a single base edge.
+
+    Prop 4.6's payoff (§4.1): a b-bit edge-labeling scheme on the completion
+    G' can be simulated on G at cost O(b·c) bits per edge, c the congestion,
+    by copying the label of each virtual edge onto every edge of its path. *)
+
+type t = (Lcp_graph.Graph.edge * int list) list
+(** Association list: virtual edge ↦ its path (vertex sequence; endpoints
+    must match the edge, in either order). *)
+
+val validate :
+  Lcp_graph.Graph.t -> Lcp_graph.Graph.edge list -> t -> (unit, string) result
+(** Checks every required edge has a path, every path is a simple path of
+    the base graph with the right endpoints. *)
+
+val congestion : Lcp_graph.Graph.t -> t -> int
+(** Max paths per base edge; raises [Invalid_argument] if a step of a path
+    is not a base edge. *)
+
+val edge_loads : Lcp_graph.Graph.t -> t -> (Lcp_graph.Graph.edge * int) list
+(** Per-edge path counts, only edges with non-zero load, sorted. *)
+
+val path_of : t -> Lcp_graph.Graph.edge -> int list option
+
+val loop_erase : int list -> int list
+(** Shortcut a walk into a simple path with the same endpoints: whenever a
+    vertex repeats, the cycle between its occurrences is removed. Every
+    step of the result is a step of the input, so replacing a walk by its
+    loop erasure never increases congestion. *)

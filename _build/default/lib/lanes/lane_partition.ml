@@ -1,0 +1,94 @@
+module Representation = Lcp_interval.Representation
+module Interval = Lcp_interval.Interval
+module Graph = Lcp_graph.Graph
+
+type t = {
+  rep : Representation.t;
+  lanes : int list array;
+}
+
+let validate rep lanes =
+  let n = Graph.n (Representation.graph rep) in
+  let seen = Array.make n 0 in
+  let problem = ref None in
+  Array.iteri
+    (fun li lane ->
+      (match lane with
+      | [] -> problem := Some (Printf.sprintf "lane %d is empty" li)
+      | _ -> ());
+      List.iter
+        (fun v ->
+          if v < 0 || v >= n then
+            problem := Some (Printf.sprintf "lane %d: vertex %d out of range" li v)
+          else seen.(v) <- seen.(v) + 1)
+        lane;
+      let rec ordered = function
+        | [] | [ _ ] -> ()
+        | a :: (b :: _ as rest) ->
+            if
+              not
+                (Interval.strictly_before
+                   (Representation.interval rep a)
+                   (Representation.interval rep b))
+            then
+              problem :=
+                Some
+                  (Printf.sprintf
+                     "lane %d: intervals of %d and %d not strictly ordered" li a b)
+            else ordered rest
+      in
+      ordered lane)
+    lanes;
+  (match !problem with
+  | None ->
+      Array.iteri
+        (fun v c ->
+          if c <> 1 then
+            problem :=
+              Some (Printf.sprintf "vertex %d appears in %d lanes" v c))
+        seen
+  | Some _ -> ());
+  match !problem with None -> Ok () | Some msg -> Error msg
+
+let make rep lanes =
+  match validate rep lanes with
+  | Ok () -> { rep; lanes = Array.map (fun l -> l) lanes }
+  | Error msg -> invalid_arg ("Lane_partition.make: " ^ msg)
+
+let of_greedy_coloring rep =
+  let ivs = Representation.intervals rep in
+  let lane, lanes = Lcp_interval.Interval_coloring.color ivs in
+  let out = Array.make lanes [] in
+  Array.iteri (fun v l -> out.(l) <- v :: out.(l)) lane;
+  let by_left vs =
+    List.sort
+      (fun a b ->
+        Interval.compare_by_left
+          (Representation.interval rep a)
+          (Representation.interval rep b))
+      vs
+  in
+  make rep (Array.map by_left out)
+
+let rep t = t.rep
+let lanes t = Array.map (fun l -> l) t.lanes
+let lane_count t = Array.length t.lanes
+
+let lane_of t v =
+  let found = ref (-1) in
+  Array.iteri (fun li lane -> if List.mem v lane then found := li) t.lanes;
+  if !found < 0 then invalid_arg "Lane_partition.lane_of: unknown vertex";
+  !found
+
+let first_vertices t =
+  Array.to_list t.lanes
+  |> List.map (function
+       | v :: _ -> v
+       | [] -> invalid_arg "Lane_partition.first_vertices: empty lane")
+
+let pp ppf t =
+  Array.iteri
+    (fun li lane ->
+      Format.fprintf ppf "lane %d: %s@." li
+        (String.concat " -> " (List.map string_of_int lane)))
+    t.lanes

@@ -1,0 +1,30 @@
+(** k-lane partitions (Def 4.2): a partition of the vertex set into
+    non-empty sequences, each strictly ordered by [≺] on the vertices'
+    intervals. *)
+
+type t = private {
+  rep : Lcp_interval.Representation.t;
+  lanes : int list array;
+}
+
+val make : Lcp_interval.Representation.t -> int list array -> t
+(** Validates; raises [Invalid_argument] with a diagnostic. *)
+
+val validate :
+  Lcp_interval.Representation.t -> int list array -> (unit, string) result
+
+val of_greedy_coloring : Lcp_interval.Representation.t -> t
+(** The Observation 4.3 partition: greedy interval coloring of all vertex
+    intervals; uses at most [width] lanes. Not the Prop 4.6 partition — it
+    has no congestion guarantee — but valid and useful for tests. *)
+
+val rep : t -> Lcp_interval.Representation.t
+val lanes : t -> int list array
+val lane_count : t -> int
+val lane_of : t -> int -> int
+(** Lane index of a vertex. *)
+
+val first_vertices : t -> int list
+(** The initial vertex of each lane, in lane order. *)
+
+val pp : Format.formatter -> t -> unit

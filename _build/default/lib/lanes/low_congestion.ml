@@ -1,0 +1,303 @@
+module Graph = Lcp_graph.Graph
+module Traversal = Lcp_graph.Traversal
+module Interval = Lcp_interval.Interval
+module Representation = Lcp_interval.Representation
+module Interval_coloring = Lcp_interval.Interval_coloring
+
+type spine = {
+  v_st : int;
+  v_ed : int;
+  path : int list;
+  s_seq : int list;
+}
+
+type result = {
+  partition : Lane_partition.t;
+  weak_embedding : Embedding.t;
+  full_embedding : Embedding.t;
+  spine : spine;
+}
+
+(* --- helpers ------------------------------------------------------------ *)
+
+let argbest better f = function
+  | [] -> invalid_arg "Low_congestion.argbest: empty"
+  | x :: xs ->
+      List.fold_left (fun best y -> if better (f y) (f best) then y else best) x xs
+
+(* subpath of [path] between two member vertices, inclusive, in either
+   direction *)
+let subpath path a b =
+  let arr = Array.of_list path in
+  let pos v =
+    let p = ref (-1) in
+    Array.iteri (fun i x -> if x = v then p := i) arr;
+    if !p < 0 then invalid_arg "Low_congestion.subpath: vertex not on path";
+    !p
+  in
+  let pa = pos a and pb = pos b in
+  if pa <= pb then Array.to_list (Array.sub arr pa (pb - pa + 1))
+  else List.rev (Array.to_list (Array.sub arr pb (pa - pb + 1)))
+
+let last_of lst = List.nth lst (List.length lst - 1)
+
+(* --- the spine sequence S ----------------------------------------------- *)
+
+let build_spine rep =
+  let g = Representation.graph rep in
+  let vertices = List.init (Graph.n g) (fun v -> v) in
+  let left v = Interval.l (Representation.interval rep v) in
+  let right v = Interval.r (Representation.interval rep v) in
+  let v_st = argbest ( < ) left vertices in
+  let v_ed = argbest ( > ) right vertices in
+  let path =
+    match Traversal.shortest_path g v_st v_ed with
+    | Some p -> p
+    | None -> invalid_arg "Low_congestion: graph is disconnected"
+  in
+  let path_arr = Array.of_list path in
+  let npath = Array.length path_arr in
+  let pos_in_path = Hashtbl.create npath in
+  Array.iteri (fun i v -> Hashtbl.replace pos_in_path v i) path_arr;
+  let rec extend s cur =
+    if right cur >= right v_ed then List.rev s
+    else begin
+      let cur_pos = Hashtbl.find pos_in_path cur in
+      let candidates = ref [] in
+      for i = cur_pos + 1 to npath - 1 do
+        let u = path_arr.(i) in
+        if
+          Interval.intersects
+            (Representation.interval rep u)
+            (Representation.interval rep cur)
+        then candidates := u :: !candidates
+      done;
+      match !candidates with
+      | [] ->
+          invalid_arg
+            "Low_congestion.build_spine: no candidate (disconnected path?)"
+      | cs ->
+          let next = argbest ( > ) right cs in
+          if right next <= right cur then
+            invalid_arg "Low_congestion.build_spine: spine not advancing";
+          extend (next :: s) next
+    end
+  in
+  let s_seq = extend [ v_st ] v_st in
+  { v_st; v_ed; path; s_seq }
+
+let split_alternating s_seq =
+  let rec go i = function
+    | [] -> ([], [])
+    | x :: rest ->
+        let odd, even = go (i + 1) rest in
+        if i mod 2 = 0 then (x :: odd, even) else (odd, x :: even)
+  in
+  go 0 s_seq
+
+(* --- the recursive construction ----------------------------------------- *)
+
+(* Returns lanes (global vertex ids of [rep]'s graph; empty lanes allowed
+   internally) and the weak-completion embedding (paths in global ids). *)
+let rec construct_rec rep =
+  let g = Representation.graph rep in
+  let n = Graph.n g in
+  if n = 0 then invalid_arg "Low_congestion: empty graph";
+  if n = 1 then ([| [ 0 ] |], [], None)
+  else begin
+    let spine = build_spine rep in
+    let s1, s2 = split_alternating spine.s_seq in
+    let s_set = Hashtbl.create 16 in
+    List.iter (fun v -> Hashtbl.replace s_set v ()) spine.s_seq;
+    let rest = List.filter (fun v -> not (Hashtbl.mem s_set v))
+        (List.init n (fun v -> v))
+    in
+    (* connected components of G - S, as global vertex lists *)
+    let components =
+      if rest = [] then []
+      else begin
+        let sub, back = Graph.induced g rest in
+        Traversal.connected_components sub
+        |> List.map (fun comp -> List.map (fun v -> back.(v)) comp)
+      end
+    in
+    let components = Array.of_list components in
+    let ncomp = Array.length components in
+    (* Lemma 4.10: color components so same-color hulls are disjoint *)
+    let hulls =
+      Array.map (fun comp -> Representation.hull_of rep comp) components
+    in
+    let color, ncolors = Interval_coloring.color hulls in
+    (* split by spine side: an attachment edge (u in C, v in S1) makes C a
+       class-1 component; otherwise it attaches to S2 (G is connected) *)
+    let s1_set = Hashtbl.create 16 and s2_set = Hashtbl.create 16 in
+    List.iter (fun v -> Hashtbl.replace s1_set v ()) s1;
+    List.iter (fun v -> Hashtbl.replace s2_set v ()) s2;
+    let attachment comp =
+      (* (side, u_star in C, v_star in S_side) *)
+      let find side_set =
+        List.find_map
+          (fun u ->
+            List.find_map
+              (fun v ->
+                if Hashtbl.mem side_set v then Some (u, v) else None)
+              (Graph.neighbors g u))
+          comp
+      in
+      match find s1_set with
+      | Some (u, v) -> (1, u, v)
+      | None -> (
+          match find s2_set with
+          | Some (u, v) -> (2, u, v)
+          | None ->
+              invalid_arg
+                "Low_congestion: component not attached to the spine")
+    in
+    let attach = Array.map attachment components in
+    (* recurse on each component *)
+    let sub_results =
+      Array.map
+        (fun comp ->
+          let sub_rep, back = Representation.restrict rep comp in
+          let lanes, emb, _ = construct_rec sub_rep in
+          let to_global v = back.(v) in
+          let lanes = Array.map (List.map to_global) lanes in
+          let emb =
+            List.map
+              (fun ((u, v), p) ->
+                ( Graph.canonical_edge (to_global u) (to_global v),
+                  List.map to_global p ))
+              emb
+          in
+          (lanes, emb))
+        components
+    in
+    let max_sub_lanes =
+      Array.fold_left (fun acc (lanes, _) -> max acc (Array.length lanes)) 0
+        sub_results
+    in
+    (* assemble the output lanes: S1, S2, then one lane per (color, side,
+       sub-lane index), concatenating component lanes in hull order *)
+    let lanes_acc = ref [] in
+    let emb_acc = ref [] in
+    let add_lane l = lanes_acc := l :: !lanes_acc in
+    add_lane s1;
+    add_lane s2;
+    (* Case 1: spine lanes embed through P *)
+    let embed_spine_lane lane =
+      let rec pairs = function
+        | a :: (b :: _ as rest) ->
+            if not (Graph.mem_edge g a b) then begin
+              let e = Graph.canonical_edge a b in
+              emb_acc := (e, subpath spine.path a b) :: !emb_acc
+            end;
+            pairs rest
+        | [] | [ _ ] -> ()
+      in
+      pairs lane
+    in
+    embed_spine_lane s1;
+    embed_spine_lane s2;
+    (* Case 2.1: component-internal embeddings *)
+    Array.iter (fun (_, emb) -> emb_acc := emb @ !emb_acc) sub_results;
+    (* Case 2 lanes and Case 2.2 cross-component embeddings *)
+    let comp_hull_left c = Interval.l hulls.(c) in
+    for i = 0 to ncolors - 1 do
+      for j = 1 to 2 do
+        let comps_ij =
+          List.init ncomp (fun c -> c)
+          |> List.filter (fun c ->
+                 color.(c) = i
+                 && (let side, _, _ = attach.(c) in
+                     side = j))
+          |> List.sort (fun a b -> compare (comp_hull_left a) (comp_hull_left b))
+        in
+        for ell = 0 to max_sub_lanes - 1 do
+          let pieces =
+            List.filter_map
+              (fun c ->
+                let lanes, _ = sub_results.(c) in
+                if ell < Array.length lanes && lanes.(ell) <> [] then
+                  Some (c, lanes.(ell))
+                else None)
+              comps_ij
+          in
+          add_lane (List.concat_map snd pieces);
+          (* cross-component edges between consecutive pieces *)
+          let rec cross = function
+            | (c, lane_c) :: ((c', lane_c') :: _ as rest) ->
+                let x = last_of lane_c and y = List.hd lane_c' in
+                if not (Graph.mem_edge g x y) then begin
+                  let _, u_star, v_star = attach.(c) in
+                  let _, u_star', v_star' = attach.(c') in
+                  let in_comp comp a b =
+                    let sub, back = Graph.induced g comp in
+                    let fwd = Hashtbl.create 16 in
+                    Array.iteri (fun li gl -> Hashtbl.replace fwd gl li) back;
+                    match
+                      Traversal.shortest_path sub (Hashtbl.find fwd a)
+                        (Hashtbl.find fwd b)
+                    with
+                    | Some p -> List.map (fun v -> back.(v)) p
+                    | None ->
+                        invalid_arg "Low_congestion: component disconnected"
+                  in
+                  let seg1 = in_comp components.(c) x u_star in
+                  let seg2 = subpath spine.path v_star v_star' in
+                  let seg3 = in_comp components.(c') u_star' y in
+                  let e = Graph.canonical_edge x y in
+                  (* the concatenation is a walk: P may pass through
+                     component vertices, so the segments can collide;
+                     loop-erase to a simple path (congestion only drops) *)
+                  emb_acc :=
+                    (e, Embedding.loop_erase (seg1 @ seg2 @ seg3)) :: !emb_acc
+                end;
+                cross rest
+            | [] | [ _ ] -> ()
+          in
+          cross pieces
+        done
+      done
+    done;
+    let lanes = Array.of_list (List.rev !lanes_acc) in
+    (!emb_acc |> List.rev |> fun emb -> (lanes, emb, Some spine))
+  end
+
+let construct rep =
+  let g = Representation.graph rep in
+  if Graph.n g = 0 then invalid_arg "Low_congestion.construct: empty graph";
+  if not (Traversal.is_connected g) then
+    invalid_arg "Low_congestion.construct: disconnected graph";
+  let lanes, weak_embedding, spine_opt = construct_rec rep in
+  let lanes = Array.of_list (List.filter (fun l -> l <> []) (Array.to_list lanes)) in
+  let partition = Lane_partition.make rep lanes in
+  (* complete the lanes: embed the E2 edges along arbitrary (shortest)
+     paths; adds at most (lane count - 1) congestion *)
+  let e2_paths =
+    Completion.e2_edges partition
+    |> List.filter_map (fun (a, b) ->
+           if Graph.mem_edge g a b then None
+           else
+             match Traversal.shortest_path g a b with
+             | Some p -> Some (Graph.canonical_edge a b, p)
+             | None -> None)
+  in
+  let full_embedding = weak_embedding @ e2_paths in
+  let spine =
+    match spine_opt with
+    | Some s -> s
+    | None -> { v_st = 0; v_ed = 0; path = [ 0 ]; s_seq = [ 0 ] }
+  in
+  { partition; weak_embedding; full_embedding; spine }
+
+let congestion_weak r =
+  Embedding.congestion
+    (Representation.graph (Lane_partition.rep r.partition))
+    r.weak_embedding
+
+let congestion_full r =
+  Embedding.congestion
+    (Representation.graph (Lane_partition.rep r.partition))
+    r.full_embedding
+
+let lane_count r = Lane_partition.lane_count r.partition

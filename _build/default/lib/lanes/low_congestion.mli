@@ -1,0 +1,40 @@
+(** The low-congestion lane-partition construction (Proposition 4.6).
+
+    Given an interval representation [I] of a connected graph G with width
+    k, produce a w-lane partition [P] with w ≤ f(k) such that the weak
+    completion of (G, I, P) embeds into G with congestion ≤ g(k) and the
+    completion with congestion ≤ h(k).
+
+    The construction follows the paper's induction: pick the extreme
+    vertices v_st (min left endpoint) and v_ed (max right endpoint), a
+    v_st–v_ed path P, and the greedy spine sequence S along P (each next
+    spine vertex maximizes the right endpoint among later path vertices
+    whose interval meets the current one). S splits into lanes S₁
+    (odd-indexed) and S₂ (even-indexed); the components of G − S have
+    width ≤ k−1 and are colored into classes of pairwise-disjoint hulls
+    (Lemma 4.10), recursed on, and their lanes concatenated. Lane edges are
+    embedded through P and through component-to-spine attachment edges
+    exactly as in Cases 1, 2.1, 2.2 of the proof. *)
+
+type spine = {
+  v_st : int;
+  v_ed : int;
+  path : int list;  (** the chosen v_st–v_ed path P *)
+  s_seq : int list;  (** the spine sequence S = s₁, s₂, … *)
+}
+
+type result = {
+  partition : Lane_partition.t;
+  weak_embedding : Embedding.t;
+      (** paths for every edge of [Completion.new_edges_weak] *)
+  full_embedding : Embedding.t;
+      (** paths for every edge of [Completion.new_edges_full] *)
+  spine : spine;  (** top-level construction data (figure demos) *)
+}
+
+val construct : Lcp_interval.Representation.t -> result
+(** Raises [Invalid_argument] if the graph is empty or disconnected. *)
+
+val congestion_weak : result -> int
+val congestion_full : result -> int
+val lane_count : result -> int

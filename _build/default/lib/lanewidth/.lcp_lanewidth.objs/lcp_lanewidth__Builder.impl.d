@@ -1,0 +1,1 @@
+lib/lanewidth/builder.ml: Array Hashtbl Hierarchy Klane Lcp_graph List Merge Option Trace

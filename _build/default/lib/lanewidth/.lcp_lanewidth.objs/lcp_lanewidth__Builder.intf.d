@@ -1,0 +1,1 @@
+lib/lanewidth/builder.mli: Hierarchy Lcp_graph Trace

@@ -1,0 +1,1 @@
+lib/lanewidth/hierarchy.ml: Format Hashtbl Klane Lcp_graph List Merge Option Printf

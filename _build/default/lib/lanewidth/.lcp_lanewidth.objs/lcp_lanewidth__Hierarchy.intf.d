@@ -1,0 +1,1 @@
+lib/lanewidth/hierarchy.mli: Format Klane

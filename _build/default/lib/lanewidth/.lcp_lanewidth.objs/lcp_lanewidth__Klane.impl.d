@@ -1,0 +1,1 @@
+lib/lanewidth/klane.ml: Format Hashtbl Lcp_graph List Printf String

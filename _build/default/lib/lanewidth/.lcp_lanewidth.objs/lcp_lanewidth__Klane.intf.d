@@ -1,0 +1,1 @@
+lib/lanewidth/klane.mli: Format Lcp_graph

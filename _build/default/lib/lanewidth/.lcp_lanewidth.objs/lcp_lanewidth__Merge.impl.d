@@ -1,0 +1,1 @@
+lib/lanewidth/merge.ml: Klane Lcp_graph List Printf

@@ -1,0 +1,1 @@
+lib/lanewidth/merge.mli: Klane

@@ -1,0 +1,1 @@
+lib/lanewidth/prop52.ml: Array Hashtbl Lcp_graph Lcp_interval Lcp_lanes List Trace

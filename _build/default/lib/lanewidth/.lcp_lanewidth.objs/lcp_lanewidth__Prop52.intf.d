@@ -1,0 +1,1 @@
+lib/lanewidth/prop52.mli: Lcp_interval Lcp_lanes Trace

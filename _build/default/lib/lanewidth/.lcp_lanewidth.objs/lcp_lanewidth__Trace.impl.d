@@ -1,0 +1,1 @@
+lib/lanewidth/trace.ml: Array Format Hashtbl Lcp_graph List Printf Random

@@ -1,0 +1,1 @@
+lib/lanewidth/trace.mli: Format Lcp_graph Random

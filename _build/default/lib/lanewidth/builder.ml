@@ -1,0 +1,150 @@
+module Graph = Lcp_graph.Graph
+
+type wnode = {
+  id : int;
+  mutable piece : Hierarchy.t;
+  mutable children : wnode list;
+  mutable parent : wnode option;
+  depth : int;
+}
+
+let of_trace_on ~host ~to_host (trace : Trace.t) =
+  let k = trace.Trace.k in
+  let fresh_id =
+    let c = ref 0 in
+    fun () ->
+      incr c;
+      !c
+  in
+  (* current designated vertex per lane, in host ids *)
+  let tau = Array.init k (fun i -> to_host.(i)) in
+  let next_trace_vertex = ref k in
+  let root =
+    {
+      id = fresh_id ();
+      piece = Hierarchy.P_node (Klane.of_path ~host (Array.to_list tau));
+      children = [];
+      parent = None;
+      depth = 0;
+    }
+  in
+  (* deepest tree node containing the designated vertex of each lane *)
+  let owner = Array.make k root in
+  let add_child parent piece =
+    let w =
+      {
+        id = fresh_id ();
+        piece;
+        children = [];
+        parent = Some parent;
+        depth = parent.depth + 1;
+      }
+    in
+    parent.children <- w :: parent.children;
+    w
+  in
+  let remove_child parent w =
+    parent.children <- List.filter (fun c -> c.id <> w.id) parent.children
+  in
+  (* ancestor of [w] that is a direct child of [top] *)
+  let rec child_toward ~top w =
+    match w.parent with
+    | Some p when p.id = top.id -> w
+    | Some p -> child_toward ~top p
+    | None -> invalid_arg "Builder: node is not below the expected ancestor"
+  in
+  let rec lca a b =
+    if a.id = b.id then a
+    else if a.depth > b.depth then lca (Option.get a.parent) b
+    else if b.depth > a.depth then lca a (Option.get b.parent)
+    else lca (Option.get a.parent) (Option.get b.parent)
+  in
+  (* condense a working subtree into a hierarchy ttree (computing merged
+     k-lane graphs bottom-up) *)
+  let rec to_ttree w =
+    let children = List.map to_ttree (List.rev w.children) in
+    let merged =
+      List.fold_left
+        (fun acc c ->
+          Merge.parent_merge ~child:c.Hierarchy.merged ~parent:acc)
+        (Hierarchy.klane_of w.piece) children
+    in
+    { Hierarchy.piece = w.piece; children; merged }
+  in
+  let subtree_ids w =
+    let tbl = Hashtbl.create 16 in
+    let rec go w =
+      Hashtbl.replace tbl w.id ();
+      List.iter go w.children
+    in
+    go w;
+    tbl
+  in
+  let condense w =
+    let tree = to_ttree w in
+    Hierarchy.T_node { t_result = tree.Hierarchy.merged; tree }
+  in
+  (* after restructuring, lanes whose owner was condensed now live in the
+     new node *)
+  let reown removed_ids new_node =
+    Array.iteri
+      (fun a o -> if Hashtbl.mem removed_ids o.id then owner.(a) <- new_node)
+      owner
+  in
+  List.iter
+    (fun op ->
+      match op with
+      | Trace.V_insert i ->
+          let v = to_host.(!next_trace_vertex) in
+          incr next_trace_vertex;
+          let enode =
+            Hierarchy.E_node
+              (Klane.single_edge ~host ~lane:i ~t_in:tau.(i) ~t_out:v)
+          in
+          let w = add_child owner.(i) enode in
+          tau.(i) <- v;
+          owner.(i) <- w
+      | Trace.E_insert (i, j) ->
+          let gi = owner.(i) and gj = owner.(j) in
+          let g' = lca gi gj in
+          let part ~lane g =
+            (* the Bridge-merge operand on [lane]'s side *)
+            if g.id = g'.id then
+              (* V-node for the designated vertex *)
+              ( Hierarchy.V_node (Klane.singleton ~host ~lane tau.(lane)),
+                None )
+            else begin
+              let c = child_toward ~top:g' g in
+              (condense c, Some c)
+            end
+          in
+          let left, removed_i = part ~lane:i gi in
+          let right, removed_j = part ~lane:j gj in
+          let result =
+            Merge.bridge_merge (Hierarchy.klane_of left)
+              (Hierarchy.klane_of right) ~i ~j
+          in
+          let bnode = Hierarchy.B_node { result; left; right; i; j } in
+          let removed = Hashtbl.create 16 in
+          List.iter
+            (fun r ->
+              match r with
+              | Some c ->
+                  remove_child g' c;
+                  Hashtbl.iter (fun id () -> Hashtbl.replace removed id ())
+                    (subtree_ids c)
+              | None -> ())
+            [ removed_i; removed_j ];
+          let w = add_child g' bnode in
+          reown removed w;
+          (* the designated vertices of lanes i and j are now inside the
+             B-node in every case *)
+          owner.(i) <- w;
+          owner.(j) <- w)
+    trace.Trace.ops;
+  condense root
+
+let of_trace trace =
+  let host = Trace.eval trace in
+  let to_host = Array.init (Graph.n host) (fun v -> v) in
+  of_trace_on ~host ~to_host trace

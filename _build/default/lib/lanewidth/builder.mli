@@ -1,0 +1,18 @@
+(** Prop 5.6: every graph of lanewidth k can be constructed as a T-node
+    with parameter k.
+
+    The builder replays a construction trace, maintaining the tree T of the
+    induction: the initial path becomes a P-node; each V-insert adds an
+    E-node below the lowest tree node containing the current designated
+    vertex of its lane; each E-insert adds a B-node at the lowest common
+    ancestor, condensing the subtrees between (Cases 2.1–2.3). *)
+
+val of_trace : Trace.t -> Hierarchy.t
+(** The hierarchy of [Trace.eval trace] (a T-node), on the trace's own
+    vertex numbering. *)
+
+val of_trace_on :
+  host:Lcp_graph.Graph.t -> to_host:int array -> Trace.t -> Hierarchy.t
+(** Same, but with trace vertices renamed into an existing host graph via
+    [to_host] (as produced by [Prop52.trace_of_partition]); the host must
+    contain every trace edge. *)

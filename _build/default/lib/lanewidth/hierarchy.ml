@@ -1,0 +1,189 @@
+module Graph = Lcp_graph.Graph
+
+type t =
+  | V_node of Klane.t
+  | E_node of Klane.t
+  | P_node of Klane.t
+  | B_node of bnode
+  | T_node of tnode
+
+and bnode = { result : Klane.t; left : t; right : t; i : int; j : int }
+and tnode = { t_result : Klane.t; tree : ttree }
+and ttree = { piece : t; children : ttree list; merged : Klane.t }
+
+let klane_of = function
+  | V_node k | E_node k | P_node k -> k
+  | B_node { result; _ } -> result
+  | T_node { t_result; _ } -> t_result
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let validate_v k =
+  match (k.Klane.vertices, Klane.lanes k) with
+  | [ v ], [ i ] ->
+      if Klane.tau_in k i = v && Klane.tau_out k i = v && k.Klane.edges = []
+      then Ok ()
+      else err "V-node: terminals must both be its unique vertex"
+  | _ -> err "V-node: must have exactly one vertex and one lane"
+
+let validate_e k =
+  match (k.Klane.edges, Klane.lanes k) with
+  | [ (u, v) ], [ i ] ->
+      let tin = Klane.tau_in k i and tout = Klane.tau_out k i in
+      if
+        List.sort compare [ tin; tout ] = [ u; v ]
+        && tin <> tout
+        && List.length k.Klane.vertices = 2
+      then Ok ()
+      else err "E-node: terminals must be the two distinct edge endpoints"
+  | _ -> err "E-node: must have exactly one edge and one lane"
+
+let validate_p k =
+  let lanes = Klane.lanes k in
+  let path = List.map (fun i -> Klane.tau_in k i) lanes in
+  let rec consecutive = function
+    | a :: (b :: _ as rest) ->
+        if Graph.mem_edge k.Klane.host a b then consecutive rest
+        else err "P-node: lane terminals are not a host path"
+    | [] | [ _ ] -> Ok ()
+  in
+  if List.exists (fun i -> Klane.tau_in k i <> Klane.tau_out k i) lanes then
+    err "P-node: in and out terminals must coincide"
+  else if List.sort compare path <> k.Klane.vertices then
+    err "P-node: vertices must be exactly the terminals"
+  else
+    let* () = consecutive path in
+    let expected =
+      let rec es = function
+        | a :: (b :: _ as rest) -> Graph.canonical_edge a b :: es rest
+        | [] | [ _ ] -> []
+      in
+      List.sort compare (es path)
+    in
+    if expected = k.Klane.edges then Ok ()
+    else err "P-node: edges must be exactly the path edges"
+
+let rec validate node =
+  match node with
+  | V_node k -> validate_v k
+  | E_node k -> validate_e k
+  | P_node k -> validate_p k
+  | B_node { result; left; right; i; j } ->
+      let shape_ok = function
+        | V_node _ | T_node _ -> true
+        | E_node _ | P_node _ | B_node _ -> false
+      in
+      if not (shape_ok left && shape_ok right) then
+        err "B-node: parts must be V-nodes or T-nodes"
+      else
+        let* () = validate left in
+        let* () = validate right in
+        let recomputed =
+          try Ok (Merge.bridge_merge (klane_of left) (klane_of right) ~i ~j)
+          with Invalid_argument m -> Error m
+        in
+        let* recomputed = recomputed in
+        if Klane.equal recomputed result then Ok ()
+        else err "B-node: result does not match Bridge-merge of its parts"
+  | T_node { t_result = result; tree } ->
+      let* () = validate_ttree tree in
+      if Klane.equal tree.merged result then Ok ()
+      else err "T-node: result does not match Tree-merge of its tree"
+
+and validate_ttree { piece; children; merged } =
+  let shape_ok = function
+    | E_node _ | P_node _ | B_node _ -> true
+    | V_node _ | T_node _ -> false
+  in
+  if not (shape_ok piece) then
+    err "T-node member: must be an E-node, P-node, or B-node"
+  else
+    let* () = validate piece in
+    let* () =
+      List.fold_left
+        (fun acc c -> match acc with Error _ -> acc | Ok () -> validate_ttree c)
+        (Ok ()) children
+    in
+    let recomputed =
+      try
+        Ok
+          (List.fold_left
+             (fun acc c -> Merge.parent_merge ~child:c.merged ~parent:acc)
+             (klane_of piece) children)
+      with Invalid_argument m -> Error m
+    in
+    let* recomputed = recomputed in
+    (* sibling lane disjointness and lane containment are enforced by
+       parent_merge preconditions plus the explicit check: *)
+    let pl = Klane.lanes (klane_of piece) in
+    let rec disjoint_siblings = function
+      | [] -> Ok ()
+      | c :: rest ->
+          let cl = Klane.lanes c.merged in
+          if not (List.for_all (fun i -> List.mem i pl) cl) then
+            err "T-node member: child lanes not a subset of parent lanes"
+          else if
+            List.exists
+              (fun c' ->
+                List.exists (fun i -> List.mem i (Klane.lanes c'.merged)) cl)
+              rest
+          then err "T-node member: sibling lane sets intersect"
+          else disjoint_siblings rest
+    in
+    let* () = disjoint_siblings children in
+    if Klane.equal recomputed merged then Ok ()
+    else err "T-node member: merged k-lane graph mismatch"
+
+(* children for the depth/size measures of Observation 5.5 *)
+let hierarchy_children = function
+  | V_node _ | E_node _ | P_node _ -> []
+  | B_node { left; right; _ } -> [ left; right ]
+  | T_node { tree; _ } ->
+      let rec members t = t.piece :: List.concat_map members t.children in
+      members tree
+
+let rec depth node =
+  match hierarchy_children node with
+  | [] -> 1
+  | cs -> 1 + List.fold_left (fun acc c -> max acc (depth c)) 0 cs
+
+let rec node_count node =
+  1 + List.fold_left (fun acc c -> acc + node_count c) 0 (hierarchy_children node)
+
+let rec fold f acc node =
+  List.fold_left (fold f) (f acc node) (hierarchy_children node)
+
+let edge_congestion node =
+  let tbl = Hashtbl.create 256 in
+  let count n =
+    List.iter
+      (fun e ->
+        Hashtbl.replace tbl e (1 + Option.value ~default:0 (Hashtbl.find_opt tbl e)))
+      (klane_of n).Klane.edges
+  in
+  fold (fun () n -> count n) () node;
+  Hashtbl.fold (fun _ c acc -> max acc c) tbl 0
+
+let max_lane node =
+  fold
+    (fun acc n ->
+      List.fold_left max acc (Klane.lanes (klane_of n)))
+    0 node
+
+let pp_summary ppf node =
+  let v, e, p, b, t =
+    fold
+      (fun (v, e, p, b, t) n ->
+        match n with
+        | V_node _ -> (v + 1, e, p, b, t)
+        | E_node _ -> (v, e + 1, p, b, t)
+        | P_node _ -> (v, e, p + 1, b, t)
+        | B_node _ -> (v, e, p, b + 1, t)
+        | T_node _ -> (v, e, p, b, t + 1))
+      (0, 0, 0, 0, 0) node
+  in
+  Format.fprintf ppf
+    "hierarchy: depth=%d nodes=%d (V=%d E=%d P=%d B=%d T=%d) congestion=%d"
+    (depth node) (node_count node) v e p b t (edge_congestion node)

@@ -1,0 +1,61 @@
+(** Hierarchical decompositions of k-lane recursive graphs (§5.3).
+
+    Five node types: V-node, E-node, and P-node are the base shapes; a
+    B-node is a Bridge-merge of two graphs each of which is a V-node or a
+    T-node; a T-node is a Tree-merge of a tree whose members are E-nodes,
+    P-nodes, or B-nodes.
+
+    Observation 5.5: every root-to-leaf path of a hierarchical
+    decomposition with parameter k contains at most 2k nodes, and since the
+    merges never merge edges, each edge of the underlying graph appears in
+    at most 2k nodes — the O(1) congestion that makes O(log n)-bit
+    certification possible. *)
+
+type t =
+  | V_node of Klane.t
+  | E_node of Klane.t
+  | P_node of Klane.t
+  | B_node of bnode
+  | T_node of tnode
+
+and bnode = {
+  result : Klane.t;  (** Bridge-merge(left, right, i, j) *)
+  left : t;  (** V-node or T-node *)
+  right : t;  (** V-node or T-node *)
+  i : int;
+  j : int;
+}
+
+and tnode = { t_result : Klane.t; tree : ttree }
+
+and ttree = {
+  piece : t;  (** E-node, P-node, or B-node *)
+  children : ttree list;
+  merged : Klane.t;  (** Tree-merge of the subtree rooted here *)
+}
+
+val klane_of : t -> Klane.t
+(** The k-lane graph a node denotes. *)
+
+val validate : t -> (unit, string) result
+(** Recomputes every merge and checks every node-shape constraint. *)
+
+val depth : t -> int
+(** Maximum number of nodes on a root-to-leaf path (Obs 5.5: ≤ 2k). For
+    this count, a T-node's children are its tree members and a B-node's
+    children are its two parts. *)
+
+val node_count : t -> int
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Pre-order over all hierarchy nodes (tree members of T-nodes included). *)
+
+val edge_congestion : t -> int
+(** Maximum number of hierarchy nodes whose k-lane graph contains a given
+    underlying edge. *)
+
+val max_lane : t -> int
+(** Largest lane index anywhere in the hierarchy (so parameter k =
+    [max_lane + 1] for 0-based lanes). *)
+
+val pp_summary : Format.formatter -> t -> unit

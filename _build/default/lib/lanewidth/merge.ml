@@ -1,0 +1,99 @@
+module Graph = Lcp_graph.Graph
+
+let disjoint l1 l2 = List.for_all (fun x -> not (List.mem x l2)) l1
+
+let bridge_merge (g1 : Klane.t) (g2 : Klane.t) ~i ~j =
+  if g1.Klane.host != g2.Klane.host then
+    invalid_arg "Merge.bridge_merge: different hosts";
+  if not (disjoint (Klane.lanes g1) (Klane.lanes g2)) then
+    invalid_arg "Merge.bridge_merge: lane sets not disjoint";
+  if not (disjoint g1.Klane.vertices g2.Klane.vertices) then
+    invalid_arg "Merge.bridge_merge: vertex sets not disjoint";
+  let a = Klane.tau_out g1 i and b = Klane.tau_out g2 j in
+  if not (Graph.mem_edge g1.Klane.host a b) then
+    invalid_arg "Merge.bridge_merge: bridge is not a host edge";
+  Klane.make ~host:g1.Klane.host
+    ~vertices:(g1.Klane.vertices @ g2.Klane.vertices)
+    ~edges:(Graph.canonical_edge a b :: (g1.Klane.edges @ g2.Klane.edges))
+    ~lane_in:(g1.Klane.lane_in @ g2.Klane.lane_in)
+    ~lane_out:(g1.Klane.lane_out @ g2.Klane.lane_out)
+
+let parent_merge ~(child : Klane.t) ~(parent : Klane.t) =
+  if child.Klane.host != parent.Klane.host then
+    invalid_arg "Merge.parent_merge: different hosts";
+  let cl = Klane.lanes child and pl = Klane.lanes parent in
+  if not (List.for_all (fun i -> List.mem i pl) cl) then
+    invalid_arg "Merge.parent_merge: child lanes not a subset of parent lanes";
+  let identified =
+    List.map
+      (fun i ->
+        let tin = Klane.tau_in child i and tout = Klane.tau_out parent i in
+        if tin <> tout then
+          invalid_arg
+            (Printf.sprintf
+               "Merge.parent_merge: lane %d: child in-terminal %d is not the \
+                parent out-terminal %d"
+               i tin tout);
+        tin)
+      cl
+  in
+  let shared =
+    List.filter (fun v -> List.mem v parent.Klane.vertices) child.Klane.vertices
+  in
+  if List.sort_uniq compare shared <> List.sort_uniq compare identified then
+    invalid_arg
+      "Merge.parent_merge: vertex sets overlap beyond the identified terminals";
+  if not (disjoint child.Klane.edges parent.Klane.edges) then
+    invalid_arg "Merge.parent_merge: edge sets not disjoint";
+  let lane_out =
+    List.map
+      (fun i ->
+        match Klane.tau_out_opt child i with
+        | Some v -> (i, v)
+        | None -> (i, Klane.tau_out parent i))
+      pl
+  in
+  Klane.make ~host:parent.Klane.host
+    ~vertices:(child.Klane.vertices @ parent.Klane.vertices)
+    ~edges:(child.Klane.edges @ parent.Klane.edges)
+    ~lane_in:parent.Klane.lane_in ~lane_out
+
+type tree = { piece : Klane.t; children : tree list }
+
+let validate_tree tree =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let rec go { piece; children } =
+    let pl = Klane.lanes piece in
+    let rec siblings = function
+      | [] -> Ok ()
+      | c :: rest ->
+          if
+            not
+              (List.for_all (fun i -> List.mem i pl) (Klane.lanes c.piece))
+          then err "child lanes not a subset of parent lanes"
+          else if
+            List.exists
+              (fun c' -> not (disjoint (Klane.lanes c.piece) (Klane.lanes c'.piece)))
+              rest
+          then err "siblings share a lane"
+          else siblings rest
+    in
+    match siblings children with
+    | Error _ as e -> e
+    | Ok () ->
+        List.fold_left
+          (fun acc c -> match acc with Error _ -> acc | Ok () -> go c)
+          (Ok ()) children
+  in
+  go tree
+
+let tree_merge tree =
+  (match validate_tree tree with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Merge.tree_merge: " ^ msg));
+  let rec merge { piece; children } =
+    List.fold_left
+      (fun acc c -> parent_merge ~child:(merge c) ~parent:acc)
+      piece children
+  in
+  merge tree

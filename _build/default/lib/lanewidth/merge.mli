@@ -1,0 +1,31 @@
+(** The merging operations on k-lane graphs (§5.2–5.3).
+
+    All operate on host-subgraph k-lane graphs over the same host, so
+    "identifying" two terminals means they are the same host vertex. Each
+    operation validates its preconditions and raises [Invalid_argument]
+    with a diagnostic when violated — the runtime analogue of the paper's
+    side conditions. *)
+
+val bridge_merge : Klane.t -> Klane.t -> i:int -> j:int -> Klane.t
+(** [bridge_merge g1 g2 ~i ~j]: requires disjoint lane sets and disjoint
+    vertex sets, [i ∈ T(g1)], [j ∈ T(g2)], and the bridge
+    [{τᵢᵒᵘᵗ(g1), τⱼᵒᵘᵗ(g2)}] to be a host edge. The result is the union
+    plus the bridge; terminals are inherited. *)
+
+val parent_merge : child:Klane.t -> parent:Klane.t -> Klane.t
+(** [parent_merge ~child ~parent]: requires [T(child) ⊆ T(parent)], that
+    for each lane [i ∈ T(child)] the host vertex [τᵢⁱⁿ(child)] equals
+    [τᵢᵒᵘᵗ(parent)], that the vertex sets meet exactly at those identified
+    terminals, and that the edge sets are disjoint. In-terminals come from
+    the parent; out-terminals come from the child on its lanes. *)
+
+type tree = { piece : Klane.t; children : tree list }
+
+val validate_tree : tree -> (unit, string) result
+(** The Tree-merge side conditions: every child's lanes are a subset of its
+    parent's, and siblings have disjoint lane sets. *)
+
+val tree_merge : tree -> Klane.t
+(** Fold all Parent-merges of the tree (associative, §5.3). A single-vertex
+    tree returns its piece. Raises if [validate_tree] fails or any
+    Parent-merge precondition fails. *)

@@ -1,0 +1,89 @@
+module Graph = Lcp_graph.Graph
+module Interval = Lcp_interval.Interval
+module Representation = Lcp_interval.Representation
+module Lane_partition = Lcp_lanes.Lane_partition
+module Completion = Lcp_lanes.Completion
+
+let completion_of_trace trace =
+  let full = Trace.eval trace in
+  let n = Graph.n full in
+  let history = Trace.designated_history trace in
+  let intervals = Array.make n (Interval.point 0) in
+  List.iter (fun (v, l, r) -> intervals.(v) <- Interval.make l r) history;
+  let lane = Trace.lane_assignment trace in
+  (* G' = the E-insert edges: the trace edges minus the initial path and
+     minus the V-insert edges. Recover them by re-simulating via eval of a
+     V-insert-only trace and set difference. *)
+  let skeleton =
+    Trace.eval
+      {
+        trace with
+        Trace.ops =
+          List.filter
+            (function Trace.V_insert _ -> true | Trace.E_insert _ -> false)
+            trace.Trace.ops;
+      }
+  in
+  let e_insert_edges =
+    List.filter (fun (u, v) -> not (Graph.mem_edge skeleton u v)) (Graph.edges full)
+  in
+  let g' = Graph.of_edges ~n e_insert_edges in
+  let rep = Representation.make g' intervals in
+  (* lanes: per lane, vertices by creation order = by interval left end *)
+  let lanes = Array.make trace.Trace.k [] in
+  for v = n - 1 downto 0 do
+    lanes.(lane.(v)) <- v :: lanes.(lane.(v))
+  done;
+  (rep, Lane_partition.make rep lanes)
+
+let trace_of_partition p =
+  let rep = Lane_partition.rep p in
+  let g' = Representation.graph rep in
+  let lanes = Lane_partition.lanes p in
+  let k = Array.length lanes in
+  let firsts = Lane_partition.first_vertices p in
+  let first_set = Hashtbl.create k in
+  List.iteri (fun i v -> Hashtbl.replace first_set v i) firsts;
+  let lane = Array.make (Graph.n g') (-1) in
+  Array.iteri (fun li l -> List.iter (fun v -> lane.(v) <- li) l) lanes;
+  let left v = Interval.l (Representation.interval rep v) in
+  (* items to process: non-first vertices (value L_v, kind 0) and the E'
+     edges that are not initial-path edges (value min of the intersection,
+     kind 1); vertices win ties *)
+  let is_initial_path_edge (u, v) =
+    match (Hashtbl.find_opt first_set u, Hashtbl.find_opt first_set v) with
+    | Some a, Some b -> abs (a - b) = 1
+    | _ -> false
+  in
+  let vertex_items =
+    List.init (Graph.n g') (fun v -> v)
+    |> List.filter (fun v -> not (Hashtbl.mem first_set v))
+    |> List.map (fun v -> (left v, 0, `Vertex v))
+  in
+  let edge_items =
+    Graph.edges g'
+    |> List.filter (fun e -> not (is_initial_path_edge e))
+    |> List.map (fun (u, v) -> (max (left u) (left v), 1, `Edge (u, v)))
+  in
+  let items = List.sort compare (vertex_items @ edge_items) in
+  let ops = ref [] in
+  let to_graph = ref (List.rev firsts) (* built reversed *) in
+  List.iter
+    (fun (_, _, item) ->
+      match item with
+      | `Vertex v ->
+          ops := Trace.V_insert lane.(v) :: !ops;
+          to_graph := v :: !to_graph
+      | `Edge (u, v) -> ops := Trace.E_insert (lane.(u), lane.(v)) :: !ops)
+    items;
+  let trace = { Trace.k; ops = List.rev !ops } in
+  (trace, Array.of_list (List.rev !to_graph))
+
+let check_roundtrip p =
+  let trace, to_graph = trace_of_partition p in
+  match Trace.validate trace with
+  | Error _ -> false
+  | Ok () ->
+      let built = Trace.eval trace in
+      let relabeled = Graph.relabel built to_graph in
+      Graph.equal relabeled (Completion.completion p)

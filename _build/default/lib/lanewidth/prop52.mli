@@ -1,0 +1,22 @@
+(** The equivalence of Prop 5.2: a graph has lanewidth ≤ k iff it is the
+    completion of some (G', I', P') with a k-lane partition P'.
+
+    Both directions are constructive. Vertex numbering differs between the
+    two worlds (traces number vertices by creation time), so each direction
+    also returns the correspondence. *)
+
+val completion_of_trace :
+  Trace.t -> Lcp_interval.Representation.t * Lcp_lanes.Lane_partition.t
+(** Item 1 ⇒ Item 2. Returns (I', P') over the graph G' formed by the
+    E-insert edges, on the trace's own vertex numbering; the completion of
+    the returned partition equals [Trace.eval]. Intervals are the
+    designation time intervals. *)
+
+val trace_of_partition : Lcp_lanes.Lane_partition.t -> Trace.t * int array
+(** Item 2 ⇒ Item 1. [(trace, to_graph)] where [to_graph.(v)] maps a trace
+    vertex to the corresponding graph vertex; relabeling [Trace.eval trace]
+    along [to_graph] yields exactly the completion of the partition. *)
+
+val check_roundtrip : Lcp_lanes.Lane_partition.t -> bool
+(** [trace_of_partition] followed by relabeling reproduces the completion
+    graph exactly. *)

@@ -1,0 +1,144 @@
+module Graph = Lcp_graph.Graph
+
+type op = V_insert of int | E_insert of int * int
+
+type t = { k : int; ops : op list }
+
+(* shared simulation: fold over operations with full state *)
+type state = {
+  tau : int array; (* designated vertex per lane *)
+  mutable next_vertex : int;
+  mutable edges : (int * int) list;
+  mutable edge_set : (int * int, unit) Hashtbl.t;
+}
+
+let initial_state k =
+  let edge_set = Hashtbl.create 64 in
+  let edges = List.init (k - 1) (fun i -> (i, i + 1)) in
+  List.iter (fun e -> Hashtbl.replace edge_set e ()) edges;
+  {
+    tau = Array.init k (fun i -> i);
+    next_vertex = k;
+    edges;
+    edge_set;
+  }
+
+let simulate t ~on_op =
+  if t.k < 1 then invalid_arg "Trace: need k >= 1";
+  let st = initial_state t.k in
+  let check_lane i =
+    if i < 0 || i >= t.k then
+      invalid_arg (Printf.sprintf "Trace: lane %d out of range" i)
+  in
+  List.iteri
+    (fun x op ->
+      let time = x + 1 in
+      (match op with
+      | V_insert i ->
+          check_lane i;
+          let v = st.next_vertex in
+          st.next_vertex <- v + 1;
+          let e = Graph.canonical_edge st.tau.(i) v in
+          st.edges <- e :: st.edges;
+          Hashtbl.replace st.edge_set e ();
+          on_op time op st (Some v);
+          st.tau.(i) <- v
+      | E_insert (i, j) ->
+          check_lane i;
+          check_lane j;
+          if i = j then invalid_arg "Trace: E_insert with equal lanes";
+          let e = Graph.canonical_edge st.tau.(i) st.tau.(j) in
+          if Hashtbl.mem st.edge_set e then
+            invalid_arg
+              (Printf.sprintf "Trace: E_insert duplicates edge %d-%d" (fst e)
+                 (snd e));
+          st.edges <- e :: st.edges;
+          Hashtbl.replace st.edge_set e ();
+          on_op time op st None))
+    t.ops;
+  st
+
+let validate t =
+  try
+    let _ = simulate t ~on_op:(fun _ _ _ _ -> ()) in
+    Ok ()
+  with Invalid_argument msg -> Error msg
+
+let vertex_count t =
+  t.k
+  + List.length (List.filter (function V_insert _ -> true | _ -> false) t.ops)
+
+let eval t =
+  let st = simulate t ~on_op:(fun _ _ _ _ -> ()) in
+  Graph.of_edges ~n:st.next_vertex st.edges
+
+let designated_history t =
+  let n = vertex_count t in
+  let l = Array.make n 0 and r = Array.make n (-1) in
+  let x_total = List.length t.ops in
+  let st =
+    simulate t ~on_op:(fun time op state created ->
+        match (op, created) with
+        | V_insert i, Some v ->
+            l.(v) <- time;
+            (* the replaced vertex stops being designated *)
+            r.(state.tau.(i)) <- time - 1
+        | _ -> ())
+  in
+  Array.iter (fun v -> r.(v) <- x_total) st.tau;
+  List.init n (fun v -> (v, l.(v), r.(v)))
+
+let lane_assignment t =
+  let n = vertex_count t in
+  let lane = Array.make n (-1) in
+  for i = 0 to t.k - 1 do
+    lane.(i) <- i
+  done;
+  let _ =
+    simulate t ~on_op:(fun _ op _ created ->
+        match (op, created) with
+        | V_insert i, Some v -> lane.(v) <- i
+        | _ -> ())
+  in
+  lane
+
+let final_designated t =
+  let st = simulate t ~on_op:(fun _ _ _ _ -> ()) in
+  Array.copy st.tau
+
+let random rng ~k ~ops =
+  let st = initial_state k in
+  let out = ref [] in
+  let attempts = ref 0 in
+  while List.length !out < ops && !attempts < ops * 20 do
+    incr attempts;
+    if k = 1 || Random.State.bool rng then begin
+      let i = Random.State.int rng k in
+      let v = st.next_vertex in
+      st.next_vertex <- v + 1;
+      Hashtbl.replace st.edge_set (Graph.canonical_edge st.tau.(i) v) ();
+      st.tau.(i) <- v;
+      out := V_insert i :: !out
+    end
+    else begin
+      let i = Random.State.int rng k in
+      let j = Random.State.int rng k in
+      if i <> j then begin
+        let e = Graph.canonical_edge st.tau.(i) st.tau.(j) in
+        if not (Hashtbl.mem st.edge_set e) then begin
+          Hashtbl.replace st.edge_set e ();
+          out := E_insert (i, j) :: !out
+        end
+      end
+    end
+  done;
+  { k; ops = List.rev !out }
+
+let pp ppf t =
+  Format.fprintf ppf "k=%d:" t.k;
+  List.iter
+    (fun op ->
+      match op with
+      | V_insert i -> Format.fprintf ppf " V(%d)" i
+      | E_insert (i, j) -> Format.fprintf ppf " E(%d,%d)" i j)
+    t.ops

@@ -1,0 +1,44 @@
+(** Lanewidth construction traces (Def 5.1).
+
+    A graph has lanewidth ≤ k if it can be built from a k-vertex path
+    [P = (τ₁, …, τ_k)] by a sequence of
+
+    - [V_insert i]: add a fresh vertex [v] with an edge to the current i-th
+      designated vertex and make [v] the new i-th designated vertex;
+    - [E_insert (i, j)]: add an edge between the current i-th and j-th
+      designated vertices.
+
+    Vertex numbering: the initial path is [0 .. k-1] (so [τᵢ = i-1] in the
+    paper's 1-based notation; lanes here are 0-based), and the vertex
+    created by the x-th [V_insert] is [k + x - 1] counting only V-inserts. *)
+
+type op = V_insert of int | E_insert of int * int
+
+type t = { k : int; ops : op list }
+
+val validate : t -> (unit, string) result
+(** Checks lane indices are within range, [E_insert] lanes are distinct,
+    and no operation duplicates an existing edge. *)
+
+val eval : t -> Lcp_graph.Graph.t
+(** Build the graph. Raises [Invalid_argument] if the trace is invalid. *)
+
+val vertex_count : t -> int
+
+val designated_history : t -> (int * int * int) list
+(** Per vertex [v]: [(v, l_v, r_v)] — the time interval during which [v] is
+    a designated vertex, as in the proof of Prop 5.2 (operations are times
+    [1..X]; initial path vertices start at time 0). *)
+
+val lane_assignment : t -> int array
+(** The lane of each vertex: the index [i] such that the vertex was the
+    i-th designated vertex when added. *)
+
+val final_designated : t -> int array
+(** The designated vertex of each lane after all operations. *)
+
+val random : Random.State.t -> k:int -> ops:int -> t
+(** A random valid trace (for property tests): each step is a V-insert or a
+    non-duplicate E-insert. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/mso/eval.ml: Formula Lcp_graph List

@@ -1,0 +1,1 @@
+lib/mso/eval.mli: Formula Lcp_graph

@@ -1,0 +1,1 @@
+lib/mso/formula.ml: Format List

@@ -1,0 +1,1 @@
+lib/mso/formula.mli: Format

@@ -1,0 +1,1 @@
+lib/mso/properties.ml: Formula List Printf

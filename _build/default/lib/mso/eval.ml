@@ -1,0 +1,89 @@
+module Graph = Lcp_graph.Graph
+
+type value =
+  | Vertex of int
+  | Edge of Graph.edge
+  | Vertex_set of int list
+  | Edge_set of Graph.edge list
+
+type env = (string * value) list
+
+let lookup env x =
+  match List.assoc_opt x env with
+  | Some v -> v
+  | None -> invalid_arg ("Mso.Eval: unbound variable " ^ x)
+
+let as_vertex env x =
+  match lookup env x with
+  | Vertex v -> v
+  | _ -> invalid_arg ("Mso.Eval: not a vertex variable: " ^ x)
+
+let as_edge env x =
+  match lookup env x with
+  | Edge e -> e
+  | _ -> invalid_arg ("Mso.Eval: not an edge variable: " ^ x)
+
+let as_vset env x =
+  match lookup env x with
+  | Vertex_set s -> s
+  | _ -> invalid_arg ("Mso.Eval: not a vertex-set variable: " ^ x)
+
+let as_eset env x =
+  match lookup env x with
+  | Edge_set s -> s
+  | _ -> invalid_arg ("Mso.Eval: not an edge-set variable: " ^ x)
+
+let subsets xs =
+  List.fold_left
+    (fun acc x -> acc @ List.map (fun s -> x :: s) acc)
+    [ [] ] xs
+
+let eval ?(env = []) g formula =
+  let vertices = List.init (Graph.n g) (fun v -> v) in
+  let edges = Graph.edges g in
+  let rec go env f =
+    match f with
+    | Formula.True -> true
+    | Formula.False -> false
+    | Formula.Not f -> not (go env f)
+    | Formula.And (a, b) -> go env a && go env b
+    | Formula.Or (a, b) -> go env a || go env b
+    | Formula.Implies (a, b) -> (not (go env a)) || go env b
+    | Formula.Iff (a, b) -> go env a = go env b
+    | Formula.Exists_v (x, f) ->
+        List.exists (fun v -> go ((x, Vertex v) :: env) f) vertices
+    | Formula.Forall_v (x, f) ->
+        List.for_all (fun v -> go ((x, Vertex v) :: env) f) vertices
+    | Formula.Exists_e (x, f) ->
+        List.exists (fun e -> go ((x, Edge e) :: env) f) edges
+    | Formula.Forall_e (x, f) ->
+        List.for_all (fun e -> go ((x, Edge e) :: env) f) edges
+    | Formula.Exists_vset (x, f) ->
+        List.exists
+          (fun s -> go ((x, Vertex_set (List.sort compare s)) :: env) f)
+          (subsets vertices)
+    | Formula.Forall_vset (x, f) ->
+        List.for_all
+          (fun s -> go ((x, Vertex_set (List.sort compare s)) :: env) f)
+          (subsets vertices)
+    | Formula.Exists_eset (x, f) ->
+        List.exists
+          (fun s -> go ((x, Edge_set (List.sort compare s)) :: env) f)
+          (subsets edges)
+    | Formula.Forall_eset (x, f) ->
+        List.for_all
+          (fun s -> go ((x, Edge_set (List.sort compare s)) :: env) f)
+          (subsets edges)
+    | Formula.Mem_v (v, u) -> List.mem (as_vertex env v) (as_vset env u)
+    | Formula.Mem_e (e, s) -> List.mem (as_edge env e) (as_eset env s)
+    | Formula.Inc (e, v) ->
+        let (a, b) = as_edge env e in
+        let x = as_vertex env v in
+        x = a || x = b
+    | Formula.Adj (u, v) -> Graph.mem_edge g (as_vertex env u) (as_vertex env v)
+    | Formula.Eq_v (a, b) -> as_vertex env a = as_vertex env b
+    | Formula.Eq_e (a, b) -> as_edge env a = as_edge env b
+    | Formula.Eq_vset (a, b) -> as_vset env a = as_vset env b
+    | Formula.Eq_eset (a, b) -> as_eset env a = as_eset env b
+  in
+  go env formula

@@ -1,0 +1,18 @@
+(** Naive MSO₂ model checking by exhaustive quantifier expansion.
+
+    Exponential in the number of set quantifiers (2ⁿ assignments each) — by
+    design: this is the trusted, obviously-correct ground truth against
+    which the compositional property algebras are tested on small graphs.
+    It is NOT part of the certification pipeline. *)
+
+type value =
+  | Vertex of int
+  | Edge of Lcp_graph.Graph.edge
+  | Vertex_set of int list  (** sorted *)
+  | Edge_set of Lcp_graph.Graph.edge list  (** sorted *)
+
+type env = (string * value) list
+
+val eval : ?env:env -> Lcp_graph.Graph.t -> Formula.t -> bool
+(** Free variables must be bound in [env]. Raises [Invalid_argument] on an
+    unbound or wrongly-sorted variable. *)

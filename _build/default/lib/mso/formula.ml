@@ -1,0 +1,99 @@
+type t =
+  | True
+  | False
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Iff of t * t
+  | Exists_v of string * t
+  | Forall_v of string * t
+  | Exists_e of string * t
+  | Forall_e of string * t
+  | Exists_vset of string * t
+  | Forall_vset of string * t
+  | Exists_eset of string * t
+  | Forall_eset of string * t
+  | Mem_v of string * string
+  | Mem_e of string * string
+  | Inc of string * string
+  | Adj of string * string
+  | Eq_v of string * string
+  | Eq_e of string * string
+  | Eq_vset of string * string
+  | Eq_eset of string * string
+
+let rec quantifier_rank = function
+  | True | False | Mem_v _ | Mem_e _ | Inc _ | Adj _ | Eq_v _ | Eq_e _
+  | Eq_vset _ | Eq_eset _ ->
+      0
+  | Not f -> quantifier_rank f
+  | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) ->
+      max (quantifier_rank a) (quantifier_rank b)
+  | Exists_v (_, f)
+  | Forall_v (_, f)
+  | Exists_e (_, f)
+  | Forall_e (_, f)
+  | Exists_vset (_, f)
+  | Forall_vset (_, f)
+  | Exists_eset (_, f)
+  | Forall_eset (_, f) ->
+      1 + quantifier_rank f
+
+let rec size = function
+  | True | False | Mem_v _ | Mem_e _ | Inc _ | Adj _ | Eq_v _ | Eq_e _
+  | Eq_vset _ | Eq_eset _ ->
+      1
+  | Not f -> 1 + size f
+  | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) -> 1 + size a + size b
+  | Exists_v (_, f)
+  | Forall_v (_, f)
+  | Exists_e (_, f)
+  | Forall_e (_, f)
+  | Exists_vset (_, f)
+  | Forall_vset (_, f)
+  | Exists_eset (_, f)
+  | Forall_eset (_, f) ->
+      1 + size f
+
+let rec pp ppf f =
+  let open Format in
+  match f with
+  | True -> fprintf ppf "true"
+  | False -> fprintf ppf "false"
+  | Not f -> fprintf ppf "¬%a" pp_atomish f
+  | And (a, b) -> fprintf ppf "%a ∧ %a" pp_atomish a pp_atomish b
+  | Or (a, b) -> fprintf ppf "%a ∨ %a" pp_atomish a pp_atomish b
+  | Implies (a, b) -> fprintf ppf "%a → %a" pp_atomish a pp_atomish b
+  | Iff (a, b) -> fprintf ppf "%a ↔ %a" pp_atomish a pp_atomish b
+  | Exists_v (x, f) -> fprintf ppf "∃%s.%a" x pp f
+  | Forall_v (x, f) -> fprintf ppf "∀%s.%a" x pp f
+  | Exists_e (x, f) -> fprintf ppf "∃%s:e.%a" x pp f
+  | Forall_e (x, f) -> fprintf ppf "∀%s:e.%a" x pp f
+  | Exists_vset (x, f) -> fprintf ppf "∃%s⊆V.%a" x pp f
+  | Forall_vset (x, f) -> fprintf ppf "∀%s⊆V.%a" x pp f
+  | Exists_eset (x, f) -> fprintf ppf "∃%s⊆E.%a" x pp f
+  | Forall_eset (x, f) -> fprintf ppf "∀%s⊆E.%a" x pp f
+  | Mem_v (v, u) -> fprintf ppf "%s∈%s" v u
+  | Mem_e (e, s) -> fprintf ppf "%s∈%s" e s
+  | Inc (e, v) -> fprintf ppf "inc(%s,%s)" e v
+  | Adj (u, v) -> fprintf ppf "adj(%s,%s)" u v
+  | Eq_v (a, b) | Eq_e (a, b) | Eq_vset (a, b) | Eq_eset (a, b) ->
+      fprintf ppf "%s=%s" a b
+
+and pp_atomish ppf f =
+  match f with
+  | True | False | Mem_v _ | Mem_e _ | Inc _ | Adj _ | Eq_v _ | Eq_e _
+  | Eq_vset _ | Eq_eset _ | Not _ ->
+      pp ppf f
+  | _ -> Format.fprintf ppf "(%a)" pp f
+
+let conj = function [] -> True | f :: fs -> List.fold_left (fun a b -> And (a, b)) f fs
+let disj = function [] -> False | f :: fs -> List.fold_left (fun a b -> Or (a, b)) f fs
+
+let pairwise_distinct_v vars =
+  let rec pairs = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> Not (Eq_v (x, y))) rest @ pairs rest
+  in
+  conj (pairs vars)

@@ -1,0 +1,39 @@
+(** MSO₂ formulas over graphs (§1.2): four sorts of variables — vertices,
+    edges, vertex sets, edge sets — with quantifiers over each sort, the
+    basic connectives, and the atomic predicates [∈], [inc], [adj], and
+    sort-wise equality. *)
+
+type t =
+  | True
+  | False
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Iff of t * t
+  | Exists_v of string * t
+  | Forall_v of string * t
+  | Exists_e of string * t
+  | Forall_e of string * t
+  | Exists_vset of string * t
+  | Forall_vset of string * t
+  | Exists_eset of string * t
+  | Forall_eset of string * t
+  | Mem_v of string * string  (** v ∈ U *)
+  | Mem_e of string * string  (** e ∈ F *)
+  | Inc of string * string  (** inc(e, v): e is incident to v *)
+  | Adj of string * string  (** adj(u, v) *)
+  | Eq_v of string * string
+  | Eq_e of string * string
+  | Eq_vset of string * string
+  | Eq_eset of string * string
+
+val quantifier_rank : t -> int
+val size : t -> int
+val pp : Format.formatter -> t -> unit
+
+(** Convenience constructors. *)
+
+val conj : t list -> t
+val disj : t list -> t
+val pairwise_distinct_v : string list -> t

@@ -1,0 +1,254 @@
+open Formula
+
+(* (V, F) is connected and spanning, where [crossing] may restrict the
+   witness edge to an edge set: for every proper non-empty vertex subset U
+   there is a crossing edge. With [in_set = None] the edge ranges over all
+   edges of the graph. *)
+let spanning_connected ?in_set () =
+  let crossing =
+    let base =
+      conj
+        [ Inc ("e", "cu"); Inc ("e", "cv"); Mem_v ("cu", "U");
+          Not (Mem_v ("cv", "U")) ]
+    in
+    let base =
+      match in_set with None -> base | Some f -> And (Mem_e ("e", f), base)
+    in
+    Exists_e ("e", Exists_v ("cu", Exists_v ("cv", base)))
+  in
+  Forall_vset
+    ( "U",
+      Implies
+        ( And
+            ( Exists_v ("x", Mem_v ("x", "U")),
+              Exists_v ("y", Not (Mem_v ("y", "U"))) ),
+          crossing ) )
+
+let connected = spanning_connected ()
+
+(* a cycle exists iff some non-empty edge set F has minimum F-degree >= 2
+   on its incident vertices *)
+let has_cycle_in ?(set = "F") () =
+  And
+    ( Exists_e ("he", Mem_e ("he", set)),
+      Forall_e
+        ( "he",
+          Forall_v
+            ( "hv",
+              Implies
+                ( And (Mem_e ("he", set), Inc ("he", "hv")),
+                  Exists_e
+                    ( "he1",
+                      Exists_e
+                        ( "he2",
+                          conj
+                            [ Mem_e ("he1", set); Mem_e ("he2", set);
+                              Not (Eq_e ("he1", "he2")); Inc ("he1", "hv");
+                              Inc ("he2", "hv") ] ) ) ) ) ) )
+
+let acyclic = Not (Exists_eset ("F", has_cycle_in ~set:"F" ()))
+
+let tree = And (connected, acyclic)
+
+let proper_wrt same_class =
+  Forall_e
+    ( "e",
+      Forall_v
+        ( "u",
+          Forall_v
+            ( "v",
+              Implies
+                ( conj
+                    [ Inc ("e", "u"); Inc ("e", "v"); Not (Eq_v ("u", "v")) ],
+                  Not same_class ) ) ) )
+
+let bipartite =
+  Exists_vset ("U", proper_wrt (Iff (Mem_v ("u", "U"), Mem_v ("v", "U"))))
+
+let three_colorable =
+  let in1 x = Mem_v (x, "U1") in
+  let in2 x = And (Mem_v (x, "U2"), Not (Mem_v (x, "U1"))) in
+  let in3 x = And (Not (Mem_v (x, "U1")), Not (Mem_v (x, "U2"))) in
+  let same =
+    disj
+      [ And (in1 "u", in1 "v"); And (in2 "u", in2 "v"); And (in3 "u", in3 "v") ]
+  in
+  Exists_vset ("U1", Exists_vset ("U2", proper_wrt same))
+
+let perfect_matching =
+  Exists_eset
+    ( "F",
+      Forall_v
+        ( "v",
+          And
+            ( Exists_e ("e", And (Mem_e ("e", "F"), Inc ("e", "v"))),
+              Forall_e
+                ( "e1",
+                  Forall_e
+                    ( "e2",
+                      Implies
+                        ( conj
+                            [ Mem_e ("e1", "F"); Mem_e ("e2", "F");
+                              Inc ("e1", "v"); Inc ("e2", "v") ],
+                          Eq_e ("e1", "e2") ) ) ) ) ) )
+
+(* every vertex has at most two incident edges in F *)
+let f_degree_at_most_2 =
+  Forall_v
+    ( "v",
+      Forall_e
+        ( "e1",
+          Forall_e
+            ( "e2",
+              Forall_e
+                ( "e3",
+                  Implies
+                    ( conj
+                        [ Mem_e ("e1", "F"); Mem_e ("e2", "F");
+                          Mem_e ("e3", "F"); Inc ("e1", "v"); Inc ("e2", "v");
+                          Inc ("e3", "v") ],
+                      disj
+                        [ Eq_e ("e1", "e2"); Eq_e ("e1", "e3");
+                          Eq_e ("e2", "e3") ] ) ) ) ) )
+
+(* every vertex has exactly two incident edges in F *)
+let f_degree_exactly_2 =
+  And
+    ( f_degree_at_most_2,
+      Forall_v
+        ( "v",
+          Exists_e
+            ( "d1",
+              Exists_e
+                ( "d2",
+                  conj
+                    [ Mem_e ("d1", "F"); Mem_e ("d2", "F");
+                      Not (Eq_e ("d1", "d2")); Inc ("d1", "v"); Inc ("d2", "v") ] ) ) ) )
+
+let hamiltonian_cycle =
+  Exists_eset ("F", And (f_degree_exactly_2, spanning_connected ~in_set:"F" ()))
+
+let hamiltonian_path =
+  Exists_eset ("F", And (f_degree_at_most_2, spanning_connected ~in_set:"F" ()))
+
+let triangle_free =
+  Not
+    (Exists_v
+       ( "u",
+         Exists_v
+           ( "v",
+             Exists_v
+               ( "w",
+                 conj
+                   [ Adj ("u", "v"); Adj ("v", "w"); Adj ("u", "w") ] ) ) ))
+
+let vars prefix c = List.init c (fun i -> Printf.sprintf "%s%d" prefix i)
+
+let vertex_cover_at_most c =
+  let xs = vars "x" c in
+  let covered =
+    Exists_v
+      ( "cv",
+        And (Inc ("ce", "cv"), disj (List.map (fun x -> Eq_v ("cv", x)) xs)) )
+  in
+  List.fold_right
+    (fun x f -> Exists_v (x, f))
+    xs
+    (Forall_e ("ce", covered))
+
+let independent_set_at_least c =
+  let xs = vars "x" c in
+  let rec nonadj = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> Not (Adj (x, y))) rest @ nonadj rest
+  in
+  List.fold_right
+    (fun x f -> Exists_v (x, f))
+    xs
+    (And (pairwise_distinct_v xs, conj (nonadj xs)))
+
+let dominating_set_at_most c =
+  let xs = vars "x" c in
+  let dominated =
+    disj (List.concat_map (fun x -> [ Eq_v ("dv", x); Adj ("dv", x) ]) xs)
+  in
+  List.fold_right (fun x f -> Exists_v (x, f)) xs (Forall_v ("dv", dominated))
+
+let max_degree_at_most d =
+  let es = vars "e" (d + 1) in
+  let rec distinct = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> Not (Eq_e (x, y))) rest @ distinct rest
+  in
+  Forall_v
+    ( "v",
+      Not
+        (List.fold_right
+           (fun e f -> Exists_e (e, f))
+           es
+           (conj (distinct es @ List.map (fun e -> Inc (e, "v")) es))) )
+
+let min_degree_at_least d =
+  let es = vars "e" d in
+  let rec distinct = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> Not (Eq_e (x, y))) rest @ distinct rest
+  in
+  Forall_v
+    ( "v",
+      List.fold_right
+        (fun e f -> Exists_e (e, f))
+        es
+        (conj (distinct es @ List.map (fun e -> Inc (e, "v")) es)) )
+
+let regular d = And (max_degree_at_most d, min_degree_at_least d)
+
+let clique_at_least c =
+  let xs = vars "x" c in
+  let rec adjacent = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> Adj (x, y)) rest @ adjacent rest
+  in
+  List.fold_right
+    (fun x f -> Exists_v (x, f))
+    xs
+    (And (pairwise_distinct_v xs, conj (adjacent xs)))
+
+(* dist(u, v) <= d: there are d-1 stepping stones forming a lazy walk *)
+let diameter_at_most d =
+  let ws = vars "w" (max 0 (d - 1)) in
+  let step a b = Or (Eq_v (a, b), Adj (a, b)) in
+  let rec chain prev = function
+    | [] -> step prev "dv"
+    | w :: rest -> And (step prev w, chain w rest)
+  in
+  Forall_v
+    ( "du",
+      Forall_v
+        ( "dv",
+          List.fold_right (fun w f -> Exists_v (w, f)) ws (chain "du" ws) ) )
+
+let is_path_graph = conj [ connected; acyclic; max_degree_at_most 2 ]
+let is_cycle_graph = And (connected, regular 2)
+
+let catalogue =
+  [
+    ("connected", connected);
+    ("acyclic", acyclic);
+    ("tree", tree);
+    ("bipartite", bipartite);
+    ("three_colorable", three_colorable);
+    ("perfect_matching", perfect_matching);
+    ("hamiltonian_cycle", hamiltonian_cycle);
+    ("hamiltonian_path", hamiltonian_path);
+    ("triangle_free", triangle_free);
+    ("vertex_cover<=2", vertex_cover_at_most 2);
+    ("independent_set>=3", independent_set_at_least 3);
+    ("dominating_set<=2", dominating_set_at_most 2);
+    ("max_degree<=2", max_degree_at_most 2);
+    ("2-regular", regular 2);
+    ("clique>=3", clique_at_least 3);
+    ("diameter<=2", diameter_at_most 2);
+    ("is_path_graph", is_path_graph);
+    ("is_cycle_graph", is_cycle_graph);
+  ]

@@ -1,0 +1,33 @@
+(** The property catalogue, written as genuine MSO₂ formulas.
+
+    These are the formal counterparts of the property algebras in
+    [Lcp_algebra]: the tests check, on exhaustive families of small graphs,
+    that each algebra decides exactly the same property as the naive
+    evaluation of its formula — the correctness contract of Prop 2.4. *)
+
+val connected : Formula.t
+val acyclic : Formula.t
+val tree : Formula.t
+val bipartite : Formula.t
+val three_colorable : Formula.t
+val perfect_matching : Formula.t
+val hamiltonian_cycle : Formula.t
+val hamiltonian_path : Formula.t
+val triangle_free : Formula.t
+
+val vertex_cover_at_most : int -> Formula.t
+val independent_set_at_least : int -> Formula.t
+val dominating_set_at_most : int -> Formula.t
+val max_degree_at_most : int -> Formula.t
+val regular : int -> Formula.t
+val clique_at_least : int -> Formula.t
+
+val diameter_at_most : int -> Formula.t
+(** First-order for fixed d: every pair is joined by a lazy walk through
+    d-1 stepping stones. *)
+
+val is_path_graph : Formula.t
+val is_cycle_graph : Formula.t
+
+val catalogue : (string * Formula.t) list
+(** Everything above (with small parameter instances), by name. *)

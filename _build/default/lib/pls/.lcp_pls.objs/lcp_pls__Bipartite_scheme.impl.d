@@ -1,0 +1,1 @@
+lib/pls/bipartite_scheme.ml: Array Config Lcp_graph Lcp_util List Queue Scheme

@@ -1,0 +1,1 @@
+lib/pls/config.ml: Array Hashtbl Lcp_graph Random

@@ -1,0 +1,1 @@
+lib/pls/config.mli: Lcp_graph Random

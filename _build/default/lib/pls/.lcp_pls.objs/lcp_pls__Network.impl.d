@@ -1,0 +1,1 @@
+lib/pls/network.ml: Array Config Lcp_graph List Printf Scheme

@@ -1,0 +1,1 @@
+lib/pls/network.mli: Config Scheme

@@ -1,0 +1,1 @@
+lib/pls/scheme.mli: Config Lcp_graph Lcp_util

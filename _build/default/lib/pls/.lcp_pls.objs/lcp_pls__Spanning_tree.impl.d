@@ -1,0 +1,1 @@
+lib/pls/spanning_tree.ml: Array Config Lcp_graph Lcp_util List Scheme

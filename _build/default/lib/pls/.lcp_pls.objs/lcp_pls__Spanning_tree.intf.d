@@ -1,0 +1,1 @@
+lib/pls/spanning_tree.mli: Config Scheme

@@ -1,0 +1,1 @@
+lib/pls/spanning_tree_input.ml: Array Config Hashtbl Lcp_graph Lcp_util List Scheme

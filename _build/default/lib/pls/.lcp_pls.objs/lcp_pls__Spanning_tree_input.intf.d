@@ -1,0 +1,1 @@
+lib/pls/spanning_tree_input.mli: Config Lcp_graph Scheme

@@ -1,0 +1,1 @@
+lib/pls/universal.ml: Array Config Hashtbl Lcp_graph Lcp_util List Scheme

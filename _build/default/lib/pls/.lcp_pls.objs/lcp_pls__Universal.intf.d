@@ -1,0 +1,1 @@
+lib/pls/universal.mli: Lcp_graph Scheme

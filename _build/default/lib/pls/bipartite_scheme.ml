@@ -1,0 +1,44 @@
+(** The introductory 1-bit scheme (§1.1): certify bipartiteness by giving
+    each vertex its side of a proper 2-coloring; every vertex checks that
+    all its neighbors carry the opposite bit. *)
+
+module Graph = Lcp_graph.Graph
+module Bitenc = Lcp_util.Bitenc
+
+let prove cfg =
+  let g = Config.graph cfg in
+  let n = Graph.n g in
+  let color = Array.make n (-1) in
+  let ok = ref true in
+  for s = 0 to n - 1 do
+    if color.(s) < 0 then begin
+      color.(s) <- 0;
+      let q = Queue.create () in
+      Queue.push s q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        List.iter
+          (fun v ->
+            if color.(v) < 0 then begin
+              color.(v) <- 1 - color.(u);
+              Queue.push v q
+            end
+            else if color.(v) = color.(u) then ok := false)
+          (Graph.neighbors g u)
+      done
+    end
+  done;
+  if !ok then Some (Array.map (fun c -> c = 1) color) else None
+
+let verify (view : bool Scheme.vertex_view) =
+  if List.for_all (fun (_, c) -> c <> view.vv_label) view.vv_neighbors then
+    Ok ()
+  else Error "bipartite: a neighbor has my color"
+
+let scheme =
+  {
+    Scheme.vs_name = "bipartite_1bit";
+    vs_prove = prove;
+    vs_verify = verify;
+    vs_encode = (fun w b -> Bitenc.bit w b);
+  }

@@ -1,0 +1,56 @@
+module Graph = Lcp_graph.Graph
+
+type t = {
+  graph : Graph.t;
+  ids : int array;
+}
+
+let make ?ids graph =
+  let n = Graph.n graph in
+  let ids =
+    match ids with Some a -> Array.copy a | None -> Array.init n (fun v -> v)
+  in
+  if Array.length ids <> n then invalid_arg "Config.make: wrong id count";
+  Array.iter (fun x -> if x < 0 then invalid_arg "Config.make: negative id") ids;
+  let sorted = Array.copy ids in
+  Array.sort compare sorted;
+  for i = 0 to n - 2 do
+    if sorted.(i) = sorted.(i + 1) then invalid_arg "Config.make: duplicate ids"
+  done;
+  { graph; ids }
+
+let random_ids rng ?bits graph =
+  let n = Graph.n graph in
+  let bits =
+    match bits with
+    | Some b -> b
+    | None ->
+        let rec need b = if 1 lsl b >= 4 * max n 2 then b else need (b + 1) in
+        need 2
+  in
+  let space = 1 lsl bits in
+  if space < n then invalid_arg "Config.random_ids: id space too small";
+  let seen = Hashtbl.create n in
+  let ids =
+    Array.init n (fun _ ->
+        let rec draw () =
+          let x = Random.State.int rng space in
+          if Hashtbl.mem seen x then draw ()
+          else begin
+            Hashtbl.replace seen x ();
+            x
+          end
+        in
+        draw ())
+  in
+  make ~ids graph
+
+let graph t = t.graph
+let id t v = t.ids.(v)
+
+let vertex_of_id t x =
+  let found = ref None in
+  Array.iteri (fun v y -> if y = x then found := Some v) t.ids;
+  !found
+
+let n t = Graph.n t.graph

@@ -1,0 +1,21 @@
+(** Configurations (§1.1): a connected network whose vertices carry
+    O(log n)-bit distinct identifiers. Identifiers are part of the state,
+    not of the proof — a cheating prover cannot alter them. *)
+
+type t = private {
+  graph : Lcp_graph.Graph.t;
+  ids : int array;  (** distinct, non-negative *)
+}
+
+val make : ?ids:int array -> Lcp_graph.Graph.t -> t
+(** Default ids are the vertex indices. Raises [Invalid_argument] on
+    duplicate or negative ids. *)
+
+val random_ids : Random.State.t -> ?bits:int -> Lcp_graph.Graph.t -> t
+(** Distinct random ids drawn from [0, 2^bits) (default: enough bits for a
+    comfortable O(log n) id space). *)
+
+val graph : t -> Lcp_graph.Graph.t
+val id : t -> int -> int
+val vertex_of_id : t -> int -> int option
+val n : t -> int

@@ -1,0 +1,130 @@
+module Graph = Lcp_graph.Graph
+
+type verdict = Accept | Reject of string
+
+type 'l transcript = {
+  rounds : int;
+  messages : (int * int * 'l) list;
+  verdicts : (int * verdict) list;
+}
+
+let accepted t =
+  List.for_all (fun (_, v) -> match v with Accept -> true | Reject _ -> false)
+    t.verdicts
+
+let run_vertex_round cfg (scheme : 'l Scheme.vertex_scheme) labels =
+  let g = Config.graph cfg in
+  if Array.length labels <> Graph.n g then
+    invalid_arg "Network.run_vertex_round: wrong label count";
+  (* round 1: every processor sends (id, label) over every incident link *)
+  let messages =
+    Graph.fold_vertices
+      (fun u acc ->
+        List.fold_left
+          (fun acc v -> (u, v, (Config.id cfg u, labels.(u))) :: acc)
+          acc (Graph.neighbors g u))
+      g []
+    |> List.rev
+  in
+  (* mailboxes *)
+  let mailbox = Array.make (Graph.n g) [] in
+  List.iter
+    (fun (_, receiver, payload) ->
+      mailbox.(receiver) <- payload :: mailbox.(receiver))
+    messages;
+  let verdicts =
+    Graph.fold_vertices
+      (fun v acc ->
+        let view =
+          {
+            Scheme.vv_id = Config.id cfg v;
+            vv_label = labels.(v);
+            vv_neighbors = List.rev mailbox.(v);
+          }
+        in
+        let verdict =
+          match scheme.Scheme.vs_verify view with
+          | Ok () -> Accept
+          | Error m -> Reject m
+        in
+        (v, verdict) :: acc)
+      g []
+    |> List.rev
+  in
+  { rounds = 1; messages; verdicts }
+
+let run_edge_round cfg (scheme : 'l Scheme.edge_scheme) labels =
+  let g = Config.graph cfg in
+  (* each link delivers its label to both endpoints *)
+  let messages =
+    Graph.fold_edges
+      (fun (u, v) acc ->
+        match Scheme.Edge_map.find labels (u, v) with
+        | Some l -> (u, v, l) :: (v, u, l) :: acc
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Network.run_edge_round: edge %d-%d unlabeled" u v))
+      g []
+    |> List.rev
+  in
+  let mailbox = Array.make (Graph.n g) [] in
+  List.iter
+    (fun (_, receiver, l) -> mailbox.(receiver) <- l :: mailbox.(receiver))
+    messages;
+  let verdicts =
+    Graph.fold_vertices
+      (fun v acc ->
+        let view =
+          {
+            Scheme.ev_id = Config.id cfg v;
+            ev_degree = Graph.degree g v;
+            ev_labels = List.rev mailbox.(v);
+          }
+        in
+        let verdict =
+          match scheme.Scheme.es_verify view with
+          | Ok () -> Accept
+          | Error m -> Reject m
+        in
+        (v, verdict) :: acc)
+      g []
+    |> List.rev
+  in
+  { rounds = 1; messages; verdicts }
+
+type 'l stabilization_report = {
+  faults_injected : int;
+  faults_detected : int;
+  reproofs : int;
+  final_legal : bool;
+}
+
+let stabilize cfg (scheme : 'l Scheme.edge_scheme) ~faults =
+  let prove () =
+    match scheme.Scheme.es_prove cfg with
+    | Some labels -> labels
+    | None -> invalid_arg "Network.stabilize: prover declined"
+  in
+  let legal labels = accepted (run_edge_round cfg scheme labels) in
+  let labels = ref (prove ()) in
+  if not (legal !labels) then
+    invalid_arg "Network.stabilize: honest certificate rejected";
+  let detected = ref 0 and reproofs = ref 0 in
+  List.iter
+    (fun fault ->
+      let corrupted = fault !labels in
+      if legal corrupted then
+        (* the fault produced an equivalent legal state; adopt it *)
+        labels := corrupted
+      else begin
+        incr detected;
+        incr reproofs;
+        labels := prove ()
+      end)
+    faults;
+  {
+    faults_injected = List.length faults;
+    faults_detected = !detected;
+    reproofs = !reproofs;
+    final_legal = legal !labels;
+  }

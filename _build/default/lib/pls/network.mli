@@ -1,0 +1,57 @@
+(** An explicit round-based message-passing simulation of proof labeling
+    scheme verification (§1.1).
+
+    The {!Scheme} harness evaluates verifiers directly; this module spells
+    the distributed semantics out: processors hold local memory (their
+    state and, for edge schemes, the labels of their incident edges — in a
+    real deployment each link's label is readable by both endpoints), a
+    single synchronous round delivers every label across every link, and
+    each processor then decides from its mailbox alone.
+
+    The module also provides the self-stabilization driver the
+    introduction motivates: run detection after every fault, and re-prove
+    when a legal state must be restored. *)
+
+type verdict = Accept | Reject of string
+
+type 'l transcript = {
+  rounds : int;  (** always 1 for proof labeling schemes *)
+  messages : (int * int * 'l) list;
+      (** (sender vertex, receiver vertex, payload) of every delivered
+          message, in delivery order — the full communication record *)
+  verdicts : (int * verdict) list;  (** per vertex *)
+}
+
+val accepted : 'l transcript -> bool
+
+val run_vertex_round :
+  Config.t -> 'l Scheme.vertex_scheme -> 'l array -> (int * 'l) transcript
+(** One synchronous round: every processor sends (its id, its label) over
+    every incident link; each then runs the scheme's verifier on its
+    mailbox. The verdicts coincide with {!Scheme.run_vertex} (tested). *)
+
+val run_edge_round :
+  Config.t -> 'l Scheme.edge_scheme -> 'l Scheme.Edge_map.t -> 'l transcript
+(** Edge-label semantics: each link delivers its label to both endpoints
+    (modeled as a message from the opposite endpoint); each processor
+    decides from its own id and the received multiset, exactly the paper's
+    local view. Coincides with {!Scheme.run_edge} (tested). *)
+
+(** {1 Self-stabilization driver} *)
+
+type 'l stabilization_report = {
+  faults_injected : int;
+  faults_detected : int;
+  reproofs : int;
+  final_legal : bool;
+}
+
+val stabilize :
+  Config.t ->
+  'l Scheme.edge_scheme ->
+  faults:('l Scheme.Edge_map.t -> 'l Scheme.Edge_map.t) list ->
+  'l stabilization_report
+(** Install an honest certificate, then apply each fault in turn: run
+    detection; when some processor rejects, re-run the prover (the
+    "manager" of a self-stabilizing system) to restore a legal state.
+    Returns what happened. The prover must succeed on the configuration. *)

@@ -1,0 +1,105 @@
+module Graph = Lcp_graph.Graph
+module Traversal = Lcp_graph.Traversal
+module Bitenc = Lcp_util.Bitenc
+
+type label = {
+  target : int;
+  parent : (int * int) option;
+}
+
+let labels_for cfg ~root ~target =
+  let g = Config.graph cfg in
+  let parent = Traversal.bfs_tree g root in
+  let dist = Traversal.bfs_from g root in
+  Graph.fold_edges
+    (fun (u, v) m ->
+      let lab =
+        if parent.(u) = v then
+          { target; parent = Some (dist.(u), Config.id cfg u) }
+        else if parent.(v) = u then
+          { target; parent = Some (dist.(v), Config.id cfg v) }
+        else { target; parent = None }
+      in
+      Scheme.Edge_map.add m (u, v) lab)
+    g Scheme.Edge_map.empty
+
+let verify ?target (view : label Scheme.edge_view) =
+  let my = view.ev_id in
+  match view.ev_labels with
+  | [] ->
+      (* no incident edges: in a connected graph this vertex is the whole
+         network, so it must itself be the pointed-to vertex *)
+      (match target with
+      | Some x when x <> my -> Error "pointer: isolated vertex is not the target"
+      | _ -> Ok ())
+  | first :: _ when (match target with Some t -> t <> first.target | None -> false)
+    ->
+      Error "pointer: wrong target id"
+  | first :: _ ->
+      let x = first.target in
+      let rec same_target = function
+        | [] -> Ok ()
+        | l :: rest ->
+            if l.target <> x then Error "pointer: inconsistent target id"
+            else same_target rest
+      in
+      (match same_target view.ev_labels with
+      | Error _ as e -> e
+      | Ok () ->
+          let parent_edges =
+            List.filter_map
+              (fun l ->
+                match l.parent with
+                | Some (d, c) when c = my -> Some d
+                | _ -> None)
+              view.ev_labels
+          in
+          let child_edges =
+            List.filter_map
+              (fun l ->
+                match l.parent with
+                | Some (d, c) when c <> my -> Some d
+                | _ -> None)
+              view.ev_labels
+          in
+          if my = x then
+            match parent_edges with
+            | [] ->
+                if List.for_all (fun d -> d = 1) child_edges then Ok ()
+                else Error "pointer: root has a child at distance <> 1"
+            | _ -> Error "pointer: root has a parent edge"
+          else
+            (match parent_edges with
+            | [ d ] ->
+                if d < 1 then Error "pointer: non-positive parent distance"
+                else if List.for_all (fun d' -> d' = d + 1) child_edges then
+                  Ok ()
+                else Error "pointer: child at wrong distance"
+            | [] -> Error "pointer: no parent edge"
+            | _ -> Error "pointer: multiple parent edges"))
+
+let scheme ~target =
+  let verify = verify ~target in
+  let prove cfg =
+    match Config.vertex_of_id cfg target with
+    | None -> None
+    | Some root ->
+        if Traversal.is_connected (Config.graph cfg) then
+          Some (labels_for cfg ~root ~target)
+        else None
+  in
+  let encode w l =
+    Bitenc.varint w l.target;
+    match l.parent with
+    | None -> Bitenc.bit w false
+    | Some (d, c) ->
+        Bitenc.bit w true;
+        Bitenc.varint w d;
+        Bitenc.varint w c
+  in
+  {
+    Scheme.es_name = "pointer";
+    es_prove = prove;
+    es_verify = verify;
+    es_encode = encode;
+  }

@@ -1,0 +1,30 @@
+(** The pointer scheme of Prop 2.2: certify, with O(log n)-bit edge labels,
+    that a vertex with a given identifier [x] exists ("pointing to v").
+
+    The label of a tree edge is [(x, d, c)] where [d ≥ 1] is the distance
+    from the root of a BFS spanning tree to the child endpoint and [c] is
+    the child's identifier; non-tree edges carry [(x, ⊥)]. Every non-root
+    vertex checks it has exactly one parent edge (a tree label carrying its
+    own id), that its children's edges claim distance exactly one more than
+    its own, and that all labels agree on [x]; the root (id [x]) checks it
+    has no parent edge. Any accepted labeling yields strictly decreasing
+    parent chains that can only terminate at a vertex with identifier [x],
+    so the scheme is sound. *)
+
+type label = {
+  target : int;  (** the id x being pointed to *)
+  parent : (int * int) option;  (** (distance of child endpoint, child id) *)
+}
+
+val scheme : target:int -> label Scheme.edge_scheme
+(** The prover declines if no vertex has id [target] or the graph is
+    disconnected. *)
+
+val labels_for :
+  Config.t -> root:int -> target:int -> label Scheme.Edge_map.t
+(** The honest labeling with the BFS tree rooted at vertex [root] (which
+    must have id [target]) — exposed so that composite schemes can embed
+    pointer sub-labels. *)
+
+val verify : ?target:int -> label Scheme.edge_view -> (unit, string) result
+(** The local verifier, exposed for embedding into composite schemes. *)

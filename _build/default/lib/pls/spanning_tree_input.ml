@@ -1,0 +1,141 @@
+module Graph = Lcp_graph.Graph
+module Traversal = Lcp_graph.Traversal
+module Bitenc = Lcp_util.Bitenc
+
+type input = { in_f : bool }
+
+type label = {
+  root : int;
+  tree : (int * int * int) option;
+}
+
+let labels_for cfg ~f =
+  let g = Config.graph cfg in
+  let n = Graph.n g in
+  let fset = Hashtbl.create 16 in
+  List.iter
+    (fun (u, v) -> Hashtbl.replace fset (Graph.canonical_edge u v) ())
+    f;
+  let forest = Graph.of_edges ~n (Hashtbl.fold (fun e () l -> e :: l) fset []) in
+  if not (Traversal.is_tree forest) then None
+  else begin
+    let root = ref 0 in
+    for v = 1 to n - 1 do
+      if Config.id cfg v < Config.id cfg !root then root := v
+    done;
+    let root = !root in
+    let parent = Traversal.bfs_tree forest root in
+    let dist = Traversal.bfs_from forest root in
+    let labels =
+      Graph.fold_edges
+        (fun (u, v) m ->
+          let marked = Hashtbl.mem fset (u, v) in
+          let lab =
+            if not marked then { root = Config.id cfg root; tree = None }
+            else if parent.(u) = v then
+              {
+                root = Config.id cfg root;
+                tree = Some (Config.id cfg u, Config.id cfg v, dist.(u));
+              }
+            else
+              {
+                root = Config.id cfg root;
+                tree = Some (Config.id cfg v, Config.id cfg u, dist.(v));
+              }
+          in
+          Scheme.Edge_map.add m (u, v) ({ in_f = marked }, lab))
+        g Scheme.Edge_map.empty
+    in
+    Some labels
+  end
+
+let prove_for cfg ~f = labels_for cfg ~f
+
+let verify (view : (input * label) Scheme.edge_view) =
+  let m = view.Scheme.ev_id in
+  match view.Scheme.ev_labels with
+  | [] -> Ok () (* a single-vertex network: the empty F is its spanning tree *)
+  | (_, first) :: _ ->
+      let r = first.root in
+      let check_label (inp, l) =
+        if l.root <> r then Error "stree: inconsistent root id"
+        else
+          match (inp.in_f, l.tree) with
+          | false, None -> Ok ()
+          | false, Some _ -> Error "stree: proof on an unmarked edge"
+          | true, None -> Error "stree: marked edge without tree data"
+          | true, Some (c, p, d) ->
+              if c = p then Error "stree: degenerate tree edge"
+              else if d < 1 then Error "stree: non-positive distance"
+              else if m <> c && m <> p then
+                Error "stree: marked edge does not name me"
+              else Ok ()
+      in
+      let rec check_all = function
+        | [] -> Ok ()
+        | x :: rest -> (
+            match check_label x with Ok () -> check_all rest | e -> e)
+      in
+      (match check_all view.ev_labels with
+      | Error _ as e -> e
+      | Ok () ->
+          let parents =
+            List.filter_map
+              (fun ((inp : input), l) ->
+                match l.tree with
+                | Some (c, _, d) when inp.in_f && c = m -> Some d
+                | _ -> None)
+              view.ev_labels
+          in
+          let children =
+            List.filter_map
+              (fun ((inp : input), l) ->
+                match l.tree with
+                | Some (c, p, d) when inp.in_f && p = m && c <> m -> Some d
+                | _ -> None)
+              view.ev_labels
+          in
+          let my_dist =
+            if m = r then
+              match parents with [] -> Ok 0 | _ -> Error "stree: root has a parent"
+            else
+              match parents with
+              | [ d ] -> Ok d
+              | [] -> Error "stree: no parent edge"
+              | _ -> Error "stree: multiple parent edges"
+          in
+          (match my_dist with
+          | Error _ as e -> e
+          | Ok d ->
+              if List.for_all (fun d' -> d' = d + 1) children then Ok ()
+              else Error "stree: child at wrong distance"))
+
+let scheme =
+  let prove cfg =
+    let g = Config.graph cfg in
+    if not (Traversal.is_connected g) || Graph.n g = 0 then None
+    else labels_for cfg ~f:(Traversal.spanning_tree g ~root:0)
+  in
+  let encode w ((inp : input), l) =
+    Bitenc.bit w inp.in_f;
+    Bitenc.varint w l.root;
+    match l.tree with
+    | None -> Bitenc.bit w false
+    | Some (c, p, d) ->
+        Bitenc.bit w true;
+        Bitenc.varint w c;
+        Bitenc.varint w p;
+        Bitenc.varint w d
+  in
+  {
+    Scheme.es_name = "spanning_tree_input";
+    es_prove = prove;
+    es_verify = verify;
+    es_encode = encode;
+  }
+
+let corrupt_marking labels e =
+  match Scheme.Edge_map.find labels e with
+  | None -> labels
+  | Some ((inp : input), l) ->
+      Scheme.Edge_map.add labels e ({ in_f = not inp.in_f }, l)

@@ -1,0 +1,45 @@
+(** The original proof labeling scheme problem (§1.5, [KKP10]): the
+    network's state includes a set F of marked edges, and the scheme
+    certifies that F is a spanning tree of the network.
+
+    This is a configuration *with inputs*: the predicate depends on the
+    state (the marking), not just the topology. Labels are on edges; each
+    edge's input bit [in_f] is part of the state — visible to both
+    endpoints and not falsifiable by the prover.
+
+    Construction: the prover roots F at the vertex with the smallest
+    identifier and labels every F-edge with (root id, child id, parent id,
+    child distance). Every vertex checks that each marked incident edge
+    names it as child or parent, that it has exactly one F-parent (none if
+    it is the root), that its F-children sit at distance exactly one more
+    than its own, and that all labels agree on the root. Accepting
+    everywhere forces every marked edge to be exactly one vertex's parent
+    edge on a strictly-decreasing distance chain to the root, so (V, F) is
+    connected with each non-root having one parent — a spanning tree. *)
+
+type input = { in_f : bool }
+(** The per-edge state: whether the edge is marked. *)
+
+type label = {
+  root : int;
+  tree : (int * int * int) option;
+      (** on F-edges: (child id, parent id, child distance ≥ 1) *)
+}
+
+val scheme : (input * label) Scheme.edge_scheme
+(** The edge labels carry the input alongside the proof so the standard
+    harness can deliver both; the verifier treats [in_f] as state and
+    [label] as the untrusted proof. The prover marks a BFS spanning tree
+    itself when proving from a bare configuration. *)
+
+val prove_for :
+  Config.t -> f:Lcp_graph.Graph.edge list -> (input * label) Scheme.Edge_map.t option
+(** Certify a GIVEN marking F; returns [None] when F is not a spanning
+    tree of the configuration's graph (completeness side). *)
+
+val corrupt_marking :
+  (input * label) Scheme.Edge_map.t ->
+  Lcp_graph.Graph.edge ->
+  (input * label) Scheme.Edge_map.t
+(** Flip the marking of one edge — a state fault, used by tests to check
+    that no proof can cover a broken marking. *)

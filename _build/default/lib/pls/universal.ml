@@ -1,0 +1,96 @@
+module Graph = Lcp_graph.Graph
+module Bitenc = Lcp_util.Bitenc
+
+type label = {
+  my_id : int;
+  ids : int list;
+  edges : (int * int) list;
+}
+
+let describe cfg =
+  let g = Config.graph cfg in
+  let ids =
+    List.sort compare (List.init (Graph.n g) (fun v -> Config.id cfg v))
+  in
+  let edges =
+    Graph.edges g
+    |> List.map (fun (u, v) ->
+           let a = Config.id cfg u and b = Config.id cfg v in
+           if a < b then (a, b) else (b, a))
+    |> List.sort compare
+  in
+  (ids, edges)
+
+(* rebuild a graph from an id-labeled description *)
+let graph_of_description ids edges =
+  let idx = Hashtbl.create (List.length ids) in
+  List.iteri (fun i x -> Hashtbl.replace idx x i) ids;
+  let translate (a, b) =
+    match (Hashtbl.find_opt idx a, Hashtbl.find_opt idx b) with
+    | Some u, Some v -> Some (u, v)
+    | _ -> None
+  in
+  if List.for_all (fun e -> translate e <> None) edges then
+    Some (Graph.of_edges ~n:(List.length ids) (List.filter_map translate edges))
+  else None
+
+let scheme ~name ~property =
+  let prove cfg =
+    let g = Config.graph cfg in
+    if property g && Lcp_graph.Traversal.is_connected g then begin
+      let ids, edges = describe cfg in
+      Some
+        (Array.init (Graph.n g) (fun v ->
+             { my_id = Config.id cfg v; ids; edges }))
+    end
+    else None
+  in
+  let verify (view : label Scheme.vertex_view) =
+    let l = view.vv_label in
+    if l.my_id <> view.vv_id then Error "universal: label id mismatch"
+    else if
+      not
+        (List.for_all
+           (fun (_, nl) -> nl.ids = l.ids && nl.edges = l.edges)
+           view.vv_neighbors)
+    then Error "universal: neighbors describe a different graph"
+    else begin
+      let described_row =
+        List.filter_map
+          (fun (a, b) ->
+            if a = view.vv_id then Some b
+            else if b = view.vv_id then Some a
+            else None)
+          l.edges
+        |> List.sort compare
+      in
+      let actual_row = List.sort compare (List.map fst view.vv_neighbors) in
+      if described_row <> actual_row then
+        Error "universal: my described neighborhood is wrong"
+      else
+        match graph_of_description l.ids l.edges with
+        | None -> Error "universal: malformed description"
+        | Some g ->
+            if not (Lcp_graph.Traversal.is_connected g) then
+              Error "universal: described graph is disconnected"
+            else if property g then Ok ()
+            else Error "universal: property fails on the described graph"
+    end
+  in
+  let encode w l =
+    Bitenc.varint w l.my_id;
+    Bitenc.varint w (List.length l.ids);
+    List.iter (fun x -> Bitenc.varint w x) l.ids;
+    Bitenc.varint w (List.length l.edges);
+    List.iter
+      (fun (a, b) ->
+        Bitenc.varint w a;
+        Bitenc.varint w b)
+      l.edges
+  in
+  {
+    Scheme.vs_name = name;
+    vs_prove = prove;
+    vs_verify = verify;
+    vs_encode = encode;
+  }

@@ -1,0 +1,23 @@
+(** The universal scheme (§1.1): certify an arbitrary (decidable) graph
+    property by writing the entire graph — as an identifier-labeled edge
+    list — into every vertex label. Proof size Θ((n + m) log n) bits; this
+    is the trivial upper bound that compact schemes are measured against,
+    and the Θ(n²)-style baseline in the label-size experiment.
+
+    Each vertex checks that its label repeats its own identifier, that all
+    neighbors carry the identical graph description, that the multiset of
+    its neighbors' identifiers matches the description's row for its own
+    identifier, and that the described graph is connected and satisfies the
+    property. On a connected network this forces the description to equal
+    the real graph up to isomorphism, so the scheme is sound. *)
+
+type label = {
+  my_id : int;
+  ids : int list;  (** the vertex identifiers of the described graph *)
+  edges : (int * int) list;  (** described edges, by identifier *)
+}
+
+val scheme :
+  name:string ->
+  property:(Lcp_graph.Graph.t -> bool) ->
+  label Scheme.vertex_scheme

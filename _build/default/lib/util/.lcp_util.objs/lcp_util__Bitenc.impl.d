@@ -1,0 +1,1 @@
+lib/util/bitenc.ml: Bytes Char

@@ -1,0 +1,84 @@
+type writer = {
+  mutable buf : Bytes.t;
+  mutable len_bits : int;
+}
+
+let writer () = { buf = Bytes.make 16 '\000'; len_bits = 0 }
+
+let ensure w needed_bits =
+  let needed_bytes = (w.len_bits + needed_bits + 7) / 8 in
+  if needed_bytes > Bytes.length w.buf then begin
+    let cap = max needed_bytes (2 * Bytes.length w.buf) in
+    let buf = Bytes.make cap '\000' in
+    Bytes.blit w.buf 0 buf 0 (Bytes.length w.buf);
+    w.buf <- buf
+  end
+
+let bit w b =
+  ensure w 1;
+  if b then begin
+    let i = w.len_bits / 8 and off = w.len_bits mod 8 in
+    Bytes.set w.buf i (Char.chr (Char.code (Bytes.get w.buf i) lor (1 lsl off)))
+  end;
+  w.len_bits <- w.len_bits + 1
+
+let bits w ~width x =
+  assert (width >= 0 && width <= 62);
+  assert (x >= 0 && (width = 62 || x < 1 lsl width));
+  for j = width - 1 downto 0 do
+    bit w (x land (1 lsl j) <> 0)
+  done
+
+let rec varint w x =
+  assert (x >= 0);
+  if x < 128 then begin
+    bit w false;
+    bits w ~width:7 x
+  end else begin
+    bit w true;
+    bits w ~width:7 (x land 0x7f);
+    varint w (x lsr 7)
+  end
+
+let length_bits w = w.len_bits
+
+let to_bytes w = Bytes.sub w.buf 0 ((w.len_bits + 7) / 8)
+
+type reader = {
+  data : Bytes.t;
+  total_bits : int;
+  mutable pos : int;
+}
+
+let reader data = { data; total_bits = 8 * Bytes.length data; pos = 0 }
+
+let reader_of_writer w =
+  { data = to_bytes w; total_bits = w.len_bits; pos = 0 }
+
+let read_bit r =
+  if r.pos >= r.total_bits then invalid_arg "Bitenc.read_bit: out of data";
+  let i = r.pos / 8 and off = r.pos mod 8 in
+  r.pos <- r.pos + 1;
+  Char.code (Bytes.get r.data i) land (1 lsl off) <> 0
+
+let read_bits r ~width =
+  let rec go acc j =
+    if j = 0 then acc
+    else go ((acc lsl 1) lor (if read_bit r then 1 else 0)) (j - 1)
+  in
+  go 0 width
+
+let read_varint r =
+  let rec go acc shift =
+    let continue_ = read_bit r in
+    let group = read_bits r ~width:7 in
+    let acc = acc lor (group lsl shift) in
+    if continue_ then go acc (shift + 7) else acc
+  in
+  go 0 0
+
+let bits_remaining r = r.total_bits - r.pos
+
+let varint_size x =
+  let rec go x acc = if x < 128 then acc + 8 else go (x lsr 7) (acc + 8) in
+  go x 0

@@ -1,0 +1,44 @@
+(** Bit-exact binary encoding.
+
+    Proof size is the central complexity measure of a proof labeling scheme
+    (paper, §1.1), so certificates are serialized to actual bit strings and
+    measured in bits, not approximated from in-memory structure sizes. *)
+
+type writer
+(** Append-only bit buffer. *)
+
+val writer : unit -> writer
+
+val bit : writer -> bool -> unit
+(** [bit w b] appends a single bit. *)
+
+val bits : writer -> width:int -> int -> unit
+(** [bits w ~width x] appends the [width] low-order bits of [x],
+    most-significant first. Requires [0 <= x < 2^width] and
+    [0 <= width <= 62]. *)
+
+val varint : writer -> int -> unit
+(** [varint w x] appends a non-negative integer in a self-delimiting
+    LEB128-style encoding: groups of 7 bits, low group first, each group
+    preceded by a continuation bit. Uses [O(log x)] bits. *)
+
+val length_bits : writer -> int
+(** Number of bits appended so far. *)
+
+val to_bytes : writer -> bytes
+(** Zero-padded little-endian-by-byte snapshot of the buffer. *)
+
+type reader
+
+val reader : bytes -> reader
+val reader_of_writer : writer -> reader
+
+val read_bit : reader -> bool
+val read_bits : reader -> width:int -> int
+val read_varint : reader -> int
+
+val bits_remaining : reader -> int
+(** Bits not yet consumed (includes any zero padding from [to_bytes]). *)
+
+val varint_size : int -> int
+(** Number of bits [varint] would use for this value. *)

@@ -1,0 +1,1 @@
+test/test_algebra.ml: Array Bytes Lcp_algebra Lcp_graph Lcp_lanewidth Lcp_util List Printf Test_util

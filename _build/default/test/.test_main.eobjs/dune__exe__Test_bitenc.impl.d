@@ -1,0 +1,1 @@
+test/test_bitenc.ml: Alcotest Bytes Lcp_util List Printf QCheck Test_util

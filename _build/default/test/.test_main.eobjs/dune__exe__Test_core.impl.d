@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Bytes Lcp_algebra Lcp_cert Lcp_graph Lcp_interval Lcp_lanes Lcp_pls Lcp_util List Option String Test_util

@@ -1,0 +1,1 @@
+test/test_fmr.ml: Alcotest Array Lcp_algebra Lcp_cert Lcp_graph Lcp_interval Lcp_pls List Option Test_util

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Lcp_graph Lcp_interval List Test_util

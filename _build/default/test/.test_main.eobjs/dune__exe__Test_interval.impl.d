@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Array Lcp_graph Lcp_interval List Printf QCheck String Test_util

@@ -1,0 +1,1 @@
+test/test_lanes.ml: Alcotest Lcp_graph Lcp_interval Lcp_lanes List Test_util

@@ -1,0 +1,1 @@
+test/test_lanewidth.ml: Alcotest Format Lcp_graph Lcp_interval Lcp_lanes Lcp_lanewidth String Test_util

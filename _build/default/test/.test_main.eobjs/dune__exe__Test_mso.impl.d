@@ -1,0 +1,1 @@
+test/test_mso.ml: Format Lcp_algebra Lcp_graph Lcp_mso List Printf String Test_util

@@ -1,0 +1,1 @@
+test/test_network.ml: Lcp_algebra Lcp_cert Lcp_graph Lcp_pls List Option Test_util

@@ -1,0 +1,1 @@
+test/test_pls.ml: Alcotest Array Lcp_graph Lcp_pls List Option Printf String Test_util

@@ -1,0 +1,1 @@
+test/test_soundness.ml: Alcotest Array Bytes Char Lcp_algebra Lcp_cert Lcp_graph Lcp_interval Lcp_pls Lcp_util List Option Printf Random String Test_util

@@ -1,0 +1,1 @@
+test/test_terminal.ml: Array Lcp_algebra Lcp_graph List QCheck Random Test_util

@@ -1,0 +1,1 @@
+test/test_theorem1.ml: Alcotest Array Lcp_algebra Lcp_cert Lcp_graph Lcp_interval Lcp_lanes Lcp_lanewidth Lcp_pls List Option Test_util

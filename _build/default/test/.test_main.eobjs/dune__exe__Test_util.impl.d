@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Format Lcp_graph Lcp_interval Lcp_lanewidth List Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,83 @@
+(* Unit and property tests for the bit-exact encoder. *)
+
+open Test_util
+module B = Lcp_util.Bitenc
+
+let roundtrip_bits () =
+  let w = B.writer () in
+  B.bit w true;
+  B.bit w false;
+  B.bits w ~width:5 19;
+  B.bits w ~width:12 4095;
+  check_int "length" (1 + 1 + 5 + 12) (B.length_bits w);
+  let r = B.reader_of_writer w in
+  check "b1" true (B.read_bit r);
+  check "b2" false (B.read_bit r);
+  check_int "5 bits" 19 (B.read_bits r ~width:5);
+  check_int "12 bits" 4095 (B.read_bits r ~width:12)
+
+let roundtrip_varint () =
+  let values = [ 0; 1; 5; 127; 128; 300; 16383; 16384; 123456789 ] in
+  let w = B.writer () in
+  List.iter (B.varint w) values;
+  let r = B.reader_of_writer w in
+  List.iter (fun v -> check_int "varint" v (B.read_varint r)) values
+
+let varint_size_matches () =
+  List.iter
+    (fun v ->
+      let w = B.writer () in
+      B.varint w v;
+      check_int (Printf.sprintf "size %d" v) (B.varint_size v)
+        (B.length_bits w))
+    [ 0; 1; 127; 128; 16383; 16384; 1 lsl 30 ]
+
+let varint_logarithmic () =
+  (* varint of x uses O(log x) bits *)
+  List.iter
+    (fun bits ->
+      let x = (1 lsl bits) - 1 in
+      check "log size" true (B.varint_size x <= 8 * ((bits / 7) + 1)))
+    [ 7; 14; 21; 28; 35; 42 ]
+
+let empty_writer () =
+  let w = B.writer () in
+  check_int "empty" 0 (B.length_bits w);
+  check_int "bytes" 0 (Bytes.length (B.to_bytes w))
+
+let out_of_data () =
+  let w = B.writer () in
+  B.bit w true;
+  let r = B.reader_of_writer w in
+  ignore (B.read_bit r);
+  Alcotest.check_raises "eof" (Invalid_argument "Bitenc.read_bit: out of data")
+    (fun () -> ignore (B.read_bit r))
+
+let prop_varint_roundtrip =
+  qcheck "varint roundtrip" QCheck.(int_bound 1_000_000_000) (fun x ->
+      let w = B.writer () in
+      B.varint w x;
+      let r = B.reader_of_writer w in
+      B.read_varint r = x)
+
+let prop_bit_sequence =
+  qcheck "bit sequence roundtrip"
+    QCheck.(list bool)
+    (fun bits ->
+      let w = B.writer () in
+      List.iter (B.bit w) bits;
+      let r = B.reader_of_writer w in
+      List.for_all (fun b -> B.read_bit r = b) bits)
+
+let suite =
+  ( "bitenc",
+    [
+      test "roundtrip bits" roundtrip_bits;
+      test "roundtrip varint" roundtrip_varint;
+      test "varint_size matches writer" varint_size_matches;
+      test "varint is logarithmic" varint_logarithmic;
+      test "empty writer" empty_writer;
+      test "reading past the end fails" out_of_data;
+      prop_varint_roundtrip;
+      prop_bit_sequence;
+    ] )

@@ -1,0 +1,308 @@
+(* Unit tests for the certification internals: the shared composition
+   module (Compose), certificate serialization, and targeted verifier
+   behaviours the end-to-end suites only exercise indirectly. *)
+
+open Test_util
+module G = Lcp_graph.Graph
+module Gen = Lcp_graph.Gen
+module PLS = Lcp_pls
+module S = PLS.Scheme
+module EM = S.Edge_map
+module A = Lcp_algebra
+module Cert = Lcp_cert.Certificate
+module ST = PLS.Spanning_tree
+module Bitenc = Lcp_util.Bitenc
+
+module C = Lcp_cert.Compose.Make (A.Connectivity)
+module T1conn = Lcp_cert.Theorem1.Make (A.Connectivity)
+module V = Lcp_cert.Verifier.Make (A.Connectivity)
+
+module K3 = A.Clique.Make (struct let size = 3 end)
+module Diam4 = A.Diameter.Make (struct let d = 4 end)
+module T1k3 = Lcp_cert.Theorem1.Make (K3)
+module T1diam = Lcp_cert.Theorem1.Make (Diam4)
+
+let rng = rng_of_seed 777
+
+let iface lanes t_in t_out = { C.lanes; t_in; t_out }
+
+let compose_base_states () =
+  (* V-node *)
+  let v = C.v_state (iface [ 2 ] [ (2, 9) ] [ (2, 9) ]) in
+  check "v slots" true (A.Connectivity.slots v = [ 9 ]);
+  (* E-node, real vs virtual *)
+  let f = iface [ 0 ] [ (0, 3) ] [ (0, 7) ] in
+  let real = C.e_state f ~real:true in
+  let virt = C.e_state f ~real:false in
+  check "real and virtual E-nodes differ" false (A.Connectivity.equal real virt);
+  check "real edge connects" true (C.accepts real);
+  check "virtual edge does not" false (C.accepts virt);
+  (* P-node with a mixed mask *)
+  let pf = iface [ 0; 1; 2 ] [ (0, 4); (1, 5); (2, 6) ] [ (0, 4); (1, 5); (2, 6) ] in
+  let p = C.p_state pf ~mask:[ true; false ] in
+  check "p slots" true (A.Connectivity.slots p = [ 4; 5; 6 ]);
+  check "bad mask rejected" true
+    (try
+       ignore (C.p_state pf ~mask:[ true ]);
+       false
+     with Invalid_argument _ -> true)
+
+let compose_bridge () =
+  let f1 = iface [ 0 ] [ (0, 1) ] [ (0, 2) ] in
+  let f2 = iface [ 1 ] [ (1, 5) ] [ (1, 6) ] in
+  let s1 = C.e_state f1 ~real:true and s2 = C.e_state f2 ~real:true in
+  let _, f = C.bridge (s1, f1) (s2, f2) ~i:0 ~j:1 ~real:true in
+  check "bridge lanes" true (f.C.lanes = [ 0; 1 ]);
+  check "bridge t_out" true (f.C.t_out = [ (0, 2); (1, 6) ]);
+  (* overlapping lanes rejected *)
+  check "lane overlap" true
+    (try
+       ignore (C.bridge (s1, f1) (s1, f1) ~i:0 ~j:0 ~real:true);
+       false
+     with Invalid_argument _ -> true)
+
+let compose_parent () =
+  (* parent path on lane 0: 1 -> 2; child edge extends 2 -> 3 *)
+  let fp = iface [ 0 ] [ (0, 1) ] [ (0, 2) ] in
+  let fc = iface [ 0 ] [ (0, 2) ] [ (0, 3) ] in
+  let sp = C.e_state fp ~real:true and sc = C.e_state fc ~real:true in
+  let sm, fm = C.parent ~child:(sc, fc) ~parent:(sp, fp) in
+  check "merged t_in from parent" true (fm.C.t_in = [ (0, 1) ]);
+  check "merged t_out from child" true (fm.C.t_out = [ (0, 3) ]);
+  check "glued vertex forgotten" true (A.Connectivity.slots sm = [ 1; 3 ]);
+  (* terminal mismatch rejected *)
+  let bad_child = iface [ 0 ] [ (0, 9) ] [ (0, 3) ] in
+  check "mismatch rejected" true
+    (try
+       ignore
+         (C.parent ~child:(C.e_state bad_child ~real:true, bad_child)
+            ~parent:(sp, fp));
+       false
+     with Invalid_argument _ -> true);
+  (* lane subset violated *)
+  let wide = iface [ 0; 1 ] [ (0, 2); (1, 7) ] [ (0, 3); (1, 8) ] in
+  check "lane subset" true
+    (try
+       ignore (C.parent ~child:(sc, wide) ~parent:(sp, fp));
+       false
+     with Invalid_argument _ -> true)
+
+let compose_accepts () =
+  let f = iface [ 0 ] [ (0, 1) ] [ (0, 2) ] in
+  check "connected edge accepts" true (C.accepts (C.e_state f ~real:true));
+  check "disconnected pair rejects" false (C.accepts (C.e_state f ~real:false))
+
+(* ------------------------------------------------------------------ *)
+
+let encode_label () =
+  let st = C.v_state (iface [ 0 ] [ (0, 5) ] [ (0, 5) ]) in
+  let info =
+    { Cert.node_id = 3; lanes = [ 0 ]; t_in = [ (0, 5) ]; t_out = [ (0, 5) ];
+      state = st }
+  in
+  let frame =
+    Cert.T_frame
+      {
+        member = (info, Cert.KP);
+        merged = info;
+        is_tree_root = true;
+        member_real = [];
+        children = [];
+      }
+  in
+  let label =
+    {
+      Cert.frames = [ frame ];
+      global_ptr = { ST.target = 5; parent = None };
+      accept_state = true;
+      transported =
+        [ { Cert.vu = 1; vv = 2; rank_fwd = 1; rank_bwd = 2; vframes = [ frame ] } ];
+    }
+  in
+  let enc l =
+    let w = Bitenc.writer () in
+    Cert.encode ~encode_state:A.Connectivity.encode w l;
+    (Bitenc.length_bits w, Bytes.to_string (Bitenc.to_bytes w))
+  in
+  let bits1, bytes1 = enc label in
+  let bits2, bytes2 = enc label in
+  check "deterministic" true (bits1 = bits2 && bytes1 = bytes2);
+  check "nonempty" true (bits1 > 0);
+  (* more transported records => strictly more bits *)
+  let bigger =
+    { label with Cert.transported = label.Cert.transported @ label.Cert.transported }
+  in
+  check "monotone" true (fst (enc bigger) > bits1)
+
+(* ------------------------------------------------------------------ *)
+
+let verifier_singleton () =
+  (* a lone vertex simply evaluates the property on itself *)
+  let view = { S.ev_id = 42; ev_degree = 0; ev_labels = [] } in
+  check "singleton connected" true (V.verify ~max_lanes:4 view = Ok ());
+  let module VK = Lcp_cert.Verifier.Make (K3) in
+  check "singleton has no K3" true (VK.verify ~max_lanes:4 view <> Ok ())
+
+let verifier_rejects_garbage () =
+  (* structurally broken labels must produce a rejection, not an exception *)
+  let st = C.v_state (iface [ 0 ] [ (0, 5) ] [ (0, 5) ]) in
+  let info =
+    { Cert.node_id = 1; lanes = [ 99 ]; t_in = [ (99, 5) ];
+      t_out = [ (99, 5) ]; state = st }
+  in
+  let frame =
+    Cert.T_frame
+      {
+        member = (info, Cert.KE);
+        merged = info;
+        is_tree_root = true;
+        member_real = [ true ];
+        children = [];
+      }
+  in
+  let label =
+    {
+      Cert.frames = [ frame ];
+      global_ptr = { ST.target = 5; parent = None };
+      accept_state = true;
+      transported = [];
+    }
+  in
+  let view = { S.ev_id = 5; ev_degree = 1; ev_labels = [ label ] } in
+  match V.verify ~max_lanes:4 view with
+  | Ok () -> Alcotest.fail "garbage accepted"
+  | Error m -> check "lane bound mentioned" true (String.length m > 0)
+
+let verifier_depth_cap () =
+  let st = C.v_state (iface [ 0 ] [ (0, 5) ] [ (0, 5) ]) in
+  let info =
+    { Cert.node_id = 1; lanes = [ 0 ]; t_in = [ (0, 5) ]; t_out = [ (0, 5) ];
+      state = st }
+  in
+  let frame =
+    Cert.T_frame
+      {
+        member = (info, Cert.KE);
+        merged = info;
+        is_tree_root = false;
+        member_real = [ true ];
+        children = [];
+      }
+  in
+  let deep = List.init 20 (fun _ -> frame) in
+  let label =
+    {
+      Cert.frames = deep;
+      global_ptr = { ST.target = 5; parent = Some (1, 6) };
+      accept_state = true;
+      transported = [];
+    }
+  in
+  let view = { S.ev_id = 6; ev_degree = 1; ev_labels = [ label ] } in
+  match V.verify ~max_lanes:4 view with
+  | Ok () -> Alcotest.fail "overly deep stack accepted"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* end-to-end with the new algebras *)
+
+let certify_clique () =
+  (* a triangle with a pendant tail: pathwidth 2, contains K3 *)
+  let g = G.of_edges ~n:5 [ (0, 1); (0, 2); (1, 2); (2, 3); (3, 4) ] in
+  let cfg = PLS.Config.random_ids rng g in
+  let scheme = T1k3.edge_scheme ~k:2 () in
+  (match scheme.S.es_prove cfg with
+  | None -> Alcotest.fail "K3 prover declined"
+  | Some labels ->
+      check "K3 accepted" true (S.accepted (S.run_edge cfg scheme labels)));
+  (* and declined on a triangle-free instance *)
+  let cfg2 = PLS.Config.random_ids rng (Gen.cycle 8) in
+  check "no K3 declined" true (scheme.S.es_prove cfg2 = None)
+
+let certify_diameter () =
+  (* P5 has diameter 4 *)
+  let cfg = PLS.Config.random_ids rng (Gen.path 5) in
+  let scheme = T1diam.edge_scheme ~k:1 () in
+  (match scheme.S.es_prove cfg with
+  | None -> Alcotest.fail "diameter prover declined"
+  | Some labels ->
+      check "diam accepted" true (S.accepted (S.run_edge cfg scheme labels)));
+  let cfg2 = PLS.Config.random_ids rng (Gen.path 7) in
+  check "diam 6 > 4 declined" true (scheme.S.es_prove cfg2 = None)
+
+let theorem1_edge_congestion () =
+  (* each real edge carries at most h(k+1) transported records *)
+  let g, ivs = Gen.random_pathwidth rng ~n:40 ~k:2 () in
+  let rep = Lcp_interval.Representation.of_pairs g ivs in
+  let cfg = PLS.Config.random_ids rng g in
+  match T1conn.P.prepare ~rep cfg with
+  | Error m -> Alcotest.fail m
+  | Ok art ->
+      let bound = Lcp_lanes.Bounds.h (Lcp_interval.Representation.width rep) in
+      EM.bindings art.T1conn.P.labels
+      |> List.iter (fun (_, l) ->
+             check "record count bounded" true
+               (List.length l.Cert.transported <= bound))
+
+(* full certificate labelings survive a round trip through actual bits *)
+let roundtrip_labels =
+  qcheck ~count:20 "certificate bit round-trip (connectivity)"
+    (arb_pw_graph ~max_k:2 ~max_n:25)
+    (fun (k, g, ivs) ->
+      let rep = Lcp_interval.Representation.of_pairs g ivs in
+      let cfg = PLS.Config.random_ids rng g in
+      let scheme = T1conn.edge_scheme ~rep:(fun _ -> Some rep) ~k () in
+      match scheme.S.es_prove cfg with
+      | None -> false
+      | Some labels ->
+          List.for_all
+            (fun (_, l) ->
+              let w = Bitenc.writer () in
+              Cert.encode ~encode_state:A.Connectivity.encode w l;
+              let r = Bitenc.reader_of_writer w in
+              let l' =
+                Cert.decode ~decode_state:A.Connectivity.decode r
+              in
+              (* decoded labels must verify and re-encode identically *)
+              let w2 = Bitenc.writer () in
+              Cert.encode ~encode_state:A.Connectivity.encode w2 l';
+              l = l'
+              && Bytes.to_string (Bitenc.to_bytes w)
+                 = Bytes.to_string (Bitenc.to_bytes w2))
+            (EM.bindings labels))
+
+let roundtrip_verifies () =
+  (* decode the bits, then run the verifier on the decoded labels *)
+  let g = Gen.cycle 14 in
+  let cfg = PLS.Config.random_ids rng g in
+  let scheme = T1conn.edge_scheme ~k:2 () in
+  let labels = Option.get (scheme.S.es_prove cfg) in
+  let decoded =
+    EM.bindings labels
+    |> List.map (fun (e, l) ->
+           let w = Bitenc.writer () in
+           Cert.encode ~encode_state:A.Connectivity.encode w l;
+           (e, Cert.decode ~decode_state:A.Connectivity.decode
+                 (Bitenc.reader_of_writer w)))
+    |> EM.of_list
+  in
+  check "decoded labels verify" true
+    (S.accepted (S.run_edge cfg scheme decoded))
+
+let suite =
+  ( "core",
+    [
+      test "compose base states" compose_base_states;
+      test "compose bridge (f_B)" compose_bridge;
+      test "compose parent (f_P)" compose_parent;
+      test "compose accepts" compose_accepts;
+      test "certificate encoding" encode_label;
+      test "verifier: singleton" verifier_singleton;
+      test "verifier: garbage rejected" verifier_rejects_garbage;
+      test "verifier: depth cap (Obs 5.5)" verifier_depth_cap;
+      test "certify clique" certify_clique;
+      test "certify diameter" certify_diameter;
+      test "transported records within h(w)" theorem1_edge_congestion;
+      roundtrip_labels;
+      test "decoded bits verify" roundtrip_verifies;
+    ] )

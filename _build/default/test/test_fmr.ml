@@ -1,0 +1,106 @@
+(* Tests for the FMR-style O(log² n) baseline: completeness, size shape,
+   and the consistency checks it does perform. *)
+
+open Test_util
+module G = Lcp_graph.Graph
+module Gen = Lcp_graph.Gen
+module T = Lcp_graph.Traversal
+module Rep = Lcp_interval.Representation
+module PW = Lcp_interval.Pathwidth
+module PLS = Lcp_pls
+module S = PLS.Scheme
+module A = Lcp_algebra
+
+module Fconn = Lcp_cert.Baseline_fmr.Make (A.Connectivity)
+module Facy = Lcp_cert.Baseline_fmr.Make (A.Acyclicity)
+module Fbip = Lcp_cert.Baseline_fmr.Make (A.Bipartite)
+
+let rng = rng_of_seed 555
+
+let completeness_on_families () =
+  List.iter
+    (fun (name, g) ->
+      if T.is_connected g && G.n g <= 14 then begin
+        let cfg = PLS.Config.random_ids rng g in
+        let k = max 1 (PW.exact g) in
+        let scheme = Fconn.scheme ~k () in
+        match scheme.S.vs_prove cfg with
+        | None -> Alcotest.fail (name ^ ": baseline prover declined")
+        | Some labels ->
+            check (name ^ " accepts") true
+              (S.accepted (S.run_vertex cfg scheme labels))
+      end)
+    named_families
+
+let prop_completeness =
+  qcheck ~count:60 "fmr completeness on random graphs"
+    (arb_pw_graph ~max_k:3 ~max_n:60)
+    (fun (k, g, ivs) ->
+      let rep = rep_of (g, ivs) in
+      let cfg = PLS.Config.random_ids rng g in
+      let scheme = Fconn.scheme ~rep:(fun _ -> Some rep) ~k () in
+      match scheme.S.vs_prove cfg with
+      | None -> false
+      | Some labels -> S.accepted (S.run_vertex cfg scheme labels))
+
+let prover_declines_false () =
+  let cfg = PLS.Config.random_ids rng (Gen.cycle 9) in
+  check "acyclicity on cycle declined" true
+    ((Facy.scheme ~k:2 ()).S.vs_prove cfg = None);
+  let cfg5 = PLS.Config.random_ids rng (Gen.cycle 5) in
+  check "bipartite on C5 declined" true
+    ((Fbip.scheme ~k:2 ()).S.vs_prove cfg5 = None)
+
+let label_shape_loglog () =
+  (* FMR label sizes grow faster than Theorem 1's: roughly log² n. On
+     paths, doubling n adds about one level of ~log n bits. *)
+  let bits n =
+    let g = Gen.path n in
+    let cfg = PLS.Config.make g in
+    let scheme =
+      Fconn.scheme
+        ~rep:(fun c ->
+          Some (PW.heuristic_interval_representation (PLS.Config.graph c)))
+        ~k:1 ()
+    in
+    let labels = Option.get (scheme.S.vs_prove cfg) in
+    S.max_vertex_label_bits scheme labels
+  in
+  let b32 = bits 32 and b64 = bits 64 and b128 = bits 128 in
+  check "monotone" true (b32 < b64 && b64 < b128);
+  (* each doubling adds at least one more level *)
+  check "superlogarithmic" true (b128 - b64 > 0 && b64 - b32 > 0)
+
+let mutation_detected () =
+  let g, ivs = Gen.random_pathwidth rng ~n:20 ~k:2 () in
+  let rep = rep_of (g, ivs) in
+  let cfg = PLS.Config.random_ids rng g in
+  let scheme = Fconn.scheme ~rep:(fun _ -> Some rep) ~k:2 () in
+  let labels = Option.get (scheme.S.vs_prove cfg) in
+  (* flip the accept bit of one vertex *)
+  let bad = Array.copy labels in
+  bad.(3) <- { bad.(3) with Fconn.accepted = false };
+  check "accept flip caught" false
+    (S.accepted (S.run_vertex cfg scheme bad));
+  (* corrupt one vertex's position *)
+  let bad2 = Array.copy labels in
+  bad2.(4) <- { bad2.(4) with Fconn.pos = bad2.(4).Fconn.pos + 1 };
+  check "position corruption caught" false
+    (S.accepted (S.run_vertex cfg scheme bad2))
+
+let single_vertex () =
+  let cfg = PLS.Config.make (Gen.path 1) in
+  let scheme = Fconn.scheme ~k:1 () in
+  let labels = Option.get (scheme.S.vs_prove cfg) in
+  check "singleton accepts" true (S.accepted (S.run_vertex cfg scheme labels))
+
+let suite =
+  ( "fmr_baseline",
+    [
+      test "completeness on named families" completeness_on_families;
+      prop_completeness;
+      test "prover declines false instances" prover_declines_false;
+      slow_test "label shape is superlogarithmic" label_shape_loglog;
+      test "mutations detected" mutation_detected;
+      test "single vertex" single_vertex;
+    ] )

@@ -1,0 +1,265 @@
+(* Tests for intervals, interval representations, path decompositions,
+   pathwidth computation, and interval coloring (Obs 4.3). *)
+
+open Test_util
+module I = Lcp_interval.Interval
+module Rep = Lcp_interval.Representation
+module PD = Lcp_interval.Path_decomposition
+module PW = Lcp_interval.Pathwidth
+module IC = Lcp_interval.Interval_coloring
+module G = Lcp_graph.Graph
+module Gen = Lcp_graph.Gen
+
+let interval_basics () =
+  let a = I.make 1 4 and b = I.make 5 7 and c = I.make 3 5 in
+  check "a before b" true (I.strictly_before a b);
+  check "not b before a" false (I.strictly_before b a);
+  check "a meets c" true (I.intersects a c);
+  check "b meets c" true (I.intersects b c);
+  check "a misses b" false (I.intersects a b);
+  check "mem" true (I.mem 3 a);
+  check "hull" true (I.equal (I.hull a b) (I.make 1 7));
+  check "hull_list" true (I.equal (I.hull_list [ a; b; c ]) (I.make 1 7));
+  check "empty rejected" true
+    (try
+       ignore (I.make 5 2);
+       false
+     with Invalid_argument _ -> true)
+
+(* the paper's Figure 1: interval representation of the 6-cycle *)
+let six_cycle_representation () =
+  let g = Gen.cycle 6 in
+  let rep = PW.exact_interval_representation g in
+  check_int "width 3 = pathwidth 2 + 1" 3 (Rep.width rep)
+
+let representation_validation () =
+  let g = Gen.path 3 in
+  let good = [| I.make 0 1; I.make 1 2; I.make 2 3 |] in
+  check "valid" true (Rep.validate g good = Ok ());
+  let bad = [| I.make 0 0; I.make 1 2; I.make 2 3 |] in
+  check "invalid" true (Rep.validate g bad <> Ok ());
+  check "make raises" true
+    (try
+       ignore (Rep.make g bad);
+       false
+     with Invalid_argument _ -> true)
+
+let width_by_sweep () =
+  let ivs = [| I.make 0 5; I.make 1 2; I.make 2 3; I.make 6 7 |] in
+  check_int "width" 3 (Rep.width_of_intervals ivs);
+  check_int "empty" 0 (Rep.width_of_intervals [||])
+
+let restrict_and_hull () =
+  let g = Gen.path 4 in
+  let rep =
+    Rep.make g [| I.make 0 1; I.make 1 2; I.make 2 3; I.make 3 4 |]
+  in
+  let sub, back = Rep.restrict rep [ 1; 2 ] in
+  check_int "sub width" 2 (Rep.width sub);
+  Alcotest.(check (array int)) "back" [| 1; 2 |] back;
+  check "hull" true (I.equal (Rep.hull_of rep [ 0; 2 ]) (I.make 0 3))
+
+let path_decomposition_conversions () =
+  List.iter
+    (fun (name, g) ->
+      if Lcp_graph.Traversal.is_connected g && G.n g <= 12 then begin
+        let rep = PW.exact_interval_representation g in
+        let pd = PD.of_interval_representation rep in
+        check (name ^ " pd valid") true
+          (PD.validate g (PD.bags pd) = Ok ());
+        check (name ^ " widths agree") true (PD.width pd + 1 <= Rep.width rep);
+        let rep2 = PD.to_interval_representation g pd in
+        check (name ^ " width preserved") true
+          (Rep.width rep2 <= Rep.width rep)
+      end)
+    named_families
+
+let pd_validation_failures () =
+  let g = Gen.path 3 in
+  check "missing vertex" true
+    (PD.validate g [| [ 0; 1 ] |] <> Ok ());
+  check "edge uncovered" true
+    (PD.validate g [| [ 0 ]; [ 1 ]; [ 2 ] |] <> Ok ());
+  check "non-contiguous" true
+    (PD.validate g [| [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] |] <> Ok ());
+  check "ok" true (PD.validate g [| [ 0; 1 ]; [ 1; 2 ] |] = Ok ())
+
+let exact_pathwidth_values () =
+  check_int "P1" 0 (PW.exact (Gen.path 1));
+  check_int "P6" 1 (PW.exact (Gen.path 6));
+  check_int "C6" 2 (PW.exact (Gen.cycle 6));
+  check_int "star" 1 (PW.exact (Gen.star 5));
+  check_int "K4" 3 (PW.exact (Gen.complete 4));
+  check_int "K5" 4 (PW.exact (Gen.complete 5));
+  check_int "caterpillar" 1 (PW.exact (Gen.caterpillar ~spine:4 ~legs:2));
+  check_int "ladder" 2 (PW.exact (Gen.ladder 5));
+  check_int "grid33" 3 (PW.exact (Gen.grid 3 3));
+  check_int "K23" 2 (PW.exact (Gen.complete_bipartite 2 3));
+  check_int "btree3" 2 (PW.exact (Gen.binary_tree ~depth:3))
+
+let layout_interval_rep () =
+  List.iter
+    (fun (name, g) ->
+      if G.n g <= 12 then begin
+        let pw, order = PW.exact_layout g in
+        check_int (name ^ " vs matches")
+          pw
+          (PW.vertex_separation_of_layout g order);
+        let rep = PW.interval_representation_of_layout g order in
+        check_int (name ^ " width = pw+1") (pw + 1) (Rep.width rep)
+      end)
+    named_families
+
+let heuristic_sanity () =
+  List.iter
+    (fun (name, g) ->
+      if G.n g <= 12 then begin
+        let rep = PW.heuristic_interval_representation g in
+        check (name ^ " heuristic valid") true
+          (Rep.validate g (Rep.intervals rep) = Ok ());
+        check (name ^ " heuristic >= exact") true
+          (Rep.width rep >= PW.exact g + 1)
+      end)
+    named_families;
+  (* the heuristic is exact on paths *)
+  check_int "heuristic path" 2
+    (Rep.width (PW.heuristic_interval_representation (Gen.path 12)))
+
+let coloring_basic () =
+  let ivs =
+    [| I.make 0 3; I.make 1 2; I.make 4 6; I.make 5 8; I.make 9 9 |]
+  in
+  let lane, lanes = IC.color ivs in
+  check_int "lanes = width" 2 lanes;
+  check "valid" true (IC.is_valid_coloring ivs lane)
+
+let prop_coloring =
+  let arb =
+    QCheck.(
+      make
+        ~print:(fun ivs ->
+          String.concat ","
+            (List.map (fun (l, r) -> Printf.sprintf "[%d,%d]" l r) ivs))
+        (Gen.list_size (Gen.int_range 1 30)
+           (Gen.map
+              (fun (a, b) -> (min a b, max a b))
+              (Gen.pair (Gen.int_bound 40) (Gen.int_bound 40)))))
+  in
+  qcheck ~count:300 "greedy coloring uses exactly width lanes" arb (fun pairs ->
+      let ivs = Array.of_list (List.map (fun (l, r) -> I.make l r) pairs) in
+      let lane, lanes = IC.color ivs in
+      IC.is_valid_coloring ivs lane
+      && lanes = Rep.width_of_intervals ivs)
+
+let prop_exact_pw_upper =
+  qcheck ~count:60 "exact pathwidth <= generator k"
+    (arb_pw_graph ~max_k:3 ~max_n:14)
+    (fun (k, g, _) -> PW.exact g <= k)
+
+let prop_layout_rep_valid =
+  qcheck ~count:60 "layout interval representation is valid"
+    (arb_pw_graph ~max_k:3 ~max_n:14)
+    (fun (_, g, _) ->
+      let rep = PW.exact_interval_representation g in
+      Rep.validate g (Rep.intervals rep) = Ok ())
+
+module TD = Lcp_interval.Tree_decomposition
+module TW = Lcp_interval.Treewidth
+
+let treewidth_values () =
+  check_int "P6" 1 (TW.exact (Gen.path 6));
+  check_int "C6" 2 (TW.exact (Gen.cycle 6));
+  check_int "star" 1 (TW.exact (Gen.star 6));
+  check_int "K4" 3 (TW.exact (Gen.complete 4));
+  check_int "K5" 4 (TW.exact (Gen.complete 5));
+  check_int "K23" 2 (TW.exact (Gen.complete_bipartite 2 3));
+  check_int "grid33" 3 (TW.exact (Gen.grid 3 3));
+  check_int "ladder" 2 (TW.exact (Gen.ladder 5));
+  check_int "btree3" 1 (TW.exact (Gen.binary_tree ~depth:3));
+  check_int "diamond" 2 (TW.exact Gen.diamond)
+
+let tree_decomposition_validity () =
+  List.iter
+    (fun (name, g) ->
+      if G.n g <= 12 then begin
+        let td = TW.exact_decomposition g in
+        check (name ^ " valid")
+          true
+          (TD.validate g ~bags:(td.TD.bags) ~edges:td.TD.edges = Ok ());
+        check_int (name ^ " width = tw") (TW.exact g) (TD.width td)
+      end)
+    named_families
+
+let tree_decomposition_failures () =
+  let g = Gen.cycle 4 in
+  (* missing edge coverage *)
+  check "edge uncovered" true
+    (TD.validate g
+       ~bags:[| [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ] |]
+       ~edges:[ (0, 1); (1, 2) ]
+     <> Ok ());
+  (* disconnected vertex subtree *)
+  check "subtree disconnected" true
+    (TD.validate g
+       ~bags:[| [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ]; [ 3; 0 ] |]
+       ~edges:[ (0, 1); (1, 2); (2, 3) ]
+     <> Ok ());
+  (* a valid one *)
+  check "valid C4 decomposition" true
+    (TD.validate g
+       ~bags:[| [ 0; 1; 3 ]; [ 1; 2; 3 ] |]
+       ~edges:[ (0, 1) ]
+     = Ok ());
+  (* bag graph with a cycle is rejected *)
+  check "cyclic bag graph" true
+    (TD.validate g
+       ~bags:[| [ 0; 1; 3 ]; [ 1; 2; 3 ]; [ 1; 3 ] |]
+       ~edges:[ (0, 1); (1, 2); (2, 0) ]
+     <> Ok ())
+
+let prop_tw_le_pw =
+  qcheck ~count:50 "treewidth <= pathwidth"
+    (arb_pw_graph ~max_k:3 ~max_n:13)
+    (fun (_, g, _) -> TW.exact g <= PW.exact g)
+
+let prop_exact_td_valid =
+  qcheck ~count:50 "exact tree decomposition is valid with width = tw"
+    (arb_pw_graph ~max_k:3 ~max_n:13)
+    (fun (_, g, _) ->
+      let td = TW.exact_decomposition g in
+      TD.validate g ~bags:td.TD.bags ~edges:td.TD.edges = Ok ()
+      && TD.width td = TW.exact g)
+
+let path_to_tree_decomposition () =
+  let g = Gen.cycle 6 in
+  let rep = PW.exact_interval_representation g in
+  let pd = Lcp_interval.Path_decomposition.of_interval_representation rep in
+  let td = TD.of_path_decomposition pd in
+  check "pd as td valid" true
+    (TD.validate g ~bags:td.TD.bags ~edges:td.TD.edges = Ok ());
+  check "width preserved" true (TD.width td <= Rep.width rep - 1)
+
+let suite =
+  ( "interval",
+    [
+      test "interval basics" interval_basics;
+      test "six-cycle representation (Fig 1)" six_cycle_representation;
+      test "representation validation" representation_validation;
+      test "width by sweep" width_by_sweep;
+      test "restrict and hull" restrict_and_hull;
+      test "path decomposition conversions" path_decomposition_conversions;
+      test "pd validation failures" pd_validation_failures;
+      test "exact pathwidth values" exact_pathwidth_values;
+      test "layout representations" layout_interval_rep;
+      test "heuristic sanity" heuristic_sanity;
+      test "coloring basics" coloring_basic;
+      prop_coloring;
+      prop_exact_pw_upper;
+      prop_layout_rep_valid;
+      test "treewidth values" treewidth_values;
+      test "tree decompositions valid on families" tree_decomposition_validity;
+      test "tree decomposition failures" tree_decomposition_failures;
+      prop_tw_le_pw;
+      prop_exact_td_valid;
+      test "path decomposition as tree decomposition" path_to_tree_decomposition;
+    ] )

@@ -1,0 +1,187 @@
+(* Tests for §4: lane partitions, completions, embeddings, and the
+   Prop 4.6 low-congestion construction with its f/g/h bounds. *)
+
+open Test_util
+module I = Lcp_interval.Interval
+module Rep = Lcp_interval.Representation
+module PW = Lcp_interval.Pathwidth
+module LP = Lcp_lanes.Lane_partition
+module Cmp = Lcp_lanes.Completion
+module E = Lcp_lanes.Embedding
+module LC = Lcp_lanes.Low_congestion
+module B = Lcp_lanes.Bounds
+module G = Lcp_graph.Graph
+module T = Lcp_graph.Traversal
+module Gen = Lcp_graph.Gen
+
+let bounds_table () =
+  check_int "f1" 1 (B.f 1);
+  check_int "f2" 4 (B.f 2);
+  check_int "f3" 18 (B.f 3);
+  check_int "f4" 110 (B.f 4);
+  check_int "g1" 0 (B.g 1);
+  check_int "g2" (2 + 0 + 4) (B.g 2);
+  check_int "g3" (2 + B.g 2 + (6 * B.f 2)) (B.g 3);
+  check_int "h2" (B.g 2 + B.f 2 - 1) (B.h 2);
+  check "monotone" true (B.f 2 < B.f 3 && B.g 2 < B.g 3 && B.h 2 < B.h 3)
+
+let lane_partition_validation () =
+  let g = Gen.path 4 in
+  let rep =
+    Rep.make g [| I.make 0 1; I.make 1 2; I.make 2 3; I.make 3 4 |]
+  in
+  (* overlapping intervals cannot share a lane *)
+  check "overlap rejected" true
+    (LP.validate rep [| [ 0; 1 ]; [ 2 ]; [ 3 ] |] <> Ok ());
+  check "missing vertex rejected" true
+    (LP.validate rep [| [ 0 ]; [ 1 ]; [ 2 ] |] <> Ok ());
+  check "duplicate rejected" true
+    (LP.validate rep [| [ 0 ]; [ 0; 2 ]; [ 1 ]; [ 3 ] |] <> Ok ());
+  check "empty lane rejected" true
+    (LP.validate rep [| [ 0; 2 ]; [ 1; 3 ]; [] |] <> Ok ());
+  check "ok disjoint" true (LP.validate rep [| [ 0; 2 ]; [ 1; 3 ] |] = Ok ())
+
+let greedy_partition () =
+  let g = Gen.cycle 6 in
+  let rep = PW.exact_interval_representation g in
+  let p = LP.of_greedy_coloring rep in
+  check_int "lanes = width" (Rep.width rep) (LP.lane_count p);
+  check "valid" true (LP.validate rep (LP.lanes p) = Ok ())
+
+let completion_shapes () =
+  let g = Gen.path 4 in
+  let rep =
+    Rep.make g [| I.make 0 1; I.make 1 2; I.make 2 3; I.make 3 4 |]
+  in
+  let p = LP.make rep [| [ 0; 2 ]; [ 1; 3 ] |] in
+  (* E1: 0-2 and 1-3; E2: 0-1 (already an edge) *)
+  Alcotest.(check (list (pair int int)))
+    "e1" [ (0, 2); (1, 3) ] (Cmp.e1_edges p);
+  Alcotest.(check (list (pair int int))) "e2" [ (0, 1) ] (Cmp.e2_edges p);
+  Alcotest.(check (list (pair int int)))
+    "new weak" [ (0, 2); (1, 3) ] (Cmp.new_edges_weak p);
+  Alcotest.(check (list (pair int int)))
+    "new full" [ (0, 2); (1, 3) ] (Cmp.new_edges_full p);
+  check_int "weak m" 5 (G.m (Cmp.weak_completion p));
+  check_int "full m" 5 (G.m (Cmp.completion p))
+
+let embedding_checks () =
+  let g = Gen.path 5 in
+  let emb = [ ((0, 2), [ 0; 1; 2 ]); ((1, 3), [ 1; 2; 3 ]) ] in
+  check "valid" true (E.validate g [ (0, 2); (1, 3) ] emb = Ok ());
+  check_int "congestion" 2 (E.congestion g emb);
+  check "missing path" true (E.validate g [ (0, 4) ] emb <> Ok ());
+  check "wrong endpoints" true
+    (E.validate g [ (0, 2) ] [ ((0, 2), [ 0; 1 ]) ] <> Ok ());
+  check "non-edge step" true
+    (E.validate g [ (0, 2) ] [ ((0, 2), [ 0; 2 ]) ] <> Ok ());
+  check "not simple" true
+    (E.validate g [ (0, 2) ] [ ((0, 2), [ 0; 1; 0; 1; 2 ]) ] <> Ok ())
+
+let loop_erase () =
+  Alcotest.(check (list int)) "simple already" [ 1; 2; 3 ]
+    (E.loop_erase [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "cycle removed" [ 1; 4 ]
+    (E.loop_erase [ 1; 2; 3; 1; 4 ]);
+  Alcotest.(check (list int)) "nested" [ 0; 5 ]
+    (E.loop_erase [ 0; 1; 2; 1; 0; 5 ]);
+  Alcotest.(check (list int)) "endpoint same" [ 7 ] (E.loop_erase [ 7 ])
+
+let construct_on_families () =
+  List.iter
+    (fun (name, g) ->
+      if T.is_connected g && G.n g <= 12 then begin
+        let rep = PW.exact_interval_representation g in
+        let w = Rep.width rep in
+        let r = LC.construct rep in
+        let p = r.LC.partition in
+        check (name ^ " partition valid") true
+          (LP.validate (LP.rep p) (LP.lanes p) = Ok ());
+        check (name ^ " lanes <= f(w)") true (LP.lane_count p <= B.f w);
+        check (name ^ " weak emb valid") true
+          (E.validate g (Cmp.new_edges_weak p) r.LC.weak_embedding = Ok ());
+        check (name ^ " full emb valid") true
+          (E.validate g (Cmp.new_edges_full p) r.LC.full_embedding = Ok ());
+        check (name ^ " weak congestion") true (LC.congestion_weak r <= B.g w);
+        check (name ^ " full congestion") true (LC.congestion_full r <= B.h w)
+      end)
+    named_families
+
+let construct_single_vertex () =
+  let g = Gen.path 1 in
+  let rep = Rep.make g [| I.make 0 0 |] in
+  let r = LC.construct rep in
+  check_int "one lane" 1 (LC.lane_count r);
+  check_int "no congestion" 0 (LC.congestion_full r)
+
+let construct_rejects_disconnected () =
+  let g = G.of_edges ~n:4 [ (0, 1); (2, 3) ] in
+  let rep =
+    Rep.make g [| I.make 0 1; I.make 1 2; I.make 5 6; I.make 6 7 |]
+  in
+  check "raises" true
+    (try
+       ignore (LC.construct rep);
+       false
+     with Invalid_argument _ -> true)
+
+let spine_structure () =
+  (* the spine starts at the min-left vertex and its intervals alternate *)
+  let g = Gen.cycle 8 in
+  let rep = PW.exact_interval_representation g in
+  let r = LC.construct rep in
+  let s = r.LC.spine in
+  let left v = I.l (Rep.interval rep v) in
+  let right v = I.r (Rep.interval rep v) in
+  check "v_st minimizes L" true
+    (G.fold_vertices (fun v acc -> acc && left s.LC.v_st <= left v) g true);
+  check "v_ed maximizes R" true
+    (G.fold_vertices (fun v acc -> acc && right s.LC.v_ed >= right v) g true);
+  (* Obs 4.7: strictly increasing right endpoints along S *)
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> right a < right b && increasing rest
+    | _ -> true
+  in
+  check "Obs 4.7" true (increasing s.LC.s_seq)
+
+let prop_construct =
+  qcheck ~count:150 "Prop 4.6 on random graphs"
+    (arb_pw_graph ~max_k:4 ~max_n:60)
+    (fun (_, g, ivs) ->
+      let rep = rep_of (g, ivs) in
+      let w = Rep.width rep in
+      let r = LC.construct rep in
+      let p = r.LC.partition in
+      LP.validate (LP.rep p) (LP.lanes p) = Ok ()
+      && LP.lane_count p <= B.f w
+      && E.validate g (Cmp.new_edges_weak p) r.LC.weak_embedding = Ok ()
+      && E.validate g (Cmp.new_edges_full p) r.LC.full_embedding = Ok ()
+      && LC.congestion_weak r <= B.g w
+      && LC.congestion_full r <= B.h w)
+
+let prop_completion_pathwidth =
+  qcheck ~count:40 "completion keeps pathwidth bounded by lane count"
+    (arb_pw_graph ~max_k:2 ~max_n:12)
+    (fun (_, g, ivs) ->
+      let rep = rep_of (g, ivs) in
+      let r = LC.construct rep in
+      let host = Cmp.completion r.LC.partition in
+      G.n host <= 1
+      || PW.exact host <= LP.lane_count r.LC.partition)
+
+let suite =
+  ( "lanes",
+    [
+      test "bound functions" bounds_table;
+      test "lane partition validation" lane_partition_validation;
+      test "greedy partition (Obs 4.3)" greedy_partition;
+      test "completion shapes (Fig 3)" completion_shapes;
+      test "embedding checks" embedding_checks;
+      test "loop erase" loop_erase;
+      test "Prop 4.6 on named families" construct_on_families;
+      test "single vertex base case" construct_single_vertex;
+      test "disconnected rejected" construct_rejects_disconnected;
+      test "spine structure (Obs 4.7)" spine_structure;
+      prop_construct;
+      prop_completion_pathwidth;
+    ] )

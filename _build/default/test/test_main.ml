@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "lcp"
+    [
+      Test_bitenc.suite;
+      Test_graph.suite;
+      Test_interval.suite;
+      Test_lanes.suite;
+      Test_lanewidth.suite;
+      Test_algebra.suite;
+      Test_mso.suite;
+      Test_pls.suite;
+      Test_theorem1.suite;
+      Test_soundness.suite;
+      Test_fmr.suite;
+      Test_core.suite;
+      Test_network.suite;
+      Test_terminal.suite;
+    ]

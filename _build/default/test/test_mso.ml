@@ -1,0 +1,132 @@
+(* Tests for the MSO₂ layer: the naive model checker is the ground truth
+   the compositional algebras are measured against (Prop 2.4's contract). *)
+
+open Test_util
+module G = Lcp_graph.Graph
+module Gen = Lcp_graph.Gen
+module F = Lcp_mso.Formula
+module E = Lcp_mso.Eval
+module P = Lcp_mso.Properties
+module A = Lcp_algebra
+
+module VC2 = A.Vertex_cover.Make (struct let budget = 2 end)
+module IS3 = A.Independent_set.Make (struct let target = 3 end)
+module DS2 = A.Dominating_set.Make (struct let budget = 2 end)
+module MD2 = A.Degree.Max_degree (struct let d = 2 end)
+module R2 = A.Degree.Regular (struct let d = 2 end)
+
+let oracles : (string * (G.t -> bool)) list =
+  [
+    ("connected", A.Connectivity.oracle);
+    ("acyclic", A.Acyclicity.oracle);
+    ("tree", fun g -> A.Connectivity.oracle g && A.Acyclicity.oracle g);
+    ("bipartite", A.Bipartite.oracle);
+    ("three_colorable", A.Colorable.Three.oracle);
+    ("perfect_matching", A.Matching.oracle);
+    ("hamiltonian_cycle", A.Hamiltonian.Cycle_alg.oracle);
+    ("hamiltonian_path", A.Hamiltonian.Path_alg.oracle);
+    ("triangle_free", A.Triangle_free.oracle);
+    ("vertex_cover<=2", VC2.oracle);
+    ("independent_set>=3", IS3.oracle);
+    ("dominating_set<=2", DS2.oracle);
+    ("max_degree<=2", MD2.oracle);
+    ("2-regular", R2.oracle);
+    ("is_path_graph", A.Combinators.Is_path_graph.oracle);
+    ("is_cycle_graph", A.Combinators.Is_cycle_graph.oracle);
+    ( "clique>=3",
+      let module K3 = A.Clique.Make (struct
+        let size = 3
+      end) in
+      K3.oracle );
+    ( "diameter<=2",
+      let module D2 = A.Diameter.Make (struct
+        let d = 2
+      end) in
+      D2.oracle );
+  ]
+
+(* formulas with set quantifiers get expensive; cap the graph size *)
+let eval_cap = function
+  | F.Exists_eset _ | F.Forall_eset _ -> 4
+  | _ -> 4
+
+(* every catalogue formula decides exactly the oracle property on all
+   non-empty graphs with <= 4 vertices (the model assumes n >= 1) *)
+let formula_matches_oracle (name, formula) =
+  match List.assoc_opt name oracles with
+  | None -> test ("skip " ^ name) (fun () -> ())
+  | Some oracle ->
+      slow_test ("MSO = oracle: " ^ name) (fun () ->
+          List.iter
+            (fun g ->
+              if G.n g <= eval_cap formula then
+                check
+                  (Printf.sprintf "%s on %s" name (G.to_string g))
+                  (oracle g) (E.eval g formula))
+            small_graphs)
+
+let structure_metrics () =
+  check "qrank connected >= 3" true (F.quantifier_rank P.connected >= 3);
+  check "size positive" true (F.size P.hamiltonian_cycle > 10);
+  check "qrank atomic" true (F.quantifier_rank (F.Adj ("u", "v")) = 0);
+  let s = Format.asprintf "%a" F.pp P.bipartite in
+  check "prints" true (String.length s > 0)
+
+let free_variables () =
+  (* evaluating with a free vertex-set variable: domination by a given set *)
+  let dominated =
+    F.Forall_v
+      ( "v",
+        F.Or
+          ( F.Mem_v ("v", "D"),
+            F.Exists_v
+              ("u", F.And (F.Adj ("u", "v"), F.Mem_v ("u", "D"))) ) )
+  in
+  let g = Gen.star 4 in
+  check "center dominates" true
+    (E.eval ~env:[ ("D", E.Vertex_set [ 0 ]) ] g dominated);
+  check "leaf does not" false
+    (E.eval ~env:[ ("D", E.Vertex_set [ 1 ]) ] g dominated);
+  check "unbound variable rejected" true
+    (try
+       ignore (E.eval g dominated);
+       false
+     with Invalid_argument _ -> true)
+
+let specific_formulas () =
+  check "C5 not bipartite" false (E.eval (Gen.cycle 5) P.bipartite);
+  check "C4 bipartite" true (E.eval (Gen.cycle 4) P.bipartite);
+  check "K4 not 3-colorable... is 4-chromatic" false
+    (E.eval (Gen.complete 4) P.three_colorable);
+  check "C4 perfect matching" true (E.eval (Gen.cycle 4) P.perfect_matching);
+  check "P3 no perfect matching" false (E.eval (Gen.path 3) P.perfect_matching);
+  check "C4 hamiltonian" true (E.eval (Gen.cycle 4) P.hamiltonian_cycle);
+  check "diamond vc<=2" true (E.eval Gen.diamond (P.vertex_cover_at_most 2));
+  check "K4 vc<=2" false (E.eval (Gen.complete 4) (P.vertex_cover_at_most 2));
+  check "P4 is path" true (E.eval (Gen.path 4) P.is_path_graph);
+  check "C4 is cycle" true (E.eval (Gen.cycle 4) P.is_cycle_graph);
+  check "C4 is not path" false (E.eval (Gen.cycle 4) P.is_path_graph)
+
+let conj_disj_helpers () =
+  check "conj empty" true (E.eval (Gen.path 2) (F.conj []));
+  check "disj empty" false (E.eval (Gen.path 2) (F.disj []));
+  check "distinct" true
+    (E.eval (Gen.path 2)
+       (F.Exists_v
+          ( "a",
+            F.Exists_v ("b", F.pairwise_distinct_v [ "a"; "b" ]) )));
+  check "distinct fails on K1" false
+    (E.eval (Gen.path 1)
+       (F.Exists_v
+          ( "a",
+            F.Exists_v ("b", F.pairwise_distinct_v [ "a"; "b" ]) )))
+
+let suite =
+  ( "mso",
+    List.map formula_matches_oracle P.catalogue
+    @ [
+        test "structure metrics" structure_metrics;
+        test "free variables" free_variables;
+        test "specific formulas" specific_formulas;
+        test "conj/disj helpers" conj_disj_helpers;
+      ] )

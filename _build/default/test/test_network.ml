@@ -1,0 +1,114 @@
+(* Tests for the round-based message-passing simulation: it must agree
+   with the direct harness, deliver exactly the right messages, and drive
+   the self-stabilization loop. *)
+
+open Test_util
+module G = Lcp_graph.Graph
+module Gen = Lcp_graph.Gen
+module PLS = Lcp_pls
+module S = PLS.Scheme
+module EM = S.Edge_map
+module N = PLS.Network
+module Cert = Lcp_cert.Certificate
+module T1path = Lcp_cert.Theorem1.Make (Lcp_algebra.Combinators.Is_path_graph)
+
+let rng = rng_of_seed 31
+
+let message_counts () =
+  let g = Gen.grid 3 3 in
+  let cfg = PLS.Config.random_ids rng g in
+  let labels = Option.get (PLS.Bipartite_scheme.scheme.S.vs_prove cfg) in
+  let t = N.run_vertex_round cfg PLS.Bipartite_scheme.scheme labels in
+  check_int "one round" 1 t.N.rounds;
+  (* every link carries one message in each direction *)
+  check_int "2m messages" (2 * G.m g) (List.length t.N.messages);
+  check_int "verdict per vertex" (G.n g) (List.length t.N.verdicts);
+  check "accepted" true (N.accepted t)
+
+let vertex_round_agrees =
+  qcheck ~count:40 "vertex round = direct harness"
+    (arb_pw_graph ~max_k:2 ~max_n:25)
+    (fun (_, g, _) ->
+      let cfg = PLS.Config.random_ids rng g in
+      match PLS.Bipartite_scheme.scheme.S.vs_prove cfg with
+      | None -> true (* non-bipartite: nothing to compare *)
+      | Some labels ->
+          let direct =
+            S.accepted (S.run_vertex cfg PLS.Bipartite_scheme.scheme labels)
+          in
+          let round =
+            N.accepted (N.run_vertex_round cfg PLS.Bipartite_scheme.scheme labels)
+          in
+          direct = round)
+
+let edge_round_agrees =
+  qcheck ~count:25 "edge round = direct harness (pointer scheme)"
+    (arb_pw_graph ~max_k:2 ~max_n:25)
+    (fun (_, g, _) ->
+      let cfg = PLS.Config.random_ids rng g in
+      let target = PLS.Config.id cfg 0 in
+      let scheme = PLS.Spanning_tree.scheme ~target in
+      match scheme.S.es_prove cfg with
+      | None -> false
+      | Some labels ->
+          S.accepted (S.run_edge cfg scheme labels)
+          = N.accepted (N.run_edge_round cfg scheme labels))
+
+let corrupted_round_rejects () =
+  let g = Gen.path 10 in
+  let cfg = PLS.Config.random_ids rng g in
+  let scheme = T1path.edge_scheme ~k:1 () in
+  let labels = Option.get (scheme.S.es_prove cfg) in
+  let t = N.run_edge_round cfg scheme labels in
+  check "honest accepted" true (N.accepted t);
+  let e, l = List.hd (EM.bindings labels) in
+  let bad =
+    EM.add labels e { l with Cert.accept_state = false }
+  in
+  let t2 = N.run_edge_round cfg scheme bad in
+  check "corruption detected" false (N.accepted t2);
+  (* the rejection reasons are attached to specific processors *)
+  check "some reject verdict" true
+    (List.exists
+       (fun (_, v) -> match v with N.Reject _ -> true | N.Accept -> false)
+       t2.N.verdicts)
+
+let stabilization_loop () =
+  let g = Gen.path 12 in
+  let cfg = PLS.Config.random_ids rng g in
+  let scheme = T1path.edge_scheme ~k:1 () in
+  let flip_accept labels =
+    let e, l = List.hd (EM.bindings labels) in
+    EM.add labels e { l with Cert.accept_state = false }
+  in
+  let retarget labels =
+    let e, l = List.nth (EM.bindings labels) 3 in
+    EM.add labels e
+      {
+        l with
+        Cert.global_ptr =
+          {
+            l.Cert.global_ptr with
+            PLS.Spanning_tree.target =
+              l.Cert.global_ptr.PLS.Spanning_tree.target + 1;
+          };
+      }
+  in
+  let identity labels = labels in
+  let report =
+    N.stabilize cfg scheme ~faults:[ flip_accept; identity; retarget ]
+  in
+  check_int "faults" 3 report.N.faults_injected;
+  check_int "detected (identity is legal)" 2 report.N.faults_detected;
+  check_int "reproofs" 2 report.N.reproofs;
+  check "legal at the end" true report.N.final_legal
+
+let suite =
+  ( "network",
+    [
+      test "message counts" message_counts;
+      vertex_round_agrees;
+      edge_round_agrees;
+      test "corrupted round rejects" corrupted_round_rejects;
+      test "stabilization loop" stabilization_loop;
+    ] )

@@ -1,0 +1,316 @@
+(* Tests for the PLS framework: configurations, the simulation harness,
+   the pointer scheme (Prop 2.2), the edge->vertex transform (Prop 2.1),
+   the 1-bit bipartiteness scheme, and the universal scheme. *)
+
+open Test_util
+module G = Lcp_graph.Graph
+module Gen = Lcp_graph.Gen
+module T = Lcp_graph.Traversal
+module PLS = Lcp_pls
+module S = PLS.Scheme
+module EM = S.Edge_map
+module ST = PLS.Spanning_tree
+
+let config_basics () =
+  let g = Gen.path 3 in
+  let cfg = PLS.Config.make g in
+  check_int "default ids" 1 (PLS.Config.id cfg 1);
+  check "lookup" true (PLS.Config.vertex_of_id cfg 2 = Some 2);
+  check "missing id" true (PLS.Config.vertex_of_id cfg 9 = None);
+  check "duplicate ids rejected" true
+    (try
+       ignore (PLS.Config.make ~ids:[| 1; 1; 2 |] g);
+       false
+     with Invalid_argument _ -> true);
+  let cfg2 = PLS.Config.random_ids (rng_of_seed 4) g in
+  let ids = List.init 3 (fun v -> PLS.Config.id cfg2 v) in
+  check "random distinct" true
+    (List.length (List.sort_uniq compare ids) = 3)
+
+let edge_map () =
+  let m = EM.of_list [ ((0, 1), "a"); ((2, 1), "b") ] in
+  check "find canonical" true (EM.find m (1, 0) = Some "a");
+  check "find reversed" true (EM.find m (1, 2) = Some "b");
+  check "missing" true (EM.find m (0, 2) = None);
+  check_int "cardinal" 2 (EM.cardinal m);
+  check "map" true (EM.find (EM.map String.uppercase_ascii m) (0, 1) = Some "A")
+
+let run_edge_totality () =
+  let g = Gen.path 3 in
+  let cfg = PLS.Config.make g in
+  let scheme =
+    {
+      S.es_name = "trivial";
+      es_prove = (fun _ -> Some (EM.of_list [ ((0, 1), ()); ((1, 2), ()) ]));
+      es_verify = (fun _ -> Ok ());
+      es_encode = (fun _ () -> ());
+    }
+  in
+  check "accepts" true
+    (S.accepted (S.run_edge cfg scheme (Option.get (scheme.S.es_prove cfg))));
+  check "partial labeling rejected" true
+    (try
+       ignore (S.run_edge cfg scheme (EM.of_list [ ((0, 1), ()) ]));
+       false
+     with Invalid_argument _ -> true)
+
+let rejection_reporting () =
+  let g = Gen.path 3 in
+  let cfg = PLS.Config.make g in
+  let scheme =
+    {
+      S.es_name = "grumpy";
+      es_prove = (fun _ -> None);
+      es_verify =
+        (fun v -> if v.S.ev_id = 1 then Error "middle vertex" else Ok ());
+      es_encode = (fun _ () -> ());
+    }
+  in
+  match S.run_edge cfg scheme (EM.of_list [ ((0, 1), ()); ((1, 2), ()) ]) with
+  | S.Rejected [ (1, "middle vertex") ] -> ()
+  | _ -> Alcotest.fail "expected exactly vertex 1 to reject"
+
+let pointer_completeness () =
+  let rng = rng_of_seed 9 in
+  List.iter
+    (fun (name, g) ->
+      if T.is_connected g then begin
+        let cfg = PLS.Config.random_ids rng g in
+        let target = PLS.Config.id cfg (G.n g / 2) in
+        let scheme = ST.scheme ~target in
+        match scheme.S.es_prove cfg with
+        | None -> Alcotest.fail (name ^ ": prover declined")
+        | Some labels ->
+            check (name ^ " accepts") true
+              (S.accepted (S.run_edge cfg scheme labels))
+      end)
+    named_families
+
+let pointer_soundness_missing_target () =
+  let rng = rng_of_seed 10 in
+  let g = Gen.grid 3 3 in
+  let cfg = PLS.Config.random_ids rng g in
+  let absent = 1 lsl 22 in
+  let scheme = ST.scheme ~target:absent in
+  check "prover declines" true (scheme.S.es_prove cfg = None);
+  (* adversary: honest tree for some root, with the target id rewritten *)
+  let real_target = PLS.Config.id cfg 0 in
+  let honest = ST.labels_for cfg ~root:0 ~target:real_target in
+  let forged = EM.map (fun l -> { l with ST.target = absent }) honest in
+  check "forged rejected" false (S.accepted (S.run_edge cfg scheme forged))
+
+let pointer_soundness_mutations () =
+  let rng = rng_of_seed 11 in
+  let g = Gen.caterpillar ~spine:5 ~legs:1 in
+  let cfg = PLS.Config.random_ids rng g in
+  let target = PLS.Config.id cfg 3 in
+  let scheme = ST.scheme ~target in
+  let labels = Option.get (scheme.S.es_prove cfg) in
+  (* corrupt each edge's label in turn; every corruption must be caught *)
+  List.iter
+    (fun (e, l) ->
+      let bad =
+        match l.ST.parent with
+        | Some (d, c) -> { l with ST.parent = Some (d + 1, c) }
+        | None -> { l with ST.parent = Some (1, target) }
+      in
+      let forged = EM.add labels e bad in
+      check "mutation caught" false
+        (S.accepted (S.run_edge cfg scheme forged)))
+    (EM.bindings labels)
+
+let pointer_single_vertex () =
+  let g = Gen.path 1 in
+  let cfg = PLS.Config.make g in
+  let ok = ST.scheme ~target:0 in
+  check "single accepts" true
+    (S.accepted (S.run_edge cfg ok (Option.get (ok.S.es_prove cfg))));
+  let bad = ST.scheme ~target:7 in
+  check "single prover declines" true (bad.S.es_prove cfg = None);
+  check "single rejects" false
+    (S.accepted (S.run_edge cfg bad EM.empty))
+
+let bipartite_scheme () =
+  let rng = rng_of_seed 12 in
+  let run g expect =
+    let cfg = PLS.Config.random_ids rng g in
+    match PLS.Bipartite_scheme.scheme.S.vs_prove cfg with
+    | None -> check "declines" false expect
+    | Some labels ->
+        check "accepts" expect
+          (S.accepted (S.run_vertex cfg PLS.Bipartite_scheme.scheme labels))
+  in
+  run (Gen.cycle 6) true;
+  run (Gen.cycle 5) false;
+  run (Gen.grid 3 4) true;
+  run (Gen.complete 3) false;
+  (* label size: exactly 1 bit *)
+  let cfg = PLS.Config.make (Gen.cycle 4) in
+  let labels = Option.get (PLS.Bipartite_scheme.scheme.S.vs_prove cfg) in
+  check_int "one bit" 1
+    (S.max_vertex_label_bits PLS.Bipartite_scheme.scheme labels)
+
+let bipartite_soundness () =
+  let g = Gen.cycle 6 in
+  let cfg = PLS.Config.make g in
+  let labels = Option.get (PLS.Bipartite_scheme.scheme.S.vs_prove cfg) in
+  for v = 0 to 5 do
+    let bad = Array.copy labels in
+    bad.(v) <- not bad.(v);
+    check "flip caught" false
+      (S.accepted (S.run_vertex cfg PLS.Bipartite_scheme.scheme bad))
+  done
+
+let universal_scheme () =
+  let rng = rng_of_seed 13 in
+  let sch =
+    PLS.Universal.scheme ~name:"u_cycle" ~property:T.is_cycle_graph
+  in
+  let g = Gen.cycle 7 in
+  let cfg = PLS.Config.random_ids rng g in
+  let labels = Option.get (sch.S.vs_prove cfg) in
+  check "accepts" true (S.accepted (S.run_vertex cfg sch labels));
+  check "declines on path" true (sch.S.vs_prove (PLS.Config.make (Gen.path 7)) = None);
+  (* adversary: describe a different graph (two triangles instead of C6) *)
+  let g6 = Gen.cycle 6 in
+  let cfg6 = PLS.Config.make g6 in
+  let fake_edges = [ (0, 1); (1, 2); (0, 2); (3, 4); (4, 5); (3, 5) ] in
+  let forged =
+    Array.init 6 (fun v ->
+        {
+          PLS.Universal.my_id = v;
+          ids = [ 0; 1; 2; 3; 4; 5 ];
+          edges = fake_edges;
+        })
+  in
+  check "wrong graph rejected" false
+    (S.accepted
+       (S.run_vertex cfg6
+          (PLS.Universal.scheme ~name:"u" ~property:(fun _ -> true))
+          forged))
+
+let edge_to_vertex_transform () =
+  let rng = rng_of_seed 14 in
+  List.iter
+    (fun (name, g) ->
+      if T.is_connected g then begin
+        let cfg = PLS.Config.random_ids rng g in
+        let target = PLS.Config.id cfg 0 in
+        let es = ST.scheme ~target in
+        let vs = S.edge_to_vertex ~d:3 es in
+        match vs.S.vs_prove cfg with
+        | None -> Alcotest.fail (name ^ ": transform prover declined")
+        | Some labels ->
+            check (name ^ " transformed accepts") true
+              (S.accepted (S.run_vertex cfg vs labels))
+      end)
+    named_families
+
+let transform_soundness () =
+  let rng = rng_of_seed 15 in
+  let g = Gen.ladder 4 in
+  let cfg = PLS.Config.random_ids rng g in
+  let target = PLS.Config.id cfg 0 in
+  let vs = S.edge_to_vertex ~d:2 (ST.scheme ~target) in
+  let labels = Option.get (vs.S.vs_prove cfg) in
+  (* drop one vertex's entries: coverage check must fire *)
+  for v = 0 to G.n g - 1 do
+    if labels.(v) <> [] then begin
+      let bad = Array.copy labels in
+      bad.(v) <- [];
+      check "dropped entries caught" false
+        (S.accepted (S.run_vertex cfg vs bad))
+    end
+  done
+
+module STI = PLS.Spanning_tree_input
+
+let input_spanning_tree () =
+  let rng = rng_of_seed 16 in
+  List.iter
+    (fun (name, g) ->
+      if T.is_connected g then begin
+        let cfg = PLS.Config.random_ids rng g in
+        (* honest: certify a real spanning tree as input *)
+        let f = T.spanning_tree g ~root:(G.n g - 1) in
+        match STI.prove_for cfg ~f with
+        | None -> Alcotest.fail (name ^ ": prover declined a spanning tree")
+        | Some labels ->
+            check (name ^ " accepts") true
+              (S.accepted (S.run_edge cfg STI.scheme labels))
+      end)
+    named_families
+
+let input_spanning_tree_soundness () =
+  let rng = rng_of_seed 17 in
+  let g = Gen.grid 3 3 in
+  let cfg = PLS.Config.random_ids rng g in
+  let f = T.spanning_tree g ~root:4 in
+  let labels = Option.get (STI.prove_for cfg ~f) in
+  (* flipping any edge's marking must be detected: adding an F-edge breaks
+     the parent counts; removing one disconnects someone *)
+  List.iter
+    (fun (e, _) ->
+      let faulty = STI.corrupt_marking labels e in
+      check
+        (Printf.sprintf "marking fault on %d-%d caught" (fst e) (snd e))
+        false
+        (S.accepted (S.run_edge cfg STI.scheme faulty)))
+    (EM.bindings labels);
+  (* proof mutations are caught too *)
+  List.iter
+    (fun (e, ((inp : STI.input), (l : STI.label))) ->
+      let bad =
+        match l.STI.tree with
+        | Some (c, p, d) -> { l with STI.tree = Some (c, p, d + 1) }
+        | None -> { l with STI.root = l.STI.root + 1 }
+      in
+      let faulty = EM.add labels e (inp, bad) in
+      check "proof fault caught" false
+        (S.accepted (S.run_edge cfg STI.scheme faulty)))
+    (EM.bindings labels)
+
+let input_spanning_tree_non_tree_inputs () =
+  let rng = rng_of_seed 18 in
+  let g = Gen.grid 3 3 in
+  let cfg = PLS.Config.random_ids rng g in
+  (* too few edges (a forest), too many (contains a cycle) *)
+  let tree = T.spanning_tree g ~root:0 in
+  check "forest declined" true
+    (STI.prove_for cfg ~f:(List.tl tree) = None);
+  let non_tree_edge =
+    List.find (fun e -> not (List.mem e tree)) (G.edges g)
+  in
+  check "extra edge declined" true
+    (STI.prove_for cfg ~f:(non_tree_edge :: tree) = None)
+
+let label_size_accounting () =
+  let g = Gen.cycle 16 in
+  let cfg = PLS.Config.make g in
+  let target = 5 in
+  let scheme = ST.scheme ~target in
+  let labels = Option.get (scheme.S.es_prove cfg) in
+  let bits = S.max_edge_label_bits scheme labels in
+  check "pointer labels are tens of bits" true (bits > 0 && bits < 100)
+
+let suite =
+  ( "pls",
+    [
+      test "config basics" config_basics;
+      test "edge map" edge_map;
+      test "run_edge totality" run_edge_totality;
+      test "rejection reporting" rejection_reporting;
+      test "pointer completeness (Prop 2.2)" pointer_completeness;
+      test "pointer: missing target" pointer_soundness_missing_target;
+      test "pointer: label mutations" pointer_soundness_mutations;
+      test "pointer: single vertex" pointer_single_vertex;
+      test "bipartite 1-bit scheme" bipartite_scheme;
+      test "bipartite soundness" bipartite_soundness;
+      test "universal scheme" universal_scheme;
+      test "edge->vertex transform (Prop 2.1)" edge_to_vertex_transform;
+      test "transform soundness" transform_soundness;
+      test "input spanning tree (KKP10)" input_spanning_tree;
+      test "input spanning tree soundness" input_spanning_tree_soundness;
+      test "input spanning tree: non-tree inputs" input_spanning_tree_non_tree_inputs;
+      test "label size accounting" label_size_accounting;
+    ] )

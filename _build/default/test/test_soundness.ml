@@ -1,0 +1,266 @@
+(* Soundness battery for the Theorem 1 scheme: no adversarial labeling may
+   make every vertex accept a false instance, and structural corruptions of
+   honest certificates must be detected somewhere. *)
+
+open Test_util
+module G = Lcp_graph.Graph
+module Gen = Lcp_graph.Gen
+module Rep = Lcp_interval.Representation
+module PLS = Lcp_pls
+module S = PLS.Scheme
+module EM = S.Edge_map
+module A = Lcp_algebra
+module Cert = Lcp_cert.Certificate
+module ST = PLS.Spanning_tree
+
+module T1conn = Lcp_cert.Theorem1.Make (A.Connectivity)
+module T1acy = Lcp_cert.Theorem1.Make (A.Acyclicity)
+module T1path = Lcp_cert.Theorem1.Make (A.Combinators.Is_path_graph)
+module T1bip = Lcp_cert.Theorem1.Make (A.Bipartite)
+
+let rng = rng_of_seed 424242
+
+(* The strongest generic adversary we can simulate: run the honest
+   pipeline on a FALSE instance (structure certificates are then all
+   consistent) and forge only the acceptance claim. *)
+let forge_path_claim g =
+  let cfg = PLS.Config.random_ids rng g in
+  match T1path.P.prepare cfg with
+  | Error m -> Alcotest.fail ("prepare failed: " ^ m)
+  | Ok art ->
+      let forged =
+        EM.map
+          (fun l -> { l with Cert.accept_state = true })
+          art.T1path.P.labels
+      in
+      S.accepted (S.run_edge cfg (T1path.edge_scheme ~k:2 ()) forged)
+
+let forge_acyclic_claim ~k g =
+  let cfg = PLS.Config.random_ids rng g in
+  match T1acy.P.prepare cfg with
+  | Error m -> Alcotest.fail ("prepare failed: " ^ m)
+  | Ok art ->
+      let forged =
+        EM.map
+          (fun l -> { l with Cert.accept_state = true })
+          art.T1acy.P.labels
+      in
+      S.accepted (S.run_edge cfg (T1acy.edge_scheme ~k ()) forged)
+
+let forge_bipartite_claim g =
+  let cfg = PLS.Config.random_ids rng g in
+  match T1bip.P.prepare cfg with
+  | Error m -> Alcotest.fail ("prepare failed: " ^ m)
+  | Ok art ->
+      let forged =
+        EM.map
+          (fun l -> { l with Cert.accept_state = true })
+          art.T1bip.P.labels
+      in
+      S.accepted (S.run_edge cfg (T1bip.edge_scheme ~k:2 ()) forged)
+
+let paths_vs_cycles () =
+  (* the paper's canonical lower-bound pair: accepting paths, rejecting
+     cycles; forged cycles must be rejected at every size *)
+  for n = 3 to 24 do
+    check
+      (Printf.sprintf "C%d rejected as path" n)
+      false
+      (forge_path_claim (Gen.cycle n))
+  done;
+  (* and paths accepted (the other side of the pair) *)
+  for n = 2 to 24 do
+    let g = Gen.path n in
+    let cfg = PLS.Config.random_ids rng g in
+    let scheme = T1path.edge_scheme ~k:1 () in
+    let labels = Option.get (scheme.S.es_prove cfg) in
+    check
+      (Printf.sprintf "P%d accepted" n)
+      true
+      (S.accepted (S.run_edge cfg scheme labels))
+  done
+
+let forged_claims_rejected () =
+  check "cycle as acyclic" false (forge_acyclic_claim ~k:2 (Gen.cycle 11));
+  check "odd cycle as bipartite" false (forge_bipartite_claim (Gen.cycle 9));
+  check "K4 as acyclic" false (forge_acyclic_claim ~k:3 (Gen.complete 4))
+
+(* mutate honest certificates; count silent acceptances (must be zero) *)
+let mutation_battery () =
+  let silent = ref [] in
+  let trials = ref 0 in
+  for round = 0 to 14 do
+    let k = 1 + (round mod 2) in
+    let n = 5 + Random.State.int rng 25 in
+    let g, ivs = Gen.random_pathwidth rng ~n ~k () in
+    let cfg = PLS.Config.random_ids rng g in
+    let rep = Rep.of_pairs g ivs in
+    let scheme = T1conn.edge_scheme ~rep:(fun _ -> Some rep) ~k () in
+    match scheme.S.es_prove cfg with
+    | None -> ()
+    | Some labels ->
+        let edges = List.map fst (EM.bindings labels) in
+        let pick () = List.nth edges (Random.State.int rng (List.length edges)) in
+        let try_mutation name forged =
+          incr trials;
+          if S.accepted (S.run_edge cfg scheme forged) then
+            silent := name :: !silent
+        in
+        (* swap frame stacks between two edges *)
+        let e1 = pick () and e2 = pick () in
+        let l1 = Option.get (EM.find labels e1) in
+        let l2 = Option.get (EM.find labels e2) in
+        if e1 <> e2 && l1.Cert.frames <> l2.Cert.frames then
+          try_mutation "stack swap"
+            (EM.add
+               (EM.add labels e1 { l1 with Cert.frames = l2.Cert.frames })
+               e2
+               { l2 with Cert.frames = l1.Cert.frames });
+        (* drop the transported records of one edge *)
+        let e = pick () in
+        let l = Option.get (EM.find labels e) in
+        if l.Cert.transported <> [] then
+          try_mutation "transport drop"
+            (EM.add labels e { l with Cert.transported = [] });
+        (* shift a transported rank *)
+        let e = pick () in
+        let l = Option.get (EM.find labels e) in
+        (match l.Cert.transported with
+        | r :: rest ->
+            try_mutation "rank shift"
+              (EM.add labels e
+                 {
+                   l with
+                   Cert.transported =
+                     { r with Cert.rank_fwd = r.Cert.rank_fwd + 1 } :: rest;
+                 })
+        | [] -> ());
+        (* retarget the global pointer on one edge *)
+        let e = pick () in
+        let l = Option.get (EM.find labels e) in
+        try_mutation "pointer retarget"
+          (EM.add labels e
+             {
+               l with
+               Cert.global_ptr =
+                 {
+                   l.Cert.global_ptr with
+                   ST.target = l.Cert.global_ptr.ST.target + 1;
+                 };
+             });
+        (* truncate a frame stack *)
+        let e = pick () in
+        let l = Option.get (EM.find labels e) in
+        (match l.Cert.frames with
+        | _ :: (_ :: _ as rest) ->
+            try_mutation "stack truncation"
+              (EM.add labels e { l with Cert.frames = rest })
+        | _ -> ())
+  done;
+  check
+    (Printf.sprintf "%d mutations, silent: %s" !trials
+       (String.concat "," !silent))
+    true (!silent = []);
+  check "enough mutations exercised" true (!trials > 30)
+
+(* single-bit corruption of the actual encoded labels: every flip must
+   break decoding or be rejected by some vertex *)
+let bit_flip_battery () =
+  let module B = Lcp_util.Bitenc in
+  let decode_fail = ref 0 and rejected = ref 0 and accepted = ref 0 in
+  for _ = 1 to 20 do
+    let k = 1 + Random.State.int rng 2 in
+    let n = 6 + Random.State.int rng 25 in
+    let g, ivs = Gen.random_pathwidth rng ~n ~k () in
+    let cfg = PLS.Config.random_ids rng g in
+    let rep = Rep.of_pairs g ivs in
+    let scheme = T1conn.edge_scheme ~rep:(fun _ -> Some rep) ~k () in
+    match scheme.S.es_prove cfg with
+    | None -> ()
+    | Some labels ->
+        let edges = List.map fst (EM.bindings labels) in
+        for _ = 1 to 5 do
+          let e = List.nth edges (Random.State.int rng (List.length edges)) in
+          let l = Option.get (EM.find labels e) in
+          let w = B.writer () in
+          Cert.encode ~encode_state:A.Connectivity.encode w l;
+          let bits = B.length_bits w in
+          let bytes = B.to_bytes w in
+          let pos = Random.State.int rng bits in
+          Bytes.set bytes (pos / 8)
+            (Char.chr
+               (Char.code (Bytes.get bytes (pos / 8)) lxor (1 lsl (pos mod 8))));
+          match
+            try
+              Some
+                (Cert.decode ~decode_state:A.Connectivity.decode (B.reader bytes))
+            with _ -> None
+          with
+          | None -> incr decode_fail
+          | Some l' when l' = l -> ()
+          | Some l' -> (
+              let forged = EM.add labels e l' in
+              match S.run_edge cfg scheme forged with
+              | S.Accepted -> incr accepted
+              | S.Rejected _ -> incr rejected)
+        done
+  done;
+  check
+    (Printf.sprintf "bit flips: %d decode failures, %d rejected, %d accepted"
+       !decode_fail !rejected !accepted)
+    true (!accepted = 0);
+  check "flips exercised" true (!decode_fail + !rejected > 50)
+
+(* replaying the certificate of a DIFFERENT graph must fail: steal the
+   labeling of a path of the same size for a cycle *)
+let cross_instance_replay () =
+  let n = 12 in
+  let cycle = Gen.cycle n in
+  let path = Gen.path n in
+  let ids = Array.init n (fun v -> v + 100) in
+  let cfg_path = PLS.Config.make ~ids path in
+  let cfg_cycle = PLS.Config.make ~ids cycle in
+  let scheme = T1path.edge_scheme ~k:2 () in
+  let path_labels =
+    Option.get ((T1path.edge_scheme ~k:2 ()).S.es_prove cfg_path)
+  in
+  (* reuse path labels on the cycle's edges: the extra closing edge gets a
+     copy of an arbitrary label *)
+  let any_label = snd (List.hd (EM.bindings path_labels)) in
+  let forged =
+    G.fold_edges
+      (fun e m ->
+        let l =
+          match EM.find path_labels e with Some l -> l | None -> any_label
+        in
+        EM.add m e l)
+      cycle EM.empty
+  in
+  check "replayed path certificate rejected on cycle" false
+    (S.accepted (S.run_edge cfg_cycle scheme forged))
+
+let all_rejections_have_reasons () =
+  let g = Gen.cycle 7 in
+  let cfg = PLS.Config.random_ids rng g in
+  match T1path.P.prepare cfg with
+  | Error _ -> Alcotest.fail "prepare failed"
+  | Ok art ->
+      let forged =
+        EM.map (fun l -> { l with Cert.accept_state = true }) art.T1path.P.labels
+      in
+      (match S.run_edge cfg (T1path.edge_scheme ~k:2 ()) forged with
+      | S.Accepted -> Alcotest.fail "should reject"
+      | S.Rejected rs ->
+          check "nonempty reasons" true
+            (List.for_all (fun (_, r) -> String.length r > 0) rs))
+
+let suite =
+  ( "soundness",
+    [
+      slow_test "paths accepted, cycles rejected" paths_vs_cycles;
+      test "forged acceptance claims rejected" forged_claims_rejected;
+      slow_test "mutation battery" mutation_battery;
+      slow_test "bit-flip battery" bit_flip_battery;
+      test "cross-instance replay rejected" cross_instance_replay;
+      test "rejections carry reasons" all_rejections_have_reasons;
+    ] )

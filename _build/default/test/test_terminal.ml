@@ -1,0 +1,146 @@
+(* Tests for k-terminal recursive graphs (Def 2.3) and the compositional
+   evaluation of property algebras over them (Prop 2.4's contract). *)
+
+open Test_util
+module G = Lcp_graph.Graph
+module Gen = Lcp_graph.Gen
+module A = Lcp_algebra
+module TG = A.Terminal_graph
+
+let path3 =
+  (* figure 2 style: a 3-terminal path *)
+  TG.make ~graph:(Gen.path 3) ~terminals:[ (1, 0); (2, 1); (3, 2) ]
+
+let triangle = TG.make ~graph:(Gen.cycle 3) ~terminals:[ (1, 0); (2, 2) ]
+
+let construction_basics () =
+  check "terminal lookup" true (TG.terminal path3 2 = Some 1);
+  check "missing position" true (TG.terminal triangle 3 = None);
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  check "duplicate position" true
+    (raises (fun () ->
+         ignore (TG.make ~graph:(Gen.path 2) ~terminals:[ (1, 0); (1, 1) ])));
+  check "shared vertex" true
+    (raises (fun () ->
+         ignore (TG.make ~graph:(Gen.path 2) ~terminals:[ (1, 0); (2, 0) ])));
+  check "0-based position rejected" true
+    (raises (fun () ->
+         ignore (TG.make ~graph:(Gen.path 2) ~terminals:[ (0, 0) ])))
+
+let compose_gluing () =
+  (* glue the end of one path to the start of another: P3 ⊙ P3 = P5 *)
+  let f1 p = if p = 1 then Some 1 else if p = 2 then Some 3 else None in
+  let f2 p = if p = 2 then Some 1 else if p = 3 then Some 3 else None in
+  let t =
+    TG.Compose { k = 3; f1; f2; left = Base path3; right = Base path3 }
+  in
+  let g = TG.eval_graph t in
+  check "five vertices" true (G.n g.TG.graph = 5);
+  check "is P5" true (G.is_isomorphic g.TG.graph (Gen.path 5));
+  check "terminal count" true (List.length g.TG.terminals = 3)
+
+let compose_disjoint () =
+  (* no gluing: disjoint union *)
+  let f1 p = if p = 1 then Some 1 else None in
+  let f2 p = if p = 2 then Some 1 else None in
+  let t =
+    TG.Compose { k = 2; f1; f2; left = Base triangle; right = Base path3 }
+  in
+  let g = TG.eval_graph t in
+  check "six vertices" true (G.n g.TG.graph = 6);
+  check "two components" true
+    (List.length (Lcp_graph.Traversal.connected_components g.TG.graph) = 2)
+
+let compose_missing_terminal () =
+  let f1 p = if p = 1 then Some 3 else None in
+  (* triangle has no position 3 *)
+  check "missing terminal rejected" true
+    (try
+       ignore
+         (TG.eval_graph
+            (TG.Compose
+               { k = 1; f1; f2 = (fun _ -> None); left = Base triangle;
+                 right = Base path3 }));
+       false
+     with Invalid_argument _ -> true)
+
+(* random terms for the compositional-evaluation property *)
+let rec random_term rng depth =
+  if depth = 0 || Random.State.int rng 3 = 0 then begin
+    let n = 1 + Random.State.int rng 4 in
+    let g =
+      G.of_edges ~n
+        (List.concat
+           (List.init n (fun u ->
+                List.init n (fun v ->
+                    if u < v && Random.State.bool rng then [ (u, v) ] else [])
+                |> List.concat)))
+    in
+    let terminals =
+      List.init n (fun v -> v)
+      |> List.filter (fun _ -> Random.State.bool rng)
+      |> List.mapi (fun i v -> (i + 1, v))
+    in
+    TG.Base (TG.make ~graph:g ~terminals)
+  end
+  else begin
+    let left = random_term rng (depth - 1) in
+    let right = random_term rng (depth - 1) in
+    let k = 3 in
+    let pos_of t =
+      match TG.eval_graph t with
+      | tg -> List.map fst tg.TG.terminals
+    in
+    let pick positions =
+      (* a random partial injection [1..k] -> positions *)
+      let available = ref positions in
+      let choice = Array.make (k + 1) None in
+      for j = 1 to k do
+        if !available <> [] && Random.State.bool rng then begin
+          let i = Random.State.int rng (List.length !available) in
+          let p = List.nth !available i in
+          choice.(j) <- Some p;
+          available := List.filter (fun q -> q <> p) !available
+        end
+      done;
+      fun j -> if j >= 1 && j <= k then choice.(j) else None
+    in
+    let f1 = pick (pos_of left) and f2 = pick (pos_of right) in
+    TG.Compose { k; f1; f2; left; right }
+  end
+
+let arb_term =
+  QCheck.make
+    ~print:(fun t -> G.to_string (TG.eval_graph t).TG.graph)
+    (fun st -> random_term st 3)
+
+let compositional_eval (name, (module Alg : A.Algebra_sig.S), oracle) =
+  qcheck ~count:100
+    ("Prop 2.4 compositional evaluation: " ^ name)
+    arb_term
+    (fun term ->
+      let module E = TG.Eval (Alg) in
+      let g = (TG.eval_graph term).TG.graph in
+      E.holds term = oracle g)
+
+module K3 = A.Clique.Make (struct let size = 3 end)
+
+let algebras : (string * (module A.Algebra_sig.S) * (G.t -> bool)) list =
+  [
+    ("connected", (module A.Connectivity), A.Connectivity.oracle);
+    ("acyclic", (module A.Acyclicity), A.Acyclicity.oracle);
+    ("bipartite", (module A.Bipartite), A.Bipartite.oracle);
+    ("matching", (module A.Matching), A.Matching.oracle);
+    ("clique>=3", (module K3), K3.oracle);
+    ("trianglefree", (module A.Triangle_free), A.Triangle_free.oracle);
+  ]
+
+let suite =
+  ( "terminal_graph",
+    [
+      test "construction" construction_basics;
+      test "compose with gluing (Fig 2)" compose_gluing;
+      test "compose disjoint" compose_disjoint;
+      test "missing terminal" compose_missing_terminal;
+    ]
+    @ List.map compositional_eval algebras )

@@ -1,0 +1,222 @@
+(* End-to-end tests of the Theorem 1 proof labeling scheme: completeness
+   across properties and graph families, bounded lane counts and
+   congestion, O(log n)-shaped label sizes, the greedy-partition ablation,
+   and the Prop 2.1 vertex variant. *)
+
+open Test_util
+module G = Lcp_graph.Graph
+module Gen = Lcp_graph.Gen
+module T = Lcp_graph.Traversal
+module Rep = Lcp_interval.Representation
+module PW = Lcp_interval.Pathwidth
+module B = Lcp_lanes.Bounds
+module PLS = Lcp_pls
+module S = PLS.Scheme
+module A = Lcp_algebra
+module H = Lcp_lanewidth.Hierarchy
+
+module T1conn = Lcp_cert.Theorem1.Make (A.Connectivity)
+module T1acy = Lcp_cert.Theorem1.Make (A.Acyclicity)
+module T1bip = Lcp_cert.Theorem1.Make (A.Bipartite)
+module T1path = Lcp_cert.Theorem1.Make (A.Combinators.Is_path_graph)
+module T1cyc = Lcp_cert.Theorem1.Make (A.Combinators.Is_cycle_graph)
+module T1tri = Lcp_cert.Theorem1.Make (A.Triangle_free)
+module T1ham = Lcp_cert.Theorem1.Make (A.Hamiltonian.Path_alg)
+module T1pm = Lcp_cert.Theorem1.Make (A.Matching)
+
+let rng = rng_of_seed 20260705
+
+let run_scheme scheme g =
+  let cfg = PLS.Config.random_ids rng g in
+  match scheme.S.es_prove cfg with
+  | None -> `Declined
+  | Some labels -> (
+      match S.run_edge cfg scheme labels with
+      | S.Accepted -> `Accepted
+      | S.Rejected rs -> `Rejected (snd (List.hd rs)))
+
+(* completeness per property on families where the property holds *)
+let completeness_cases =
+  [
+    ("connected on P9", (fun () -> run_scheme (T1conn.edge_scheme ~k:1 ()) (Gen.path 9)));
+    ("connected on C8", (fun () -> run_scheme (T1conn.edge_scheme ~k:2 ()) (Gen.cycle 8)));
+    ( "connected on caterpillar",
+      fun () ->
+        run_scheme (T1conn.edge_scheme ~k:1 ()) (Gen.caterpillar ~spine:4 ~legs:2) );
+    ("connected on ladder", (fun () -> run_scheme (T1conn.edge_scheme ~k:2 ()) (Gen.ladder 5)));
+    ("connected on K4", (fun () -> run_scheme (T1conn.edge_scheme ~k:3 ()) (Gen.complete 4)));
+    ("acyclic on star", (fun () -> run_scheme (T1acy.edge_scheme ~k:1 ()) (Gen.star 6)));
+    ( "acyclic on binary tree",
+      fun () -> run_scheme (T1acy.edge_scheme ~k:2 ()) (Gen.binary_tree ~depth:3) );
+    ("bipartite on C6", (fun () -> run_scheme (T1bip.edge_scheme ~k:2 ()) (Gen.cycle 6)));
+    ("bipartite on grid", (fun () -> run_scheme (T1bip.edge_scheme ~k:2 ()) (Gen.grid 4 2)));
+    ("is_path on P8", (fun () -> run_scheme (T1path.edge_scheme ~k:1 ()) (Gen.path 8)));
+    ("is_cycle on C9", (fun () -> run_scheme (T1cyc.edge_scheme ~k:2 ()) (Gen.cycle 9)));
+    ("triangle-free on C7", (fun () -> run_scheme (T1tri.edge_scheme ~k:2 ()) (Gen.cycle 7)));
+    ("ham-path on P6", (fun () -> run_scheme (T1ham.edge_scheme ~k:1 ()) (Gen.path 6)));
+    ("ham-path on C6", (fun () -> run_scheme (T1ham.edge_scheme ~k:2 ()) (Gen.cycle 6)));
+    ("matching on P6", (fun () -> run_scheme (T1pm.edge_scheme ~k:1 ()) (Gen.path 6)));
+    ("matching on C8", (fun () -> run_scheme (T1pm.edge_scheme ~k:2 ()) (Gen.cycle 8)));
+  ]
+
+let prover_declines_cases =
+  [
+    ("is_path declines C7", (fun () -> run_scheme (T1path.edge_scheme ~k:2 ()) (Gen.cycle 7)));
+    ("is_cycle declines P7", (fun () -> run_scheme (T1cyc.edge_scheme ~k:1 ()) (Gen.path 7)));
+    ("acyclic declines C5", (fun () -> run_scheme (T1acy.edge_scheme ~k:2 ()) (Gen.cycle 5)));
+    ("bipartite declines C5", (fun () -> run_scheme (T1bip.edge_scheme ~k:2 ()) (Gen.cycle 5)));
+    ("matching declines P5", (fun () -> run_scheme (T1pm.edge_scheme ~k:1 ()) (Gen.path 5)));
+    ( "triangle-free declines K4",
+      fun () -> run_scheme (T1tri.edge_scheme ~k:3 ()) (Gen.complete 4) );
+  ]
+
+let completeness () =
+  List.iter
+    (fun (name, run) ->
+      match run () with
+      | `Accepted -> ()
+      | `Declined -> Alcotest.fail (name ^ ": prover declined")
+      | `Rejected r -> Alcotest.fail (name ^ ": rejected: " ^ r))
+    completeness_cases
+
+let prover_declines () =
+  List.iter
+    (fun (name, run) ->
+      match run () with
+      | `Declined -> ()
+      | `Accepted -> Alcotest.fail (name ^ ": accepted a false instance")
+      | `Rejected _ -> Alcotest.fail (name ^ ": prover should decline"))
+    prover_declines_cases
+
+let prop_completeness_random =
+  qcheck ~count:40 "completeness on random pw graphs (connectivity)"
+    (arb_pw_graph ~max_k:2 ~max_n:40)
+    (fun (k, g, ivs) ->
+      let rep = rep_of (g, ivs) in
+      let cfg = PLS.Config.random_ids rng g in
+      let scheme = T1conn.edge_scheme ~rep:(fun _ -> Some rep) ~k () in
+      match scheme.S.es_prove cfg with
+      | None -> false
+      | Some labels -> S.accepted (S.run_edge cfg scheme labels))
+
+let prop_completeness_bipartite =
+  qcheck ~count:25 "completeness on random pw graphs (bipartite/decline)"
+    (arb_pw_graph ~max_k:2 ~max_n:25)
+    (fun (k, g, ivs) ->
+      let rep = rep_of (g, ivs) in
+      let cfg = PLS.Config.random_ids rng g in
+      let scheme = T1bip.edge_scheme ~rep:(fun _ -> Some rep) ~k () in
+      match scheme.S.es_prove cfg with
+      | None -> not (A.Bipartite.oracle g)
+      | Some labels ->
+          A.Bipartite.oracle g && S.accepted (S.run_edge cfg scheme labels))
+
+let artifacts_invariants =
+  qcheck ~count:30 "prover artifacts respect the paper's bounds"
+    (arb_pw_graph ~max_k:2 ~max_n:40)
+    (fun (_, g, ivs) ->
+      let rep = rep_of (g, ivs) in
+      let w = Rep.width rep in
+      let cfg = PLS.Config.random_ids rng g in
+      match T1conn.P.prepare ~rep cfg with
+      | Error _ -> false
+      | Ok art ->
+          art.T1conn.P.lane_count <= B.f w
+          && art.T1conn.P.congestion <= B.h w
+          && H.depth art.T1conn.P.hierarchy <= 2 * art.T1conn.P.lane_count
+          && H.validate art.T1conn.P.hierarchy = Ok ()
+          && art.T1conn.P.holds)
+
+let label_growth_logarithmic () =
+  (* labels on paths: measure max bits at n and 2n; the growth must be far
+     below linear (paths would give Θ(n) for an encoding-everything scheme) *)
+  let bits n =
+    let g = Gen.path n in
+    let cfg = PLS.Config.make g in
+    let scheme =
+      T1conn.edge_scheme
+        ~rep:(fun c ->
+          Some
+            (PW.heuristic_interval_representation (PLS.Config.graph c)))
+        ~k:1 ()
+    in
+    let labels = Option.get (scheme.S.es_prove cfg) in
+    S.max_edge_label_bits scheme labels
+  in
+  let b64 = bits 64 and b128 = bits 128 and b256 = bits 256 in
+  check "grows" true (b64 <= b128 && b128 <= b256);
+  (* doubling n should add a bounded number of bits, not multiply them *)
+  check "log-shaped growth" true
+    (float_of_int b256 /. float_of_int b64 < 1.8)
+
+let greedy_strategy () =
+  List.iter
+    (fun (name, g) ->
+      if T.is_connected g && G.n g <= 12 then begin
+        let cfg = PLS.Config.random_ids rng g in
+        let k = PW.exact g in
+        let k = max k 1 in
+        let scheme = T1conn.edge_scheme ~strategy:`Greedy ~k () in
+        match scheme.S.es_prove cfg with
+        | None -> Alcotest.fail (name ^ ": greedy prover declined")
+        | Some labels ->
+            check (name ^ " greedy accepts") true
+              (S.accepted (S.run_edge cfg scheme labels))
+      end)
+    named_families
+
+let vertex_scheme_variant () =
+  let g = Gen.caterpillar ~spine:5 ~legs:1 in
+  let cfg = PLS.Config.random_ids rng g in
+  let vs = T1conn.vertex_scheme ~k:1 () in
+  match vs.S.vs_prove cfg with
+  | None -> Alcotest.fail "vertex scheme prover declined"
+  | Some labels ->
+      check "vertex scheme accepts" true
+        (S.accepted (S.run_vertex cfg vs labels));
+      check "vertex labels bounded" true
+        (S.max_vertex_label_bits vs labels > 0)
+
+let single_vertex_network () =
+  let g = Gen.path 1 in
+  let cfg = PLS.Config.make g in
+  let scheme = T1conn.edge_scheme ~k:1 () in
+  let labels = Option.get (scheme.S.es_prove cfg) in
+  check "singleton accepts" true (S.accepted (S.run_edge cfg scheme labels))
+
+let two_vertex_network () =
+  let g = Gen.path 2 in
+  let cfg = PLS.Config.random_ids rng g in
+  let scheme = T1conn.edge_scheme ~k:1 () in
+  let labels = Option.get (scheme.S.es_prove cfg) in
+  check "P2 accepts" true (S.accepted (S.run_edge cfg scheme labels))
+
+let max_lanes_bound () =
+  check_int "f(2)" 4 (T1conn.max_lanes_for ~k:1);
+  check_int "f(3)" 18 (T1conn.max_lanes_for ~k:2)
+
+let id_space_independence () =
+  (* certification must work with arbitrary (large, sparse) identifiers *)
+  let g = Gen.cycle 8 in
+  let ids = Array.init 8 (fun v -> (v * 7919) + 13) in
+  let cfg = PLS.Config.make ~ids g in
+  let scheme = T1conn.edge_scheme ~k:2 () in
+  let labels = Option.get (scheme.S.es_prove cfg) in
+  check "sparse ids accept" true (S.accepted (S.run_edge cfg scheme labels))
+
+let suite =
+  ( "theorem1",
+    [
+      test "completeness on named cases" completeness;
+      test "prover declines false instances" prover_declines;
+      prop_completeness_random;
+      prop_completeness_bipartite;
+      artifacts_invariants;
+      slow_test "label growth is logarithmic" label_growth_logarithmic;
+      test "greedy-partition ablation" greedy_strategy;
+      test "vertex scheme variant (Prop 2.1)" vertex_scheme_variant;
+      test "single-vertex network" single_vertex_network;
+      test "two-vertex network" two_vertex_network;
+      test "max lane bounds" max_lanes_bound;
+      test "sparse identifier space" id_space_independence;
+    ] )

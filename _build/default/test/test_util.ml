@@ -1,0 +1,77 @@
+(* Shared helpers and qcheck generators for the test suites. *)
+
+module G = Lcp_graph.Graph
+module Gen = Lcp_graph.Gen
+module Rep = Lcp_interval.Representation
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test name f = Alcotest.test_case name `Quick f
+let slow_test name f = Alcotest.test_case name `Slow f
+
+let rng_of_seed seed = Random.State.make [| seed |]
+
+(* all simple graphs on exactly n vertices *)
+let all_graphs n =
+  let pairs =
+    List.concat
+      (List.init n (fun u ->
+           List.init n (fun v -> (u, v)) |> List.filter (fun (u, v) -> u < v)))
+  in
+  let rec subsets = function
+    | [] -> [ [] ]
+    | e :: rest ->
+        let s = subsets rest in
+        s @ List.map (fun x -> e :: x) s
+  in
+  List.map (fun es -> G.of_edges ~n es) (subsets pairs)
+
+let small_graphs =
+  all_graphs 1 @ all_graphs 2 @ all_graphs 3 @ all_graphs 4
+
+let connected_small_graphs =
+  List.filter Lcp_graph.Traversal.is_connected small_graphs
+
+let named_families =
+  [
+    ("P2", Gen.path 2);
+    ("P7", Gen.path 7);
+    ("C3", Gen.cycle 3);
+    ("C8", Gen.cycle 8);
+    ("star6", Gen.star 6);
+    ("K4", Gen.complete 4);
+    ("K23", Gen.complete_bipartite 2 3);
+    ("caterpillar", Gen.caterpillar ~spine:4 ~legs:2);
+    ("ladder5", Gen.ladder 5);
+    ("grid33", Gen.grid 3 3);
+    ("diamond", Gen.diamond);
+    ("btree2", Gen.binary_tree ~depth:2);
+  ]
+
+(* qcheck: a random connected bounded-pathwidth graph with its witness *)
+let arb_pw_graph ~max_k ~max_n =
+  let open QCheck in
+  let gen st =
+    let k = 1 + Random.State.int st max_k in
+    let n = 2 + Random.State.int st (max_n - 1) in
+    let g, ivs = Lcp_graph.Gen.random_pathwidth st ~n ~k () in
+    (k, g, ivs)
+  in
+  let print (k, g, _) = Printf.sprintf "k=%d %s" k (G.to_string g) in
+  make ~print gen
+
+let arb_trace ~max_k ~max_ops =
+  let open QCheck in
+  let gen st =
+    let k = 1 + Random.State.int st max_k in
+    let ops = Random.State.int st max_ops in
+    Lcp_lanewidth.Trace.random st ~k ~ops
+  in
+  let print tr = Format.asprintf "%a" Lcp_lanewidth.Trace.pp tr in
+  make ~print gen
+
+let qcheck ?(count = 100) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+let rep_of (g, ivs) = Rep.of_pairs g ivs
