@@ -267,10 +267,7 @@ let e5 () =
           Cert.encode ~encode_state:A.Connectivity.encode w l;
           let bits = B.length_bits w in
           let bytes = B.to_bytes w in
-          let pos = Random.State.int rng bits in
-          Bytes.set bytes (pos / 8)
-            (Char.chr
-               (Char.code (Bytes.get bytes (pos / 8)) lxor (1 lsl (pos mod 8))));
+          B.flip_bit bytes (Random.State.int rng bits);
           match
             try
               Some
@@ -335,6 +332,23 @@ let e6 () =
   row "hamiltonian_path" (T1ham.edge_scheme ~k:2 ()) (Gen.cycle 10) "accepted";
   row "hamiltonian_path" (T1ham.edge_scheme ~k:1 ()) (Gen.star 5) "declined";
   print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* FAULTS: the adversarial soundness campaign (the systematic version of
+   E5's spot checks — see lib/core/faultsim.ml and EXPERIMENTS.md §E5)   *)
+
+let faults () =
+  header
+    "FAULTS  adversarial soundness campaign (scheme x fault model, seeded)";
+  let report = Lcp_cert.Faultsim.run ~seed:20250806 ~trials:30 () in
+  Lcp_cert.Faultsim.print_matrix report;
+  print_newline ();
+  if report.Lcp_cert.Faultsim.total_escapes > 0 then begin
+    Printf.eprintf "FAULTS: %d soundness escape(s) — see the matrix above\n"
+      report.Lcp_cert.Faultsim.total_escapes;
+    exit 1
+  end
+  else Printf.printf "No soundness escapes: every effective fault detected.\n\n"
 
 (* ------------------------------------------------------------------ *)
 (* E7: ablation — Prop 4.6 vs greedy lane partition                     *)
@@ -456,7 +470,7 @@ let () =
   let all =
     [
       ("e1", e1); ("e2", e2); ("e3", e3); ("e5", e5); ("e6", e6); ("e7", e7);
-      ("timing", timing);
+      ("faults", faults); ("timing", timing);
     ]
   in
   match List.assoc_opt what all with

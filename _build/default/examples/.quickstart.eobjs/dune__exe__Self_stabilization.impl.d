@@ -1,1 +1,1 @@
-examples/self_stabilization.ml: Array Lcp_algebra Lcp_cert Lcp_graph Lcp_pls List Printf Random String
+examples/self_stabilization.ml: Array Lcp_algebra Lcp_cert Lcp_graph Lcp_pls List Option Printf Random String

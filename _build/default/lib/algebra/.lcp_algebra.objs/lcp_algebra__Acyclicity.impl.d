@@ -1,1 +1,1 @@
-lib/algebra/acyclicity.ml: Format Lcp_graph Lcp_util Slot_partition
+lib/algebra/acyclicity.ml: Format Lcp_graph Lcp_util List Map Slot_partition

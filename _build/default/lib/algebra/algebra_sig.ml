@@ -41,8 +41,10 @@ module type S = sig
   (** Disjoint union. *)
 
   val identify : state -> keep:int -> drop:int -> state
-  (** Glue the vertices at two slots into one (no edges merged); the
-      result keeps slot [keep], and [drop] leaves the boundary. *)
+  (** Glue the vertices at two slots into one; the result keeps slot
+      [keep], and [drop] leaves the boundary. Composition targets
+      *simple* graphs (Def 2.3): self-loops and parallel edges produced
+      by the gluing collapse, and algebras must account for that. *)
 
   val rename : state -> old_slot:int -> new_slot:int -> state
 

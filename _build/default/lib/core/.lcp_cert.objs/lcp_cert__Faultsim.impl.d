@@ -1,0 +1,1 @@
+lib/core/faultsim.ml: Array Baseline_fmr Certificate Hashtbl Lcp_algebra Lcp_graph Lcp_interval Lcp_pls List Option Printf Random Reject_reason Theorem1

@@ -1,0 +1,1 @@
+lib/core/faultsim.mli: Lcp_pls

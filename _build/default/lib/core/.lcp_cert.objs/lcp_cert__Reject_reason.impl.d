@@ -1,0 +1,1 @@
+lib/core/reject_reason.ml: Lcp_pls List String

@@ -1,0 +1,70 @@
+(** The adversarial soundness campaign: generators x schemes x fault
+    models over seeded trials (EXPERIMENTS.md §E5).
+
+    Each trial proves a scheme honestly on a random configuration,
+    injects one fault from {!Lcp_pls.Fault.catalogue}, classifies the
+    outcome, and — for detected faults — drives localized recovery
+    ({!Lcp_pls.Network.patch_region}), falling back to a global reproof.
+    Faults are transient: a fault that masked every alarm while live
+    (silent victims, forged ids) gets one more, honest verification round
+    and must be caught there (detection latency 2). The escape counter
+    therefore stays at zero unless a scheme's soundness — or the
+    agreement between the round simulation and the direct harness —
+    regresses; campaign front-ends exit non-zero on any escape.
+
+    The roster: Theorem 1 (connectivity and acyclicity instances), the
+    FMR O(log² n) baseline (no label codec, so bit-level faults are
+    skipped), the Prop 2.2 spanning-tree pointer scheme, the 1-bit
+    bipartiteness scheme, and the universal scheme. *)
+
+val scheme_names : string list
+val fault_names : string list
+
+val fault_of_name : string -> Lcp_pls.Fault.spec option
+(** Inverse of {!Lcp_pls.Fault.spec_name} over the catalogue. *)
+
+type cell = {
+  c_scheme : string;
+  c_fault : string;
+  c_trials : int;  (** trials attempted *)
+  c_injected : int;  (** faults actually injected (trials minus skips) *)
+  c_no_op : int;
+  c_legal : int;  (** legal rewrites, silently adopted *)
+  c_detected : int;
+  c_masked : int;  (** detected only after the fault ceased (latency 2) *)
+  c_latency_sum : int;  (** over detected faults *)
+  c_localized : int;  (** repaired by patching the rejecting region *)
+  c_global : int;  (** repairs that needed a global reproof *)
+  c_recovery_rounds : int;
+  c_escapes : int;  (** must be 0 *)
+}
+
+type report = {
+  cells : cell list;
+  reasons : (string * int) list;
+      (** rejection-reason histogram, keyed by {!Reject_reason.classify} *)
+  schemes : int;
+  fault_models : int;
+  total_injected : int;
+  total_effective : int;  (** injected minus no-ops and legal rewrites *)
+  total_detected : int;
+  total_escapes : int;
+  escape_notes : (string * string * string) list;
+      (** (scheme, fault, note) per escape *)
+}
+
+val run :
+  ?seed:int ->
+  ?trials:int ->
+  ?schemes:string list ->
+  ?faults:Lcp_pls.Fault.spec list ->
+  unit ->
+  report
+(** Run the campaign: [trials] (default 30) per (scheme, fault) cell,
+    deterministically derived from [seed] (default 20250806) — each cell
+    is seeded independently, so filtering schemes or faults does not
+    change the remaining cells. *)
+
+val print_matrix : report -> unit
+(** Print the soundness matrix, the campaign totals, the rejection-reason
+    taxonomy histogram, and any escape notes. *)

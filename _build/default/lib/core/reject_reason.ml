@@ -1,0 +1,41 @@
+(** Coarse taxonomy over verifier rejection reasons.
+
+    Every verifier in the system rejects with a structured prefix
+    ("stack: …", "transport: …", "pointer: …", "fmr: …", …). The
+    fault-injection campaign aggregates rejections by the slug this
+    module assigns, which turns free-form reasons into a stable matrix
+    axis without coupling the campaign to exact message texts. *)
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+(* ordered: first match wins *)
+let table =
+  [
+    ("missing-label", [ Lcp_pls.Scheme.missing_label ]);
+    ("stack", [ "stack:" ]);
+    ("transport", [ "transport:" ]);
+    ("membership", [ "E-member"; "P-member"; "B-member"; "T-group"; "group:" ]);
+    ("tree-merge", [ "Tree-merge" ]);
+    ("bridge-merge", [ "Bridge-merge"; "B-part"; "B-node" ]);
+    ("partition", [ "V-part"; "T-part" ]);
+    ("root", [ "root" ]);
+    ("global-pointer", [ "global" ]);
+    ("pointer", [ "pointer"; "stree" ]);
+    ("accept-bit", [ "inconsistent accept"; "the prover admits" ]);
+    ("singleton", [ "singleton" ]);
+    ("fmr", [ "fmr" ]);
+    ("universal", [ "universal" ]);
+    ("coloring", [ "bipartite" ]);
+  ]
+
+let classify reason =
+  match
+    List.find_opt
+      (fun (_, prefixes) -> List.exists (fun p -> has_prefix p reason) prefixes)
+      table
+  with
+  | Some (slug, _) -> slug
+  | None -> "other"
+
+let slugs = List.map fst table @ [ "other" ]

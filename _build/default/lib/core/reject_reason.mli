@@ -1,0 +1,14 @@
+(** Coarse taxonomy over verifier rejection reasons.
+
+    Every verifier in the system rejects with a structured message prefix
+    ("stack: …", "transport: …", "pointer: …", "fmr: …", …). The
+    fault-injection campaign ({!Faultsim}) aggregates rejections by the
+    slug this module assigns, turning free-form reasons into a stable
+    matrix axis without coupling the campaign to exact message texts. *)
+
+val classify : string -> string
+(** Map one rejection reason to its taxonomy slug; ["other"] when no
+    known prefix matches. *)
+
+val slugs : string list
+(** Every slug {!classify} can produce, ["other"] last. *)

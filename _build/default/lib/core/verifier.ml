@@ -432,6 +432,12 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
                         (info_equal merged side_info)
                         "B-part: inner tree class differs from the part info"
                     end
+                    else
+                      (* the declared root member cannot hide its
+                         tree-rootness: a cleared bit would disable the
+                         two checks above *)
+                      require (Some (fst member).node_id <> root_member)
+                        "B-part: root member does not claim tree-rootness"
                 | _ -> fail "B-part: side edge without inner frame"
               end)
             g.bg_items

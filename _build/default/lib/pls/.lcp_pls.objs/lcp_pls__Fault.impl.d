@@ -1,0 +1,1 @@
+lib/pls/fault.ml: Array Config Fun Lcp_graph Lcp_util List Network Option Printf Random Scheme

@@ -1,0 +1,1 @@
+lib/pls/fault.mli: Config Lcp_util Random Scheme

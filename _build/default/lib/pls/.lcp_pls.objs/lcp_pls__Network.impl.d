@@ -1,1 +1,1 @@
-lib/pls/network.ml: Array Config Lcp_graph List Printf Scheme
+lib/pls/network.ml: Array Config Lcp_graph List Option Scheme

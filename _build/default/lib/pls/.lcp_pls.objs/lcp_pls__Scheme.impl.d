@@ -1,1 +1,1 @@
-lib/pls/scheme.ml: Array Config Lcp_graph Lcp_util List Map Printf
+lib/pls/scheme.ml: Array Config Lcp_graph Lcp_util List Map

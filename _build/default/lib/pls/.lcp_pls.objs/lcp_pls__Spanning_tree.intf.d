@@ -1,1 +1,1 @@
-lib/pls/spanning_tree.mli: Config Scheme
+lib/pls/spanning_tree.mli: Config Lcp_util Scheme

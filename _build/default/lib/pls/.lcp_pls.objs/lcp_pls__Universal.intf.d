@@ -1,1 +1,1 @@
-lib/pls/universal.mli: Lcp_graph Scheme
+lib/pls/universal.mli: Lcp_graph Lcp_util Scheme

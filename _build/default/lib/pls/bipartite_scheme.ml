@@ -35,10 +35,13 @@ let verify (view : bool Scheme.vertex_view) =
     Ok ()
   else Error "bipartite: a neighbor has my color"
 
+let encode w b = Bitenc.bit w b
+let decode r = Bitenc.read_bit r
+
 let scheme =
   {
     Scheme.vs_name = "bipartite_1bit";
     vs_prove = prove;
     vs_verify = verify;
-    vs_encode = (fun w b -> Bitenc.bit w b);
+    vs_encode = encode;
   }

@@ -1,0 +1,403 @@
+module Graph = Lcp_graph.Graph
+module Bitenc = Lcp_util.Bitenc
+module EM = Scheme.Edge_map
+
+type 'l codec = {
+  c_encode : Bitenc.writer -> 'l -> unit;
+  c_decode : Bitenc.reader -> 'l;
+}
+
+type spec =
+  | Bit_flip of int
+  | Label_swap
+  | Label_duplicate
+  | Label_delete
+  | Stale_replay
+  | Crash of int
+  | Byzantine of int
+  | Id_collision
+
+let spec_name = function
+  | Bit_flip 1 -> "bit-flip"
+  | Bit_flip k -> Printf.sprintf "bit-flip x%d" k
+  | Label_swap -> "label-swap"
+  | Label_duplicate -> "label-dup"
+  | Label_delete -> "label-delete"
+  | Stale_replay -> "stale-replay"
+  | Crash 1 -> "crash"
+  | Crash k -> Printf.sprintf "crash x%d" k
+  | Byzantine 1 -> "byzantine"
+  | Byzantine k -> Printf.sprintf "byzantine x%d" k
+  | Id_collision -> "id-collision"
+
+let catalogue =
+  [
+    Bit_flip 1;
+    Bit_flip 3;
+    Label_swap;
+    Label_duplicate;
+    Label_delete;
+    Stale_replay;
+    Crash 1;
+    Byzantine 1;
+    Id_collision;
+  ]
+
+type 'l edge_world = {
+  ew_labels : 'l EM.t;
+  ew_silent : int list;
+  ew_id_of : (int -> int) option;
+  ew_touched : int list;
+  ew_note : string;
+}
+
+type 'l vertex_world = {
+  vw_labels : 'l option array;
+  vw_silent : int list;
+  vw_id_of : (int -> int) option;
+  vw_touched : int list;
+  vw_note : string;
+}
+
+(* ---------------------------------------------------------------- *)
+(* shared machinery *)
+
+let pick rng xs = List.nth xs (Random.State.int rng (List.length xs))
+
+let pick_distinct rng count xs =
+  if List.length xs < count then None
+  else begin
+    let chosen = ref [] in
+    let pool = ref xs in
+    for _ = 1 to count do
+      let x = pick rng !pool in
+      chosen := x :: !chosen;
+      pool := List.filter (fun y -> y <> x) !pool
+    done;
+    Some (List.rev !chosen)
+  end
+
+(* round-trip a label through its bit encoding with [flips] random bit
+   flips; [None] when the flipped string no longer decodes (the label is
+   then effectively destroyed — the caller deletes it) *)
+let garble rng codec ~flips l =
+  let w = Bitenc.writer () in
+  codec.c_encode w l;
+  let bits = Bitenc.length_bits w in
+  if bits = 0 then None
+  else begin
+    let bytes = Bitenc.to_bytes w in
+    (match pick_distinct rng (min flips bits) (List.init bits Fun.id) with
+    | Some positions -> List.iter (Bitenc.flip_bit bytes) positions
+    | None -> ());
+    match codec.c_decode (Bitenc.reader bytes) with
+    | l' -> Some l'
+    | exception _ -> None
+  end
+
+(* the forged identifier view of an ID collision: [v] presents [u]'s id *)
+let collide cfg u v w = if w = v then Config.id cfg u else Config.id cfg w
+
+(* a "previous incarnation" of the network: same topology, identifiers
+   rotated one position — the stale state a replayed certificate is from *)
+let stale_config cfg =
+  let n = Config.n cfg in
+  let ids = Array.init n (fun v -> Config.id cfg ((v + 1) mod n)) in
+  Config.make ~ids (Config.graph cfg)
+
+let vertices cfg = List.init (Config.n cfg) Fun.id
+
+(* ---------------------------------------------------------------- *)
+(* edge-scheme injection *)
+
+let edge_world ?(silent = []) ?id_of ?(note = "") cfg labels touched =
+  let g = Config.graph cfg in
+  let around =
+    List.sort_uniq compare
+      (List.concat_map (fun v -> v :: Graph.neighbors g v) touched)
+  in
+  {
+    ew_labels = labels;
+    ew_silent = silent;
+    ew_id_of = id_of;
+    ew_touched = around;
+    ew_note = note;
+  }
+
+let inject_edge ~rng ?codec cfg (scheme : 'l Scheme.edge_scheme) labels spec =
+  let g = Config.graph cfg in
+  let bindings = EM.bindings labels in
+  if bindings = [] then None
+  else
+    let pick_edge () = pick rng bindings in
+    match spec with
+    | Bit_flip flips -> (
+        match codec with
+        | None -> None (* scheme without a label decoder: not applicable *)
+        | Some codec -> (
+            let (u, v), l = pick_edge () in
+            match garble rng codec ~flips l with
+            | Some l' ->
+                Some
+                  (edge_world cfg (EM.add labels (u, v) l') [ u; v ]
+                     ~note:"flipped bits decode")
+            | None ->
+                Some
+                  (edge_world cfg (EM.remove labels (u, v)) [ u; v ]
+                     ~note:"flipped bits break decoding; label lost")))
+    | Label_swap ->
+        if List.length bindings < 2 then None
+        else begin
+          let (e1, l1) = pick_edge () in
+          let others = List.filter (fun (e, _) -> e <> e1) bindings in
+          let (e2, l2) = pick rng others in
+          let labels = EM.add (EM.add labels e1 l2) e2 l1 in
+          Some (edge_world cfg labels [ fst e1; snd e1; fst e2; snd e2 ])
+        end
+    | Label_duplicate ->
+        if List.length bindings < 2 then None
+        else begin
+          let (e1, _) = pick_edge () in
+          let others = List.filter (fun (e, _) -> e <> e1) bindings in
+          let (_, l2) = pick rng others in
+          Some (edge_world cfg (EM.add labels e1 l2) [ fst e1; snd e1 ])
+        end
+    | Label_delete ->
+        let (e, _) = pick_edge () in
+        Some (edge_world cfg (EM.remove labels e) [ fst e; snd e ])
+    | Stale_replay -> (
+        match scheme.Scheme.es_prove (stale_config cfg) with
+        | None -> None
+        | Some stale ->
+            let (e, _) = pick_edge () in
+            (match EM.find stale e with
+            | None -> None
+            | Some old ->
+                Some
+                  (edge_world cfg (EM.add labels e old) [ fst e; snd e ]
+                     ~note:"label replayed from rotated-id incarnation")))
+    | Crash count -> (
+        match pick_distinct rng count (vertices cfg) with
+        | None -> None
+        | Some victims ->
+            (* a crashed processor loses its link memory and goes quiet *)
+            let labels =
+              List.fold_left
+                (fun m v ->
+                  List.fold_left
+                    (fun m w -> EM.remove m (v, w))
+                    m (Graph.neighbors g v))
+                labels victims
+            in
+            Some (edge_world cfg labels victims ~silent:victims))
+    | Byzantine count -> (
+        match pick_distinct rng count (vertices cfg) with
+        | None -> None
+        | Some victims ->
+            (* a Byzantine processor rewrites its link memory arbitrarily
+               (garbled bits when a codec exists, another link's label
+               otherwise) and raises no alarm itself *)
+            let garble_label l =
+              match codec with
+              | Some codec -> garble rng codec ~flips:(1 + Random.State.int rng 4) l
+              | None -> Some (snd (pick_edge ()))
+            in
+            let labels =
+              List.fold_left
+                (fun m v ->
+                  List.fold_left
+                    (fun m w ->
+                      match EM.find m (v, w) with
+                      | None -> m
+                      | Some l -> (
+                          match garble_label l with
+                          | Some l' -> EM.add m (v, w) l'
+                          | None -> EM.remove m (v, w)))
+                    m (Graph.neighbors g v))
+                labels victims
+            in
+            Some (edge_world cfg labels victims ~silent:victims))
+    | Id_collision -> (
+        match pick_distinct rng 2 (vertices cfg) with
+        | None -> None
+        | Some [ u; v ] ->
+            Some
+              (edge_world cfg labels [ u; v ]
+                 ~id_of:(collide cfg u v)
+                 ~note:
+                   (Printf.sprintf "vertex %d claims the id of vertex %d" v u))
+        | Some _ -> assert false)
+
+(* ---------------------------------------------------------------- *)
+(* vertex-scheme injection *)
+
+let vertex_world ?(silent = []) ?id_of ?(note = "") cfg labels touched =
+  let g = Config.graph cfg in
+  let around =
+    List.sort_uniq compare
+      (List.concat_map (fun v -> v :: Graph.neighbors g v) touched)
+  in
+  {
+    vw_labels = labels;
+    vw_silent = silent;
+    vw_id_of = id_of;
+    vw_touched = around;
+    vw_note = note;
+  }
+
+let inject_vertex ~rng ?codec cfg (scheme : 'l Scheme.vertex_scheme) labels
+    spec =
+  let n = Config.n cfg in
+  if n = 0 then None
+  else
+    let arr () = Array.map Option.some labels in
+    let pick_vertex () = Random.State.int rng n in
+    match spec with
+    | Bit_flip flips -> (
+        match codec with
+        | None -> None
+        | Some codec -> (
+            let v = pick_vertex () in
+            let a = arr () in
+            match garble rng codec ~flips labels.(v) with
+            | Some l' ->
+                a.(v) <- Some l';
+                Some (vertex_world cfg a [ v ] ~note:"flipped bits decode")
+            | None ->
+                a.(v) <- None;
+                Some
+                  (vertex_world cfg a [ v ]
+                     ~note:"flipped bits break decoding; label lost")))
+    | Label_swap ->
+        if n < 2 then None
+        else begin
+          let v = pick_vertex () in
+          let w = (v + 1 + Random.State.int rng (n - 1)) mod n in
+          let a = arr () in
+          a.(v) <- Some labels.(w);
+          a.(w) <- Some labels.(v);
+          Some (vertex_world cfg a [ v; w ])
+        end
+    | Label_duplicate ->
+        if n < 2 then None
+        else begin
+          let v = pick_vertex () in
+          let w = (v + 1 + Random.State.int rng (n - 1)) mod n in
+          let a = arr () in
+          a.(v) <- Some labels.(w);
+          Some (vertex_world cfg a [ v ])
+        end
+    | Label_delete ->
+        let v = pick_vertex () in
+        let a = arr () in
+        a.(v) <- None;
+        Some (vertex_world cfg a [ v ])
+    | Stale_replay -> (
+        match scheme.Scheme.vs_prove (stale_config cfg) with
+        | None -> None
+        | Some stale ->
+            let v = pick_vertex () in
+            let a = arr () in
+            a.(v) <- Some stale.(v);
+            Some
+              (vertex_world cfg a [ v ]
+                 ~note:"label replayed from rotated-id incarnation"))
+    | Crash count -> (
+        match pick_distinct rng count (vertices cfg) with
+        | None -> None
+        | Some victims ->
+            let a = arr () in
+            List.iter (fun v -> a.(v) <- None) victims;
+            Some (vertex_world cfg a victims ~silent:victims))
+    | Byzantine count -> (
+        match pick_distinct rng count (vertices cfg) with
+        | None -> None
+        | Some victims ->
+            let a = arr () in
+            List.iter
+              (fun v ->
+                match codec with
+                | Some codec ->
+                    a.(v) <-
+                      garble rng codec ~flips:(1 + Random.State.int rng 4)
+                        labels.(v)
+                | None ->
+                    (* no codec: emit some other processor's label *)
+                    a.(v) <- Some labels.(Random.State.int rng n))
+              victims;
+            Some (vertex_world cfg a victims ~silent:victims))
+    | Id_collision -> (
+        match pick_distinct rng 2 (vertices cfg) with
+        | None -> None
+        | Some [ u; v ] ->
+            Some
+              (vertex_world cfg (arr ()) [ u; v ]
+                 ~id_of:(collide cfg u v)
+                 ~note:
+                   (Printf.sprintf "vertex %d claims the id of vertex %d" v u))
+        | Some _ -> assert false)
+
+(* ---------------------------------------------------------------- *)
+(* classification: what did the fault do, and was it caught? *)
+
+type classification =
+  | No_op
+  | Legal_rewrite
+  | Detected of { latency : int; detectors : int list; reasons : string list }
+  | Undetected_effective
+
+let class_name = function
+  | No_op -> "no-op"
+  | Legal_rewrite -> "legal-rewrite"
+  | Detected _ -> "detected"
+  | Undetected_effective -> "ESCAPE"
+
+let detection t =
+  let detectors = Network.rejectors t in
+  let reasons =
+    List.filter_map
+      (fun (_, v) ->
+        match v with Network.Reject m -> Some m | Network.Accept -> None)
+      t.Network.verdicts
+  in
+  Detected { latency = t.Network.rounds; detectors; reasons }
+
+let classify_edge cfg (scheme : 'l Scheme.edge_scheme) ~honest world =
+  let unchanged =
+    world.ew_silent = [] && world.ew_id_of = None
+    && EM.bindings world.ew_labels = EM.bindings honest
+  in
+  if unchanged then No_op
+  else
+    (* detection runs in the faulty world: crashed/Byzantine processors
+       raise no alarm, forged ids are in force *)
+    let t =
+      Network.run_edge_round ~silent:world.ew_silent ?id_of:world.ew_id_of cfg
+        scheme world.ew_labels
+    in
+    if not (Network.accepted t) then detection t
+    else if
+      (* nobody objected; judge the surviving state honestly (true ids,
+         every processor speaking). If even the honest round accepts, the
+         fault rewrote one legal certificate into another. *)
+      Network.accepted (Network.run_edge_round cfg scheme world.ew_labels)
+    then Legal_rewrite
+    else Undetected_effective
+
+let classify_vertex cfg (scheme : 'l Scheme.vertex_scheme) ~honest world =
+  let unchanged =
+    world.vw_silent = [] && world.vw_id_of = None
+    && Array.to_list world.vw_labels
+       = Array.to_list (Array.map Option.some honest)
+  in
+  if unchanged then No_op
+  else
+    let t =
+      Network.run_vertex_partial ~silent:world.vw_silent
+        ?id_of:world.vw_id_of cfg scheme world.vw_labels
+    in
+    if not (Network.accepted t) then detection t
+    else if
+      Network.accepted (Network.run_vertex_partial cfg scheme world.vw_labels)
+    then Legal_rewrite
+    else Undetected_effective

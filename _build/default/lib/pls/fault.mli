@@ -1,0 +1,146 @@
+(** Typed fault injection for proof labeling schemes.
+
+    The whole point of a proof labeling scheme is soundness under
+    adversarial state (§1.1, §3): after a transient fault, *some*
+    processor must reject, whatever the fault did to the label memory.
+    This module is the adversary: a catalogue of fault models — each
+    deterministic under the caller's [Random.State.t] — that corrupt an
+    honestly proved network into a faulty {e world}, plus the
+    classification logic that decides what the fault amounted to and
+    whether the verification round caught it.
+
+    Bit-level faults operate on the *encoded* label, round-tripped
+    through {!Lcp_util.Bitenc}: the flipped bit string is decoded back;
+    when decoding fails the label is treated as destroyed (deleted), which
+    the verifier must also detect.
+
+    A {e world} is more than a label map: crashed and Byzantine
+    processors are {e silent} (they send nothing and raise no alarm — see
+    {!Network}), and ID-collision faults forge the identifier a processor
+    presents without touching any label. *)
+
+type 'l codec = {
+  c_encode : Lcp_util.Bitenc.writer -> 'l -> unit;
+  c_decode : Lcp_util.Bitenc.reader -> 'l;
+}
+(** Encode/decode pair for bit-surgery faults. Schemes without a decoder
+    simply skip the bit-level fault models. *)
+
+type spec =
+  | Bit_flip of int
+      (** flip this many distinct random bits in one encoded label *)
+  | Label_swap  (** exchange the labels of two distinct edges/vertices *)
+  | Label_duplicate  (** overwrite one label with a copy of another *)
+  | Label_delete  (** erase one label outright *)
+  | Stale_replay
+      (** replay a label proved for a previous incarnation of the network
+          (same topology, rotated identifiers) *)
+  | Crash of int
+      (** this many processors crash: their label memory is lost and they
+          fall silent — detection must come from their neighbors *)
+  | Byzantine of int
+      (** this many processors rewrite their label memory arbitrarily and
+          raise no alarm themselves *)
+  | Id_collision
+      (** one processor presents another processor's identifier; labels
+          are untouched *)
+
+val spec_name : spec -> string
+
+val catalogue : spec list
+(** The campaign's canonical fault models: single and triple bit flips,
+    swap, duplicate, delete, stale replay, single crash, single Byzantine
+    processor, and an ID collision. *)
+
+type 'l edge_world = {
+  ew_labels : 'l Scheme.Edge_map.t;  (** post-fault labels, possibly partial *)
+  ew_silent : int list;  (** crashed/Byzantine processors *)
+  ew_id_of : (int -> int) option;  (** forged identifier view, if any *)
+  ew_touched : int list;
+      (** corrupted vertices and their neighbors — where locality says
+          detection should happen *)
+  ew_note : string;  (** human-readable description of what was done *)
+}
+
+type 'l vertex_world = {
+  vw_labels : 'l option array;  (** [None] = label destroyed *)
+  vw_silent : int list;
+  vw_id_of : (int -> int) option;
+  vw_touched : int list;
+  vw_note : string;
+}
+
+val inject_edge :
+  rng:Random.State.t ->
+  ?codec:'l codec ->
+  Config.t ->
+  'l Scheme.edge_scheme ->
+  'l Scheme.Edge_map.t ->
+  spec ->
+  'l edge_world option
+(** Apply one fault to an honestly labeled edge-scheme network. [None]
+    when the model does not apply ([Bit_flip] without a codec, [Label_swap]
+    on a single edge, [Crash n] with fewer than [n] vertices, a stale
+    prover that declines, an empty labeling). Deterministic in [rng]. *)
+
+val inject_vertex :
+  rng:Random.State.t ->
+  ?codec:'l codec ->
+  Config.t ->
+  'l Scheme.vertex_scheme ->
+  'l array ->
+  spec ->
+  'l vertex_world option
+(** Same, for vertex schemes. *)
+
+(** {1 Classification}
+
+    The outcome of one fault, decided by two verification rounds:
+
+    - {b detection} runs in the {e faulty} world — silent processors are
+      forced to accept and forged identifiers are in force; if anyone
+      rejects the fault is [Detected] (latency = rounds until the first
+      rejection; always 1 in the synchronous model).
+    - otherwise the surviving state is judged by an {e honest} round
+      (true identifiers, every processor speaking): acceptance means the
+      fault merely rewrote one legal certificate into another
+      ([Legal_rewrite] — by soundness this is indistinguishable from a
+      legal state, and a self-stabilizing system adopts it); rejection
+      means the state is genuinely bad yet no alarm was raised while the
+      fault was live — [Undetected_effective].
+
+    Faults are transient (the Korman–Kutten–Peleg model): a crashed or
+    Byzantine processor eventually resumes correct behavior against the
+    corrupted state. The campaign driver therefore gives an
+    [Undetected_effective] fault one more, honest round — by the
+    definition above it rejects, so the fault is ultimately detected with
+    latency 2 (masked for exactly the fault's lifetime). A fault that
+    stayed quiet even then would be a true soundness escape; the campaign
+    counts those and exits non-zero.
+
+    A fault that left labels, silence, and identifiers untouched is a
+    [No_op]. An ID collision with honest labels classifies as
+    [Legal_rewrite] when undetected: the label state *is* legal, the
+    forgery lives purely in the verification layer. *)
+
+type classification =
+  | No_op
+  | Legal_rewrite
+  | Detected of { latency : int; detectors : int list; reasons : string list }
+  | Undetected_effective
+
+val class_name : classification -> string
+
+val classify_edge :
+  Config.t ->
+  'l Scheme.edge_scheme ->
+  honest:'l Scheme.Edge_map.t ->
+  'l edge_world ->
+  classification
+
+val classify_vertex :
+  Config.t ->
+  'l Scheme.vertex_scheme ->
+  honest:'l array ->
+  'l vertex_world ->
+  classification

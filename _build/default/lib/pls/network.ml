@@ -12,21 +12,36 @@ let accepted t =
   List.for_all (fun (_, v) -> match v with Accept -> true | Reject _ -> false)
     t.verdicts
 
-let run_vertex_round cfg (scheme : 'l Scheme.vertex_scheme) labels =
+(* faulty-world knobs: a silent (crashed or Byzantine) processor never
+   raises an alarm — its verdict is forced to [Accept]; whether it sends
+   is governed by its label memory (a crashed processor lost its label and
+   so sends nothing, a Byzantine one sends its corrupted label). [id_of]
+   lets the adversary forge the identifier a processor presents
+   (ID-collision faults). *)
+let view_id cfg id_of v =
+  match id_of with Some f -> f v | None -> Config.id cfg v
+
+let is_silent silent v = List.mem v silent
+
+let run_vertex_partial ?(silent = []) ?id_of cfg
+    (scheme : 'l Scheme.vertex_scheme) labels =
   let g = Config.graph cfg in
   if Array.length labels <> Graph.n g then
-    invalid_arg "Network.run_vertex_round: wrong label count";
-  (* round 1: every processor sends (id, label) over every incident link *)
+    invalid_arg "Network.run_vertex_partial: wrong label count";
+  (* round 1: every labeled processor sends (id, label) over every
+     incident link; a processor whose label memory was wiped stays quiet *)
   let messages =
     Graph.fold_vertices
       (fun u acc ->
-        List.fold_left
-          (fun acc v -> (u, v, (Config.id cfg u, labels.(u))) :: acc)
-          acc (Graph.neighbors g u))
+        match labels.(u) with
+        | Some l ->
+            List.fold_left
+              (fun acc v -> (u, v, (view_id cfg id_of u, l)) :: acc)
+              acc (Graph.neighbors g u)
+        | None -> acc)
       g []
     |> List.rev
   in
-  (* mailboxes *)
   let mailbox = Array.make (Graph.n g) [] in
   List.iter
     (fun (_, receiver, payload) ->
@@ -35,17 +50,27 @@ let run_vertex_round cfg (scheme : 'l Scheme.vertex_scheme) labels =
   let verdicts =
     Graph.fold_vertices
       (fun v acc ->
-        let view =
-          {
-            Scheme.vv_id = Config.id cfg v;
-            vv_label = labels.(v);
-            vv_neighbors = List.rev mailbox.(v);
-          }
-        in
         let verdict =
-          match scheme.Scheme.vs_verify view with
-          | Ok () -> Accept
-          | Error m -> Reject m
+          if is_silent silent v then Accept (* raises no alarm *)
+          else
+            match labels.(v) with
+            | None -> Reject Scheme.missing_label
+            | Some _
+              when List.length mailbox.(v) < Graph.degree g v ->
+                (* synchronous model: a missing message is observable — some
+                   neighbor lost its label memory *)
+                Reject Scheme.missing_label
+            | Some l -> (
+                let view =
+                  {
+                    Scheme.vv_id = view_id cfg id_of v;
+                    vv_label = l;
+                    vv_neighbors = List.rev mailbox.(v);
+                  }
+                in
+                match scheme.Scheme.vs_verify view with
+                | Ok () -> Accept
+                | Error m -> Reject m)
         in
         (v, verdict) :: acc)
       g []
@@ -53,20 +78,25 @@ let run_vertex_round cfg (scheme : 'l Scheme.vertex_scheme) labels =
   in
   { rounds = 1; messages; verdicts }
 
-let run_edge_round cfg (scheme : 'l Scheme.edge_scheme) labels =
+let run_vertex_round ?silent ?id_of cfg (scheme : 'l Scheme.vertex_scheme)
+    labels =
+  run_vertex_partial ?silent ?id_of cfg scheme
+    (Array.map Option.some labels)
+
+let run_edge_round ?(silent = []) ?id_of cfg (scheme : 'l Scheme.edge_scheme)
+    labels =
   let g = Config.graph cfg in
-  (* each link delivers its label to both endpoints *)
-  let messages =
+  (* each labeled link delivers its label to both endpoints; a link whose
+     label was deleted delivers nothing — its endpoints must notice *)
+  let messages, starved =
     Graph.fold_edges
-      (fun (u, v) acc ->
+      (fun (u, v) (msgs, starved) ->
         match Scheme.Edge_map.find labels (u, v) with
-        | Some l -> (u, v, l) :: (v, u, l) :: acc
-        | None ->
-            invalid_arg
-              (Printf.sprintf "Network.run_edge_round: edge %d-%d unlabeled" u v))
-      g []
-    |> List.rev
+        | Some l -> ((u, v, l) :: (v, u, l) :: msgs, starved)
+        | None -> (msgs, u :: v :: starved))
+      g ([], [])
   in
+  let messages = List.rev messages in
   let mailbox = Array.make (Graph.n g) [] in
   List.iter
     (fun (_, receiver, l) -> mailbox.(receiver) <- l :: mailbox.(receiver))
@@ -74,17 +104,20 @@ let run_edge_round cfg (scheme : 'l Scheme.edge_scheme) labels =
   let verdicts =
     Graph.fold_vertices
       (fun v acc ->
-        let view =
-          {
-            Scheme.ev_id = Config.id cfg v;
-            ev_degree = Graph.degree g v;
-            ev_labels = List.rev mailbox.(v);
-          }
-        in
         let verdict =
-          match scheme.Scheme.es_verify view with
-          | Ok () -> Accept
-          | Error m -> Reject m
+          if is_silent silent v then Accept (* raises no alarm *)
+          else if List.mem v starved then Reject Scheme.missing_label
+          else
+            let view =
+              {
+                Scheme.ev_id = view_id cfg id_of v;
+                ev_degree = Graph.degree g v;
+                ev_labels = List.rev mailbox.(v);
+              }
+            in
+            match scheme.Scheme.es_verify view with
+            | Ok () -> Accept
+            | Error m -> Reject m
         in
         (v, verdict) :: acc)
       g []
@@ -92,39 +125,97 @@ let run_edge_round cfg (scheme : 'l Scheme.edge_scheme) labels =
   in
   { rounds = 1; messages; verdicts }
 
-type 'l stabilization_report = {
+let rejectors t =
+  List.filter_map
+    (fun (v, verdict) ->
+      match verdict with Reject _ -> Some v | Accept -> None)
+    t.verdicts
+
+(* splice the fresh proof onto every edge incident to the detected region,
+   keep the (possibly corrupted) labels elsewhere *)
+let patch_region cfg ~fresh ~current ~region =
+  let g = Config.graph cfg in
+  Graph.fold_edges
+    (fun (u, v) m ->
+      let source =
+        if List.mem u region || List.mem v region then fresh else current
+      in
+      match Scheme.Edge_map.find source (u, v) with
+      | Some l -> Scheme.Edge_map.add m (u, v) l
+      | None -> m)
+    g Scheme.Edge_map.empty
+
+type stabilization_report = {
   faults_injected : int;
-  faults_detected : int;
-  reproofs : int;
+  no_op : int;
+  legal_rewrites : int;
+  detected : int;
+  localized_recoveries : int;
+  global_reproofs : int;
+  recovery_rounds : int;
+  max_detection_latency : int;
   final_legal : bool;
 }
 
-let stabilize cfg (scheme : 'l Scheme.edge_scheme) ~faults =
+let stabilize ?(localize = true) cfg (scheme : 'l Scheme.edge_scheme) ~faults =
   let prove () =
     match scheme.Scheme.es_prove cfg with
     | Some labels -> labels
     | None -> invalid_arg "Network.stabilize: prover declined"
   in
-  let legal labels = accepted (run_edge_round cfg scheme labels) in
   let labels = ref (prove ()) in
-  if not (legal !labels) then
+  if not (accepted (run_edge_round cfg scheme !labels)) then
     invalid_arg "Network.stabilize: honest certificate rejected";
-  let detected = ref 0 and reproofs = ref 0 in
+  let no_op = ref 0 and legal = ref 0 and detected = ref 0 in
+  let localized = ref 0 and global = ref 0 in
+  let recovery_rounds = ref 0 and max_latency = ref 0 in
   List.iter
     (fun fault ->
       let corrupted = fault !labels in
-      if legal corrupted then
-        (* the fault produced an equivalent legal state; adopt it *)
-        labels := corrupted
+      if
+        Scheme.Edge_map.bindings corrupted = Scheme.Edge_map.bindings !labels
+      then incr no_op (* the fault did not change the state *)
       else begin
-        incr detected;
-        incr reproofs;
-        labels := prove ()
+        let t = run_edge_round cfg scheme corrupted in
+        if accepted t then begin
+          (* a different but legal certificate: nothing to repair, and in a
+             self-stabilizing system nothing *may* be repaired — no alarm *)
+          incr legal;
+          labels := corrupted
+        end
+        else begin
+          incr detected;
+          max_latency := max !max_latency t.rounds;
+          let fresh = prove () in
+          let finish_global () =
+            incr global;
+            incr recovery_rounds;
+            labels := fresh
+          in
+          if localize then begin
+            let patched =
+              patch_region cfg ~fresh ~current:corrupted
+                ~region:(rejectors t)
+            in
+            incr recovery_rounds;
+            if accepted (run_edge_round cfg scheme patched) then begin
+              incr localized;
+              labels := patched
+            end
+            else finish_global ()
+          end
+          else finish_global ()
+        end
       end)
     faults;
   {
     faults_injected = List.length faults;
-    faults_detected = !detected;
-    reproofs = !reproofs;
-    final_legal = legal !labels;
+    no_op = !no_op;
+    legal_rewrites = !legal;
+    detected = !detected;
+    localized_recoveries = !localized;
+    global_reproofs = !global;
+    recovery_rounds = !recovery_rounds;
+    max_detection_latency = !max_latency;
+    final_legal = accepted (run_edge_round cfg scheme !labels);
   }

@@ -13,6 +13,7 @@ module Edge_map = struct
   let empty = M.empty
   let canon (u, v) = Graph.canonical_edge u v
   let add m e l = M.add (canon e) l m
+  let remove m e = M.remove (canon e) m
   let find m e = M.find_opt (canon e) m
   let of_list l = List.fold_left (fun m (e, lab) -> add m e lab) empty l
   let bindings m = M.bindings m
@@ -50,28 +51,33 @@ type 'l vertex_scheme = {
   vs_encode : Lcp_util.Bitenc.writer -> 'l -> unit;
 }
 
+(* A deleted label is a fault the verifier must *detect*, not a harness
+   error: a vertex missing an incident label rejects instead of raising.
+   (Provers are trusted to emit total labelings — [certify_edge] and
+   [edge_to_vertex] still treat a partial map as a programming error.) *)
 let edge_view cfg labels v =
   let g = Config.graph cfg in
   let incident =
-    List.map
-      (fun w ->
-        match Edge_map.find labels (v, w) with
-        | Some l -> l
-        | None ->
-            invalid_arg
-              (Printf.sprintf "Scheme.run_edge: edge %d-%d has no label" v w))
-      (Graph.neighbors g v)
+    List.filter_map (fun w -> Edge_map.find labels (v, w)) (Graph.neighbors g v)
   in
-  { ev_id = Config.id cfg v; ev_degree = Graph.degree g v; ev_labels = incident }
+  let view =
+    { ev_id = Config.id cfg v; ev_degree = Graph.degree g v; ev_labels = incident }
+  in
+  if List.length incident < Graph.degree g v then Error view else Ok view
+
+let missing_label = "missing label"
 
 let run_edge cfg scheme labels =
   let g = Config.graph cfg in
   let rejections =
     Graph.fold_vertices
       (fun v acc ->
-        match scheme.es_verify (edge_view cfg labels v) with
-        | Ok () -> acc
-        | Error reason -> (v, reason) :: acc)
+        match edge_view cfg labels v with
+        | Error _ -> (v, missing_label) :: acc
+        | Ok view -> (
+            match scheme.es_verify view with
+            | Ok () -> acc
+            | Error reason -> (v, reason) :: acc))
       g []
   in
   match rejections with [] -> Accepted | rs -> Rejected (List.rev rs)

@@ -25,6 +25,7 @@ module Edge_map : sig
 
   val empty : 'l t
   val add : 'l t -> Lcp_graph.Graph.edge -> 'l -> 'l t
+  val remove : 'l t -> Lcp_graph.Graph.edge -> 'l t
   val find : 'l t -> Lcp_graph.Graph.edge -> 'l option
   val of_list : (Lcp_graph.Graph.edge * 'l) list -> 'l t
   val bindings : 'l t -> (Lcp_graph.Graph.edge * 'l) list
@@ -66,9 +67,14 @@ type 'l vertex_scheme = {
   vs_encode : Lcp_util.Bitenc.writer -> 'l -> unit;
 }
 
+val missing_label : string
+(** The rejection reason both endpoints of an unlabeled edge report. *)
+
 val run_edge : Config.t -> 'l edge_scheme -> 'l Edge_map.t -> outcome
-(** Run the verifier at every vertex. Raises [Invalid_argument] if the
-    labeling misses an edge of the graph (a labeling must be total). *)
+(** Run the verifier at every vertex. A partial labeling is a *fault*,
+    not a harness error: every vertex incident to an unlabeled edge
+    rejects with {!missing_label} (the adversary may delete labels; the
+    verifier must detect it rather than crash the simulation). *)
 
 val run_vertex : Config.t -> 'l vertex_scheme -> 'l array -> outcome
 

@@ -34,6 +34,35 @@ let graph_of_description ids edges =
     Some (Graph.of_edges ~n:(List.length ids) (List.filter_map translate edges))
   else None
 
+let encode w l =
+  Bitenc.varint w l.my_id;
+  Bitenc.varint w (List.length l.ids);
+  List.iter (fun x -> Bitenc.varint w x) l.ids;
+  Bitenc.varint w (List.length l.edges);
+  List.iter
+    (fun (a, b) ->
+      Bitenc.varint w a;
+      Bitenc.varint w b)
+    l.edges
+
+let decode r =
+  let rec read_list n f acc =
+    if n = 0 then List.rev acc else read_list (n - 1) f (f () :: acc)
+  in
+  let my_id = Bitenc.read_varint r in
+  let nids = Bitenc.read_varint r in
+  let ids = read_list nids (fun () -> Bitenc.read_varint r) [] in
+  let nedges = Bitenc.read_varint r in
+  let edges =
+    read_list nedges
+      (fun () ->
+        let a = Bitenc.read_varint r in
+        let b = Bitenc.read_varint r in
+        (a, b))
+      []
+  in
+  { my_id; ids; edges }
+
 let scheme ~name ~property =
   let prove cfg =
     let g = Config.graph cfg in
@@ -76,17 +105,6 @@ let scheme ~name ~property =
             else if property g then Ok ()
             else Error "universal: property fails on the described graph"
     end
-  in
-  let encode w l =
-    Bitenc.varint w l.my_id;
-    Bitenc.varint w (List.length l.ids);
-    List.iter (fun x -> Bitenc.varint w x) l.ids;
-    Bitenc.varint w (List.length l.edges);
-    List.iter
-      (fun (a, b) ->
-        Bitenc.varint w a;
-        Bitenc.varint w b)
-      l.edges
   in
   {
     Scheme.vs_name = name;

@@ -21,3 +21,9 @@ val scheme :
   name:string ->
   property:(Lcp_graph.Graph.t -> bool) ->
   label Scheme.vertex_scheme
+
+val encode : Lcp_util.Bitenc.writer -> label -> unit
+
+val decode : Lcp_util.Bitenc.reader -> label
+(** Inverse of {!encode} — the codec bit-level fault injection round-trips
+    labels through. *)

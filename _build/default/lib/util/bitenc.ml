@@ -79,6 +79,17 @@ let read_varint r =
 
 let bits_remaining r = r.total_bits - r.pos
 
+let get_bit data pos =
+  if pos < 0 || pos >= 8 * Bytes.length data then
+    invalid_arg "Bitenc.get_bit: out of range";
+  Char.code (Bytes.get data (pos / 8)) land (1 lsl (pos mod 8)) <> 0
+
+let flip_bit data pos =
+  if pos < 0 || pos >= 8 * Bytes.length data then
+    invalid_arg "Bitenc.flip_bit: out of range";
+  let i = pos / 8 in
+  Bytes.set data i (Char.chr (Char.code (Bytes.get data i) lxor (1 lsl (pos mod 8))))
+
 let varint_size x =
   let rec go x acc = if x < 128 then acc + 8 else go (x lsr 7) (acc + 8) in
   go x 0

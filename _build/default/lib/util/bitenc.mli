@@ -40,5 +40,13 @@ val read_varint : reader -> int
 val bits_remaining : reader -> int
 (** Bits not yet consumed (includes any zero padding from [to_bytes]). *)
 
+val get_bit : bytes -> int -> bool
+(** Read bit [pos] of a buffer in stream order (bit [i] lives in byte
+    [i/8] at offset [i mod 8]), without a reader. *)
+
+val flip_bit : bytes -> int -> unit
+(** Invert bit [pos] of a buffer in place, in the same stream order —
+    the primitive of bit-level fault injection. *)
+
 val varint_size : int -> int
 (** Number of bits [varint] would use for this value. *)

@@ -1,0 +1,1 @@
+test/test_fault.ml: Array Fun Lcp_algebra Lcp_cert Lcp_graph Lcp_pls Lcp_util List Option Printf Random String Test_util

@@ -1,0 +1,315 @@
+(* The fault-injection engine: every constructor behaves as specified and
+   is deterministic under its seed, and the headline soundness property —
+   every single-bit flip of an encoded Theorem 1 certificate is rejected
+   (or destroys the label, which is also rejected), unless it only
+   touches untrusted serial-number fields — holds on random
+   bounded-pathwidth graphs. *)
+
+open Test_util
+module Gen = Lcp_graph.Gen
+module Graph = Lcp_graph.Graph
+module PLS = Lcp_pls
+module S = PLS.Scheme
+module EM = S.Edge_map
+module N = PLS.Network
+module F = PLS.Fault
+module A = Lcp_algebra
+module Cert = Lcp_cert.Certificate
+module T1conn = Lcp_cert.Theorem1.Make (A.Connectivity)
+module FS = Lcp_cert.Faultsim
+
+let pointer_codec =
+  {
+    F.c_encode = PLS.Spanning_tree.encode;
+    F.c_decode = PLS.Spanning_tree.decode;
+  }
+
+(* a fixed arena for the constructor tests: the pointer scheme on a grid *)
+let arena seed =
+  let rng = rng_of_seed seed in
+  let g = Gen.grid 3 3 in
+  let cfg = PLS.Config.random_ids rng g in
+  let scheme = PLS.Spanning_tree.scheme ~target:(PLS.Config.id cfg 0) in
+  let labels = Option.get (scheme.S.es_prove cfg) in
+  (rng, cfg, scheme, labels)
+
+let edge_world_equal w1 w2 =
+  EM.bindings w1.F.ew_labels = EM.bindings w2.F.ew_labels
+  && w1.F.ew_silent = w2.F.ew_silent
+  && w1.F.ew_touched = w2.F.ew_touched
+  && w1.F.ew_note = w2.F.ew_note
+
+let deterministic_under_seed () =
+  List.iter
+    (fun spec ->
+      let inject () =
+        let _, cfg, scheme, labels = arena 17 in
+        (* fresh rng per injection: determinism is the whole claim *)
+        F.inject_edge ~rng:(rng_of_seed 99) ~codec:pointer_codec cfg scheme
+          labels spec
+      in
+      match (inject (), inject ()) with
+      | Some w1, Some w2 ->
+          check
+            (Printf.sprintf "%s: same seed, same world" (F.spec_name spec))
+            true (edge_world_equal w1 w2)
+      | None, None -> ()
+      | _ ->
+          check
+            (Printf.sprintf "%s: same seed, same applicability"
+               (F.spec_name spec))
+            true false)
+    F.catalogue
+
+let crash_loses_memory_and_silences () =
+  let rng, cfg, scheme, labels = arena 3 in
+  let g = PLS.Config.graph cfg in
+  match F.inject_edge ~rng cfg scheme labels (F.Crash 2) with
+  | None -> check "crash applies" true false
+  | Some w ->
+      check_int "two crashed processors" 2 (List.length w.F.ew_silent);
+      List.iter
+        (fun v ->
+          List.iter
+            (fun u ->
+              check "incident label erased" true
+                (EM.find w.F.ew_labels (v, u) = None))
+            (Graph.neighbors g v);
+          check "victim is in the touched region" true
+            (List.mem v w.F.ew_touched))
+        w.F.ew_silent;
+      (match F.classify_edge cfg scheme ~honest:labels w with
+      | F.Detected { latency; detectors; _ } ->
+          check_int "crash detected in one round" 1 latency;
+          (* the dead processors raise no alarm; their neighbors do *)
+          check "crashed processors stay quiet" true
+            (List.for_all (fun d -> not (List.mem d w.F.ew_silent)) detectors)
+      | _ -> check "crash must be detected" true false)
+
+let byzantine_garbles_and_silences () =
+  let rng, cfg, scheme, labels = arena 5 in
+  match
+    F.inject_edge ~rng ~codec:pointer_codec cfg scheme labels (F.Byzantine 1)
+  with
+  | None -> check "byzantine applies" true false
+  | Some w ->
+      check_int "one byzantine processor" 1 (List.length w.F.ew_silent);
+      check "labels changed or dropped" true
+        (EM.bindings w.F.ew_labels <> EM.bindings labels);
+      (match F.classify_edge cfg scheme ~honest:labels w with
+      | F.Detected _ | F.Undetected_effective | F.Legal_rewrite -> ()
+      | F.No_op -> check "byzantine is never a no-op" true false)
+
+let id_collision_forges_only_ids () =
+  let rng, cfg, scheme, labels = arena 7 in
+  match F.inject_edge ~rng cfg scheme labels F.Id_collision with
+  | None -> check "collision applies" true false
+  | Some w ->
+      check "labels untouched" true
+        (EM.bindings w.F.ew_labels = EM.bindings labels);
+      (match w.F.ew_id_of with
+      | None -> check "forged id view" true false
+      | Some id_of ->
+          let forged =
+            List.filter
+              (fun v -> id_of v <> PLS.Config.id cfg v)
+              (List.init (PLS.Config.n cfg) Fun.id)
+          in
+          check_int "exactly one forged identifier" 1 (List.length forged);
+          let v = List.hd forged in
+          check "forged to another processor's id" true
+            (List.exists
+               (fun u -> u <> v && PLS.Config.id cfg u = id_of v)
+               (List.init (PLS.Config.n cfg) Fun.id)))
+
+let stale_replay_is_from_rotated_incarnation () =
+  let rng, cfg, scheme, labels = arena 11 in
+  match F.inject_edge ~rng cfg scheme labels F.Stale_replay with
+  | None -> check "stale replay applies" true false
+  | Some w ->
+      check "note names the stale incarnation" true
+        (w.F.ew_note <> "" && String.length w.F.ew_note > 10);
+      (* exactly one edge differs, and only when the incarnations disagree *)
+      let diff =
+        List.filter
+          (fun (e, l) -> EM.find labels e <> Some l)
+          (EM.bindings w.F.ew_labels)
+      in
+      check "at most one replayed label" true (List.length diff <= 1)
+
+let delete_and_swap_shapes () =
+  let rng, cfg, scheme, labels = arena 13 in
+  (match F.inject_edge ~rng cfg scheme labels F.Label_delete with
+  | Some w ->
+      check_int "one label fewer" (EM.cardinal labels - 1)
+        (EM.cardinal w.F.ew_labels)
+  | None -> check "delete applies" true false);
+  match F.inject_edge ~rng cfg scheme labels F.Label_swap with
+  | Some w ->
+      check_int "swap keeps the label count" (EM.cardinal labels)
+        (EM.cardinal w.F.ew_labels)
+  | None -> check "swap applies" true false
+
+let vertex_constructors () =
+  let rng = rng_of_seed 23 in
+  let g = Gen.grid 3 3 in
+  let cfg = PLS.Config.random_ids rng g in
+  let scheme = PLS.Bipartite_scheme.scheme in
+  let labels = Option.get (scheme.S.vs_prove cfg) in
+  let bip_codec =
+    {
+      F.c_encode = PLS.Bipartite_scheme.encode;
+      F.c_decode = PLS.Bipartite_scheme.decode;
+    }
+  in
+  (match F.inject_vertex ~rng cfg scheme labels (F.Crash 1) with
+  | Some w ->
+      let v = List.hd w.F.vw_silent in
+      check "crashed vertex label erased" true (w.F.vw_labels.(v) = None);
+      (match F.classify_vertex cfg scheme ~honest:labels w with
+      | F.Detected { detectors; _ } ->
+          check "neighbors detect the crash" true
+            (List.for_all (fun d -> d <> v) detectors && detectors <> [])
+      | _ -> check "vertex crash detected" true false)
+  | None -> check "vertex crash applies" true false);
+  (match
+     F.inject_vertex ~rng ~codec:bip_codec cfg scheme labels (F.Byzantine 1)
+   with
+  | Some w -> (
+      (* the 1-bit label always flips, so some honest neighbor objects *)
+      match F.classify_vertex cfg scheme ~honest:labels w with
+      | F.Detected _ -> ()
+      | _ -> check "byzantine color flip detected" true false)
+  | None -> check "vertex byzantine applies" true false);
+  match F.inject_vertex ~rng cfg scheme labels F.Id_collision with
+  | Some w -> (
+      check "vertex labels untouched" true
+        (Array.for_all Option.is_some w.F.vw_labels);
+      (* the bipartite verifier never reads identifiers *)
+      match F.classify_vertex cfg scheme ~honest:labels w with
+      | F.Legal_rewrite -> ()
+      | _ -> check "id collision is invisible to the 1-bit scheme" true false)
+  | None -> check "vertex collision applies" true false
+
+(* the headline property: single-bit flips of encoded Theorem 1 labels
+   never survive verification — except in the serial-number fields, which
+   carry no trusted content (satellite of ISSUE 1).
+
+   [node_id] and the cross-references to it (children keys, B-frame root
+   member ids) are prover-chosen serials: a flip that lands one on an
+   unused value can produce a different but equally legal certificate,
+   and the verifier rightly accepts it. Normalizing them away makes the
+   property below quantify over trusted content only: any accepted flip
+   must be a serial-only rewrite. *)
+let strip_serials (l : _ Cert.label) =
+  let info i = { i with Cert.node_id = 0 } in
+  let frame = function
+    | Cert.T_frame t ->
+        Cert.T_frame
+          {
+            t with
+            member = (info (fst t.member), snd t.member);
+            merged = info t.merged;
+            children = List.map (fun (_, i) -> (0, info i)) t.children;
+          }
+    | Cert.B_frame b ->
+        Cert.B_frame
+          {
+            b with
+            bnode = info b.bnode;
+            left = (info (fst b.left), snd b.left);
+            right = (info (fst b.right), snd b.right);
+            left_root_member = Option.map (fun _ -> 0) b.left_root_member;
+            right_root_member = Option.map (fun _ -> 0) b.right_root_member;
+          }
+  in
+  let vrec r = { r with Cert.vframes = List.map frame r.Cert.vframes } in
+  {
+    l with
+    Cert.frames = List.map frame l.Cert.frames;
+    Cert.transported = List.map vrec l.Cert.transported;
+  }
+
+let flip_all_bits cfg scheme labels e l =
+  let w = Lcp_util.Bitenc.writer () in
+  Cert.encode ~encode_state:A.Connectivity.encode w l;
+  let bits = Lcp_util.Bitenc.length_bits w in
+  let ok = ref true in
+  for pos = 0 to bits - 1 do
+    let bytes = Lcp_util.Bitenc.to_bytes w in
+    Lcp_util.Bitenc.flip_bit bytes pos;
+    (match
+       Cert.decode ~decode_state:A.Connectivity.decode
+         (Lcp_util.Bitenc.reader bytes)
+     with
+    | exception _ ->
+        (* the flip destroyed the encoding: the label is gone, and a
+           missing label must be rejected *)
+        if S.accepted (S.run_edge cfg scheme (EM.remove labels e)) then
+          ok := false
+    | l' when l' = l -> () (* the flip decoded back to the same label *)
+    | l' ->
+        if
+          S.accepted (S.run_edge cfg scheme (EM.add labels e l'))
+          && strip_serials l' <> strip_serials l
+        then ok := false)
+  done;
+  !ok
+
+let bit_flips_on_path () =
+  let rng = rng_of_seed 41 in
+  let cfg = PLS.Config.random_ids rng (Gen.path 6) in
+  let scheme = T1conn.edge_scheme ~k:1 () in
+  let labels = Option.get (scheme.S.es_prove cfg) in
+  EM.bindings labels
+  |> List.iter (fun (e, l) ->
+         check "every bit flip rejected or serial-only (path 6)" true
+           (flip_all_bits cfg scheme labels e l))
+
+let bit_flips_qcheck =
+  qcheck ~count:12 "every single-bit flip of a T1 certificate is rejected or serial-only"
+    (arb_pw_graph ~max_k:2 ~max_n:10)
+    (fun (k, g, ivs) ->
+      let rng = rng_of_seed (Graph.n g + Graph.m g) in
+      let cfg = PLS.Config.random_ids rng g in
+      let rep = rep_of (g, ivs) in
+      let scheme = T1conn.edge_scheme ~rep:(fun _ -> Some rep) ~k () in
+      match scheme.S.es_prove cfg with
+      | None -> true
+      | Some labels ->
+          (* sweep the full bit range of one random edge's label *)
+          let bindings = EM.bindings labels in
+          let e, l =
+            List.nth bindings (Random.State.int rng (List.length bindings))
+          in
+          flip_all_bits cfg scheme labels e l)
+
+let campaign_is_deterministic_and_clean () =
+  let run () =
+    FS.run ~seed:7 ~trials:2
+      ~schemes:[ "spanning-tree-pointer"; "bipartite-1bit" ]
+      ~faults:[ F.Label_delete; F.Crash 1; F.Id_collision ]
+      ()
+  in
+  let r1 = run () and r2 = run () in
+  check "campaign deterministic under seed" true (r1 = r2);
+  check_int "no escapes" 0 r1.FS.total_escapes;
+  check_int "cells = schemes x faults" 6 (List.length r1.FS.cells);
+  check "everything effective was detected" true
+    (r1.FS.total_detected = r1.FS.total_effective)
+
+let suite =
+  ( "fault",
+    [
+      test "constructors deterministic under seed" deterministic_under_seed;
+      test "crash: memory loss + silence" crash_loses_memory_and_silences;
+      test "byzantine: garbled labels + silence" byzantine_garbles_and_silences;
+      test "id collision forges only ids" id_collision_forges_only_ids;
+      test "stale replay" stale_replay_is_from_rotated_incarnation;
+      test "delete and swap shapes" delete_and_swap_shapes;
+      test "vertex constructors" vertex_constructors;
+      test "bit flips on path 6 (exhaustive)" bit_flips_on_path;
+      bit_flips_qcheck;
+      test "campaign deterministic and escape-free"
+        campaign_is_deterministic_and_clean;
+    ] )

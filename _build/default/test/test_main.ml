@@ -14,5 +14,6 @@ let () =
       Test_fmr.suite;
       Test_core.suite;
       Test_network.suite;
+      Test_fault.suite;
       Test_terminal.suite;
     ]

@@ -99,9 +99,45 @@ let stabilization_loop () =
     N.stabilize cfg scheme ~faults:[ flip_accept; identity; retarget ]
   in
   check_int "faults" 3 report.N.faults_injected;
-  check_int "detected (identity is legal)" 2 report.N.faults_detected;
-  check_int "reproofs" 2 report.N.reproofs;
-  check "legal at the end" true report.N.final_legal
+  check_int "no-op (identity)" 1 report.N.no_op;
+  check_int "legal rewrites" 0 report.N.legal_rewrites;
+  check_int "detected" 2 report.N.detected;
+  check_int "all repairs accounted" 2
+    (report.N.localized_recoveries + report.N.global_reproofs);
+  check_int "detection latency" 1 report.N.max_detection_latency;
+  check "legal at the end" true report.N.final_legal;
+  (* deleting a label must be detected and locally repairable *)
+  let delete labels = EM.remove labels (List.hd (EM.bindings labels) |> fst) in
+  let r2 = N.stabilize cfg scheme ~faults:[ delete ] in
+  check_int "deletion detected" 1 r2.N.detected;
+  check "deletion repaired" true r2.N.final_legal;
+  (* without localization every detected fault costs a global reproof *)
+  let r3 = N.stabilize ~localize:false cfg scheme ~faults:[ flip_accept ] in
+  check_int "global reproof" 1 r3.N.global_reproofs;
+  check_int "no localized recovery" 0 r3.N.localized_recoveries
+
+let missing_label_rejects () =
+  (* satellite of the fault engine: a deleted label is a fault to detect,
+     not a harness crash *)
+  let g = Gen.path 6 in
+  let cfg = PLS.Config.random_ids rng g in
+  let scheme = T1path.edge_scheme ~k:1 () in
+  let labels = Option.get (scheme.S.es_prove cfg) in
+  let partial = EM.remove labels (2, 3) in
+  let t = N.run_edge_round cfg scheme partial in
+  check "partial labeling rejected" false (N.accepted t);
+  List.iter
+    (fun v ->
+      match List.assoc v t.N.verdicts with
+      | N.Reject m -> check "missing-label reason" true (m = S.missing_label)
+      | N.Accept -> check "endpoint must reject" true false)
+    [ 2; 3 ];
+  check "direct harness agrees" false
+    (S.accepted (S.run_edge cfg scheme partial));
+  (* silencing both endpoints suppresses the only alarms: the round
+     accepts — exactly the masked state the classifier calls an escape *)
+  let masked = N.run_edge_round ~silent:[ 2; 3 ] cfg scheme partial in
+  check "both detectors silenced: no alarm" true (N.accepted masked)
 
 let suite =
   ( "network",
@@ -110,5 +146,6 @@ let suite =
       vertex_round_agrees;
       edge_round_agrees;
       test "corrupted round rejects" corrupted_round_rejects;
+      test "missing label rejects" missing_label_rejects;
       test "stabilization loop" stabilization_loop;
     ] )

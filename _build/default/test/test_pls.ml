@@ -48,11 +48,14 @@ let run_edge_totality () =
   in
   check "accepts" true
     (S.accepted (S.run_edge cfg scheme (Option.get (scheme.S.es_prove cfg))));
-  check "partial labeling rejected" true
-    (try
-       ignore (S.run_edge cfg scheme (EM.of_list [ ((0, 1), ()) ]));
-       false
-     with Invalid_argument _ -> true)
+  (* a partial labeling is a detectable fault, not a harness error: both
+     endpoints of the unlabeled edge reject with the missing-label reason *)
+  (match S.run_edge cfg scheme (EM.of_list [ ((0, 1), ()) ]) with
+  | S.Accepted -> check "partial labeling rejected" true false
+  | S.Rejected rs ->
+      check "partial labeling rejected" true
+        (List.sort compare (List.map fst rs) = [ 1; 2 ]
+        && List.for_all (fun (_, m) -> m = S.missing_label) rs))
 
 let rejection_reporting () =
   let g = Gen.path 3 in

@@ -1,0 +1,94 @@
+(* Command-line front-end of the fault-injection campaign
+   (lib/core/faultsim.ml): sweep schemes x fault models over seeded
+   trials, print the soundness matrix, and exit non-zero on any
+   soundness escape.
+
+   Examples:
+     faultsim.exe                            # full campaign, defaults
+     faultsim.exe --trials 100 --seed 7
+     faultsim.exe --scheme theorem1-connectivity --fault crash
+     faultsim.exe --list                     # show schemes and faults *)
+
+module FS = Lcp_cert.Faultsim
+
+let list_roster () =
+  print_endline "schemes:";
+  List.iter (fun s -> Printf.printf "  %s\n" s) FS.scheme_names;
+  print_endline "fault models:";
+  List.iter (fun f -> Printf.printf "  %s\n" f) FS.fault_names
+
+let run seed trials schemes fault_sel list =
+  if list then begin
+    list_roster ();
+    exit 0
+  end;
+  let unknown kind known name =
+    Printf.eprintf "unknown %s %S; known: %s\n" kind name
+      (String.concat ", " known);
+    exit 2
+  in
+  List.iter
+    (fun s -> if not (List.mem s FS.scheme_names) then
+        unknown "scheme" FS.scheme_names s)
+    schemes;
+  let faults =
+    match fault_sel with
+    | [] -> None
+    | names ->
+        Some
+          (List.map
+             (fun name ->
+               match FS.fault_of_name name with
+               | Some spec -> spec
+               | None -> unknown "fault model" FS.fault_names name)
+             names)
+  in
+  let schemes = match schemes with [] -> None | names -> Some names in
+  let report = FS.run ~seed ~trials ?schemes ?faults () in
+  FS.print_matrix report;
+  if report.FS.total_escapes > 0 then begin
+    Printf.eprintf "\nfaultsim: %d soundness escape(s)\n"
+      report.FS.total_escapes;
+    exit 1
+  end
+
+open Cmdliner
+
+let seed =
+  Arg.(value & opt int 20250806 & info [ "seed" ] ~doc:"Campaign seed.")
+
+let trials =
+  Arg.(
+    value
+    & opt int 30
+    & info [ "trials" ] ~docv:"T"
+        ~doc:"Trials per (scheme, fault model) cell.")
+
+let schemes =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "scheme" ] ~docv:"NAME"
+        ~doc:"Restrict to this scheme (repeatable; default: all).")
+
+let faults =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "fault" ] ~docv:"NAME"
+        ~doc:"Restrict to this fault model (repeatable; default: all).")
+
+let list_flag =
+  Arg.(
+    value & flag
+    & info [ "list" ] ~doc:"List schemes and fault models, then exit.")
+
+let cmd =
+  let doc =
+    "adversarial fault-injection campaign over proof labeling schemes"
+  in
+  Cmd.v
+    (Cmd.info "faultsim" ~doc)
+    Term.(const run $ seed $ trials $ schemes $ faults $ list_flag)
+
+let () = exit (Cmd.eval cmd)

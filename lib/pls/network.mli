@@ -8,9 +8,22 @@
     single synchronous round delivers every label across every link, and
     each processor then decides from its mailbox alone.
 
+    Every round runner takes two faulty-world knobs used by the
+    fault-injection subsystem ({!Fault}): [silent] lists crashed or
+    Byzantine processors, whose verdict is forced to [Accept] (a dead or
+    lying processor raises no alarm — detection must come from its
+    neighbors); [id_of] overrides the identifier a processor presents,
+    modeling ID-collision faults. Whether a processor {e sends} is
+    governed by its label memory, not by silence: a crashed processor
+    lost its label and sends nothing, while a Byzantine one sends its
+    corrupted label. In the synchronous model a missing message is
+    observable, so a processor that receives fewer messages than its
+    degree rejects with {!Scheme.missing_label}. Omitting both knobs
+    gives the honest semantics.
+
     The module also provides the self-stabilization driver the
-    introduction motivates: run detection after every fault, and re-prove
-    when a legal state must be restored. *)
+    introduction motivates: run detection after every fault, and repair —
+    locally when possible — when a processor raises an alarm. *)
 
 type verdict = Accept | Reject of string
 
@@ -24,34 +37,101 @@ type 'l transcript = {
 
 val accepted : 'l transcript -> bool
 
+val rejectors : 'l transcript -> int list
+(** The vertices that rejected — the detected region. *)
+
 val run_vertex_round :
-  Config.t -> 'l Scheme.vertex_scheme -> 'l array -> (int * 'l) transcript
+  ?silent:int list ->
+  ?id_of:(int -> int) ->
+  Config.t ->
+  'l Scheme.vertex_scheme ->
+  'l array ->
+  (int * 'l) transcript
 (** One synchronous round: every processor sends (its id, its label) over
     every incident link; each then runs the scheme's verifier on its
-    mailbox. The verdicts coincide with {!Scheme.run_vertex} (tested). *)
+    mailbox. The honest verdicts coincide with {!Scheme.run_vertex}
+    (tested). *)
+
+val run_vertex_partial :
+  ?silent:int list ->
+  ?id_of:(int -> int) ->
+  Config.t ->
+  'l Scheme.vertex_scheme ->
+  'l option array ->
+  (int * 'l) transcript
+(** Like {!run_vertex_round} on a partially labeled network: a processor
+    whose label was erased sends nothing and (unless silent) rejects with
+    {!Scheme.missing_label}; its non-silent neighbors notice the missing
+    message and reject likewise. *)
 
 val run_edge_round :
-  Config.t -> 'l Scheme.edge_scheme -> 'l Scheme.Edge_map.t -> 'l transcript
-(** Edge-label semantics: each link delivers its label to both endpoints
-    (modeled as a message from the opposite endpoint); each processor
-    decides from its own id and the received multiset, exactly the paper's
-    local view. Coincides with {!Scheme.run_edge} (tested). *)
+  ?silent:int list ->
+  ?id_of:(int -> int) ->
+  Config.t ->
+  'l Scheme.edge_scheme ->
+  'l Scheme.Edge_map.t ->
+  'l transcript
+(** Edge-label semantics: each labeled link delivers its label to both
+    endpoints (modeled as a message from the opposite endpoint); each
+    processor decides from its own id and the received multiset, exactly
+    the paper's local view. A link whose label was deleted delivers
+    nothing and both its (non-silent) endpoints reject with
+    {!Scheme.missing_label}. Honest verdicts coincide with
+    {!Scheme.run_edge} (tested). *)
+
+val patch_region :
+  Config.t ->
+  fresh:'l Scheme.Edge_map.t ->
+  current:'l Scheme.Edge_map.t ->
+  region:int list ->
+  'l Scheme.Edge_map.t
+(** Localized recovery step: relabel every edge incident to [region] from
+    the [fresh] proof and keep [current] elsewhere. The result is total
+    whenever [fresh] is total and [current] is total outside the region. *)
 
 (** {1 Self-stabilization driver} *)
 
-type 'l stabilization_report = {
+type stabilization_report = {
   faults_injected : int;
-  faults_detected : int;
-  reproofs : int;
+  no_op : int;
+      (** faults that left the label map unchanged — nothing observable
+          happened, so nothing may be detected *)
+  legal_rewrites : int;
+      (** faults that produced a *different but legal* certificate: every
+          processor accepts, so a self-stabilizing system must adopt the
+          new state silently. Campaigns that consider such a fault
+          semantically harmful must catch it here — by the scheme's
+          soundness it is indistinguishable from a legal state. *)
+  detected : int;
+      (** faults after which at least one processor rejected — the alarm
+          that triggers recovery *)
+  localized_recoveries : int;
+      (** detected faults repaired by relabeling only the rejecting
+          region's incident edges ({!patch_region}) *)
+  global_reproofs : int;
+      (** detected faults where the localized patch still rejected (or
+          [localize] was off) and the whole proof was reinstalled *)
+  recovery_rounds : int;
+      (** total extra verification rounds spent confirming repairs *)
+  max_detection_latency : int;
+      (** worst number of rounds from injection to first rejection; 1 for
+          every detected fault in the synchronous model (0 when nothing
+          was detected) *)
   final_legal : bool;
 }
 
 val stabilize :
+  ?localize:bool ->
   Config.t ->
   'l Scheme.edge_scheme ->
   faults:('l Scheme.Edge_map.t -> 'l Scheme.Edge_map.t) list ->
-  'l stabilization_report
-(** Install an honest certificate, then apply each fault in turn: run
-    detection; when some processor rejects, re-run the prover (the
-    "manager" of a self-stabilizing system) to restore a legal state.
-    Returns what happened. The prover must succeed on the configuration. *)
+  stabilization_report
+(** Install an honest certificate, then apply each fault in turn and run
+    detection. Faults are classified three ways (see the report fields):
+    [no_op] (state unchanged), [legal_rewrite] (changed but accepted —
+    adopted), [detected] (some processor rejects). A detected fault is
+    repaired by re-running the prover (the "manager" of a self-stabilizing
+    system) and — when [localize] is [true], the default — first splicing
+    the fresh labels onto the rejecting region only, falling back to a
+    global reinstall if the patch does not verify. The prover must succeed
+    on the configuration. *)

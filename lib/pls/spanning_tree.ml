@@ -78,6 +78,27 @@ let verify ?target (view : label Scheme.edge_view) =
             | [] -> Error "pointer: no parent edge"
             | _ -> Error "pointer: multiple parent edges"))
 
+let encode w l =
+  Bitenc.varint w l.target;
+  match l.parent with
+  | None -> Bitenc.bit w false
+  | Some (d, c) ->
+      Bitenc.bit w true;
+      Bitenc.varint w d;
+      Bitenc.varint w c
+
+let decode r =
+  let target = Bitenc.read_varint r in
+  let parent =
+    if Bitenc.read_bit r then begin
+      let d = Bitenc.read_varint r in
+      let c = Bitenc.read_varint r in
+      Some (d, c)
+    end
+    else None
+  in
+  { target; parent }
+
 let scheme ~target =
   let verify = verify ~target in
   let prove cfg =
@@ -87,15 +108,6 @@ let scheme ~target =
         if Traversal.is_connected (Config.graph cfg) then
           Some (labels_for cfg ~root ~target)
         else None
-  in
-  let encode w l =
-    Bitenc.varint w l.target;
-    match l.parent with
-    | None -> Bitenc.bit w false
-    | Some (d, c) ->
-        Bitenc.bit w true;
-        Bitenc.varint w d;
-        Bitenc.varint w c
   in
   {
     Scheme.es_name = "pointer";

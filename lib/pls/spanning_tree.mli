@@ -28,3 +28,9 @@ val labels_for :
 
 val verify : ?target:int -> label Scheme.edge_view -> (unit, string) result
 (** The local verifier, exposed for embedding into composite schemes. *)
+
+val encode : Lcp_util.Bitenc.writer -> label -> unit
+
+val decode : Lcp_util.Bitenc.reader -> label
+(** Inverse of {!encode} — the codec bit-level fault injection round-trips
+    labels through. *)

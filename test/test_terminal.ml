@@ -123,6 +123,40 @@ let compositional_eval (name, (module Alg : A.Algebra_sig.S), oracle) =
       let g = (TG.eval_graph term).TG.graph in
       E.holds term = oracle g)
 
+let glue_edge_at ~n ~edges ~u ~v =
+  (* compose a fresh 2-terminal edge onto vertices [u], [v] of a base graph *)
+  let left =
+    TG.make ~graph:(G.of_edges ~n edges) ~terminals:[ (1, u); (2, v) ]
+  in
+  let right =
+    TG.make ~graph:(G.of_edges ~n:4 [ (0, 1) ]) ~terminals:[ (1, 0); (2, 1) ]
+  in
+  let f j = if j = 1 || j = 2 then Some j else None in
+  TG.Compose { k = 2; f1 = f; f2 = f; left = Base left; right = Base right }
+
+let parallel_edge_regression () =
+  (* regression: graph(n=13, m=4; 0-3, 1-2, 1-4, 2-5). Gluing an edge onto
+     the already-adjacent pair 1-2 creates a parallel edge, which collapses
+     under Def 2.3's simple-graph semantics — the composed graph is still a
+     forest, but the old acyclicity algebra flagged a cycle. *)
+  let term = glue_edge_at ~n:11 ~edges:[ (0, 3); (1, 2); (1, 4); (2, 5) ] ~u:1 ~v:2 in
+  let g = (TG.eval_graph term).TG.graph in
+  check "13 vertices" true (G.n g = 13);
+  check "4 edges" true (G.m g = 4);
+  check "oracle: acyclic" true (A.Acyclicity.oracle g);
+  let module E = TG.Eval (A.Acyclicity) in
+  check "algebra: acyclic" true (E.holds term);
+  (* gluing an edge at distance 2 closes a triangle — a genuine cycle *)
+  let d2 = glue_edge_at ~n:3 ~edges:[ (0, 1); (0, 2) ] ~u:1 ~v:2 in
+  check "distance-2 gluing is cyclic" false (E.holds d2);
+  check "distance-2 oracle agrees" false
+    (A.Acyclicity.oracle (TG.eval_graph d2).TG.graph);
+  (* gluing at distance 3 closes a genuine 4-cycle *)
+  let d3 = glue_edge_at ~n:4 ~edges:[ (0, 1); (1, 2); (2, 3) ] ~u:0 ~v:3 in
+  check "distance-3 gluing is cyclic" false (E.holds d3);
+  check "distance-3 oracle agrees" false
+    (A.Acyclicity.oracle (TG.eval_graph d3).TG.graph)
+
 module K3 = A.Clique.Make (struct let size = 3 end)
 
 let algebras : (string * (module A.Algebra_sig.S) * (G.t -> bool)) list =
@@ -142,5 +176,7 @@ let suite =
       test "compose with gluing (Fig 2)" compose_gluing;
       test "compose disjoint" compose_disjoint;
       test "missing terminal" compose_missing_terminal;
+      test "parallel-edge collapse regression (n=13 forest)"
+        parallel_edge_regression;
     ]
     @ List.map compositional_eval algebras )
