@@ -6,7 +6,8 @@
    Examples:
      certify.exe --family cycle -n 30 --property connected
      certify.exe --family random -n 60 -k 2 --property bipartite --corrupt
-     certify.exe --family caterpillar -n 24 --property acyclic --scheme fmr *)
+     certify.exe --family caterpillar -n 24 --property acyclic --scheme fmr
+     certify.exe --input graphs/net.g6 -k 2 --property connected *)
 
 module G = Lcp_graph.Graph
 module Gen = Lcp_graph.Gen
@@ -18,7 +19,7 @@ module EM = S.Edge_map
 module A = Lcp_algebra
 module Cert = Lcp_cert.Certificate
 
-let make_graph family n k seed =
+let make_generated family n k seed =
   let rng = Random.State.make [| seed |] in
   match family with
   | "path" -> (Gen.path n, None, 1)
@@ -32,6 +33,38 @@ let make_graph family n k seed =
   | f ->
       Printf.eprintf "unknown family %S\n" f;
       exit 2
+
+let make_graph input family n k seed =
+  match input with
+  | None -> make_generated family n k seed
+  | Some file -> (
+      match Lcp_service.Graph_io.load_file file with
+      | Ok g ->
+          (* no promised bound comes with a file: if the user gave none,
+             derive one from an interval representation of the graph *)
+          let default_k =
+            if k > 0 then k
+            else
+              max 1
+                (Lcp_interval.Representation.width
+                   (if G.n g <= 20 then PW.exact_interval_representation g
+                    else PW.heuristic_interval_representation g)
+                - 1)
+          in
+          (g, None, default_k)
+      | Error e ->
+          let formats = Lcp_service.Graph_io.supported_formats_doc () in
+          let already_listed =
+            (* the unknown-extension error already names the formats *)
+            let rec mem i =
+              i + 10 <= String.length e && (String.sub e i 10 = "supported:" || mem (i + 1))
+            in
+            mem 0
+          in
+          Printf.eprintf "%s\n%s" e
+            (if already_listed then ""
+             else Printf.sprintf "supported formats: %s\n" formats);
+          exit 2)
 
 let report_edge_scheme name scheme cfg ~corrupt rng =
   match scheme.S.es_prove cfg with
@@ -78,13 +111,16 @@ let report_edge_scheme name scheme cfg ~corrupt rng =
             rs;
           `Rejected)
 
-let run family n k property strategy scheme_kind seed corrupt =
-  let g, rep, default_k = make_graph family n k seed in
+let run input family n k property strategy scheme_kind seed corrupt =
+  let g, rep, default_k = make_graph input family n k seed in
   let k = if k > 0 then k else default_k in
   let rng = Random.State.make [| seed + 1 |] in
   let cfg = PLS.Config.random_ids rng g in
-  Printf.printf "graph: family=%s n=%d m=%d, promised pathwidth <= %d\n"
-    family (G.n g) (G.m g) k;
+  Printf.printf "graph: %s n=%d m=%d, promised pathwidth <= %d\n"
+    (match input with
+    | Some f -> Printf.sprintf "input=%s" f
+    | None -> Printf.sprintf "family=%s" family)
+    (G.n g) (G.m g) k;
   let rep_fn =
     match rep with
     | Some r -> fun _ -> Some r
@@ -157,6 +193,17 @@ let run family n k property strategy scheme_kind seed corrupt =
 
 open Cmdliner
 
+let input =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "input" ] ~docv:"FILE"
+        ~doc:
+          "Certify the graph in $(docv) instead of a generated family. \
+           The format is inferred from the extension: .dimacs/.col \
+           (DIMACS edge list), .g6 (graph6), .adj/.lcp (native \
+           adjacency lists).")
+
 let family =
   Arg.(
     value
@@ -210,7 +257,7 @@ let cmd =
   Cmd.v
     (Cmd.info "certify" ~doc)
     Term.(
-      const run $ family $ n $ k $ property $ strategy $ scheme_kind $ seed
-      $ corrupt)
+      const run $ input $ family $ n $ k $ property $ strategy $ scheme_kind
+      $ seed $ corrupt)
 
 let () = exit (Cmd.eval cmd)

@@ -97,6 +97,26 @@ let encode w st =
       List.iter (fun s -> Bitenc.bit w (List.mem s p)) st.slot_list)
     st.profiles
 
+(* inverse of [encode] for nonnegative slot names (host vertex ids):
+   profiles come back as bitmaps over the sorted slot list *)
+let decode r =
+  let rec read_n n f = if n <= 0 then [] else
+    let x = f () in
+    x :: read_n (n - 1) f
+  in
+  let nslots = Bitenc.read_varint r in
+  let slot_list = read_n nslots (fun () -> Bitenc.read_varint r) in
+  let nprofiles = Bitenc.read_varint r in
+  (* one bit per slot, read strictly in slot order *)
+  let rec read_profile = function
+    | [] -> []
+    | s :: rest ->
+        let b = Bitenc.read_bit r in
+        if b then s :: read_profile rest else read_profile rest
+  in
+  let profiles = read_n nprofiles (fun () -> read_profile slot_list) in
+  { slot_list; profiles = canonical profiles }
+
 let pp ppf st =
   Format.fprintf ppf "pm(slots=%s; %d profiles)"
     (String.concat "," (List.map string_of_int st.slot_list))

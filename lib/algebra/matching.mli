@@ -4,3 +4,6 @@
     [Lcp_mso.Properties.perfect_matching]. *)
 
 include Algebra_sig.ORACLE
+
+val decode : Lcp_util.Bitenc.reader -> state
+(** Inverse of [encode] (for states whose slots are vertex ids). *)

@@ -125,6 +125,28 @@ let encode w st =
   encode_pairs st.common;
   Bitenc.bit w st.tri
 
+(* inverse of [encode] for the nonnegative slot names the certification
+   pipeline uses (host vertex ids), where [abs] is the identity *)
+let decode r =
+  (* decoding must read strictly left to right; List.init order is
+     unspecified *)
+  let rec read_n n f = if n <= 0 then [] else
+    let x = f () in
+    x :: read_n (n - 1) f
+  in
+  let read_list f = read_n (Bitenc.read_varint r) f in
+  let slot_list = read_list (fun () -> Bitenc.read_varint r) in
+  let read_pairs () =
+    read_list (fun () ->
+        let a = Bitenc.read_varint r in
+        let b = Bitenc.read_varint r in
+        (a, b))
+  in
+  let adj = read_pairs () in
+  let common = read_pairs () in
+  let tri = Bitenc.read_bit r in
+  { slot_list; adj; common; tri }
+
 let pp ppf st =
   Format.fprintf ppf "trifree(slots=%s; adj=%d common=%d tri=%b)"
     (String.concat "," (List.map string_of_int st.slot_list))

@@ -3,3 +3,6 @@
     MSO₂ counterpart: [Lcp_mso.Properties.triangle_free]. *)
 
 include Algebra_sig.ORACLE
+
+val decode : Lcp_util.Bitenc.reader -> state
+(** Inverse of [encode] (for states whose slots are vertex ids). *)

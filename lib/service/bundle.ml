@@ -1,0 +1,69 @@
+(** Certificate bundles: the full per-edge labeling of one certification
+    job, serialized to a canonical bit string. The edge order is the
+    graph's canonical edge enumeration (ascending [(u, v)], [u < v]), so
+    the encoding is a pure function of (graph, labeling) and the store
+    can compare and persist bundles byte for byte.
+
+    A bundle is {e data}, not truth: decoding yields a candidate
+    labeling that the engine re-verifies with the local verifier before
+    serving. Decode failures are ordinary [Error]s, never crashes. *)
+
+module Graph = Lcp_graph.Graph
+module Bitenc = Lcp_util.Bitenc
+module EM = Lcp_pls.Scheme.Edge_map
+
+type t = { bytes : Bytes.t; bits : int }
+
+let equal a b = a.bits = b.bits && Bytes.equal a.bytes b.bytes
+
+let size_bits t = t.bits
+
+let encode ~encode_label g labels =
+  let w = Bitenc.writer () in
+  Bitenc.varint w (Graph.n g);
+  Bitenc.varint w (Graph.m g);
+  let missing =
+    Graph.fold_edges
+      (fun e missing ->
+        match missing with
+        | Some _ -> missing
+        | None -> (
+            match EM.find labels e with
+            | Some l ->
+                encode_label w l;
+                None
+            | None -> Some e))
+      g None
+  in
+  match missing with
+  | Some (u, v) ->
+      Error (Printf.sprintf "bundle: labeling is missing edge %d-%d" u v)
+  | None -> Ok { bytes = Bitenc.to_bytes w; bits = Bitenc.length_bits w }
+
+let decode ~decode_label g t =
+  let r = Bitenc.reader t.bytes in
+  match
+    let n = Bitenc.read_varint r in
+    let m = Bitenc.read_varint r in
+    if n <> Graph.n g || m <> Graph.m g then
+      Error
+        (Printf.sprintf
+           "bundle: header says n=%d m=%d but the graph has n=%d m=%d" n m
+           (Graph.n g) (Graph.m g))
+    else begin
+      let labels =
+        Graph.fold_edges
+          (fun e acc -> EM.add acc e (decode_label r))
+          g EM.empty
+      in
+      let consumed = 8 * Bytes.length t.bytes - Bitenc.bits_remaining r in
+      if consumed <> t.bits then
+        Error
+          (Printf.sprintf "bundle: decoded %d bits but the bundle claims %d"
+             consumed t.bits)
+      else Ok labels
+    end
+  with
+  | res -> res
+  | exception Invalid_argument msg ->
+      Error (Printf.sprintf "bundle: corrupt encoding (%s)" msg)

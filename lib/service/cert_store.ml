@@ -1,0 +1,262 @@
+(** The content-addressed certificate store. A key is the canonical bit
+    encoding of (property, k, graph) hashed with 64-bit FNV-1a
+    ([Lcp_util.Hash64]); the canonical bytes travel with the key, and
+    every lookup compares them, so a hash collision degrades to a miss
+    instead of serving a bundle for the wrong instance.
+
+    The in-memory tier is a bounded LRU (hashtable + intrusive doubly
+    linked list, O(1) hit/insert/evict). An optional on-disk tier
+    persists encoded bundles as [<hex-hash>.cert] files; entries evicted
+    from memory remain loadable from disk, and disk loads re-check the
+    canonical bytes too.
+
+    Soundness note: the store caches {e bytes}, never trust. The engine
+    decodes and locally re-verifies every bundle it serves from here;
+    a corrupt or stale entry is dropped via [remove] and recomputed. *)
+
+module Hash64 = Lcp_util.Hash64
+module Bitenc = Lcp_util.Bitenc
+module Graph = Lcp_graph.Graph
+
+type key = { hash : Hash64.t; canon : Bytes.t }
+
+let key ~property ~k g =
+  let w = Bitenc.writer () in
+  Bitenc.varint w (String.length property);
+  String.iter (fun c -> Bitenc.bits w ~width:8 (Char.code c)) property;
+  Bitenc.varint w k;
+  Bitenc.varint w (Graph.n g);
+  Bitenc.varint w (Graph.m g);
+  (* edges in canonical order, delta-coded on the tail vertex *)
+  let _ =
+    Graph.fold_edges
+      (fun (u, v) prev_u ->
+        Bitenc.varint w (u - prev_u);
+        Bitenc.varint w v;
+        u)
+      g 0
+  in
+  let canon = Bitenc.to_bytes w in
+  { hash = Hash64.of_bytes canon; canon }
+
+let key_hex key = Hash64.to_hex key.hash
+
+type entry = {
+  e_key : key;
+  e_bundle : Bundle.t;
+  e_label_bits : int;  (** max bits of a single edge label, for stats *)
+}
+
+(* ---------------------------------------------------------------- *)
+(* LRU list                                                          *)
+
+type node = {
+  mutable entry : entry;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable insertions : int;
+  mutable evictions : int;
+  mutable disk_loads : int;
+  mutable drops : int;  (** entries removed after failing re-verification *)
+}
+
+type t = {
+  cap : int;
+  dir : string option;
+  table : (Hash64.t, node) Hashtbl.t;
+  mutable first : node option; (* most recently used *)
+  mutable last : node option; (* least recently used *)
+  stats : stats;
+}
+
+let rec mkdir_p d =
+  if not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+let create ?(cap = 4096) ?dir () =
+  if cap < 1 then invalid_arg "Cert_store.create: cap must be >= 1";
+  (match dir with Some d -> mkdir_p d | None -> ());
+  {
+    cap;
+    dir;
+    table = Hashtbl.create 64;
+    first = None;
+    last = None;
+    stats =
+      {
+        hits = 0;
+        misses = 0;
+        insertions = 0;
+        evictions = 0;
+        disk_loads = 0;
+        drops = 0;
+      };
+  }
+
+let size t = Hashtbl.length t.table
+
+let stats t = t.stats
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.first <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.last <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.first;
+  node.prev <- None;
+  (match t.first with Some f -> f.prev <- Some node | None -> t.last <- Some node);
+  t.first <- Some node
+
+(* ---------------------------------------------------------------- *)
+(* on-disk tier                                                      *)
+
+let magic = "LCPCERT1"
+
+let entry_path dir key = Filename.concat dir (key_hex key ^ ".cert")
+
+let write_disk dir entry =
+  let path = entry_path dir entry.e_key in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      output_string oc
+        (Printf.sprintf "\ncanon=%d bits=%d labelbits=%d\n"
+           (Bytes.length entry.e_key.canon)
+           (Bundle.size_bits entry.e_bundle)
+           entry.e_label_bits);
+      output_bytes oc entry.e_key.canon;
+      output_bytes oc entry.e_bundle.Bundle.bytes);
+  Sys.rename tmp path
+
+let read_disk dir key =
+  let path = entry_path dir key in
+  if not (Sys.file_exists path) then None
+  else
+    let parse () =
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let m = really_input_string ic (String.length magic) in
+          if m <> magic then Error "bad magic"
+          else
+            match input_char ic with
+            | '\n' -> (
+                let header = input_line ic in
+                match
+                  Scanf.sscanf_opt header "canon=%d bits=%d labelbits=%d"
+                    (fun a b c -> (a, b, c))
+                with
+                | None -> Error ("bad header " ^ String.escaped header)
+                | Some (canon_len, bits, label_bits) ->
+                    let canon = Bytes.create canon_len in
+                    really_input ic canon 0 canon_len;
+                    let nbytes = (bits + 7) / 8 in
+                    let bundle_bytes = Bytes.create nbytes in
+                    really_input ic bundle_bytes 0 nbytes;
+                    if not (Bytes.equal canon key.canon) then
+                      (* hash collision or foreign file: not our content *)
+                      Error "canonical key mismatch"
+                    else
+                      Ok
+                        {
+                          e_key = key;
+                          e_bundle = { Bundle.bytes = bundle_bytes; bits };
+                          e_label_bits = label_bits;
+                        })
+            | _ -> Error "bad magic")
+    in
+    match (try parse () with End_of_file -> Error "truncated file") with
+    | Ok e -> Some e
+    | Error _ -> None
+
+(* ---------------------------------------------------------------- *)
+(* the store proper                                                  *)
+
+let evict_overflow t =
+  while Hashtbl.length t.table > t.cap do
+    match t.last with
+    | None -> assert false
+    | Some node ->
+        unlink t node;
+        Hashtbl.remove t.table node.entry.e_key.hash;
+        t.stats.evictions <- t.stats.evictions + 1
+  done
+
+let add t entry =
+  (match Hashtbl.find_opt t.table entry.e_key.hash with
+  | Some node ->
+      node.entry <- entry;
+      unlink t node;
+      push_front t node
+  | None ->
+      let node = { entry; prev = None; next = None } in
+      Hashtbl.replace t.table entry.e_key.hash node;
+      push_front t node;
+      t.stats.insertions <- t.stats.insertions + 1;
+      evict_overflow t);
+  match t.dir with Some dir -> write_disk dir entry | None -> ()
+
+let find t key =
+  match Hashtbl.find_opt t.table key.hash with
+  | Some node when Bytes.equal node.entry.e_key.canon key.canon ->
+      unlink t node;
+      push_front t node;
+      t.stats.hits <- t.stats.hits + 1;
+      Some node.entry
+  | Some _ ->
+      (* same hash, different instance: a collision behaves as a miss *)
+      t.stats.misses <- t.stats.misses + 1;
+      None
+  | None -> (
+      match t.dir with
+      | None ->
+          t.stats.misses <- t.stats.misses + 1;
+          None
+      | Some dir -> (
+          match read_disk dir key with
+          | Some entry ->
+              t.stats.disk_loads <- t.stats.disk_loads + 1;
+              t.stats.hits <- t.stats.hits + 1;
+              let node = { entry; prev = None; next = None } in
+              Hashtbl.replace t.table key.hash node;
+              push_front t node;
+              evict_overflow t;
+              Some entry
+          | None ->
+              t.stats.misses <- t.stats.misses + 1;
+              None))
+
+let remove t key =
+  (match Hashtbl.find_opt t.table key.hash with
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table key.hash;
+      t.stats.drops <- t.stats.drops + 1
+  | None -> ());
+  match t.dir with
+  | Some dir ->
+      let path = entry_path dir key in
+      if Sys.file_exists path then Sys.remove path
+  | None -> ()
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "hits=%d misses=%d insertions=%d evictions=%d disk_loads=%d drops=%d"
+    s.hits s.misses s.insertions s.evictions s.disk_loads s.drops

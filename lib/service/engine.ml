@@ -1,0 +1,218 @@
+(** The batch certification engine: materialize a job's graph, consult
+    the content-addressed store, and run prove -> encode -> verify,
+    timing each stage.
+
+    Cache discipline (the soundness contract): a hit returns {e bytes}.
+    The engine decodes them and runs the full local verifier on the
+    decoded labeling under the requesting job's configuration before
+    serving; if verification rejects (corrupt entry, stale bundle, or an
+    id assignment the certificate was not proved for), the entry is
+    dropped and the job falls through to the fresh prover path. A miss
+    runs the prover, locally verifies the fresh bundle, and only then
+    stores and serves it. The cache can therefore change {e latency} but
+    never {e judgements}. *)
+
+module Graph = Lcp_graph.Graph
+module Gen = Lcp_graph.Gen
+module Rep = Lcp_interval.Representation
+module PW = Lcp_interval.Pathwidth
+module Config = Lcp_pls.Config
+module Scheme = Lcp_pls.Scheme
+module EM = Scheme.Edge_map
+module Bitenc = Lcp_util.Bitenc
+
+type t = {
+  store : Cert_store.t;
+  base_dir : string;  (** file= paths in manifests resolve against this *)
+}
+
+let create ?(cache_cap = 4096) ?cache_dir ?(base_dir = ".") () =
+  { store = Cert_store.create ~cap:cache_cap ?dir:cache_dir (); base_dir }
+
+let store t = t.store
+
+let now_ms () = Unix.gettimeofday () *. 1000.0
+
+let known_families =
+  [ "path"; "cycle"; "caterpillar"; "ladder"; "star"; "tree"; "random" ]
+
+let graph_of_source ~base_dir ~k source =
+  match source with
+  | Manifest.File f ->
+      let path = if Filename.is_relative f then Filename.concat base_dir f else f in
+      Graph_io.load_file path
+  | Manifest.Generated { family; n; gen_seed } -> (
+      let rng = Random.State.make [| gen_seed |] in
+      match family with
+      | "path" -> Ok (Gen.path n)
+      | "cycle" when n >= 3 -> Ok (Gen.cycle n)
+      | "cycle" -> Error "gen=cycle needs n >= 3"
+      | "caterpillar" -> Ok (Gen.caterpillar ~spine:(max 1 (n / 3)) ~legs:2)
+      | "ladder" -> Ok (Gen.ladder (max 2 (n / 2)))
+      | "star" -> Ok (Gen.star (max 1 (n - 1)))
+      | "tree" -> Ok (Gen.random_tree rng n)
+      | "random" -> Ok (fst (Gen.random_pathwidth rng ~n ~k ()))
+      | f ->
+          Error
+            (Printf.sprintf "unknown generator family %S (known: %s)" f
+               (String.concat ", " known_families)))
+
+let default_rep c =
+  let g = Config.graph c in
+  if Graph.n g <= 20 then Some (PW.exact_interval_representation g)
+  else Some (PW.heuristic_interval_representation g)
+
+let run_job t (job : Manifest.job) : Stats.job_report =
+  let t0 = now_ms () in
+  let base ?(n = 0) ?(m = 0) status =
+    {
+      Stats.r_id = job.job_id;
+      r_property = job.property;
+      r_k = job.k;
+      r_n = n;
+      r_m = m;
+      r_status = status;
+      r_cache_hit = false;
+      r_prove_ms = 0.0;
+      r_verify_ms = 0.0;
+      r_total_ms = now_ms () -. t0;
+      r_label_bits = 0;
+      r_bundle_bits = 0;
+      r_reject_reasons = [];
+    }
+  in
+  match graph_of_source ~base_dir:t.base_dir ~k:job.k job.source with
+  | Error e -> base (Stats.Input_error e)
+  | Ok g -> (
+      let n = Graph.n g and m = Graph.m g in
+      match Registry.find job.property with
+      | None ->
+          base ~n ~m
+            (Stats.Input_error
+               (Printf.sprintf "unknown property %S; catalogue: %s"
+                  job.property
+                  (String.concat ", " (Registry.names ()))))
+      | Some (module P) -> (
+          let module T1 = Lcp_cert.Theorem1.Make (P.A) in
+          let scheme = T1.edge_scheme ~rep:default_rep ~k:job.k () in
+          let decode_label =
+            Lcp_cert.Certificate.decode ~decode_state:P.decode_state
+          in
+          let cfg = Config.random_ids (Random.State.make [| job.seed |]) g in
+          let key = Cert_store.key ~property:job.property ~k:job.k g in
+          let verify_labels labels =
+            let tv = now_ms () in
+            let outcome = Scheme.run_edge cfg scheme labels in
+            (outcome, now_ms () -. tv)
+          in
+          (* 1. cache tier: decode + re-verify before serving *)
+          let cached =
+            match Cert_store.find t.store key with
+            | None -> None
+            | Some entry -> (
+                match Bundle.decode ~decode_label g entry.Cert_store.e_bundle with
+                | Error e ->
+                    Cert_store.remove t.store key;
+                    Some (Error [ "bundle: " ^ e ])
+                | Ok labels -> (
+                    match verify_labels labels with
+                    | Scheme.Accepted, verify_ms ->
+                        Some (Ok (entry, verify_ms))
+                    | Scheme.Rejected rs, _ ->
+                        Cert_store.remove t.store key;
+                        Some
+                          (Error
+                             (List.sort_uniq compare
+                                (List.map
+                                   (fun (_, reason) ->
+                                     Lcp_cert.Reject_reason.classify reason)
+                                   rs)))))
+          in
+          match cached with
+          | Some (Ok (entry, verify_ms)) ->
+              {
+                (base ~n ~m Stats.Served_cached) with
+                r_cache_hit = true;
+                r_verify_ms = verify_ms;
+                r_label_bits = entry.Cert_store.e_label_bits;
+                r_bundle_bits = Bundle.size_bits entry.Cert_store.e_bundle;
+                r_total_ms = now_ms () -. t0;
+              }
+          | (None | Some (Error _)) as cache_outcome -> (
+              let reject_reasons =
+                match cache_outcome with Some (Error rs) -> rs | _ -> []
+              in
+              (* 2. fresh path: prove, encode, verify, store *)
+              let tp = now_ms () in
+              match scheme.Scheme.es_prove cfg with
+              | None ->
+                  {
+                    (base ~n ~m Stats.Declined) with
+                    r_prove_ms = now_ms () -. tp;
+                    r_reject_reasons = reject_reasons;
+                    r_total_ms = now_ms () -. t0;
+                  }
+              | Some labels -> (
+                  let prove_ms = now_ms () -. tp in
+                  match
+                    Bundle.encode ~encode_label:scheme.Scheme.es_encode g
+                      labels
+                  with
+                  | Error e ->
+                      {
+                        (base ~n ~m (Stats.Unsound e)) with
+                        r_prove_ms = prove_ms;
+                        r_total_ms = now_ms () -. t0;
+                      }
+                  | Ok bundle -> (
+                      match verify_labels labels with
+                      | Scheme.Rejected rs, verify_ms ->
+                          let reasons =
+                            List.sort_uniq compare
+                              (List.map
+                                 (fun (_, reason) ->
+                                   Lcp_cert.Reject_reason.classify reason)
+                                 rs)
+                          in
+                          {
+                            (base ~n ~m
+                               (Stats.Unsound
+                                  (Printf.sprintf
+                                     "fresh bundle rejected locally: %s"
+                                     (String.concat ", " reasons))))
+                            with
+                            r_prove_ms = prove_ms;
+                            r_verify_ms = verify_ms;
+                            r_reject_reasons = reject_reasons;
+                            r_total_ms = now_ms () -. t0;
+                          }
+                      | Scheme.Accepted, verify_ms ->
+                          let label_bits =
+                            Scheme.max_edge_label_bits scheme labels
+                          in
+                          Cert_store.add t.store
+                            {
+                              Cert_store.e_key = key;
+                              e_bundle = bundle;
+                              e_label_bits = label_bits;
+                            };
+                          {
+                            (base ~n ~m Stats.Served_fresh) with
+                            r_prove_ms = prove_ms;
+                            r_verify_ms = verify_ms;
+                            r_label_bits = label_bits;
+                            r_bundle_bits = Bundle.size_bits bundle;
+                            r_reject_reasons = reject_reasons;
+                            r_total_ms = now_ms () -. t0;
+                          })))))
+
+let run_jobs ?(emit = fun (_ : Stats.job_report) -> ()) t jobs =
+  let reports =
+    List.map
+      (fun job ->
+        let r = run_job t job in
+        emit r;
+        r)
+      jobs
+  in
+  (reports, Stats.summarize reports)

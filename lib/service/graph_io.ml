@@ -1,0 +1,448 @@
+(** Graph file I/O for the certification service: parsers and printers
+    for three interchange formats, with line-precise error reporting.
+
+    - {b DIMACS} edge lists ([.dimacs], [.col]): [c] comment lines, one
+      [p edge <n> <m>] header, then [m] lines [e <u> <v>] with 1-based
+      endpoints. The parser is strict: the header must come first, the
+      edge count must match, and self-loops, duplicates and out-of-range
+      endpoints are rejected.
+    - {b graph6} ([.g6]): Brendan McKay's 6-bit upper-triangle encoding,
+      with the optional [>>graph6<<] header. Supports n up to 258047
+      (the 1- and 4-byte size forms). Strict about length and about the
+      zero padding bits.
+    - {b native adjacency} ([.adj], [.lcp]): a human-editable format,
+      [lcpadj <n>] followed by lines [u: v1 v2 ...] listing the strictly
+      increasing forward neighbors (vi > u) of [u]; vertices without
+      forward neighbors are omitted. [#] starts a comment.
+
+    All parsers return [Error msg] with the offending line (or byte)
+    position baked into [msg]; printers are canonical, so
+    [parse fmt (print fmt g)] reconstructs [g] exactly. *)
+
+module Graph = Lcp_graph.Graph
+
+type format = Dimacs | Graph6 | Adjacency
+
+let formats =
+  [
+    (Dimacs, [ ".dimacs"; ".col" ], "DIMACS edge list (p edge / e lines)");
+    (Graph6, [ ".g6" ], "graph6 6-bit upper-triangle encoding");
+    (Adjacency, [ ".adj"; ".lcp" ], "native adjacency lists (lcpadj header)");
+  ]
+
+let format_name = function
+  | Dimacs -> "dimacs"
+  | Graph6 -> "graph6"
+  | Adjacency -> "adjacency"
+
+let supported_formats_doc () =
+  String.concat ", "
+    (List.map
+       (fun (f, exts, _) ->
+         Printf.sprintf "%s (%s)" (format_name f) (String.concat " " exts))
+       formats)
+
+let format_of_filename file =
+  let lower = String.lowercase_ascii file in
+  let has_ext e =
+    String.length lower >= String.length e
+    && String.sub lower (String.length lower - String.length e)
+         (String.length e)
+       = e
+  in
+  match
+    List.find_opt (fun (_, exts, _) -> List.exists has_ext exts) formats
+  with
+  | Some (f, _, _) -> Ok f
+  | None ->
+      Error
+        (Printf.sprintf
+           "%s: cannot infer graph format from the extension; supported: %s"
+           file (supported_formats_doc ()))
+
+(* ---------------------------------------------------------------- *)
+(* line-based scaffolding                                            *)
+
+let err_line ~fmt line msg =
+  Error (Printf.sprintf "%s, line %d: %s" (format_name fmt) line msg)
+
+let split_lines s =
+  (* keep line numbers 1-based; tolerate \r\n *)
+  let lines = String.split_on_char '\n' s in
+  List.mapi
+    (fun i l ->
+      let l =
+        if String.length l > 0 && l.[String.length l - 1] = '\r' then
+          String.sub l 0 (String.length l - 1)
+        else l
+      in
+      (i + 1, l))
+    lines
+
+let tokens l =
+  String.split_on_char ' ' l
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+let int_of_token t =
+  match int_of_string_opt t with
+  | Some x -> Ok x
+  | None -> Error (Printf.sprintf "expected an integer, got %S" t)
+
+(* ---------------------------------------------------------------- *)
+(* DIMACS                                                            *)
+
+let print_dimacs g =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "p edge %d %d\n" (Graph.n g) (Graph.m g));
+  Graph.iter_edges
+    (fun (u, v) -> Buffer.add_string b (Printf.sprintf "e %d %d\n" (u + 1) (v + 1)))
+    g;
+  Buffer.contents b
+
+let parse_dimacs s =
+  let fmt = Dimacs in
+  let header = ref None in
+  let edges = ref [] in
+  let count = ref 0 in
+  let seen = Hashtbl.create 64 in
+  let rec go = function
+    | [] -> (
+        match !header with
+        | None -> Error "dimacs: missing 'p edge <n> <m>' header line"
+        | Some (n, m) ->
+            if !count <> m then
+              Error
+                (Printf.sprintf
+                   "dimacs: header declares %d edges but the file lists %d" m
+                   !count)
+            else Ok (Graph.of_edges ~n (List.rev !edges)))
+    | (ln, l) :: rest -> (
+        match tokens l with
+        | [] -> go rest
+        | "c" :: _ -> go rest
+        | "p" :: args -> (
+            if !header <> None then err_line ~fmt ln "duplicate 'p' header"
+            else
+              match args with
+              | [ kind; sn; sm ] -> (
+                  if kind <> "edge" then
+                    err_line ~fmt ln
+                      (Printf.sprintf "expected 'p edge', got 'p %s'" kind)
+                  else
+                    match (int_of_token sn, int_of_token sm) with
+                    | Ok n, Ok m ->
+                        if n < 0 || m < 0 then
+                          err_line ~fmt ln "negative vertex or edge count"
+                        else begin
+                          header := Some (n, m);
+                          go rest
+                        end
+                    | Error e, _ | _, Error e -> err_line ~fmt ln e)
+              | _ ->
+                  err_line ~fmt ln
+                    "malformed header; expected 'p edge <n> <m>'")
+        | "e" :: args -> (
+            match !header with
+            | None ->
+                err_line ~fmt ln "'e' line before the 'p edge <n> <m>' header"
+            | Some (n, _) -> (
+                match args with
+                | [ su; sv ] -> (
+                    match (int_of_token su, int_of_token sv) with
+                    | Ok u, Ok v ->
+                        if u < 1 || u > n || v < 1 || v > n then
+                          err_line ~fmt ln
+                            (Printf.sprintf
+                               "endpoint out of range [1,%d] in 'e %d %d'" n u
+                               v)
+                        else if u = v then
+                          err_line ~fmt ln
+                            (Printf.sprintf "self-loop 'e %d %d'" u v)
+                        else
+                          let e = (min u v - 1, max u v - 1) in
+                          if Hashtbl.mem seen e then
+                            err_line ~fmt ln
+                              (Printf.sprintf "duplicate edge 'e %d %d'" u v)
+                          else begin
+                            Hashtbl.add seen e ();
+                            edges := e :: !edges;
+                            incr count;
+                            go rest
+                          end
+                    | Error e, _ | _, Error e -> err_line ~fmt ln e)
+                | _ -> err_line ~fmt ln "malformed edge; expected 'e <u> <v>'"))
+        | tok :: _ ->
+            err_line ~fmt ln
+              (Printf.sprintf "unknown line type %S (expected c, p or e)" tok))
+  in
+  go (split_lines s)
+
+(* ---------------------------------------------------------------- *)
+(* graph6                                                            *)
+
+let graph6_max_n = 258047
+
+let print_graph6 g =
+  let n = Graph.n g in
+  if n > graph6_max_n then
+    invalid_arg
+      (Printf.sprintf "Graph_io.print_graph6: n = %d > %d unsupported" n
+         graph6_max_n);
+  let b = Buffer.create 64 in
+  if n <= 62 then Buffer.add_char b (Char.chr (n + 63))
+  else begin
+    Buffer.add_char b '~';
+    Buffer.add_char b (Char.chr (((n lsr 12) land 0x3f) + 63));
+    Buffer.add_char b (Char.chr (((n lsr 6) land 0x3f) + 63));
+    Buffer.add_char b (Char.chr ((n land 0x3f) + 63))
+  end;
+  let group = ref 0 and filled = ref 0 in
+  let flush_group () =
+    Buffer.add_char b (Char.chr (!group + 63));
+    group := 0;
+    filled := 0
+  in
+  let push bit =
+    group := (!group lsl 1) lor (if bit then 1 else 0);
+    incr filled;
+    if !filled = 6 then flush_group ()
+  in
+  for v = 1 to n - 1 do
+    for u = 0 to v - 1 do
+      push (Graph.mem_edge g u v)
+    done
+  done;
+  if !filled > 0 then begin
+    group := !group lsl (6 - !filled);
+    Buffer.add_char b (Char.chr (!group + 63))
+  end;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let parse_graph6 s =
+  let s =
+    (* strip the optional header and trailing newline(s) *)
+    let hdr = ">>graph6<<" in
+    let s =
+      if String.length s >= String.length hdr
+         && String.sub s 0 (String.length hdr) = hdr
+      then String.sub s (String.length hdr) (String.length s - String.length hdr)
+      else s
+    in
+    String.trim s
+  in
+  let len = String.length s in
+  let byte i = Char.code s.[i] in
+  let check_char i =
+    let c = byte i in
+    if c < 63 || c > 126 then
+      Error
+        (Printf.sprintf "graph6, byte %d: invalid character %C (code %d)"
+           (i + 1) s.[i] c)
+    else Ok (c - 63)
+  in
+  let ( let* ) = Result.bind in
+  if len = 0 then Error "graph6: empty input"
+  else
+    let* size_bytes, n =
+      let* c0 = check_char 0 in
+      if c0 < 63 then Ok (1, c0)
+      else if len >= 2 && s.[1] = '~' then
+        Error "graph6: n > 258047 (the 8-byte size form) is unsupported"
+      else if len < 4 then
+        Error "graph6: truncated size field (expected '~' + 3 bytes)"
+      else
+        let* c1 = check_char 1 in
+        let* c2 = check_char 2 in
+        let* c3 = check_char 3 in
+        Ok (4, (c1 lsl 12) lor (c2 lsl 6) lor c3)
+    in
+    let nbits = n * (n - 1) / 2 in
+    let nbytes = (nbits + 5) / 6 in
+    if len - size_bytes <> nbytes then
+      Error
+        (Printf.sprintf
+           "graph6: n = %d needs %d encoding bytes after the size field, got %d"
+           n nbytes (len - size_bytes))
+    else
+      let edges = ref [] in
+      let pos = ref 0 in
+      let err = ref None in
+      (let u = ref 0 and v = ref 1 in
+       (try
+          for i = size_bytes to len - 1 do
+            match check_char i with
+            | Error e ->
+                err := Some e;
+                raise Exit
+            | Ok g6 ->
+                for j = 5 downto 0 do
+                  let bit = g6 land (1 lsl j) <> 0 in
+                  if !pos < nbits then begin
+                    if bit then edges := (!u, !v) :: !edges;
+                    incr pos;
+                    incr u;
+                    if !u = !v then begin
+                      u := 0;
+                      incr v
+                    end
+                  end
+                  else if bit then begin
+                    err :=
+                      Some
+                        (Printf.sprintf
+                           "graph6, byte %d: nonzero padding bit" (i + 1));
+                    raise Exit
+                  end
+                done
+          done
+        with Exit -> ()));
+      match !err with
+      | Some e -> Error e
+      | None -> Ok (Graph.of_edges ~n (List.rev !edges))
+
+(* ---------------------------------------------------------------- *)
+(* native adjacency                                                  *)
+
+let print_adjacency g =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "lcpadj %d\n" (Graph.n g));
+  for u = 0 to Graph.n g - 1 do
+    let fwd = List.filter (fun v -> v > u) (Graph.neighbors g u) in
+    if fwd <> [] then
+      Buffer.add_string b
+        (Printf.sprintf "%d: %s\n" u
+           (String.concat " " (List.map string_of_int fwd)))
+  done;
+  Buffer.contents b
+
+let parse_adjacency s =
+  let fmt = Adjacency in
+  let ( let* ) = Result.bind in
+  let strip_comment l =
+    match String.index_opt l '#' with
+    | Some i -> String.sub l 0 i
+    | None -> l
+  in
+  let lines =
+    List.filter_map
+      (fun (ln, l) ->
+        let l = strip_comment l in
+        if tokens l = [] then None else Some (ln, l))
+      (split_lines s)
+  in
+  match lines with
+  | [] -> Error "adjacency: empty input (expected an 'lcpadj <n>' header)"
+  | (hln, hl) :: rest ->
+      let* n =
+        match tokens hl with
+        | [ "lcpadj"; sn ] -> (
+            match int_of_token sn with
+            | Ok n when n >= 0 -> Ok n
+            | Ok n ->
+                err_line ~fmt hln (Printf.sprintf "negative vertex count %d" n)
+            | Error e -> err_line ~fmt hln e)
+        | _ -> err_line ~fmt hln "expected the header 'lcpadj <n>'"
+      in
+      let seen_row = Hashtbl.create 16 in
+      let rec go edges = function
+        | [] -> Ok (Graph.of_edges ~n (List.rev edges))
+        | (ln, l) :: rest -> (
+            match String.index_opt l ':' with
+            | None ->
+                err_line ~fmt ln "expected 'u: v1 v2 ...' (missing ':')"
+            | Some ci -> (
+                let left = String.sub l 0 ci in
+                let right =
+                  String.sub l (ci + 1) (String.length l - ci - 1)
+                in
+                match tokens left with
+                | [ su ] -> (
+                    match int_of_token su with
+                    | Error e -> err_line ~fmt ln e
+                    | Ok u ->
+                        if u < 0 || u >= n then
+                          err_line ~fmt ln
+                            (Printf.sprintf "vertex %d out of [0,%d)" u n)
+                        else if Hashtbl.mem seen_row u then
+                          err_line ~fmt ln
+                            (Printf.sprintf "duplicate adjacency row for %d" u)
+                        else begin
+                          Hashtbl.add seen_row u ();
+                          let rec nbrs prev acc = function
+                            | [] -> Ok (List.rev acc)
+                            | t :: ts -> (
+                                match int_of_token t with
+                                | Error e -> Error e
+                                | Ok v ->
+                                    if v <= u then
+                                      Error
+                                        (Printf.sprintf
+                                           "neighbor %d of %d is not a \
+                                            forward neighbor (need v > u)"
+                                           v u)
+                                    else if v >= n then
+                                      Error
+                                        (Printf.sprintf
+                                           "vertex %d out of [0,%d)" v n)
+                                    else if prev >= v then
+                                      Error
+                                        (Printf.sprintf
+                                           "neighbors of %d must be strictly \
+                                            increasing (%d after %d)"
+                                           u v prev)
+                                    else nbrs v ((u, v) :: acc) ts)
+                          in
+                          match nbrs u [] (tokens right) with
+                          | Error e -> err_line ~fmt ln e
+                          | Ok es -> go (List.rev_append es edges) rest
+                        end)
+                | _ -> err_line ~fmt ln "expected a single vertex before ':'"))
+      in
+      go [] rest
+
+(* ---------------------------------------------------------------- *)
+(* dispatch                                                          *)
+
+let print fmt g =
+  match fmt with
+  | Dimacs -> print_dimacs g
+  | Graph6 -> print_graph6 g
+  | Adjacency -> print_adjacency g
+
+let parse fmt s =
+  match fmt with
+  | Dimacs -> parse_dimacs s
+  | Graph6 -> parse_graph6 s
+  | Adjacency -> parse_adjacency s
+
+let load_file file =
+  match format_of_filename file with
+  | Error _ as e -> e
+  | Ok fmt -> (
+      match
+        try
+          let ic = open_in_bin file in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+        with Sys_error e -> Error e
+      with
+      | Error e -> Error (Printf.sprintf "%s: %s" file e)
+      | Ok contents -> (
+          match parse fmt contents with
+          | Ok g -> Ok g
+          | Error e -> Error (Printf.sprintf "%s: %s" file e)))
+
+let save_file file g =
+  match format_of_filename file with
+  | Error _ as e -> e
+  | Ok fmt ->
+      let oc = open_out_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc (print fmt g);
+          Ok ())

@@ -1,0 +1,166 @@
+(** Per-job reports and aggregate throughput accounting for the batch
+    driver, including a hand-rolled JSON-lines emitter (one object per
+    job — easy to stream, easy to grep). *)
+
+type status =
+  | Served_fresh  (** proved, locally verified, stored, served *)
+  | Served_cached  (** cache hit; decoded bundle re-verified, then served *)
+  | Declined  (** the prover declined: the property does not hold *)
+  | Input_error of string  (** bad graph file / unknown property / bad job *)
+  | Unsound of string
+      (** a freshly proved bundle failed local verification — a pipeline
+          bug; never served *)
+
+let status_name = function
+  | Served_fresh -> "served_fresh"
+  | Served_cached -> "served_cached"
+  | Declined -> "declined"
+  | Input_error _ -> "input_error"
+  | Unsound _ -> "unsound"
+
+type job_report = {
+  r_id : string;
+  r_property : string;
+  r_k : int;
+  r_n : int;
+  r_m : int;
+  r_status : status;
+  r_cache_hit : bool;
+  r_prove_ms : float;
+  r_verify_ms : float;
+  r_total_ms : float;
+  r_label_bits : int;  (** max bits of one edge label; 0 if none served *)
+  r_bundle_bits : int;  (** whole-bundle size; 0 if none served *)
+  r_reject_reasons : string list;
+      (** classified reasons when a cached bundle was rejected on
+          re-verification (the entry is dropped and recomputed) *)
+}
+
+(* ---------------------------------------------------------------- *)
+(* JSON lines                                                        *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json r =
+  let field_s k v = Printf.sprintf "\"%s\":\"%s\"" k (json_escape v) in
+  let field_i k v = Printf.sprintf "\"%s\":%d" k v in
+  let field_f k v = Printf.sprintf "\"%s\":%.3f" k v in
+  let field_b k v = Printf.sprintf "\"%s\":%b" k v in
+  let detail =
+    match r.r_status with
+    | Input_error e | Unsound e -> [ field_s "error" e ]
+    | _ -> []
+  in
+  let rejects =
+    match r.r_reject_reasons with
+    | [] -> []
+    | rs ->
+        [
+          Printf.sprintf "\"cache_rejects\":[%s]"
+            (String.concat ","
+               (List.map (fun s -> "\"" ^ json_escape s ^ "\"") rs));
+        ]
+  in
+  "{"
+  ^ String.concat ","
+      ([
+         field_s "id" r.r_id;
+         field_s "property" r.r_property;
+         field_i "k" r.r_k;
+         field_i "n" r.r_n;
+         field_i "m" r.r_m;
+         field_s "status" (status_name r.r_status);
+         field_b "cache_hit" r.r_cache_hit;
+         field_f "prove_ms" r.r_prove_ms;
+         field_f "verify_ms" r.r_verify_ms;
+         field_f "total_ms" r.r_total_ms;
+         field_i "label_bits" r.r_label_bits;
+         field_i "bundle_bits" r.r_bundle_bits;
+       ]
+      @ detail @ rejects)
+  ^ "}"
+
+(* ---------------------------------------------------------------- *)
+(* aggregates                                                        *)
+
+type summary = {
+  s_jobs : int;
+  s_served : int;
+  s_fresh : int;
+  s_cached : int;
+  s_declined : int;
+  s_errors : int;
+  s_unsound : int;
+  s_total_ms : float;
+  s_prove_ms : float;
+  s_verify_ms : float;
+  s_jobs_per_sec : float;
+  s_hit_rate : float;  (** cache hits / (served fresh + cached) *)
+  s_max_label_bits : int;
+  s_cache_rejects : int;
+}
+
+let summarize reports =
+  let count p = List.length (List.filter p reports) in
+  let fresh = count (fun r -> r.r_status = Served_fresh) in
+  let cached = count (fun r -> r.r_status = Served_cached) in
+  let declined = count (fun r -> r.r_status = Declined) in
+  let errors =
+    count (fun r -> match r.r_status with Input_error _ -> true | _ -> false)
+  in
+  let unsound =
+    count (fun r -> match r.r_status with Unsound _ -> true | _ -> false)
+  in
+  let sum f = List.fold_left (fun acc r -> acc +. f r) 0.0 reports in
+  let total_ms = sum (fun r -> r.r_total_ms) in
+  let served = fresh + cached in
+  {
+    s_jobs = List.length reports;
+    s_served = served;
+    s_fresh = fresh;
+    s_cached = cached;
+    s_declined = declined;
+    s_errors = errors;
+    s_unsound = unsound;
+    s_total_ms = total_ms;
+    s_prove_ms = sum (fun r -> r.r_prove_ms);
+    s_verify_ms = sum (fun r -> r.r_verify_ms);
+    s_jobs_per_sec =
+      (if total_ms > 0.0 then
+         1000.0 *. float_of_int (List.length reports) /. total_ms
+       else 0.0);
+    s_hit_rate =
+      (if served > 0 then float_of_int cached /. float_of_int served else 0.0);
+    s_max_label_bits =
+      List.fold_left (fun acc r -> max acc r.r_label_bits) 0 reports;
+    s_cache_rejects =
+      List.fold_left
+        (fun acc r -> acc + List.length r.r_reject_reasons)
+        0 reports;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>jobs: %d (served %d = %d fresh + %d cached; %d declined, %d \
+     input errors, %d unsound)@,\
+     time: %.1f ms total (%.1f prove + %.1f verify) -> %.1f jobs/sec@,\
+     cache: hit rate %.1f%% over served jobs, %d re-verification \
+     rejects@,\
+     labels: max %d bits per edge label@]"
+    s.s_jobs s.s_served s.s_fresh s.s_cached s.s_declined s.s_errors
+    s.s_unsound s.s_total_ms s.s_prove_ms s.s_verify_ms s.s_jobs_per_sec
+    (100.0 *. s.s_hit_rate) s.s_cache_rejects s.s_max_label_bits

@@ -1,0 +1,39 @@
+(** 64-bit FNV-1a, hand-rolled (no external digest dependency). Used by
+    the certification service to content-address (graph, property, k)
+    cache keys. Collisions are tolerable there — the store compares the
+    canonical bytes on lookup and every served bundle is re-verified —
+    so a fast non-cryptographic hash is the right tool. *)
+
+type t = int64
+
+let offset_basis = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let init = offset_basis
+
+let byte h b = Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) prime
+
+let bytes h (s : Bytes.t) =
+  let h = ref h in
+  for i = 0 to Bytes.length s - 1 do
+    h := byte !h (Char.code (Bytes.get s i))
+  done;
+  !h
+
+let string h (s : string) = bytes h (Bytes.unsafe_of_string s)
+
+(* little-endian, all 8 bytes, so that e.g. 1 and 256 never collide *)
+let int h x =
+  let h = ref h in
+  for i = 0 to 7 do
+    h := byte !h ((x lsr (8 * i)) land 0xff)
+  done;
+  !h
+
+let of_bytes s = bytes init s
+let of_string s = string init s
+
+let to_hex h = Printf.sprintf "%016Lx" h
+
+let equal = Int64.equal
+let compare = Int64.compare

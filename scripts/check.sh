@@ -1,0 +1,18 @@
+#!/bin/sh
+# Tier-1 gate: refuse tracked build artifacts, then build and run the
+# full test suite. CI and pre-push hooks call this; it exits non-zero
+# on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tracked_build=$(git ls-files | grep '^_build/' || true)
+if [ -n "$tracked_build" ]; then
+  echo "check.sh: build artifacts are tracked by git:" >&2
+  echo "$tracked_build" | head -5 >&2
+  echo "check.sh: run 'git rm -r --cached _build' (see .gitignore)" >&2
+  exit 1
+fi
+
+dune build
+dune runtest
