@@ -7,7 +7,13 @@
      certd.exe --manifest jobs.manifest
      certd.exe --manifest jobs.manifest --passes 2 --cache-dir /tmp/certs
      certd.exe --manifest jobs.manifest --jsonl results.jsonl --quiet
-     certd.exe --list-properties *)
+     certd.exe --manifest jobs.manifest --cache-dir /tmp/certs \
+       --faults 'fail@3:ENOSPC,torn@5:40'   # storage-fault drill
+     certd.exe --list-properties
+
+   Exit codes: 0 all jobs served/declined; 1 some job ended in
+   input_error/unsound/failed; 2 usage error; 3 simulated crash (a
+   crash@N fault point halted the batch). *)
 
 module Service = Lcp_service
 
@@ -24,7 +30,8 @@ let list_properties () =
   Printf.printf "graph formats: %s\n"
     (Service.Graph_io.supported_formats_doc ())
 
-let run manifest base_dir cache_cap cache_dir jsonl passes quiet list_props =
+let run manifest base_dir cache_cap cache_dir disk_cap faults jsonl passes
+    quiet list_props =
   if list_props then begin
     list_properties ();
     exit 0
@@ -37,6 +44,16 @@ let run manifest base_dir cache_cap cache_dir jsonl passes quiet list_props =
           "certd: --manifest is required (or --list-properties); see --help";
         exit 2
   in
+  let io =
+    match faults with
+    | None -> None
+    | Some plan_str -> (
+        match Service.Blob_io.parse_plan plan_str with
+        | Error e ->
+            Printf.eprintf "certd: --faults: %s\n" e;
+            exit 2
+        | Ok plan -> Some (fst (Service.Blob_io.inject ~plan Service.Blob_io.real)))
+  in
   match Service.Manifest.load_file manifest with
   | Error e ->
       Printf.eprintf "certd: %s\n" e;
@@ -46,7 +63,14 @@ let run manifest base_dir cache_cap cache_dir jsonl passes quiet list_props =
         match base_dir with Some d -> d | None -> Filename.dirname manifest
       in
       let engine =
-        Service.Engine.create ~cache_cap ?cache_dir ~base_dir ()
+        try
+          Service.Engine.create ~cache_cap ?cache_dir ~cache_disk_cap:disk_cap
+            ?io ~base_dir ()
+        with Sys_error e ->
+          (* e.g. the cache directory cannot be created (or the fault
+             plan's op 1 is that very mkdir) *)
+          Printf.eprintf "certd: %s\n" e;
+          exit 2
       in
       let jsonl_oc =
         match jsonl with
@@ -62,7 +86,8 @@ let run manifest base_dir cache_cap cache_dir jsonl passes quiet list_props =
             output_char oc '\n'
         | None -> ());
         (match r.Service.Stats.r_status with
-        | Service.Stats.Input_error _ | Service.Stats.Unsound _ ->
+        | Service.Stats.Input_error _ | Service.Stats.Unsound _
+        | Service.Stats.Failed _ ->
             failed := true
         | _ -> ());
         if not quiet then
@@ -73,19 +98,29 @@ let run manifest base_dir cache_cap cache_dir jsonl passes quiet list_props =
             r.Service.Stats.r_total_ms
             (if r.Service.Stats.r_cache_hit then "  [cache hit]" else "")
       in
-      for pass = 1 to passes do
-        if not quiet && passes > 1 then
-          Printf.printf "--- pass %d/%d %s\n" pass passes
-            (if pass = 1 then "(cold)" else "(warm)");
-        let _, summary = Service.Engine.run_jobs ~emit engine jobs in
-        Format.printf "%a@." Service.Stats.pp_summary summary
-      done;
-      Format.printf "store: %a@." Service.Cert_store.pp_stats
-        (Service.Cert_store.stats (Service.Engine.store engine));
-      (match jsonl_oc with
-      | Some oc when oc != stdout -> close_out oc
-      | _ -> ());
-      exit (if !failed then 1 else 0)
+      let finish code =
+        Format.printf "store: %a%s@." Service.Cert_store.pp_stats
+          (Service.Cert_store.stats (Service.Engine.store engine))
+          (if Service.Cert_store.degraded (Service.Engine.store engine) then
+             " [DEGRADED: memory-only]"
+           else "");
+        (match jsonl_oc with
+        | Some oc when oc != stdout -> close_out oc
+        | _ -> ());
+        exit code
+      in
+      (try
+         for pass = 1 to passes do
+           if not quiet && passes > 1 then
+             Printf.printf "--- pass %d/%d %s\n" pass passes
+               (if pass = 1 then "(cold)" else "(warm)");
+           let _, summary = Service.Engine.run_jobs ~emit engine jobs in
+           Format.printf "%a@." Service.Stats.pp_summary summary
+         done
+       with Service.Blob_io.Crashed p ->
+         Printf.eprintf "certd: simulated crash (fault plan) at %s\n" p;
+         finish 3);
+      finish (if !failed then 1 else 0)
 
 open Cmdliner
 
@@ -121,6 +156,28 @@ let cache_dir =
            restarts and LRU eviction. Served bundles are always \
            re-verified locally first.")
 
+let disk_cap =
+  Arg.(
+    value & opt int 0
+    & info [ "disk-cap" ] ~docv:"N"
+        ~doc:
+          "Cap the on-disk certificate tier at $(docv) records; the \
+           least-recently-used records (by mtime) are garbage-collected \
+           past the cap. 0 means unbounded.")
+
+let faults =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"PLAN"
+        ~doc:
+          "Inject storage faults (testing/drills). $(docv) is a \
+           comma-separated list over the sequence of mutating file ops: \
+           fail@N[:TAG] (op N raises, e.g. ENOSPC; N+ makes it \
+           persistent), torn@N:B (write truncated at byte B, then \
+           crash), flip@N:B (silent bit flip at bit B), crash@N \
+           (process death before op N; certd exits 3).")
+
 let jsonl =
   Arg.(
     value
@@ -150,7 +207,7 @@ let cmd =
   Cmd.v
     (Cmd.info "certd" ~doc)
     Term.(
-      const run $ manifest $ base_dir $ cache_cap $ cache_dir $ jsonl $ passes
-      $ quiet $ list_props)
+      const run $ manifest $ base_dir $ cache_cap $ cache_dir $ disk_cap
+      $ faults $ jsonl $ passes $ quiet $ list_props)
 
 let () = exit (Cmd.eval cmd)

@@ -10,13 +10,33 @@
     from memory remain loadable from disk, and disk loads re-check the
     canonical bytes too.
 
-    Soundness note: the store caches {e bytes}, never trust. The engine
-    decodes and locally re-verifies every bundle it serves from here;
-    a corrupt or stale entry is dropped via [remove] and recomputed. *)
+    All disk I/O goes through an injectable [Blob_io.t], and the disk
+    tier is {e survivable} by construction:
+
+    - every record carries an FNV-1a checksum over its header fields and
+      payload, verified {e before} any decode — torn writes and bit rot
+      are detected, counted as [corrupt], and the file is moved to
+      [quarantine/] for post-mortem instead of silently deleted;
+    - records are written tmp-then-rename; orphaned [.tmp] files left by
+      a crash are swept (and counted) when the store is reopened;
+    - the disk tier has an optional capacity ([disk_cap] records),
+      enforced by LRU-by-mtime GC (disk hits touch the file's mtime);
+    - a disk fault ([Sys_error]) never escapes the store: it is counted
+      in [disk_errors], and [degrade_after] consecutive failures demote
+      the store to memory-only ([degraded]) — the service keeps
+      answering, just without persistence. A simulated crash
+      ([Blob_io.Crashed]) {e does} propagate, by design.
+
+    Soundness note: the store caches {e bytes}, never trust. The
+    checksum defends availability (detect corruption before decode);
+    the engine still decodes and locally re-verifies every bundle it
+    serves from here, so even a checksum collision cannot change a
+    judgement. *)
 
 module Hash64 = Lcp_util.Hash64
 module Bitenc = Lcp_util.Bitenc
 module Graph = Lcp_graph.Graph
+module Blob = Blob_io
 
 type key = { hash : Hash64.t; canon : Bytes.t }
 
@@ -63,46 +83,113 @@ type stats = {
   mutable evictions : int;
   mutable disk_loads : int;
   mutable drops : int;  (** entries removed after failing re-verification *)
+  mutable disk_errors : int;  (** Sys_errors absorbed at the store boundary *)
+  mutable corrupt : int;  (** records failing checksum/parse before decode *)
+  mutable quarantined : int;  (** corrupt records moved to quarantine/ *)
+  mutable orphans_swept : int;  (** .tmp files removed on create *)
+  mutable gc_evictions : int;  (** disk records removed by capacity GC *)
 }
 
 type t = {
   cap : int;
   dir : string option;
+  io : Blob.t;
+  disk_cap : int;  (** max .cert files on disk; <= 0 means unbounded *)
+  degrade_after : int;
+  mutable degraded : bool;
+  mutable disk_failures_in_row : int;
   table : (Hash64.t, node) Hashtbl.t;
   mutable first : node option; (* most recently used *)
   mutable last : node option; (* least recently used *)
   stats : stats;
 }
 
-let rec mkdir_p d =
-  if not (Sys.file_exists d) then begin
-    mkdir_p (Filename.dirname d);
-    try Sys.mkdir d 0o755 with Sys_error _ -> ()
-  end
+(* creation failures must be loud and immediate: a store that cannot
+   make its directory would otherwise fail later with a baffling rename
+   error on the first write *)
+let mkdir_p io d =
+  let rec go d =
+    if not (io.Blob.file_exists d) then begin
+      let parent = Filename.dirname d in
+      if parent <> d then go parent;
+      io.Blob.mkdir d
+    end
+    else if not (io.Blob.is_directory d) then
+      raise (Sys_error (d ^ ": exists but is not a directory"))
+  in
+  go d
 
-let create ?(cap = 4096) ?dir () =
+let disk_error t =
+  t.stats.disk_errors <- t.stats.disk_errors + 1;
+  t.disk_failures_in_row <- t.disk_failures_in_row + 1;
+  if (not t.degraded) && t.disk_failures_in_row >= t.degrade_after then
+    t.degraded <- true
+
+let disk_ok t = t.disk_failures_in_row <- 0
+
+let is_tmp f = Filename.check_suffix f ".tmp"
+
+let sweep_orphans t dir =
+  try
+    Array.iter
+      (fun f ->
+        if is_tmp f then begin
+          t.io.Blob.remove (Filename.concat dir f);
+          t.stats.orphans_swept <- t.stats.orphans_swept + 1
+        end)
+      (t.io.Blob.list_dir dir)
+  with Sys_error _ -> disk_error t
+
+let create ?(cap = 4096) ?dir ?(disk_cap = 0) ?(degrade_after = 3)
+    ?(io = Blob.real) () =
   if cap < 1 then invalid_arg "Cert_store.create: cap must be >= 1";
-  (match dir with Some d -> mkdir_p d | None -> ());
-  {
-    cap;
-    dir;
-    table = Hashtbl.create 64;
-    first = None;
-    last = None;
-    stats =
-      {
-        hits = 0;
-        misses = 0;
-        insertions = 0;
-        evictions = 0;
-        disk_loads = 0;
-        drops = 0;
-      };
-  }
+  if degrade_after < 1 then
+    invalid_arg "Cert_store.create: degrade_after must be >= 1";
+  (match dir with
+  | Some d -> (
+      try mkdir_p io d
+      with Sys_error e ->
+        raise
+          (Sys_error
+             (Printf.sprintf
+                "Cert_store.create: cannot create cache directory %S: %s" d e)))
+  | None -> ());
+  let t =
+    {
+      cap;
+      dir;
+      io;
+      disk_cap;
+      degrade_after;
+      degraded = false;
+      disk_failures_in_row = 0;
+      table = Hashtbl.create 64;
+      first = None;
+      last = None;
+      stats =
+        {
+          hits = 0;
+          misses = 0;
+          insertions = 0;
+          evictions = 0;
+          disk_loads = 0;
+          drops = 0;
+          disk_errors = 0;
+          corrupt = 0;
+          quarantined = 0;
+          orphans_swept = 0;
+          gc_evictions = 0;
+        };
+    }
+  in
+  (match dir with Some d -> sweep_orphans t d | None -> ());
+  t
 
 let size t = Hashtbl.length t.table
 
 let stats t = t.stats
+
+let degraded t = t.degraded
 
 let unlink t node =
   (match node.prev with
@@ -127,64 +214,161 @@ let magic = "LCPCERT1"
 
 let entry_path dir key = Filename.concat dir (key_hex key ^ ".cert")
 
-let write_disk dir entry =
-  let path = entry_path dir entry.e_key in
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc magic;
-      output_string oc
-        (Printf.sprintf "\ncanon=%d bits=%d labelbits=%d\n"
-           (Bytes.length entry.e_key.canon)
-           (Bundle.size_bits entry.e_bundle)
-           entry.e_label_bits);
-      output_bytes oc entry.e_key.canon;
-      output_bytes oc entry.e_bundle.Bundle.bytes);
-  Sys.rename tmp path
+let quarantine_dir dir = Filename.concat dir "quarantine"
 
-let read_disk dir key =
-  let path = entry_path dir key in
-  if not (Sys.file_exists path) then None
+(* the checksum covers the header's structural fields and the whole
+   payload, so any single corrupted bit — header or body — is caught
+   before a decoder ever runs *)
+let record_sum ~canon ~bits ~label_bits ~(payload : Bytes.t) =
+  Hash64.init
+  |> Fun.flip Hash64.int (Bytes.length canon)
+  |> Fun.flip Hash64.int bits
+  |> Fun.flip Hash64.int label_bits
+  |> Fun.flip Hash64.bytes canon
+  |> Fun.flip Hash64.bytes payload
+
+let record_string entry =
+  let canon = entry.e_key.canon in
+  let bits = Bundle.size_bits entry.e_bundle in
+  let payload = entry.e_bundle.Bundle.bytes in
+  let sum = record_sum ~canon ~bits ~label_bits:entry.e_label_bits ~payload in
+  let b = Buffer.create (64 + Bytes.length canon + Bytes.length payload) in
+  Buffer.add_string b magic;
+  Buffer.add_string b
+    (Printf.sprintf "\ncanon=%d bits=%d labelbits=%d sum=%s\n"
+       (Bytes.length canon) bits entry.e_label_bits (Hash64.to_hex sum));
+  Buffer.add_bytes b canon;
+  Buffer.add_bytes b payload;
+  Buffer.contents b
+
+(* [Ok (Some e)]: sound record for [key]. [Ok None]: intact record for a
+   different instance (hash collision) — a miss, not corruption.
+   [Error reason]: torn/corrupt record; quarantine it. *)
+let parse_record key s =
+  let ml = String.length magic in
+  if String.length s < ml + 1 then Error "truncated magic"
+  else if String.sub s 0 ml <> magic || s.[ml] <> '\n' then Error "bad magic"
   else
-    let parse () =
-      let ic = open_in_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () ->
-          let m = really_input_string ic (String.length magic) in
-          if m <> magic then Error "bad magic"
-          else
-            match input_char ic with
-            | '\n' -> (
-                let header = input_line ic in
-                match
-                  Scanf.sscanf_opt header "canon=%d bits=%d labelbits=%d"
-                    (fun a b c -> (a, b, c))
-                with
-                | None -> Error ("bad header " ^ String.escaped header)
-                | Some (canon_len, bits, label_bits) ->
-                    let canon = Bytes.create canon_len in
-                    really_input ic canon 0 canon_len;
-                    let nbytes = (bits + 7) / 8 in
-                    let bundle_bytes = Bytes.create nbytes in
-                    really_input ic bundle_bytes 0 nbytes;
-                    if not (Bytes.equal canon key.canon) then
-                      (* hash collision or foreign file: not our content *)
-                      Error "canonical key mismatch"
+    match String.index_from_opt s (ml + 1) '\n' with
+    | None -> Error "truncated header"
+    | Some nl -> (
+        let header = String.sub s (ml + 1) (nl - ml - 1) in
+        match
+          Scanf.sscanf_opt header "canon=%d bits=%d labelbits=%d sum=%s%!"
+            (fun a b c d -> (a, b, c, d))
+        with
+        | None -> Error ("bad header " ^ String.escaped header)
+        | Some (canon_len, bits, label_bits, sum_hex) -> (
+            match Hash64.of_hex sum_hex with
+            | None -> Error ("bad checksum field " ^ String.escaped sum_hex)
+            | Some sum ->
+                let body = nl + 1 in
+                if canon_len < 0 || bits < 0 || label_bits < 0 then
+                  Error "negative header field"
+                else
+                  let nbytes = (bits + 7) / 8 in
+                  if String.length s - body <> canon_len + nbytes then
+                    Error
+                      (Printf.sprintf
+                         "payload is %d bytes but the header promises %d"
+                         (String.length s - body)
+                         (canon_len + nbytes))
+                  else
+                    let canon = Bytes.of_string (String.sub s body canon_len) in
+                    let payload =
+                      Bytes.of_string (String.sub s (body + canon_len) nbytes)
+                    in
+                    if
+                      not
+                        (Hash64.equal sum
+                           (record_sum ~canon ~bits ~label_bits ~payload))
+                    then Error "checksum mismatch"
+                    else if not (Bytes.equal canon key.canon) then Ok None
                     else
                       Ok
-                        {
-                          e_key = key;
-                          e_bundle = { Bundle.bytes = bundle_bytes; bits };
-                          e_label_bits = label_bits;
-                        })
-            | _ -> Error "bad magic")
-    in
-    match (try parse () with End_of_file -> Error "truncated file") with
-    | Ok e -> Some e
-    | Error _ -> None
+                        (Some
+                           {
+                             e_key = key;
+                             e_bundle = { Bundle.bytes = payload; bits };
+                             e_label_bits = label_bits;
+                           })))
+
+let quarantine t dir path =
+  t.stats.corrupt <- t.stats.corrupt + 1;
+  try
+    let qdir = quarantine_dir dir in
+    if not (t.io.Blob.file_exists qdir) then t.io.Blob.mkdir qdir;
+    t.io.Blob.rename path
+      (Filename.concat qdir
+         (Printf.sprintf "%s.%d" (Filename.basename path) t.stats.corrupt));
+    t.stats.quarantined <- t.stats.quarantined + 1
+  with Sys_error _ -> disk_error t
+
+(* capacity GC: keep at most [disk_cap] records, dropping the ones with
+   the oldest mtime first (disk hits touch their record, so mtime order
+   is LRU order). The record just written is never a GC victim. *)
+let gc_disk t dir ~keep =
+  if t.disk_cap > 0 then begin
+    try
+      let certs =
+        Array.to_list (t.io.Blob.list_dir dir)
+        |> List.filter (fun f -> Filename.check_suffix f ".cert")
+      in
+      let excess = List.length certs - t.disk_cap in
+      if excess > 0 then begin
+        let victims =
+          List.filter_map
+            (fun f ->
+              if f = keep then None
+              else
+                match t.io.Blob.mtime (Filename.concat dir f) with
+                | m -> Some (m, f)
+                | exception Sys_error _ -> None)
+            certs
+          |> List.sort compare
+        in
+        List.iteri
+          (fun i (_, f) ->
+            if i < excess then begin
+              t.io.Blob.remove (Filename.concat dir f);
+              t.stats.gc_evictions <- t.stats.gc_evictions + 1
+            end)
+          victims
+      end
+    with Sys_error _ -> disk_error t
+  end
+
+let write_disk t dir entry =
+  let path = entry_path dir entry.e_key in
+  let tmp = path ^ ".tmp" in
+  try
+    t.io.Blob.write_file tmp (record_string entry);
+    t.io.Blob.rename tmp path;
+    disk_ok t;
+    gc_disk t dir ~keep:(Filename.basename path)
+  with Sys_error _ ->
+    (* best-effort cleanup of a half-written tmp; never fatal *)
+    (try t.io.Blob.remove tmp with Sys_error _ -> ());
+    disk_error t
+
+let read_disk t dir key =
+  let path = entry_path dir key in
+  if not (t.io.Blob.file_exists path) then None
+  else
+    match t.io.Blob.read_file path with
+    | exception Sys_error _ ->
+        disk_error t;
+        None
+    | s -> (
+        match parse_record key s with
+        | Ok (Some e) ->
+            disk_ok t;
+            (try t.io.Blob.touch path with Sys_error _ -> ());
+            Some e
+        | Ok None -> None (* intact record for another instance: a miss *)
+        | Error _reason ->
+            quarantine t dir path;
+            None)
 
 (* ---------------------------------------------------------------- *)
 (* the store proper                                                  *)
@@ -211,7 +395,9 @@ let add t entry =
       push_front t node;
       t.stats.insertions <- t.stats.insertions + 1;
       evict_overflow t);
-  match t.dir with Some dir -> write_disk dir entry | None -> ()
+  match t.dir with
+  | Some dir when not t.degraded -> write_disk t dir entry
+  | _ -> ()
 
 let find t key =
   match Hashtbl.find_opt t.table key.hash with
@@ -226,11 +412,8 @@ let find t key =
       None
   | None -> (
       match t.dir with
-      | None ->
-          t.stats.misses <- t.stats.misses + 1;
-          None
-      | Some dir -> (
-          match read_disk dir key with
+      | Some dir when not t.degraded -> (
+          match read_disk t dir key with
           | Some entry ->
               t.stats.disk_loads <- t.stats.disk_loads + 1;
               t.stats.hits <- t.stats.hits + 1;
@@ -241,7 +424,10 @@ let find t key =
               Some entry
           | None ->
               t.stats.misses <- t.stats.misses + 1;
-              None))
+              None)
+      | _ ->
+          t.stats.misses <- t.stats.misses + 1;
+          None)
 
 let remove t key =
   (match Hashtbl.find_opt t.table key.hash with
@@ -251,12 +437,16 @@ let remove t key =
       t.stats.drops <- t.stats.drops + 1
   | None -> ());
   match t.dir with
-  | Some dir ->
+  | Some dir when not t.degraded -> (
       let path = entry_path dir key in
-      if Sys.file_exists path then Sys.remove path
-  | None -> ()
+      try if t.io.Blob.file_exists path then t.io.Blob.remove path
+      with Sys_error _ -> disk_error t)
+  | _ -> ()
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "hits=%d misses=%d insertions=%d evictions=%d disk_loads=%d drops=%d"
-    s.hits s.misses s.insertions s.evictions s.disk_loads s.drops
+    "hits=%d misses=%d insertions=%d evictions=%d disk_loads=%d drops=%d \
+     disk_errors=%d corrupt=%d quarantined=%d orphans_swept=%d \
+     gc_evictions=%d"
+    s.hits s.misses s.insertions s.evictions s.disk_loads s.drops s.disk_errors
+    s.corrupt s.quarantined s.orphans_swept s.gc_evictions

@@ -10,7 +10,18 @@
     dropped and the job falls through to the fresh prover path. A miss
     runs the prover, locally verifies the fresh bundle, and only then
     stores and serves it. The cache can therefore change {e latency} but
-    never {e judgements}. *)
+    never {e judgements}.
+
+    Availability discipline (the robustness contract): [run_job] is
+    total. Bad inputs are [Input_error]s, disk faults are absorbed
+    inside the store (which degrades to memory-only under persistent
+    failure — such jobs report [Served_degraded]), and any exception a
+    job attempt raises is retried under a bounded, deterministic
+    backoff policy with a per-job deadline budget; a job that exhausts
+    its budget ends as [Failed], never as an escaped exception that
+    would abort the batch. The one deliberate exception is
+    [Blob_io.Crashed] — a simulated process death must kill the batch,
+    that is its meaning. *)
 
 module Graph = Lcp_graph.Graph
 module Gen = Lcp_graph.Gen
@@ -21,17 +32,72 @@ module Scheme = Lcp_pls.Scheme
 module EM = Scheme.Edge_map
 module Bitenc = Lcp_util.Bitenc
 
+type retry_policy = {
+  max_retries : int;  (** attempts beyond the first (0 = fail fast) *)
+  backoff_ms : float;  (** base delay; attempt [i] waits [backoff_ms * 2^i] *)
+  deadline_ms : float;  (** per-job budget: no retry is scheduled past it *)
+}
+
+let default_retry =
+  { max_retries = 2; backoff_ms = 1.0; deadline_ms = Float.infinity }
+
+(* deterministic backoff schedule: 1x, 2x, 4x, ... of the base delay *)
+let backoff_delay policy attempt =
+  policy.backoff_ms *. Float.of_int (1 lsl attempt)
+
 type t = {
   store : Cert_store.t;
   base_dir : string;  (** file= paths in manifests resolve against this *)
+  retry : retry_policy;
 }
 
-let create ?(cache_cap = 4096) ?cache_dir ?(base_dir = ".") () =
-  { store = Cert_store.create ~cap:cache_cap ?dir:cache_dir (); base_dir }
+let create ?(cache_cap = 4096) ?cache_dir ?(cache_disk_cap = 0)
+    ?(degrade_after = 3) ?io ?(retry = default_retry) ?(base_dir = ".") () =
+  {
+    store =
+      Cert_store.create ~cap:cache_cap ?dir:cache_dir ~disk_cap:cache_disk_cap
+        ~degrade_after ?io ();
+    base_dir;
+    retry;
+  }
 
 let store t = t.store
 
 let now_ms () = Unix.gettimeofday () *. 1000.0
+
+(** Run [f attempt] until it returns, retrying on any exception except
+    [Blob_io.Crashed] (simulated process death must propagate). Retries
+    follow the deterministic doubling backoff and stop when either
+    [max_retries] attempts beyond the first are spent or the next delay
+    would overrun the [deadline_ms] budget. Returns [Ok (v, retries)] or
+    [Error (message, retries)] — never raises (modulo [Crashed]). *)
+let with_retries ~retry ~now f =
+  let start = now () in
+  let rec go attempt =
+    match f attempt with
+    | v -> Ok (v, attempt)
+    | exception Blob_io.Crashed p -> raise (Blob_io.Crashed p)
+    | exception e ->
+        let elapsed = now () -. start in
+        let delay = backoff_delay retry attempt in
+        if attempt >= retry.max_retries then
+          Error
+            ( Printf.sprintf "gave up after %d attempt(s): %s" (attempt + 1)
+                (Printexc.to_string e),
+              attempt )
+        else if elapsed +. delay > retry.deadline_ms then
+          Error
+            ( Printf.sprintf
+                "deadline budget exhausted after %d attempt(s) (%.1f of %.1f \
+                 ms): %s"
+                (attempt + 1) elapsed retry.deadline_ms (Printexc.to_string e),
+              attempt )
+        else begin
+          if delay > 0.0 then Unix.sleepf (delay /. 1000.0);
+          go (attempt + 1)
+        end
+  in
+  go 0
 
 let known_families =
   [ "path"; "cycle"; "caterpillar"; "ladder"; "star"; "tree"; "random" ]
@@ -42,27 +108,33 @@ let graph_of_source ~base_dir ~k source =
       let path = if Filename.is_relative f then Filename.concat base_dir f else f in
       Graph_io.load_file path
   | Manifest.Generated { family; n; gen_seed } -> (
-      let rng = Random.State.make [| gen_seed |] in
-      match family with
-      | "path" -> Ok (Gen.path n)
-      | "cycle" when n >= 3 -> Ok (Gen.cycle n)
-      | "cycle" -> Error "gen=cycle needs n >= 3"
-      | "caterpillar" -> Ok (Gen.caterpillar ~spine:(max 1 (n / 3)) ~legs:2)
-      | "ladder" -> Ok (Gen.ladder (max 2 (n / 2)))
-      | "star" -> Ok (Gen.star (max 1 (n - 1)))
-      | "tree" -> Ok (Gen.random_tree rng n)
-      | "random" -> Ok (fst (Gen.random_pathwidth rng ~n ~k ()))
-      | f ->
-          Error
-            (Printf.sprintf "unknown generator family %S (known: %s)" f
-               (String.concat ", " known_families)))
+      if not (List.mem family known_families) then
+        Error
+          (Printf.sprintf "unknown generator family %S (known: %s)" family
+             (String.concat ", " known_families))
+        (* every family requires n >= 1 — a zero or negative n must fail
+           here as an input error, not reach a generator's Bytes.create *)
+      else if n < 1 then
+        Error (Printf.sprintf "gen=%s needs n >= 1 (got n=%d)" family n)
+      else
+        let rng = Random.State.make [| gen_seed |] in
+        match family with
+        | "path" -> Ok (Gen.path n)
+        | "cycle" when n >= 3 -> Ok (Gen.cycle n)
+        | "cycle" -> Error (Printf.sprintf "gen=cycle needs n >= 3 (got n=%d)" n)
+        | "caterpillar" -> Ok (Gen.caterpillar ~spine:(max 1 (n / 3)) ~legs:2)
+        | "ladder" -> Ok (Gen.ladder (max 2 (n / 2)))
+        | "star" -> Ok (Gen.star (max 1 (n - 1)))
+        | "tree" -> Ok (Gen.random_tree rng n)
+        | "random" -> Ok (fst (Gen.random_pathwidth rng ~n ~k ()))
+        | _ -> assert false)
 
 let default_rep c =
   let g = Config.graph c in
   if Graph.n g <= 20 then Some (PW.exact_interval_representation g)
   else Some (PW.heuristic_interval_representation g)
 
-let run_job t (job : Manifest.job) : Stats.job_report =
+let run_once t (job : Manifest.job) : Stats.job_report =
   let t0 = now_ms () in
   let base ?(n = 0) ?(m = 0) status =
     {
@@ -79,6 +151,7 @@ let run_job t (job : Manifest.job) : Stats.job_report =
       r_label_bits = 0;
       r_bundle_bits = 0;
       r_reject_reasons = [];
+      r_retries = 0;
     }
   in
   match graph_of_source ~base_dir:t.base_dir ~k:job.k job.source with
@@ -205,6 +278,44 @@ let run_job t (job : Manifest.job) : Stats.job_report =
                             r_reject_reasons = reject_reasons;
                             r_total_ms = now_ms () -. t0;
                           })))))
+
+(* the total, retrying entry point: every job reaches a terminal status *)
+let run_job t (job : Manifest.job) : Stats.job_report =
+  let t0 = now_ms () in
+  match
+    with_retries ~retry:t.retry ~now:now_ms (fun _attempt -> run_once t job)
+  with
+  | Ok (report, retries) ->
+      let report =
+        { report with Stats.r_retries = retries; r_total_ms = now_ms () -. t0 }
+      in
+      (* a success under a demoted (memory-only) store is still a
+         success, but the operator must see it in the status *)
+      if
+        Cert_store.degraded t.store
+        &&
+        match report.Stats.r_status with
+        | Stats.Served_fresh | Stats.Served_cached -> true
+        | _ -> false
+      then { report with Stats.r_status = Stats.Served_degraded }
+      else report
+  | Error (msg, retries) ->
+      {
+        Stats.r_id = job.job_id;
+        r_property = job.property;
+        r_k = job.k;
+        r_n = 0;
+        r_m = 0;
+        r_status = Stats.Failed msg;
+        r_cache_hit = false;
+        r_prove_ms = 0.0;
+        r_verify_ms = 0.0;
+        r_total_ms = now_ms () -. t0;
+        r_label_bits = 0;
+        r_bundle_bits = 0;
+        r_reject_reasons = [];
+        r_retries = retries;
+      }
 
 let run_jobs ?(emit = fun (_ : Stats.job_report) -> ()) t jobs =
   let reports =

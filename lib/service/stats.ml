@@ -5,18 +5,26 @@
 type status =
   | Served_fresh  (** proved, locally verified, stored, served *)
   | Served_cached  (** cache hit; decoded bundle re-verified, then served *)
+  | Served_degraded
+      (** served (fresh or cached) while the certificate store was
+          demoted to memory-only by persistent disk faults *)
   | Declined  (** the prover declined: the property does not hold *)
   | Input_error of string  (** bad graph file / unknown property / bad job *)
   | Unsound of string
       (** a freshly proved bundle failed local verification — a pipeline
           bug; never served *)
+  | Failed of string
+      (** the job kept raising through every retry (or blew its
+          deadline budget); terminal, nothing served *)
 
 let status_name = function
   | Served_fresh -> "served_fresh"
   | Served_cached -> "served_cached"
+  | Served_degraded -> "served_degraded"
   | Declined -> "declined"
   | Input_error _ -> "input_error"
   | Unsound _ -> "unsound"
+  | Failed _ -> "failed"
 
 type job_report = {
   r_id : string;
@@ -34,6 +42,9 @@ type job_report = {
   r_reject_reasons : string list;
       (** classified reasons when a cached bundle was rejected on
           re-verification (the entry is dropped and recomputed) *)
+  r_retries : int;
+      (** attempts beyond the first that the retry policy spent on
+          transient faults before this terminal status *)
 }
 
 (* ---------------------------------------------------------------- *)
@@ -62,7 +73,7 @@ let to_json r =
   let field_b k v = Printf.sprintf "\"%s\":%b" k v in
   let detail =
     match r.r_status with
-    | Input_error e | Unsound e -> [ field_s "error" e ]
+    | Input_error e | Unsound e | Failed e -> [ field_s "error" e ]
     | _ -> []
   in
   let rejects =
@@ -90,6 +101,7 @@ let to_json r =
          field_f "total_ms" r.r_total_ms;
          field_i "label_bits" r.r_label_bits;
          field_i "bundle_bits" r.r_bundle_bits;
+         field_i "retries" r.r_retries;
        ]
       @ detail @ rejects)
   ^ "}"
@@ -99,25 +111,29 @@ let to_json r =
 
 type summary = {
   s_jobs : int;
-  s_served : int;
+  s_served : int;  (** fresh + cached + degraded *)
   s_fresh : int;
   s_cached : int;
+  s_degraded : int;  (** served while the store was memory-only *)
   s_declined : int;
   s_errors : int;
   s_unsound : int;
+  s_failed : int;  (** retries/deadline exhausted; nothing served *)
   s_total_ms : float;
   s_prove_ms : float;
   s_verify_ms : float;
   s_jobs_per_sec : float;
-  s_hit_rate : float;  (** cache hits / (served fresh + cached) *)
+  s_hit_rate : float;  (** cache hits / served jobs *)
   s_max_label_bits : int;
   s_cache_rejects : int;
+  s_retries : int;  (** total retry attempts across all jobs *)
 }
 
 let summarize reports =
   let count p = List.length (List.filter p reports) in
   let fresh = count (fun r -> r.r_status = Served_fresh) in
   let cached = count (fun r -> r.r_status = Served_cached) in
+  let degraded = count (fun r -> r.r_status = Served_degraded) in
   let declined = count (fun r -> r.r_status = Declined) in
   let errors =
     count (fun r -> match r.r_status with Input_error _ -> true | _ -> false)
@@ -125,17 +141,30 @@ let summarize reports =
   let unsound =
     count (fun r -> match r.r_status with Unsound _ -> true | _ -> false)
   in
+  let failed =
+    count (fun r -> match r.r_status with Failed _ -> true | _ -> false)
+  in
   let sum f = List.fold_left (fun acc r -> acc +. f r) 0.0 reports in
   let total_ms = sum (fun r -> r.r_total_ms) in
-  let served = fresh + cached in
+  let served = fresh + cached + degraded in
+  let hits =
+    count (fun r ->
+        r.r_cache_hit
+        &&
+        match r.r_status with
+        | Served_fresh | Served_cached | Served_degraded -> true
+        | _ -> false)
+  in
   {
     s_jobs = List.length reports;
     s_served = served;
     s_fresh = fresh;
     s_cached = cached;
+    s_degraded = degraded;
     s_declined = declined;
     s_errors = errors;
     s_unsound = unsound;
+    s_failed = failed;
     s_total_ms = total_ms;
     s_prove_ms = sum (fun r -> r.r_prove_ms);
     s_verify_ms = sum (fun r -> r.r_verify_ms);
@@ -144,23 +173,26 @@ let summarize reports =
          1000.0 *. float_of_int (List.length reports) /. total_ms
        else 0.0);
     s_hit_rate =
-      (if served > 0 then float_of_int cached /. float_of_int served else 0.0);
+      (if served > 0 then float_of_int hits /. float_of_int served else 0.0);
     s_max_label_bits =
       List.fold_left (fun acc r -> max acc r.r_label_bits) 0 reports;
     s_cache_rejects =
       List.fold_left
         (fun acc r -> acc + List.length r.r_reject_reasons)
         0 reports;
+    s_retries = List.fold_left (fun acc r -> acc + r.r_retries) 0 reports;
   }
 
 let pp_summary ppf s =
   Format.fprintf ppf
-    "@[<v>jobs: %d (served %d = %d fresh + %d cached; %d declined, %d \
-     input errors, %d unsound)@,\
+    "@[<v>jobs: %d (served %d = %d fresh + %d cached + %d degraded; %d \
+     declined, %d input errors, %d unsound, %d failed)@,\
      time: %.1f ms total (%.1f prove + %.1f verify) -> %.1f jobs/sec@,\
      cache: hit rate %.1f%% over served jobs, %d re-verification \
-     rejects@,\
+     rejects; %d transient-fault retries@,\
      labels: max %d bits per edge label@]"
-    s.s_jobs s.s_served s.s_fresh s.s_cached s.s_declined s.s_errors
-    s.s_unsound s.s_total_ms s.s_prove_ms s.s_verify_ms s.s_jobs_per_sec
-    (100.0 *. s.s_hit_rate) s.s_cache_rejects s.s_max_label_bits
+    s.s_jobs s.s_served s.s_fresh s.s_cached s.s_degraded s.s_declined
+    s.s_errors s.s_unsound s.s_failed s.s_total_ms s.s_prove_ms s.s_verify_ms
+    s.s_jobs_per_sec
+    (100.0 *. s.s_hit_rate)
+    s.s_cache_rejects s.s_retries s.s_max_label_bits

@@ -35,5 +35,17 @@ let of_string s = string init s
 
 let to_hex h = Printf.sprintf "%016Lx" h
 
+(* strict inverse of [to_hex]: exactly 16 lowercase hex digits, so a
+   corrupted checksum field in a storage record never half-parses *)
+let of_hex s =
+  if String.length s <> 16 then None
+  else
+    let ok =
+      String.for_all
+        (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+        s
+    in
+    if not ok then None else Scanf.sscanf_opt s "%Lx%!" (fun h -> h)
+
 let equal = Int64.equal
 let compare = Int64.compare

@@ -1,0 +1,29 @@
+#!/bin/sh
+# Install the repo's git hooks. Currently one hook: pre-push runs the
+# tier-1 gate (scripts/check.sh: build + full test suite, including the
+# storage-recovery campaign) so a broken tree never leaves the machine.
+#
+# Usage: scripts/install-hooks.sh
+# Re-running is safe; an existing pre-push hook is backed up once to
+# pre-push.local before being replaced.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+hooks_dir=$(git rev-parse --git-path hooks)
+mkdir -p "$hooks_dir"
+
+hook="$hooks_dir/pre-push"
+if [ -e "$hook" ] && ! grep -q 'scripts/check.sh' "$hook" 2>/dev/null; then
+  mv "$hook" "$hook.local"
+  echo "install-hooks: existing pre-push saved as pre-push.local"
+fi
+
+cat >"$hook" <<'EOF'
+#!/bin/sh
+# Installed by scripts/install-hooks.sh — tier-1 gate before every push.
+exec "$(git rev-parse --show-toplevel)/scripts/check.sh"
+EOF
+chmod +x "$hook"
+
+echo "install-hooks: pre-push -> scripts/check.sh installed in $hooks_dir"

@@ -314,15 +314,17 @@ let with_temp_dir f =
       (Filename.get_temp_dir_name ())
       (Printf.sprintf "lcp_test_store_%d_%d" (Unix.getpid ()) (Random.bits ()))
   in
-  Fun.protect
-    ~finally:(fun () ->
-      if Sys.file_exists dir then begin
-        Array.iter
-          (fun f -> Sys.remove (Filename.concat dir f))
-          (Sys.readdir dir);
-        Sys.rmdir dir
-      end)
-    (fun () -> f dir)
+  (* recursive: the store quarantines corrupt records into a
+     quarantine/ subdirectory *)
+  let rec rm_rf p =
+    if Sys.file_exists p then
+      if Sys.is_directory p then begin
+        Array.iter (fun f -> rm_rf (Filename.concat p f)) (Sys.readdir p);
+        Sys.rmdir p
+      end
+      else Sys.remove p
+  in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
 
 let store_disk () =
   with_temp_dir (fun dir ->
