@@ -402,18 +402,23 @@ let e7 () =
 (* ------------------------------------------------------------------ *)
 (* SERVICE: batch throughput through the certification service          *)
 
-let service () =
-  header
-    "SERVICE  batch throughput: cold vs warm certificate cache (200-job \
-     corpus)";
+(* the shared service workload: [size] (graph, property, k) instances
+   with distinct generator seeds, sized so that proving runs the exact
+   interval-representation DP (n <= 20) — the expensive stage a warm
+   cache skips. Trees are the workhorse positive instance for acyclic /
+   bipartite / triangle_free, and three jobs come from real graph files
+   so the sweep also exercises the I/O layer. Two seeds may still
+   produce the same graph; content addressing detects that as a
+   cold-pass hit. Returns the scratch dir (also the manifest base dir)
+   and the parsed jobs. Used by both [service] (cold/warm sweep) and
+   [scale] (E10 pool sweep). *)
+let build_corpus ~tag ~size () =
   let module Svc = Lcp_service in
-  (* a scratch directory holding a few real graph files, so the sweep also
-     exercises the I/O layer, plus the manifest itself *)
   let dir =
     let d =
       Filename.concat
         (Filename.get_temp_dir_name ())
-        (Printf.sprintf "lcp_service_bench_%d" (Unix.getpid ()))
+        (Printf.sprintf "lcp_%s_bench_%d" tag (Unix.getpid ()))
     in
     if not (Sys.file_exists d) then Sys.mkdir d 0o755;
     d
@@ -426,49 +431,52 @@ let service () =
   file "c14.g6" `G6 (Gen.cycle 14);
   file "p16.dimacs" `Dimacs (Gen.path 16);
   file "l8.adj" `Adj (Gen.ladder 8);
-  (* 200 (graph, property, k) instances with distinct generator seeds,
-     sized so that proving runs the exact interval-representation DP
-     (n <= 20) — the expensive stage a warm cache skips. Trees are the
-     workhorse positive instance for acyclic / bipartite /
-     triangle_free. Two seeds may still produce the same graph; content
-     addressing detects that as a cold-pass hit. *)
+  (* band boundaries scale with [size] so any corpus size keeps the
+     same property mix as the canonical 200-job corpus *)
+  let at frac = frac * size / 200 in
   let jobs =
-    List.init 200 (fun i ->
+    List.init size (fun i ->
         let n = 14 + (i mod 7) in
         match i with
-        | 50 -> "id=f50 file=c14.g6 property=connected k=2"
-        | 100 -> "id=f100 file=p16.dimacs property=perfect_matching k=1"
-        | 150 -> "id=f150 file=l8.adj property=bipartite k=2"
-        | i when i < 60 || i >= 198 ->
+        | i when i = at 50 -> "id=f50 file=c14.g6 property=connected k=2"
+        | i when i = at 100 ->
+            "id=f100 file=p16.dimacs property=perfect_matching k=1"
+        | i when i = at 150 -> "id=f150 file=l8.adj property=bipartite k=2"
+        | i when i < at 60 || i >= at 198 ->
             Printf.sprintf
               "id=g%d gen=random n=%d gseed=%d property=connected k=%d" i n i
               (1 + (i mod 2))
-        | i when i < 110 ->
+        | i when i < at 110 ->
             Printf.sprintf "id=g%d gen=tree n=%d gseed=%d property=acyclic k=3"
               i n i
-        | i when i < 150 ->
+        | i when i < at 150 ->
             Printf.sprintf
               "id=g%d gen=tree n=%d gseed=%d property=bipartite k=3" i n
               (1000 + i)
-        | i when i < 190 ->
+        | i when i < at 190 ->
             Printf.sprintf
               "id=g%d gen=tree n=%d gseed=%d property=triangle_free k=3" i n
               (2000 + i)
         | i ->
             Printf.sprintf
               "id=g%d gen=path n=%d property=perfect_matching k=%d" i
-              (10 + (2 * ((i - 190) mod 4)))
-              (1 + ((i - 190) / 4)))
+              (10 + (2 * ((i - at 190) mod 4)))
+              (1 + ((i - at 190) / 4)))
   in
   let manifest_path = Filename.concat dir "corpus.manifest" in
   let oc = open_out manifest_path in
   List.iter (fun l -> output_string oc (l ^ "\n")) jobs;
   close_out oc;
-  let jobs =
-    match Svc.Manifest.load_file manifest_path with
-    | Ok jobs -> jobs
-    | Error e -> failwith e
-  in
+  match Svc.Manifest.load_file manifest_path with
+  | Ok jobs -> (dir, jobs)
+  | Error e -> failwith e
+
+let service () =
+  header
+    "SERVICE  batch throughput: cold vs warm certificate cache (200-job \
+     corpus)";
+  let module Svc = Lcp_service in
+  let dir, jobs = build_corpus ~tag:"service" ~size:200 () in
   let engine = Svc.Engine.create ~cache_cap:1024 ~base_dir:dir () in
   let pass name =
     let reports, summary = Svc.Engine.run_jobs engine jobs in
@@ -505,6 +513,106 @@ let service () =
     Printf.printf
       "All checks hold: 100%% warm hit rate, every served bundle locally \
        re-verified, speedup >= 5x.\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* SCALE: E10 — sharded pool speedup + determinism sweep over --jobs N  *)
+
+(* `bench scale` sweeps the pool over N workers on the service corpus
+   and holds two different kinds of result to two different standards:
+   - determinism is asserted unconditionally and hard: every N must
+     produce byte-identical canonical stats and an identical disk-tier
+     snapshot. A violation is a sharding bug, never an artifact of the
+     host.
+   - speedup is asserted only when the host can physically provide it:
+     on a box with < 4 cores the N=4 wall-clock target is unreachable
+     by construction (fork adds overhead, removes no work), so the
+     sweep records the honest numbers and says why the assertion was
+     skipped rather than encoding a vacuously green or always-red
+     check. `scale quick` shrinks the corpus and the sweep for CI. *)
+let scale () =
+  let module Svc = Lcp_service in
+  let quick = Array.length Sys.argv > 2 && Sys.argv.(2) = "quick" in
+  let size = if quick then 60 else 200 in
+  let sweep = if quick then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  header
+    (Printf.sprintf
+       "SCALE  E10: sharded pool determinism + speedup (%d-job corpus, N in \
+        {%s})"
+       size
+       (String.concat "," (List.map string_of_int sweep)));
+  let dir, jobs = build_corpus ~tag:"scale" ~size () in
+  let cores = Svc.Pool.default_workers () in
+  Printf.printf "host: %d core%s detected\n\n" cores
+    (if cores = 1 then "" else "s");
+  let run_at n =
+    let cache_dir = Filename.concat dir (Printf.sprintf "cache_w%d" n) in
+    let timing = Svc.Timing.create () in
+    let make_engine wt =
+      Svc.Engine.create ~cache_cap:1024 ~cache_dir ~base_dir:dir ?timing:wt ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let outcome = Svc.Pool.run ~timing ~workers:n ~make_engine jobs in
+    let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    let snap =
+      Svc.Cert_store.disk_snapshot (Svc.Cert_store.create ~dir:cache_dir ())
+    in
+    (n, wall_ms, outcome, Svc.Stats.canonical_lines outcome.Svc.Pool.reports,
+     snap, Svc.Timing.report timing)
+  in
+  let results = List.map run_at sweep in
+  let _, base_wall, _, base_lines, base_snap, _ = List.hd results in
+  (* the table *)
+  Printf.printf "%4s %12s %9s %12s %12s %12s\n" "N" "wall ms" "speedup"
+    "prove p50/p99" "verify p50/p99" "store p50/p99";
+  let pct lines stage =
+    match List.find_opt (fun l -> l.Svc.Timing.l_stage = stage) lines with
+    | Some l -> Printf.sprintf "%.2f/%.2f" l.Svc.Timing.l_p50 l.Svc.Timing.l_p99
+    | None -> "-"
+  in
+  List.iter
+    (fun (n, wall, _, _, _, tl) ->
+      Printf.printf "%4d %12.1f %8.2fx %12s %12s %12s\n" n wall
+        (base_wall /. wall) (pct tl "prove") (pct tl "verify") (pct tl "store"))
+    results;
+  print_newline ();
+  (* determinism: hard, unconditional *)
+  let fail = ref [] in
+  let check cond msg = if not cond then fail := msg :: !fail in
+  check (base_snap <> []) "N=1 stored nothing: the determinism check is vacuous";
+  List.iter
+    (fun (n, _, outcome, lines, snap, _) ->
+      check
+        (outcome.Svc.Pool.summary.Svc.Stats.s_jobs = List.length jobs)
+        (Printf.sprintf "N=%d: lost jobs in the merge" n);
+      check (lines = base_lines)
+        (Printf.sprintf "N=%d: canonical stats differ from N=1" n);
+      check (snap = base_snap)
+        (Printf.sprintf "N=%d: disk-tier snapshot differs from N=1" n))
+    (List.tl results);
+  (* speedup: hard only where the host can deliver it *)
+  (match
+     (List.find_opt (fun (n, _, _, _, _, _) -> n = 4) results, cores >= 4)
+   with
+  | Some (_, wall4, _, _, _, _), true ->
+      let sp = base_wall /. wall4 in
+      Printf.printf "speedup at N=4: %.2fx (target >= 2.5x)\n" sp;
+      check (sp >= 2.5) "speedup at N=4 below 2.5x on a >= 4-core host"
+  | Some (_, wall4, _, _, _, _), false ->
+      Printf.printf
+        "speedup at N=4: %.2fx — assertion SKIPPED (host has %d core%s; the \
+         2.5x target needs >= 4)\n"
+        (base_wall /. wall4) cores
+        (if cores = 1 then "" else "s")
+  | None, _ -> Printf.printf "speedup assertion skipped (quick sweep)\n");
+  if !fail <> [] then begin
+    List.iter (fun m -> Printf.eprintf "SCALE: FAIL — %s\n" m) !fail;
+    exit 1
+  end
+  else
+    Printf.printf
+      "All determinism checks hold: canonical stats and disk tier identical \
+       across N in {%s}.\n\n"
+      (String.concat "," (List.map string_of_int sweep))
 
 (* ------------------------------------------------------------------ *)
 (* RECOVERY: the E9 crash-safety campaign against the storage layer      *)
@@ -876,8 +984,8 @@ let () =
   let all =
     [
       ("e1", e1); ("e2", e2); ("e3", e3); ("e5", e5); ("e6", e6); ("e7", e7);
-      ("faults", faults); ("service", service); ("recovery", recovery);
-      ("timing", timing);
+      ("faults", faults); ("service", service); ("scale", scale);
+      ("recovery", recovery); ("timing", timing);
     ]
   in
   match List.assoc_opt what all with

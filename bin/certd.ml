@@ -3,8 +3,15 @@
    certificate cache), emit one JSON line per job, and report aggregate
    throughput.
 
+   With --jobs N > 1 the manifest is sharded across N worker processes
+   (stable hash of job id); each worker owns a private in-memory cache
+   tier while all workers share the on-disk tier (--cache-dir), and the
+   merged output is emitted in canonical job-id order — byte-comparable
+   with a --jobs 1 run of the same manifest.
+
    Examples:
      certd.exe --manifest jobs.manifest
+     certd.exe --manifest jobs.manifest --jobs 4 --cache-dir /tmp/certs
      certd.exe --manifest jobs.manifest --passes 2 --cache-dir /tmp/certs
      certd.exe --manifest jobs.manifest --jsonl results.jsonl --quiet
      certd.exe --manifest jobs.manifest --cache-dir /tmp/certs \
@@ -13,7 +20,7 @@
 
    Exit codes: 0 all jobs served/declined; 1 some job ended in
    input_error/unsound/failed; 2 usage error; 3 simulated crash (a
-   crash@N fault point halted the batch). *)
+   crash@N fault point halted the batch — in any worker). *)
 
 module Service = Lcp_service
 
@@ -30,8 +37,8 @@ let list_properties () =
   Printf.printf "graph formats: %s\n"
     (Service.Graph_io.supported_formats_doc ())
 
-let run manifest base_dir cache_cap cache_dir disk_cap faults jsonl passes
-    quiet list_props =
+let run manifest base_dir cache_cap cache_dir disk_cap faults jsonl canonical
+    passes njobs quiet list_props =
   if list_props then begin
     list_properties ();
     exit 0
@@ -44,7 +51,15 @@ let run manifest base_dir cache_cap cache_dir disk_cap faults jsonl passes
           "certd: --manifest is required (or --list-properties); see --help";
         exit 2
   in
-  let io =
+  let workers =
+    match njobs with
+    | 0 -> Service.Pool.default_workers ()
+    | n when n >= 1 -> n
+    | n ->
+        Printf.eprintf "certd: --jobs must be >= 1 (got %d)\n" n;
+        exit 2
+  in
+  let plan =
     match faults with
     | None -> None
     | Some plan_str -> (
@@ -52,7 +67,19 @@ let run manifest base_dir cache_cap cache_dir disk_cap faults jsonl passes
         | Error e ->
             Printf.eprintf "certd: --faults: %s\n" e;
             exit 2
-        | Ok plan -> Some (fst (Service.Blob_io.inject ~plan Service.Blob_io.real)))
+        | Ok plan -> Some plan)
+  in
+  (* Called once per worker, inside it: each worker gets a private
+     memory tier and its own fault-plan counters; the disk tier
+     (--cache-dir) is the shared one. *)
+  let make_engine ~base_dir timing =
+    let io =
+      Option.map
+        (fun plan -> fst (Service.Blob_io.inject ~plan Service.Blob_io.real))
+        plan
+    in
+    Service.Engine.create ~cache_cap ?cache_dir ~cache_disk_cap:disk_cap ?io
+      ~base_dir ?timing ()
   in
   match Service.Manifest.load_file manifest with
   | Error e ->
@@ -62,15 +89,23 @@ let run manifest base_dir cache_cap cache_dir disk_cap faults jsonl passes
       let base_dir =
         match base_dir with Some d -> d | None -> Filename.dirname manifest
       in
-      let engine =
-        try
-          Service.Engine.create ~cache_cap ?cache_dir ~cache_disk_cap:disk_cap
-            ?io ~base_dir ()
-        with Sys_error e ->
-          (* e.g. the cache directory cannot be created (or the fault
-             plan's op 1 is that very mkdir) *)
-          Printf.eprintf "certd: %s\n" e;
-          exit 2
+      let make_engine = make_engine ~base_dir in
+      let timing = Service.Timing.create () in
+      (* the first engine doubles as the probe: an uncreatable cache
+         directory (or a fault plan whose op 1 is that very mkdir)
+         surfaces as a clean error before any output. In sequential
+         mode this engine IS the engine, so its orphan sweep lands in
+         the footer; in sharded mode the workers build their own (with
+         fresh fault-plan counters) and this one's store counters are
+         folded into the cold pass's footer instead of being lost *)
+      let first_engine =
+        try make_engine (Some timing) with
+        | Sys_error e ->
+            Printf.eprintf "certd: %s\n" e;
+            exit 2
+        | Service.Blob_io.Crashed p ->
+            Printf.eprintf "certd: simulated crash (fault plan) at %s\n" p;
+            exit 3
       in
       let jsonl_oc =
         match jsonl with
@@ -82,7 +117,9 @@ let run manifest base_dir cache_cap cache_dir disk_cap faults jsonl passes
       let emit (r : Service.Stats.job_report) =
         (match jsonl_oc with
         | Some oc ->
-            output_string oc (Service.Stats.to_json r);
+            output_string oc
+              (if canonical then Service.Stats.to_canonical_json r
+               else Service.Stats.to_json r);
             output_char oc '\n'
         | None -> ());
         (match r.Service.Stats.r_status with
@@ -98,25 +135,60 @@ let run manifest base_dir cache_cap cache_dir disk_cap faults jsonl passes
             r.Service.Stats.r_total_ms
             (if r.Service.Stats.r_cache_hit then "  [cache hit]" else "")
       in
+      let last_store = ref None in
       let finish code =
-        Format.printf "store: %a%s@." Service.Cert_store.pp_stats
-          (Service.Cert_store.stats (Service.Engine.store engine))
-          (if Service.Cert_store.degraded (Service.Engine.store engine) then
-             " [DEGRADED: memory-only]"
-           else "");
+        (match !last_store with
+        | Some (stats, degraded) ->
+            Format.printf "store: %a%s@." Service.Cert_store.pp_stats stats
+              (if degraded then " [DEGRADED: memory-only]" else "")
+        | None -> ());
+        Format.printf "%a@." Service.Timing.pp timing;
         (match jsonl_oc with
         | Some oc when oc != stdout -> close_out oc
         | _ -> ());
         exit code
       in
       (try
-         for pass = 1 to passes do
-           if not quiet && passes > 1 then
-             Printf.printf "--- pass %d/%d %s\n" pass passes
-               (if pass = 1 then "(cold)" else "(warm)");
-           let _, summary = Service.Engine.run_jobs ~emit engine jobs in
-           Format.printf "%a@." Service.Stats.pp_summary summary
-         done
+         if workers = 1 then begin
+           (* classic path: one engine for every pass, so --passes warms
+              the in-memory tier even without --cache-dir *)
+           let engine = first_engine in
+           for pass = 1 to passes do
+             if not quiet && passes > 1 then
+               Printf.printf "--- pass %d/%d %s\n" pass passes
+                 (if pass = 1 then "(cold)" else "(warm)");
+             let _, summary = Service.Engine.run_jobs ~emit engine jobs in
+             Format.printf "%a@." Service.Stats.pp_summary summary;
+             let store = Service.Engine.store engine in
+             last_store :=
+               Some
+                 ( Service.Cert_store.stats store,
+                   Service.Cert_store.degraded store )
+           done
+         end
+         else begin
+           let probe_stats =
+             Service.Cert_store.stats (Service.Engine.store first_engine)
+           in
+           for pass = 1 to passes do
+             if not quiet && passes > 1 then
+               Printf.printf "--- pass %d/%d %s\n" pass passes
+                 (if pass = 1 then "(cold)"
+                  else "(warm via shared disk tier)");
+             let outcome =
+               Service.Pool.run ~emit ~timing ~workers ~make_engine jobs
+             in
+             Format.printf "%a@." Service.Stats.pp_summary
+               outcome.Service.Pool.summary;
+             let stats =
+               if pass = 1 then
+                 Service.Cert_store.add_stats probe_stats
+                   outcome.Service.Pool.store_stats
+               else outcome.Service.Pool.store_stats
+             in
+             last_store := Some (stats, outcome.Service.Pool.degraded)
+           done
+         end
        with Service.Blob_io.Crashed p ->
          Printf.eprintf "certd: simulated crash (fault plan) at %s\n" p;
          finish 3);
@@ -185,6 +257,15 @@ let jsonl =
     & info [ "jsonl" ] ~docv:"FILE"
         ~doc:"Write one JSON object per job to $(docv) ('-' for stdout).")
 
+let canonical =
+  Arg.(
+    value & flag
+    & info [ "canonical" ]
+        ~doc:
+          "Emit the canonical projection in --jsonl lines: volatile fields \
+           (timings, fresh-vs-cached serving detail) dropped, so two runs of \
+           one manifest are byte-comparable however they were sharded.")
+
 let passes =
   Arg.(
     value & opt int 1
@@ -192,6 +273,17 @@ let passes =
         ~doc:
           "Run the whole manifest $(docv) times against the same store \
            (pass 2+ measures the warm cache).")
+
+let njobs =
+  Arg.(
+    value & opt int 0
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Shard the manifest across $(docv) worker processes (stable \
+           hash of job id). Each worker has a private in-memory cache \
+           tier; all workers share the --cache-dir disk tier. Output is \
+           merged in canonical job-id order. 0 (the default) means the \
+           machine's core count.")
 
 let quiet =
   Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-job progress lines.")
@@ -208,6 +300,6 @@ let cmd =
     (Cmd.info "certd" ~doc)
     Term.(
       const run $ manifest $ base_dir $ cache_cap $ cache_dir $ disk_cap
-      $ faults $ jsonl $ passes $ quiet $ list_props)
+      $ faults $ jsonl $ canonical $ passes $ njobs $ quiet $ list_props)
 
 let () = exit (Cmd.eval cmd)

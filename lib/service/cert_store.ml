@@ -340,7 +340,10 @@ let gc_disk t dir ~keep =
 
 let write_disk t dir entry =
   let path = entry_path dir entry.e_key in
-  let tmp = path ^ ".tmp" in
+  (* the tmp name carries the pid so concurrent workers sharing this
+     disk tier (Pool) never interleave writes inside one tmp file; the
+     final rename stays the single atomic commit point *)
+  let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
   try
     t.io.Blob.write_file tmp (record_string entry);
     t.io.Blob.rename tmp path;
@@ -442,6 +445,40 @@ let remove t key =
       try if t.io.Blob.file_exists path then t.io.Blob.remove path
       with Sys_error _ -> disk_error t)
   | _ -> ()
+
+(* pointwise sum, for aggregating the per-worker stores of a sharded
+   run into one operator-facing footer *)
+let add_stats a b =
+  {
+    hits = a.hits + b.hits;
+    misses = a.misses + b.misses;
+    insertions = a.insertions + b.insertions;
+    evictions = a.evictions + b.evictions;
+    disk_loads = a.disk_loads + b.disk_loads;
+    drops = a.drops + b.drops;
+    disk_errors = a.disk_errors + b.disk_errors;
+    corrupt = a.corrupt + b.corrupt;
+    quarantined = a.quarantined + b.quarantined;
+    orphans_swept = a.orphans_swept + b.orphans_swept;
+    gc_evictions = a.gc_evictions + b.gc_evictions;
+  }
+
+(** The persisted records of the disk tier as (file name, content hash)
+    pairs, sorted by name — the "hash set of stored records" any two
+    runs of the same workload must agree on, however the work was
+    sharded. Quarantined records and [.tmp] orphans are excluded: they
+    are fault debris, not served state. Diagnostic helper — unlike the
+    serving path it lets [Sys_error] escape, because a determinism
+    check that silently skipped unreadable records would be vacuous. *)
+let disk_snapshot t =
+  match t.dir with
+  | None -> []
+  | Some dir ->
+      Array.to_list (t.io.Blob.list_dir dir)
+      |> List.filter (fun f -> Filename.check_suffix f ".cert")
+      |> List.map (fun f ->
+             (f, Hash64.of_string (t.io.Blob.read_file (Filename.concat dir f))))
+      |> List.sort compare
 
 let pp_stats ppf s =
   Format.fprintf ppf

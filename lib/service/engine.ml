@@ -49,16 +49,20 @@ type t = {
   store : Cert_store.t;
   base_dir : string;  (** file= paths in manifests resolve against this *)
   retry : retry_policy;
+  timing : Timing.t option;
+      (** when present, every pipeline stage records its duration here *)
 }
 
 let create ?(cache_cap = 4096) ?cache_dir ?(cache_disk_cap = 0)
-    ?(degrade_after = 3) ?io ?(retry = default_retry) ?(base_dir = ".") () =
+    ?(degrade_after = 3) ?io ?(retry = default_retry) ?(base_dir = ".") ?timing
+    () =
   {
     store =
       Cert_store.create ~cap:cache_cap ?dir:cache_dir ~disk_cap:cache_disk_cap
         ~degrade_after ?io ();
     base_dir;
     retry;
+    timing;
   }
 
 let store t = t.store
@@ -154,7 +158,10 @@ let run_once t (job : Manifest.job) : Stats.job_report =
       r_retries = 0;
     }
   in
-  match graph_of_source ~base_dir:t.base_dir ~k:job.k job.source with
+  match
+    Timing.time t.timing Timing.Parse (fun () ->
+        graph_of_source ~base_dir:t.base_dir ~k:job.k job.source)
+  with
   | Error e -> base (Stats.Input_error e)
   | Ok g -> (
       let n = Graph.n g and m = Graph.m g in
@@ -175,12 +182,18 @@ let run_once t (job : Manifest.job) : Stats.job_report =
           let key = Cert_store.key ~property:job.property ~k:job.k g in
           let verify_labels labels =
             let tv = now_ms () in
-            let outcome = Scheme.run_edge cfg scheme labels in
+            let outcome =
+              Timing.time t.timing Timing.Verify (fun () ->
+                  Scheme.run_edge cfg scheme labels)
+            in
             (outcome, now_ms () -. tv)
           in
           (* 1. cache tier: decode + re-verify before serving *)
           let cached =
-            match Cert_store.find t.store key with
+            match
+              Timing.time t.timing Timing.Store (fun () ->
+                  Cert_store.find t.store key)
+            with
             | None -> None
             | Some entry -> (
                 match Bundle.decode ~decode_label g entry.Cert_store.e_bundle with
@@ -217,7 +230,10 @@ let run_once t (job : Manifest.job) : Stats.job_report =
               in
               (* 2. fresh path: prove, encode, verify, store *)
               let tp = now_ms () in
-              match scheme.Scheme.es_prove cfg with
+              match
+                Timing.time t.timing Timing.Prove (fun () ->
+                    scheme.Scheme.es_prove cfg)
+              with
               | None ->
                   {
                     (base ~n ~m Stats.Declined) with
@@ -228,8 +244,9 @@ let run_once t (job : Manifest.job) : Stats.job_report =
               | Some labels -> (
                   let prove_ms = now_ms () -. tp in
                   match
-                    Bundle.encode ~encode_label:scheme.Scheme.es_encode g
-                      labels
+                    Timing.time t.timing Timing.Encode (fun () ->
+                        Bundle.encode ~encode_label:scheme.Scheme.es_encode g
+                          labels)
                   with
                   | Error e ->
                       {
@@ -263,12 +280,13 @@ let run_once t (job : Manifest.job) : Stats.job_report =
                           let label_bits =
                             Scheme.max_edge_label_bits scheme labels
                           in
-                          Cert_store.add t.store
-                            {
-                              Cert_store.e_key = key;
-                              e_bundle = bundle;
-                              e_label_bits = label_bits;
-                            };
+                          Timing.time t.timing Timing.Store (fun () ->
+                              Cert_store.add t.store
+                                {
+                                  Cert_store.e_key = key;
+                                  e_bundle = bundle;
+                                  e_label_bits = label_bits;
+                                });
                           {
                             (base ~n ~m Stats.Served_fresh) with
                             r_prove_ms = prove_ms;
@@ -317,13 +335,10 @@ let run_job t (job : Manifest.job) : Stats.job_report =
         r_retries = retries;
       }
 
+(* Reports are emitted and returned in canonical order (sorted by job
+   id), not arrival order, so the JSONL stream of a sequential run is
+   byte-comparable with any sharded run of the same manifest. *)
 let run_jobs ?(emit = fun (_ : Stats.job_report) -> ()) t jobs =
-  let reports =
-    List.map
-      (fun job ->
-        let r = run_job t job in
-        emit r;
-        r)
-      jobs
-  in
+  let reports = Stats.sort_reports (List.map (run_job t) jobs) in
+  List.iter emit reports;
   (reports, Stats.summarize reports)

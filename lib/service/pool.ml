@@ -1,0 +1,241 @@
+(** The parallel sharded execution layer: run a job manifest across N
+    worker {e processes} and merge the results into exactly the stream
+    the sequential engine would have produced.
+
+    Design invariants, in decreasing order of importance:
+
+    {ol
+    {- {b Determinism of assignment.} A job's worker is the stable
+       64-bit FNV-1a hash of its job id modulo N — a pure function of
+       the manifest, never of arrival order, load, or scheduling. Two
+       runs of the same manifest at the same N shard identically.}
+    {- {b Per-worker memory, shared disk.} Each worker builds its own
+       engine after [fork], so the in-memory LRU tier of the
+       certificate store is process-private — no locks, no shared
+       mutable state. The on-disk tier may be shared by pointing every
+       worker at the same cache directory: its writes are atomic
+       (tmp-then-rename, worker-unique tmp names) and every bundle read
+       from it is re-verified by the reading worker before serving, so
+       a concurrent writer can change {e latency} but never
+       {e judgements}.}
+    {- {b Canonical merge.} Workers ship their reports back over a pipe
+       ([Marshal]); the parent concatenates, sorts by job id (the same
+       canonical order [Engine.run_jobs] emits), merges the raw timing
+       samples, and sums the per-store counters. The canonical
+       projection of the output ([Stats.to_canonical_json]) is
+       byte-identical across all N.}
+    {- {b Crash semantics.} A worker that hits [Blob_io.Crashed] — a
+       simulated process death — reports it instead of a result; after
+       every worker is reaped the parent re-raises [Crashed], so a
+       crash anywhere still kills the whole batch, exactly as in the
+       sequential path. Any other escaped exception in a worker (there
+       should be none: [Engine.run_job] is total) surfaces as
+       [Failure].}}
+
+    Workers are plain [Unix.fork] children: no threads, no domains, so
+    this runs on any OCaml the container ships, and a wedged worker can
+    be killed without taking the parent down. *)
+
+module Hash64 = Lcp_util.Hash64
+
+(* ---------------------------------------------------------------- *)
+(* shard assignment                                                  *)
+
+(** [shard_of ~workers job_id] is the worker index owning [job_id]:
+    stable FNV-1a of the id, folded into [0 .. workers-1]. *)
+let shard_of ~workers job_id =
+  if workers <= 1 then 0
+  else
+    let h = Hash64.of_string job_id in
+    (* clear the sign bit so the remainder is nonnegative *)
+    let h = Int64.logand h Int64.max_int in
+    Int64.to_int (Int64.rem h (Int64.of_int workers))
+
+let shard ~workers jobs =
+  let shards = Array.make (max 1 workers) [] in
+  List.iter
+    (fun (j : Manifest.job) ->
+      let w = shard_of ~workers j.Manifest.job_id in
+      shards.(w) <- j :: shards.(w))
+    jobs;
+  Array.map List.rev shards
+
+(** Core count of this machine — the default N for [certd --jobs]. *)
+let default_workers () = max 1 (Domain.recommended_domain_count ())
+
+(* ---------------------------------------------------------------- *)
+(* the fork/pipe plumbing                                            *)
+
+type worker_payload =
+  | W_ok of
+      Stats.job_report list
+      * Timing.samples
+      * Cert_store.stats
+      * bool (* store degraded? *)
+  | W_crashed of string  (** simulated process death: path of the op *)
+  | W_error of string  (** an exception escaped Engine.run_job — a bug *)
+
+let write_all fd (b : Bytes.t) =
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd b !off (len - !off)
+  done
+
+let read_all fd =
+  let buf = Buffer.create 65536 in
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+  in
+  go ();
+  Buffer.to_bytes buf
+
+(* the whole life of a worker: fresh engine, run the shard, marshal the
+   payload up the pipe, and _exit without touching the parent's
+   buffered channels *)
+let worker_main ~make_engine ~timed shard wfd =
+  let payload =
+    try
+      let wt = if timed then Some (Timing.create ()) else None in
+      let engine = make_engine wt in
+      let reports = List.map (Engine.run_job engine) shard in
+      let store = Engine.store engine in
+      W_ok
+        ( reports,
+          (match wt with Some t -> Timing.samples t | None -> []),
+          Cert_store.stats store,
+          Cert_store.degraded store )
+    with
+    | Blob_io.Crashed p -> W_crashed p
+    | e -> W_error (Printexc.to_string e)
+  in
+  (try write_all wfd (Marshal.to_bytes payload []) with _ -> ());
+  (try Unix.close wfd with Unix.Unix_error _ -> ())
+
+(* ---------------------------------------------------------------- *)
+(* the pool driver                                                   *)
+
+type outcome = {
+  reports : Stats.job_report list;  (** canonical order: sorted by job id *)
+  summary : Stats.summary;
+  store_stats : Cert_store.stats;  (** summed over every worker's store *)
+  degraded : bool;  (** did any worker's store demote to memory-only? *)
+}
+
+let empty_stats () =
+  {
+    Cert_store.hits = 0;
+    misses = 0;
+    insertions = 0;
+    evictions = 0;
+    disk_loads = 0;
+    drops = 0;
+    disk_errors = 0;
+    corrupt = 0;
+    quarantined = 0;
+    orphans_swept = 0;
+    gc_evictions = 0;
+  }
+
+(* N = 1 runs in-process: same engine code, no fork, and [Crashed]
+   propagates directly — byte-compatible with the sequential driver *)
+let run_inline ?timing ~make_engine emit jobs =
+  let engine = make_engine timing in
+  let reports = Stats.sort_reports (List.map (Engine.run_job engine) jobs) in
+  List.iter emit reports;
+  let store = Engine.store engine in
+  {
+    reports;
+    summary = Stats.summarize reports;
+    store_stats = Cert_store.stats store;
+    degraded = Cert_store.degraded store;
+  }
+
+(** Run [jobs] across [workers] processes. [make_engine] is called once
+    {e inside} each worker (after the fork) with that worker's timing
+    sink, so every worker owns a private engine and memory tier; point
+    the engines at one cache directory to share the disk tier. [emit]
+    fires in the parent, once per report, in canonical (job-id) order,
+    after all workers finish. Raises [Blob_io.Crashed] if any worker
+    simulated a crash — after all workers were reaped. *)
+let run ?(emit = fun (_ : Stats.job_report) -> ()) ?timing ~workers
+    ~make_engine jobs =
+  let workers = max 1 workers in
+  if workers = 1 then run_inline ?timing ~make_engine emit jobs
+  else begin
+    let shards = shard ~workers jobs in
+    (* a child forked mid-buffer would duplicate whatever the parent
+       had not flushed yet *)
+    flush stdout;
+    flush stderr;
+    let spawned =
+      Array.to_list shards
+      |> List.filter_map (fun shard ->
+             if shard = [] then None
+             else begin
+               let rfd, wfd = Unix.pipe ~cloexec:false () in
+               match Unix.fork () with
+               | 0 ->
+                   (* child: run the shard, report, die quietly. _exit,
+                      not exit — at_exit handlers belong to the parent *)
+                   Unix.close rfd;
+                   worker_main ~make_engine
+                     ~timed:(timing <> None)
+                     shard wfd;
+                   Unix._exit 0
+               | pid ->
+                   Unix.close wfd;
+                   Some (pid, rfd)
+             end)
+    in
+    (* drain every pipe before reaping: a worker blocked writing a large
+       payload must not deadlock against a parent blocked in waitpid *)
+    let payloads =
+      List.map
+        (fun (pid, rfd) ->
+          let bytes = read_all rfd in
+          Unix.close rfd;
+          let payload =
+            if Bytes.length bytes = 0 then
+              W_error "worker died before reporting"
+            else
+              try (Marshal.from_bytes bytes 0 : worker_payload)
+              with Failure _ ->
+                W_error "worker payload truncated or corrupt"
+          in
+          ignore (Unix.waitpid [] pid);
+          payload)
+        spawned
+    in
+    let crashed =
+      List.find_map
+        (function W_crashed p -> Some p | _ -> None)
+        payloads
+    in
+    (match crashed with Some p -> raise (Blob_io.Crashed p) | None -> ());
+    (match
+       List.find_map (function W_error e -> Some e | _ -> None) payloads
+     with
+    | Some e -> failwith (Printf.sprintf "Pool.run: worker failed: %s" e)
+    | None -> ());
+    let reports, store_stats, degraded =
+      List.fold_left
+        (fun (rs, ss, deg) -> function
+          | W_ok (wr, samples, wss, wdeg) ->
+              (match timing with
+              | Some t -> Timing.absorb t samples
+              | None -> ());
+              (wr @ rs, Cert_store.add_stats ss wss, deg || wdeg)
+          | W_crashed _ | W_error _ -> (rs, ss, deg))
+        ([], empty_stats (), false)
+        payloads
+    in
+    let reports = Stats.sort_reports reports in
+    List.iter emit reports;
+    { reports; summary = Stats.summarize reports; store_stats; degraded }
+  end

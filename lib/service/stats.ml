@@ -107,6 +107,65 @@ let to_json r =
   ^ "}"
 
 (* ---------------------------------------------------------------- *)
+(* canonical ordering and canonical (run-invariant) projection        *)
+
+(* Reports sort by job id before they are emitted or returned, so the
+   JSONL stream is a pure function of the workload — not of arrival
+   order, and in particular not of how a parallel run sharded the
+   manifest. Stable, so duplicate ids keep their relative order. *)
+let sort_reports reports =
+  List.stable_sort (fun a b -> compare a.r_id b.r_id) reports
+
+(** The run-invariant projection of a report: what must be byte-for-byte
+    identical between a sequential run and any sharded run of the same
+    manifest. Volatile fields are normalized away:
+
+    - timings and retry counts vary per run;
+    - [cache_hit] and fresh-vs-cached-vs-degraded status depend on which
+      worker reached a shared key first, so all three serving statuses
+      collapse to ["served"];
+    - cache re-verification rejects depend on interleaving.
+
+    Everything the service {e decided} — verdict, sizes, input errors —
+    stays, so two runs with equal canonical lines produced the same
+    judgements. *)
+let to_canonical_json r =
+  let field_s k v = Printf.sprintf "\"%s\":\"%s\"" k (json_escape v) in
+  let field_i k v = Printf.sprintf "\"%s\":%d" k v in
+  let verdict =
+    match r.r_status with
+    | Served_fresh | Served_cached | Served_degraded -> "served"
+    | Declined -> "declined"
+    | Input_error _ -> "input_error"
+    | Unsound _ -> "unsound"
+    | Failed _ -> "failed"
+  in
+  let detail =
+    (* input errors are deterministic parser/registry messages; failure
+       and unsoundness messages embed attempt counts and timings *)
+    match r.r_status with
+    | Input_error e -> [ field_s "error" e ]
+    | _ -> []
+  in
+  "{"
+  ^ String.concat ","
+      ([
+         field_s "id" r.r_id;
+         field_s "property" r.r_property;
+         field_i "k" r.r_k;
+         field_i "n" r.r_n;
+         field_i "m" r.r_m;
+         field_s "verdict" verdict;
+         field_i "label_bits" r.r_label_bits;
+         field_i "bundle_bits" r.r_bundle_bits;
+       ]
+      @ detail)
+  ^ "}"
+
+let canonical_lines reports =
+  String.concat "\n" (List.map to_canonical_json (sort_reports reports))
+
+(* ---------------------------------------------------------------- *)
 (* aggregates                                                        *)
 
 type summary = {

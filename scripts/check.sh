@@ -16,3 +16,23 @@ fi
 
 dune build
 dune runtest
+
+# differential oracle: Theorem 1 vs the FMR baseline, >= 500 instances
+dune build @difftest
+
+# sharded pool: a 2-worker smoke run of the example manifest must exit 0
+# and agree with the sequential run on the canonical JSONL
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+./_build/default/bin/certd.exe --manifest examples/service/jobs.manifest \
+  --jobs 1 --cache-dir "$tmp/c1" --jsonl "$tmp/j1" --canonical --quiet
+./_build/default/bin/certd.exe --manifest examples/service/jobs.manifest \
+  --jobs 2 --cache-dir "$tmp/c2" --jsonl "$tmp/j2" --canonical --quiet
+if ! cmp -s "$tmp/j1" "$tmp/j2"; then
+  echo "check.sh: certd --jobs 1 and --jobs 2 disagree on the JSONL" >&2
+  diff "$tmp/j1" "$tmp/j2" >&2 || true
+  exit 1
+fi
+
+# E10 quick sweep: pool determinism on the bench corpus (< 30 s)
+./_build/default/bench/main.exe scale quick

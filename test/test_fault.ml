@@ -284,6 +284,83 @@ let bit_flips_qcheck =
           in
           flip_all_bits cfg scheme labels e l)
 
+(* --- the same soundness property one layer up, at the service layer.
+   A bundle is the canonical byte string the certificate store persists
+   and sharded workers exchange through the shared disk tier, so its
+   bits travel further than any single label. Flipping any payload bit
+   must yield either a decode [Error] (never an exception — the engine
+   treats decode failures as cache misses, not crashes) or a labeling
+   the verifier rejects. Flips that decode back to the same labeling,
+   or rewrite only untrusted serial fields, are the same exemption as
+   above. *)
+
+module Bundle = Lcp_service.Bundle
+
+let serial_only_rewrite labels labels' =
+  let b0 = EM.bindings labels and b1 = EM.bindings labels' in
+  List.length b0 = List.length b1
+  && List.for_all2
+       (fun (e0, l0) (e1, l1) -> e0 = e1 && strip_serials l0 = strip_serials l1)
+       b0 b1
+
+let bundle_of cfg scheme labels =
+  match
+    Bundle.encode ~encode_label:scheme.S.es_encode (PLS.Config.graph cfg)
+      labels
+  with
+  | Ok b -> b
+  | Error e -> Alcotest.failf "bundle encode failed: %s" e
+
+(* true iff the flip at [pos] is caught or harmless *)
+let bundle_flip_contained cfg scheme labels (bundle : Bundle.t) pos =
+  let bytes = Bytes.copy bundle.Bundle.bytes in
+  Lcp_util.Bitenc.flip_bit bytes pos;
+  let mutated = { bundle with Bundle.bytes } in
+  let decode_label = Cert.decode ~decode_state:A.Connectivity.decode in
+  match Bundle.decode ~decode_label (PLS.Config.graph cfg) mutated with
+  | exception e ->
+      Alcotest.failf "bundle decode raised %s at bit %d" (Printexc.to_string e)
+        pos
+  | Error _ -> true
+  | Ok labels' ->
+      serial_only_rewrite labels labels'
+      || not (S.accepted (S.run_edge cfg scheme labels'))
+
+let bundle_flips_exhaustive () =
+  let rng = rng_of_seed 43 in
+  let cfg = PLS.Config.random_ids rng (Gen.path 4) in
+  let scheme = T1conn.edge_scheme ~k:1 () in
+  let labels = Option.get (scheme.S.es_prove cfg) in
+  let bundle = bundle_of cfg scheme labels in
+  let bad = ref 0 in
+  for pos = 0 to bundle.Bundle.bits - 1 do
+    if not (bundle_flip_contained cfg scheme labels bundle pos) then incr bad
+  done;
+  check_int
+    (Printf.sprintf "escaped flips among %d bundle bits" bundle.Bundle.bits)
+    0 !bad
+
+let bundle_flips_qcheck =
+  qcheck ~count:10
+    "sampled bundle bit flips are decode errors, rejected, or serial-only"
+    (arb_pw_graph ~max_k:2 ~max_n:10)
+    (fun (k, g, ivs) ->
+      let rng = rng_of_seed (Graph.n g + (3 * Graph.m g) + 1) in
+      let cfg = PLS.Config.random_ids rng g in
+      let rep = rep_of (g, ivs) in
+      let scheme = T1conn.edge_scheme ~rep:(fun _ -> Some rep) ~k () in
+      match scheme.S.es_prove cfg with
+      | None -> true
+      | Some labels ->
+          let bundle = bundle_of cfg scheme labels in
+          let ok = ref true in
+          for _ = 1 to 96 do
+            let pos = Random.State.int rng bundle.Bundle.bits in
+            if not (bundle_flip_contained cfg scheme labels bundle pos) then
+              ok := false
+          done;
+          !ok)
+
 let campaign_is_deterministic_and_clean () =
   let run () =
     FS.run ~seed:7 ~trials:2
@@ -310,6 +387,8 @@ let suite =
       test "vertex constructors" vertex_constructors;
       test "bit flips on path 6 (exhaustive)" bit_flips_on_path;
       bit_flips_qcheck;
+      test "bundle bit flips on path 4 (exhaustive)" bundle_flips_exhaustive;
+      bundle_flips_qcheck;
       test "campaign deterministic and escape-free"
         campaign_is_deterministic_and_clean;
     ] )
