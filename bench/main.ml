@@ -978,6 +978,315 @@ let timing () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* perf (E11): hot-path microbenchmarks with a committed-baseline gate   *)
+
+module Gref = Lcp_graph.Graph_ref
+module Bitenc = Lcp_util.Bitenc
+module Memo = Lcp_cert.Memo
+
+(* min over batches of the mean ns/op — the most noise-robust cheap
+   estimator on a shared 1-core container (noise only ever adds time).
+   Minor words are averaged the same way; they are deterministic. *)
+let measure ?(batches = 5) ~iters f =
+  f ();
+  (* warmup *)
+  let best_ns = ref infinity and best_w = ref infinity in
+  for _ = 1 to batches do
+    let w0 = Gc.minor_words () in
+    let t0 = Monotonic_clock.now () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    let ns =
+      Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0)
+      /. float_of_int iters
+    in
+    let w = (Gc.minor_words () -. w0) /. float_of_int iters in
+    if ns < !best_ns then best_ns := ns;
+    if w < !best_w then best_w := w
+  done;
+  (!best_ns, !best_w)
+
+(* one line per op so the baseline parser can stay line-based *)
+let perf_json ~mode ops derived =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": 1,\n";
+  Buffer.add_string b (Printf.sprintf "  \"mode\": %S,\n" mode);
+  Buffer.add_string b "  \"ops\": {\n";
+  let nops = List.length ops in
+  List.iteri
+    (fun i (name, ns, w) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "    %S: {\"ns_per_op\": %.1f, \"minor_words_per_op\": %.1f}%s\n"
+           name ns w
+           (if i = nops - 1 then "" else ",")))
+    ops;
+  Buffer.add_string b "  },\n";
+  Buffer.add_string b "  \"derived\": {\n";
+  let nd = List.length derived in
+  List.iteri
+    (fun i (name, v) ->
+      Buffer.add_string b
+        (Printf.sprintf "    %S: %.2f%s\n" name v
+           (if i = nd - 1 then "" else ",")))
+    derived;
+  Buffer.add_string b "  }\n}\n";
+  Buffer.contents b
+
+(* baseline parser: one op / one derived ratio per line, exactly as
+   perf_json prints them *)
+let parse_baseline file =
+  if not (Sys.file_exists file) then None
+  else begin
+    let ic = open_in file in
+    let ops = ref [] and derived = ref [] in
+    (try
+       while true do
+         let line = input_line ic in
+         (try
+            Scanf.sscanf (String.trim line)
+              "%S: {\"ns_per_op\": %f, \"minor_words_per_op\": %f"
+              (fun name ns w -> ops := (name, ns, w) :: !ops)
+          with Scanf.Scan_failure _ | Failure _ | End_of_file -> (
+            try
+              Scanf.sscanf (String.trim line) "%S: %f" (fun name v ->
+                  derived := (name, v) :: !derived)
+            with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()))
+       done
+     with End_of_file -> ());
+    close_in ic;
+    Some (List.rev !ops, List.rev !derived)
+  end
+
+let perf () =
+  header "E11: hot-path microbenchmarks (CSR graph, memoized joins, bitenc)";
+  let args = Array.to_list Sys.argv in
+  let quick = List.mem "quick" args in
+  let update = List.mem "update" args in
+  let batches = if quick then 3 else 7 in
+  let prng = Random.State.make [| 20250806 |] in
+  (* -- corpora (identical in quick and full mode: numbers must be
+        comparable against the committed baseline either way) -- *)
+  let dense_n = 512 in
+  let dense_edges =
+    List.concat_map
+      (fun u ->
+        List.filter_map
+          (fun v ->
+            if Random.State.float prng 1.0 < 0.25 then Some (u, v) else None)
+          (List.init (dense_n - u - 1) (fun i -> u + 1 + i)))
+      (List.init dense_n (fun u -> u))
+  in
+  let dense_csr = G.of_edges ~n:dense_n dense_edges in
+  let dense_ref = Gref.of_edges ~n:dense_n dense_edges in
+  let sparse_g, _ = Gen.random_pathwidth prng ~n:1024 ~k:2 () in
+  let sparse_edges = G.edges sparse_g in
+  let sparse_ref = Gref.of_edges ~n:1024 sparse_edges in
+  let nq = 8192 in
+  let queries =
+    Array.init nq (fun _ ->
+        (Random.State.int prng dense_n, Random.State.int prng dense_n))
+  in
+  let queries_sparse =
+    Array.init nq (fun _ ->
+        (Random.State.int prng 1024, Random.State.int prng 1024))
+  in
+  (* 10k-edge graph for the incremental add/remove ops *)
+  let big_n = 2000 in
+  let big_edges =
+    let seen = Hashtbl.create 20011 in
+    let acc = ref [] in
+    while Hashtbl.length seen < 10_000 do
+      let u = Random.State.int prng big_n and v = Random.State.int prng big_n in
+      if u <> v && not (Hashtbl.mem seen (min u v, max u v)) then begin
+        Hashtbl.add seen (min u v, max u v) ();
+        acc := (u, v) :: !acc
+      end
+    done;
+    !acc
+  in
+  let big = G.of_edges ~n:big_n big_edges in
+  let fresh64 =
+    let acc = ref [] and k = ref 0 in
+    while !k < 64 do
+      let u = Random.State.int prng big_n and v = Random.State.int prng big_n in
+      if u <> v && not (G.mem_edge big u v) then begin
+        acc := (u, v) :: !acc;
+        incr k
+      end
+    done;
+    !acc
+  in
+  let some_edges = Array.of_list (List.filteri (fun i _ -> i < 64) big_edges) in
+  (* prover/verifier workload: the n=128 pw-2 instance of `timing` *)
+  let n128 = 128 in
+  let g128, ivs128 = Gen.random_pathwidth prng ~n:n128 ~k:2 () in
+  let cfg128 = PLS.Config.random_ids prng g128 in
+  let rep128 = Rep.of_pairs g128 ivs128 in
+  let t1_128 = T1conn.edge_scheme ~rep:(fun _ -> Some rep128) ~k:2 () in
+  let labels128 = Option.get (t1_128.PLS.Scheme.es_prove cfg128) in
+  let heur c =
+    Some (PW.heuristic_interval_representation (PLS.Config.graph c))
+  in
+  let path_g = Gen.path 256 in
+  let path_cfg = PLS.Config.make path_g in
+  let t1_path = T1conn.edge_scheme ~rep:heur ~k:1 () in
+  let cyc_g = Gen.cycle 256 in
+  let cyc_cfg = PLS.Config.make cyc_g in
+  let t1_cyc = T1conn.edge_scheme ~rep:heur ~k:2 () in
+  (* -- the ops -- *)
+  let sink = ref 0 in
+  let ops = ref [] in
+  let op name ?batches:(b = batches) ~iters ~per f =
+    let ns, w = measure ~batches:b ~iters f in
+    let ns = ns /. float_of_int per and w = w /. float_of_int per in
+    ops := (name, ns, w) :: !ops;
+    Printf.printf "%-32s %12.1f ns/op %12.1f words/op\n%!" name ns w
+  in
+  op "graph.mem_edge.dense.csr" ~iters:20 ~per:nq (fun () ->
+      Array.iter
+        (fun (u, v) -> if G.mem_edge dense_csr u v then incr sink)
+        queries);
+  op "graph.mem_edge.dense.ref" ~iters:2 ~per:nq (fun () ->
+      Array.iter
+        (fun (u, v) -> if Gref.mem_edge dense_ref u v then incr sink)
+        queries);
+  op "graph.mem_edge.pw2.csr" ~iters:20 ~per:nq (fun () ->
+      Array.iter
+        (fun (u, v) -> if G.mem_edge sparse_g u v then incr sink)
+        queries_sparse);
+  op "graph.mem_edge.pw2.ref" ~iters:20 ~per:nq (fun () ->
+      Array.iter
+        (fun (u, v) -> if Gref.mem_edge sparse_ref u v then incr sink)
+        queries_sparse);
+  op "graph.degree.sum.csr" ~iters:200 ~per:big_n (fun () ->
+      for v = 0 to big_n - 1 do
+        sink := !sink + G.degree big v
+      done);
+  op "graph.add_edges.10k+64" ~iters:20 ~per:1 (fun () ->
+      ignore (G.add_edges big fresh64));
+  op "graph.remove_edge.10k" ~iters:20 ~per:1 (fun () ->
+      let u, v = some_edges.(0) in
+      ignore (G.remove_edge big u v));
+  let bits_payload = Array.init 1000 (fun i -> (i * 2654435761) land 0x1fff) in
+  let w = Bitenc.writer ~capacity:8192 () in
+  let encode () =
+    Bitenc.reset w;
+    Array.iter (fun x -> Bitenc.bits w ~width:13 x) bits_payload;
+    Array.iter (fun x -> Bitenc.varint w x) bits_payload
+  in
+  op "bitenc.write.13b+varint" ~iters:200 ~per:2000 encode;
+  encode ();
+  let payload_bytes = Bitenc.to_bytes w in
+  let r = Bitenc.reader payload_bytes in
+  op "bitenc.read.13b+varint" ~iters:200 ~per:2000 (fun () ->
+      Bitenc.reset_reader r payload_bytes;
+      for _ = 1 to 1000 do
+        sink := !sink + Bitenc.read_bits r ~width:13
+      done;
+      for _ = 1 to 1000 do
+        sink := !sink + Bitenc.read_varint r
+      done);
+  Memo.enabled := false;
+  op "prove.pw2_128.memo_off" ~iters:1 ~per:1 (fun () ->
+      ignore (t1_128.PLS.Scheme.es_prove cfg128));
+  op "verify.pw2_128.memo_off" ~iters:1 ~per:1 (fun () ->
+      ignore (PLS.Scheme.run_edge cfg128 t1_128 labels128));
+  Memo.enabled := true;
+  op "prove.pw2_128.memo_on" ~iters:1 ~per:1 (fun () ->
+      ignore (t1_128.PLS.Scheme.es_prove cfg128));
+  op "verify.pw2_128.memo_on" ~iters:1 ~per:1 (fun () ->
+      ignore (PLS.Scheme.run_edge cfg128 t1_128 labels128));
+  op "e2e.path256.prove_verify" ~iters:1 ~per:1 (fun () ->
+      let labels = Option.get (t1_path.PLS.Scheme.es_prove path_cfg) in
+      ignore (PLS.Scheme.run_edge path_cfg t1_path labels));
+  op "e2e.cycle256.prove_verify" ~iters:1 ~per:1 (fun () ->
+      let labels = Option.get (t1_cyc.PLS.Scheme.es_prove cyc_cfg) in
+      ignore (PLS.Scheme.run_edge cyc_cfg t1_cyc labels));
+  op "e2e.pw2_128.prove_verify" ~iters:1 ~per:1 (fun () ->
+      let labels = Option.get (t1_128.PLS.Scheme.es_prove cfg128) in
+      ignore (PLS.Scheme.run_edge cfg128 t1_128 labels));
+  ignore !sink;
+  let ops = List.rev !ops in
+  let find name = let _, ns, _ = List.find (fun (n, _, _) -> n = name) ops in ns in
+  let derived =
+    [
+      ("mem_edge_dense_speedup_x",
+       find "graph.mem_edge.dense.ref" /. find "graph.mem_edge.dense.csr");
+      ("mem_edge_pw2_speedup_x",
+       find "graph.mem_edge.pw2.ref" /. find "graph.mem_edge.pw2.csr");
+      ("prove_memo_speedup_x",
+       find "prove.pw2_128.memo_off" /. find "prove.pw2_128.memo_on");
+      ("verify_memo_speedup_x",
+       find "verify.pw2_128.memo_off" /. find "verify.pw2_128.memo_on");
+    ]
+  in
+  line ();
+  List.iter (fun (n, v) -> Printf.printf "%-32s %12.2fx\n" n v) derived;
+  let fail = ref [] in
+  let check cond msg = if not cond then fail := msg :: !fail in
+  check
+    (List.assoc "mem_edge_dense_speedup_x" derived >= 3.0)
+    "mem_edge dense speedup below the 3x target";
+  (* -- gate against the committed baseline --
+     Wall-clock on this class of shared 1-core container swings ~2x
+     between identical back-to-back runs, so a tight ns gate would be
+     pure noise. The tight 25% gates sit on the load-invariant signals:
+     allocated minor words per op (deterministic for a given build) and
+     the in-run speedup ratios (both sides of a ratio feel the same
+     machine load). ns/op keeps only a catastrophic 2.5x backstop. *)
+  let baseline_file = "BENCH_PERF.json" in
+  (match parse_baseline baseline_file with
+  | None -> Printf.printf "\nno committed %s; gate skipped\n" baseline_file
+  | Some (base, base_derived) ->
+      Printf.printf
+        "\ngate vs %s (+25%% words, +150%% ns backstop, ratios >= 75%%):\n"
+        baseline_file;
+      List.iter
+        (fun (name, bns, bw) ->
+          match List.find_opt (fun (n, _, _) -> n = name) ops with
+          | None -> ()
+          | Some (_, ns, w) ->
+              let ns_ok = ns <= (bns *. 2.5) +. 100.0 in
+              let w_ok = w <= (bw *. 1.25) +. 16.0 in
+              Printf.printf "  %-32s %s (%.1f -> %.1f ns, %.1f -> %.1f words)\n"
+                name
+                (if ns_ok && w_ok then "ok" else "REGRESSED")
+                bns ns bw w;
+              if not ns_ok then
+                check false (Printf.sprintf "%s: ns/op regressed >150%%" name);
+              if not w_ok then
+                check false
+                  (Printf.sprintf "%s: minor words/op regressed >25%%" name))
+        base;
+      List.iter
+        (fun (name, bv) ->
+          match List.assoc_opt name derived with
+          | None -> ()
+          | Some v ->
+              let ok = v >= bv *. 0.75 in
+              Printf.printf "  %-32s %s (%.2fx -> %.2fx)\n" name
+                (if ok then "ok" else "REGRESSED")
+                bv v;
+              if not ok then
+                check false
+                  (Printf.sprintf "%s: speedup ratio dropped >25%%" name))
+        base_derived);
+  let out = perf_json ~mode:(if quick then "quick" else "full") ops derived in
+  let out_file = if update then baseline_file else "BENCH_PERF.current.json" in
+  let oc = open_out out_file in
+  output_string oc out;
+  close_out oc;
+  Printf.printf "\nwrote %s\n" out_file;
+  if !fail <> [] then begin
+    List.iter (fun m -> Printf.eprintf "PERF: FAIL — %s\n" m) !fail;
+    exit 1
+  end
+  else Printf.printf "PERF: all gates passed\n\n"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -988,12 +1297,14 @@ let () =
       ("recovery", recovery); ("timing", timing);
     ]
   in
-  match List.assoc_opt what all with
+  (* perf is the regression *gate*, not an experiment: it is run
+     explicitly (check.sh) and deliberately excluded from "all" *)
+  match List.assoc_opt what (("perf", perf) :: all) with
   | Some f -> f ()
   | None ->
       if what = "all" then List.iter (fun (_, f) -> f ()) all
       else begin
-        Printf.eprintf "unknown experiment %S; known: %s all\n" what
+        Printf.eprintf "unknown experiment %S; known: perf %s all\n" what
           (String.concat " " (List.map fst all));
         exit 1
       end

@@ -1,4 +1,5 @@
 module Klane = Lcp_lanewidth.Klane
+module Hash64 = Lcp_util.Hash64
 
 module Make (A : Lcp_algebra.Algebra_sig.S) = struct
   type iface = {
@@ -6,6 +7,83 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
     t_in : (int * int) list;
     t_out : (int * int) list;
   }
+
+  (* ---- composition memo ----------------------------------------------
+     The prover pushes one frame per edge of every klane and the verifier
+     recomputes the same bridge/parent glue for each of those frames, so
+     identical (state, state, glue) joins recur many times per run. Keys
+     are [Marshal] bytes of the exact inputs: marshal-equal implies
+     structurally equal, so a hit returns a value structurally identical
+     to recomputation and downstream encodes are byte-identical (sharing
+     can make structurally equal values marshal differently — that only
+     costs extra misses, never a wrong hit). Buckets are indexed by the
+     FNV-1a hash of the key and disambiguated by full string equality.
+     Exceptions are never cached: a raising compute stays uncached and
+     raises again on recomputation, preserving the verifier's
+     Invalid_argument-to-rejection conversion. *)
+
+  let memo_tbl : (int64, (string * A.state) list ref) Hashtbl.t =
+    Hashtbl.create 1024
+
+  let intern_tbl : (int64, (string * A.state) list ref) Hashtbl.t =
+    Hashtbl.create 256
+
+  let marshal_key v = try Some (Marshal.to_string v []) with _ -> None
+
+  let memoize ~tag key compute =
+    if not !Memo.enabled then compute ()
+    else
+      match marshal_key key with
+      | None -> compute ()
+      | Some bytes -> (
+          let skey = tag ^ "\x00" ^ bytes in
+          let h = Hash64.of_string skey in
+          (* cap check before touching a bucket: reset would orphan it *)
+          if Hashtbl.length memo_tbl >= Memo.max_entries then
+            Hashtbl.reset memo_tbl;
+          match Hashtbl.find_opt memo_tbl h with
+          | Some bucket -> (
+              match List.assoc_opt skey !bucket with
+              | Some st ->
+                  incr Memo.hits;
+                  st
+              | None ->
+                  incr Memo.misses;
+                  let st = compute () in
+                  bucket := (skey, st) :: !bucket;
+                  st)
+          | None ->
+              incr Memo.misses;
+              let st = compute () in
+              Hashtbl.add memo_tbl h (ref [ (skey, st) ]);
+              st)
+
+  (* hash-cons a freshly built state: structurally equal states collapse
+     to one representative, so later memo keys over them are cheaper to
+     marshal and physically shared *)
+  let intern st =
+    if not !Memo.enabled then st
+    else
+      match marshal_key st with
+      | None -> st
+      | Some skey -> (
+          let h = Hash64.of_string skey in
+          if Hashtbl.length intern_tbl >= Memo.max_entries then
+            Hashtbl.reset intern_tbl;
+          match Hashtbl.find_opt intern_tbl h with
+          | Some bucket -> (
+              match List.assoc_opt skey !bucket with
+              | Some st' ->
+                  incr Memo.intern_hits;
+                  st'
+              | None ->
+                  incr Memo.intern_misses;
+                  bucket := (skey, st) :: !bucket;
+                  st)
+          | None ->
+              incr Memo.intern_misses;
+              Hashtbl.add intern_tbl h (ref [ (skey, st) ]);
+              st)
 
   let iface_of_klane ~vid (k : Klane.t) =
     {
@@ -54,7 +132,8 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
   let v_state f =
     well_formed f;
     match (f.lanes, f.t_in, f.t_out) with
-    | [ _ ], [ (_, v) ], [ (_, v') ] when v = v' -> A.introduce A.empty v
+    | [ _ ], [ (_, v) ], [ (_, v') ] when v = v' ->
+        intern (A.introduce A.empty v)
     | _ -> invalid_arg "Compose.v_state: not a V-node interface"
 
   let e_state f ~real =
@@ -62,7 +141,7 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
     match (f.lanes, f.t_in, f.t_out) with
     | [ _ ], [ (_, a) ], [ (_, b) ] when a <> b ->
         let st = A.introduce (A.introduce A.empty a) b in
-        if real then A.add_edge st a b else st
+        intern (if real then A.add_edge st a b else st)
     | _ -> invalid_arg "Compose.e_state: not an E-node interface"
 
   let p_state f ~mask =
@@ -80,7 +159,7 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
       | _, [] -> st
       | _ -> st
     in
-    go st path mask
+    intern (go st path mask)
 
   let disjoint a b = List.for_all (fun x -> not (List.mem x b)) a
 
@@ -92,8 +171,11 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
     check (List.mem j f2.lanes) "bridge: lane j not in right";
     let a = assoc_lane "left t_out" f1.t_out i in
     let b = assoc_lane "right t_out" f2.t_out j in
-    let st = A.union s1 s2 in
-    let st = if real then A.add_edge st a b else st in
+    let st =
+      memoize ~tag:"bridge" (s1, s2, a, b, real) (fun () ->
+          let st = A.union s1 s2 in
+          if real then A.add_edge st a b else st)
+    in
     let f =
       {
         lanes = List.sort compare (f1.lanes @ f2.lanes);
@@ -119,18 +201,19 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
           tin)
         fc.lanes
     in
-    let sc, temp_pairs =
-      List.fold_left
-        (fun (st, acc) s ->
-          let tmp = -(s + 1) in
-          (A.rename st ~old_slot:s ~new_slot:tmp, (s, tmp) :: acc))
-        (sc, []) glued
-    in
-    let st = A.union sc sp in
     let st =
-      List.fold_left
-        (fun st (s, tmp) -> A.identify st ~keep:s ~drop:tmp)
-        st temp_pairs
+      memoize ~tag:"glue" (sc, sp, glued) (fun () ->
+          let sc, temp_pairs =
+            List.fold_left
+              (fun (st, acc) s ->
+                let tmp = -(s + 1) in
+                (A.rename st ~old_slot:s ~new_slot:tmp, (s, tmp) :: acc))
+              (sc, []) glued
+          in
+          let st = A.union sc sp in
+          List.fold_left
+            (fun st (s, tmp) -> A.identify st ~keep:s ~drop:tmp)
+            st temp_pairs)
     in
     let f =
       {
@@ -146,5 +229,7 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
       }
     in
     well_formed f;
-    (forget_to st (terminals f), f)
+    let terms = terminals f in
+    let st = memoize ~tag:"forget" (st, terms) (fun () -> forget_to st terms) in
+    (st, f)
 end

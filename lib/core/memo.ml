@@ -1,0 +1,30 @@
+(* Global switches and counters for the composition memo tables living
+   inside each [Compose.Make] instance (one instance per algebra per
+   job). The tables themselves are per-instance — states of different
+   algebras must never share a table — but the counters aggregate
+   globally so the service layer can report one hit/miss line per run. *)
+
+let enabled = ref true
+
+(* per-instance table size cap; a full table is dropped wholesale
+   (Hashtbl.reset), bounding memory without an LRU's bookkeeping *)
+let max_entries = 1 lsl 16
+
+let hits = ref 0
+let misses = ref 0
+let intern_hits = ref 0
+let intern_misses = ref 0
+
+let counters () =
+  [
+    ("memo_hit", !hits);
+    ("memo_miss", !misses);
+    ("intern_hit", !intern_hits);
+    ("intern_miss", !intern_misses);
+  ]
+
+let reset_counters () =
+  hits := 0;
+  misses := 0;
+  intern_hits := 0;
+  intern_misses := 0

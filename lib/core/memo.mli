@@ -1,0 +1,25 @@
+(** Switches and counters for composition memoization (see {!Compose}).
+
+    Soundness does not depend on [enabled]: memo keys are
+    [Marshal]-serialized inputs, so a hit returns a value structurally
+    identical to what recomputation would produce, and encoded
+    certificates are byte-identical with the memo on or off (the
+    @graphcore suite asserts this across every registered property). *)
+
+val enabled : bool ref
+(** Toggle memoization globally (default [true]). Flipping it affects
+    [Compose.Make] instances created before or after the flip. *)
+
+val max_entries : int
+(** Per-instance table cap; a table at the cap is dropped wholesale. *)
+
+val hits : int ref
+val misses : int ref
+val intern_hits : int ref
+val intern_misses : int ref
+
+val counters : unit -> (string * int) list
+(** Snapshot as [(name, count)] pairs: [memo_hit], [memo_miss],
+    [intern_hit], [intern_miss]. *)
+
+val reset_counters : unit -> unit

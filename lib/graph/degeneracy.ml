@@ -13,8 +13,8 @@ let degeneracy_order g =
     d := max !d deg.(v);
     removed.(v) <- true;
     order.(step) <- v;
-    List.iter (fun w -> if not removed.(w) then deg.(w) <- deg.(w) - 1)
-      (Graph.neighbors g v)
+    Graph.iter_neighbors g v (fun w ->
+        if not removed.(w) then deg.(w) <- deg.(w) - 1)
   done;
   (!d, order)
 

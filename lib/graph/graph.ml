@@ -1,9 +1,18 @@
+(* CSR (compressed sparse row) backend. The graph is immutable once
+   built: [adj] holds every row's neighbors as one int slab, row [v]
+   occupying [off.(v) .. off.(v+1) - 1], sorted ascending. Degrees are
+   O(1) offset differences, edge membership is a binary search of the
+   smaller endpoint's row, and iteration allocates nothing. The
+   list-based seed implementation survives as [Graph_ref], the oracle
+   of the @graphcore equivalence suite and the `bench perf` baseline. *)
+
 type edge = int * int
 
 type t = {
   n : int;
-  adj : int list array; (* sorted, duplicate-free *)
   m : int;
+  off : int array; (* length n+1: row v is adj.(off.(v)) .. adj.(off.(v+1)-1) *)
+  adj : int array; (* length 2m; each row sorted ascending, duplicate-free *)
 }
 
 let canonical_edge u v =
@@ -13,46 +22,122 @@ let canonical_edge u v =
 let n g = g.n
 let m g = g.m
 
+(* Build from a lex-sorted array of canonical edges in which duplicates
+   appear only as adjacent equal entries (skipped). Rows come out sorted
+   without any per-row sort: pass A walks the sorted edges appending the
+   smaller endpoint to the larger one's row (so row v first receives its
+   neighbors below v, in order), pass B appends the larger endpoint to
+   the smaller one's row (neighbors above v, in order, after pass A). *)
+let of_sorted_edge_array ~n ~m es =
+  let k = Array.length es in
+  let deg = Array.make (n + 1) 0 in
+  let fresh i = i = 0 || es.(i - 1) <> es.(i) in
+  for i = 0 to k - 1 do
+    if fresh i then begin
+      let u, v = es.(i) in
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1
+    end
+  done;
+  let off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    off.(v + 1) <- off.(v) + deg.(v)
+  done;
+  let adj = Array.make (2 * m) 0 in
+  let cursor = Array.sub off 0 (n + 1) in
+  for i = 0 to k - 1 do
+    if fresh i then begin
+      let u, v = es.(i) in
+      adj.(cursor.(v)) <- u;
+      cursor.(v) <- cursor.(v) + 1
+    end
+  done;
+  for i = 0 to k - 1 do
+    if fresh i then begin
+      let u, v = es.(i) in
+      adj.(cursor.(u)) <- v;
+      cursor.(u) <- cursor.(u) + 1
+    end
+  done;
+  { n; m; off; adj }
+
 let of_edges ~n edges =
   if n < 0 then invalid_arg "Graph.of_edges: negative n";
-  let adj = Array.make (max n 1) [] in
   let check v =
     if v < 0 || v >= n then
       invalid_arg (Printf.sprintf "Graph.of_edges: vertex %d out of [0,%d)" v n)
   in
-  let seen = Hashtbl.create (2 * List.length edges + 1) in
+  let es = Array.of_list edges in
+  let k = Array.length es in
   let m = ref 0 in
-  let add (u, v) =
+  for i = 0 to k - 1 do
+    let u, v = es.(i) in
     let (u, v) = canonical_edge u v in
     check u;
     check v;
-    if not (Hashtbl.mem seen (u, v)) then begin
-      Hashtbl.add seen (u, v) ();
-      adj.(u) <- v :: adj.(u);
-      adj.(v) <- u :: adj.(v);
-      incr m
-    end
-  in
-  List.iter add edges;
-  let adj = if n = 0 then [||] else Array.sub adj 0 n in
-  Array.iteri (fun i l -> adj.(i) <- List.sort_uniq compare l) adj;
-  { n; adj; m = !m }
+    es.(i) <- (u, v)
+  done;
+  Array.sort compare es;
+  for i = 0 to k - 1 do
+    if i = 0 || es.(i - 1) <> es.(i) then incr m
+  done;
+  of_sorted_edge_array ~n ~m:!m es
 
 let empty ~n = of_edges ~n []
 
-let neighbors g v =
-  if v < 0 || v >= g.n then invalid_arg "Graph.neighbors: vertex out of range";
-  g.adj.(v)
+let check_vertex g v name =
+  if v < 0 || v >= g.n then invalid_arg ("Graph." ^ name ^ ": vertex out of range")
 
-let degree g v = List.length (neighbors g v)
+let degree g v =
+  check_vertex g v "neighbors";
+  g.off.(v + 1) - g.off.(v)
+
+let neighbors g v =
+  check_vertex g v "neighbors";
+  let lo = g.off.(v) in
+  let rec go i acc = if i < lo then acc else go (i - 1) (g.adj.(i) :: acc) in
+  go (g.off.(v + 1) - 1) []
+
+let iter_neighbors g v f =
+  check_vertex g v "iter_neighbors";
+  for i = g.off.(v) to g.off.(v + 1) - 1 do
+    f (Array.unsafe_get g.adj i)
+  done
+
+let fold_neighbors g v f acc =
+  check_vertex g v "fold_neighbors";
+  let acc = ref acc in
+  for i = g.off.(v) to g.off.(v + 1) - 1 do
+    acc := f !acc (Array.unsafe_get g.adj i)
+  done;
+  !acc
+
+(* membership by binary search of the lower-degree endpoint's row *)
+let row_mem g u v =
+  let lo = ref g.off.(u) and hi = ref (g.off.(u + 1) - 1) in
+  let found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let w = Array.unsafe_get g.adj mid in
+    if w = v then found := true
+    else if w < v then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
 
 let mem_edge g u v =
-  u <> v && u >= 0 && u < g.n && v >= 0 && v < g.n && List.mem v g.adj.(u)
+  u <> v && u >= 0 && u < g.n && v >= 0 && v < g.n
+  &&
+  if g.off.(u + 1) - g.off.(u) <= g.off.(v + 1) - g.off.(v) then row_mem g u v
+  else row_mem g v u
 
 let fold_edges f g acc =
   let acc = ref acc in
   for u = 0 to g.n - 1 do
-    List.iter (fun v -> if u < v then acc := f (u, v) !acc) g.adj.(u)
+    for i = g.off.(u) to g.off.(u + 1) - 1 do
+      let v = Array.unsafe_get g.adj i in
+      if u < v then acc := f (u, v) !acc
+    done
   done;
   !acc
 
@@ -67,9 +152,77 @@ let fold_vertices f g acc =
   done;
   !acc
 
-let max_degree g = fold_vertices (fun v acc -> max acc (degree g v)) g 0
+let max_degree g =
+  let best = ref 0 in
+  for v = 0 to g.n - 1 do
+    best := max !best (g.off.(v + 1) - g.off.(v))
+  done;
+  !best
 
-let add_edges g new_edges = of_edges ~n:g.n (new_edges @ edges g)
+(* Incremental edge insertion: validate and dedupe the additions, then
+   merge each sorted row with its sorted delta in one linear pass — the
+   full edge list is never materialized (the seed rebuilt the whole
+   graph through [new_edges @ edges g]). *)
+let add_edges g new_edges =
+  let check v =
+    if v < 0 || v >= g.n then
+      invalid_arg
+        (Printf.sprintf "Graph.of_edges: vertex %d out of [0,%d)" v g.n)
+  in
+  let es = Array.of_list new_edges in
+  for i = 0 to Array.length es - 1 do
+    let u, v = es.(i) in
+    let (u, v) = canonical_edge u v in
+    check u;
+    check v;
+    es.(i) <- (u, v)
+  done;
+  Array.sort compare es;
+  (* keep each addition once, and only if not already an edge *)
+  let fresh = ref [] and nfresh = ref 0 in
+  Array.iteri
+    (fun i e ->
+      if (i = 0 || es.(i - 1) <> e) && not (mem_edge g (fst e) (snd e)) then begin
+        fresh := e :: !fresh;
+        incr nfresh
+      end)
+    es;
+  if !nfresh = 0 then g
+  else begin
+    let delta =
+      of_sorted_edge_array ~n:g.n ~m:!nfresh
+        (Array.of_list (List.rev !fresh))
+    in
+    let off = Array.make (g.n + 1) 0 in
+    for v = 0 to g.n - 1 do
+      off.(v + 1) <-
+        off.(v) + (g.off.(v + 1) - g.off.(v))
+        + (delta.off.(v + 1) - delta.off.(v))
+    done;
+    let adj = Array.make (2 * (g.m + !nfresh)) 0 in
+    for v = 0 to g.n - 1 do
+      (* merge the two sorted, disjoint rows *)
+      let i = ref g.off.(v) and j = ref delta.off.(v) in
+      let ihi = g.off.(v + 1) and jhi = delta.off.(v + 1) in
+      let k = ref off.(v) in
+      while !i < ihi || !j < jhi do
+        let take_old =
+          !j >= jhi || (!i < ihi && g.adj.(!i) < delta.adj.(!j))
+        in
+        if take_old then begin
+          adj.(!k) <- g.adj.(!i);
+          incr i
+        end
+        else begin
+          adj.(!k) <- delta.adj.(!j);
+          incr j
+        end;
+        incr k
+      done
+    done;
+    { n = g.n; m = g.m + !nfresh; off; adj }
+  end
+
 let union_edges = add_edges
 
 let induced g vs =
@@ -145,9 +298,33 @@ let remove_vertex g v =
 
 let remove_edge g u v =
   let (u, v) = canonical_edge u v in
-  of_edges ~n:g.n (List.filter (fun e -> e <> (u, v)) (edges g))
+  if not (mem_edge g u v) then g
+  else begin
+    (* drop one entry from row u and one from row v; every offset past a
+       shrunken row shifts, so rebuild the two arrays in one linear pass *)
+    let off = Array.make (g.n + 1) 0 in
+    for x = 0 to g.n - 1 do
+      let d = g.off.(x + 1) - g.off.(x) in
+      let d = if x = u || x = v then d - 1 else d in
+      off.(x + 1) <- off.(x) + d
+    done;
+    let adj = Array.make (2 * (g.m - 1)) 0 in
+    for x = 0 to g.n - 1 do
+      let k = ref off.(x) in
+      let skip = if x = u then v else if x = v then u else -1 in
+      for i = g.off.(x) to g.off.(x + 1) - 1 do
+        let w = g.adj.(i) in
+        if w <> skip then begin
+          adj.(!k) <- w;
+          incr k
+        end
+      done
+    done;
+    { n = g.n; m = g.m - 1; off; adj }
+  end
 
-let equal g1 g2 = g1.n = g2.n && edges g1 = edges g2
+(* CSR arrays are canonical for a given (n, edge set) *)
+let equal g1 g2 = g1.n = g2.n && g1.m = g2.m && g1.off = g2.off && g1.adj = g2.adj
 
 (* Backtracking isomorphism for small graphs: map vertices of g1 one by one,
    pruning on degree and adjacency consistency. *)

@@ -2,7 +2,14 @@
 
     This is the network substrate of the paper's model (§1.1): an n-vertex
     connected undirected graph whose vertices are processors and whose edges
-    are communication links. The representation is immutable once built. *)
+    are communication links. The representation is immutable once built.
+
+    Backend: compressed sparse row (CSR). Neighbor lists live in one int
+    slab indexed by a per-vertex offset array, each row sorted ascending.
+    [degree] is an O(1) offset difference, [mem_edge] a binary search of
+    the smaller endpoint's row, and [iter_neighbors]/[fold_edges] walk the
+    slab without allocating. [add_edges]/[remove_edge] rebuild only the
+    arrays (linear in the graph), never the full edge list. *)
 
 type t
 
@@ -22,6 +29,10 @@ val of_edges : n:int -> edge list -> t
 val empty : n:int -> t
 
 val add_edges : t -> edge list -> t
+(** Incremental: edges already present are ignored; the adjacency arrays
+    are rebuilt in one linear merge pass (the full edge list is never
+    materialized). Returns the graph unchanged (physically) when every
+    listed edge is already present. *)
 
 (** {1 Accessors} *)
 
@@ -32,10 +43,22 @@ val m : t -> int
 (** Number of edges. *)
 
 val neighbors : t -> int -> int list
-(** Sorted, duplicate-free. *)
+(** Sorted, duplicate-free. Allocates a fresh list; prefer
+    {!iter_neighbors}/{!fold_neighbors} on hot paths. *)
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+(** [iter_neighbors g v f] applies [f] to each neighbor of [v] in
+    ascending order, without allocating. *)
+
+val fold_neighbors : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+(** Left fold over the neighbors of [v] in ascending order. *)
 
 val degree : t -> int -> int
+(** O(1): an offset difference in the CSR index. *)
+
 val mem_edge : t -> int -> int -> bool
+(** O(log deg): binary search of the smaller endpoint's neighbor row. *)
+
 val edges : t -> edge list
 (** Sorted lexicographically; each edge appears once. *)
 
@@ -76,6 +99,8 @@ val remove_vertex : t -> int -> t * int array
     vertex maps to [-1]. *)
 
 val remove_edge : t -> int -> int -> t
+(** Drop one edge in a single linear pass over the adjacency arrays.
+    Removing a non-edge returns the graph unchanged. *)
 
 (** {1 Comparison and printing} *)
 

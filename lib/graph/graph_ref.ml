@@ -1,0 +1,94 @@
+(* The pre-CSR list-based graph, kept verbatim as (a) the oracle of the
+   @graphcore equivalence suite and (b) the honest "before" side of the
+   `bench perf` edge-membership microbenchmarks. Not for production use:
+   mem_edge is O(deg), degree is O(deg), add_edges/remove_edge rebuild
+   the whole graph through the full edge list. *)
+
+type edge = int * int
+
+type t = {
+  n : int;
+  adj : int list array; (* sorted, duplicate-free *)
+  m : int;
+}
+
+let canonical_edge u v =
+  if u = v then invalid_arg "Graph_ref.canonical_edge: self-loop";
+  if u < v then (u, v) else (v, u)
+
+let n g = g.n
+let m g = g.m
+
+let of_edges ~n edges =
+  if n < 0 then invalid_arg "Graph_ref.of_edges: negative n";
+  let adj = Array.make (max n 1) [] in
+  let check v =
+    if v < 0 || v >= n then
+      invalid_arg
+        (Printf.sprintf "Graph_ref.of_edges: vertex %d out of [0,%d)" v n)
+  in
+  let seen = Hashtbl.create (2 * List.length edges + 1) in
+  let m = ref 0 in
+  let add (u, v) =
+    let (u, v) = canonical_edge u v in
+    check u;
+    check v;
+    if not (Hashtbl.mem seen (u, v)) then begin
+      Hashtbl.add seen (u, v) ();
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v);
+      incr m
+    end
+  in
+  List.iter add edges;
+  let adj = if n = 0 then [||] else Array.sub adj 0 n in
+  Array.iteri (fun i l -> adj.(i) <- List.sort_uniq compare l) adj;
+  { n; adj; m = !m }
+
+let empty ~n = of_edges ~n []
+
+let neighbors g v =
+  if v < 0 || v >= g.n then
+    invalid_arg "Graph_ref.neighbors: vertex out of range";
+  g.adj.(v)
+
+let degree g v = List.length (neighbors g v)
+
+let mem_edge g u v =
+  u <> v && u >= 0 && u < g.n && v >= 0 && v < g.n && List.mem v g.adj.(u)
+
+let fold_edges f g acc =
+  let acc = ref acc in
+  for u = 0 to g.n - 1 do
+    List.iter (fun v -> if u < v then acc := f (u, v) !acc) g.adj.(u)
+  done;
+  !acc
+
+let edges g = List.rev (fold_edges (fun e l -> e :: l) g [])
+
+let add_edges g new_edges = of_edges ~n:g.n (new_edges @ edges g)
+
+let remove_edge g u v =
+  let (u, v) = canonical_edge u v in
+  of_edges ~n:g.n (List.filter (fun e -> e <> (u, v)) (edges g))
+
+let induced g vs =
+  let vs = List.sort_uniq compare vs in
+  List.iter (fun v ->
+      if v < 0 || v >= g.n then
+        invalid_arg "Graph_ref.induced: vertex out of range")
+    vs;
+  let back = Array.of_list vs in
+  let fwd = Hashtbl.create (List.length vs) in
+  Array.iteri (fun i v -> Hashtbl.add fwd v i) back;
+  let es =
+    fold_edges
+      (fun (u, v) acc ->
+        match (Hashtbl.find_opt fwd u, Hashtbl.find_opt fwd v) with
+        | Some u', Some v' -> (u', v') :: acc
+        | _ -> acc)
+      g []
+  in
+  (of_edges ~n:(Array.length back) es, back)
+
+let equal g1 g2 = g1.n = g2.n && edges g1 = edges g2

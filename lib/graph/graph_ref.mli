@@ -1,0 +1,23 @@
+(** The pre-CSR list-based graph implementation, kept as the oracle of
+    the @graphcore equivalence suite and the "before" side of the
+    `bench perf` microbenchmarks. Same observable semantics as {!Graph}
+    on the operations below (modulo the [Graph_ref.] prefix in error
+    messages); deliberately slow. *)
+
+type t
+type edge = int * int
+
+val canonical_edge : int -> int -> edge
+val of_edges : n:int -> edge list -> t
+val empty : n:int -> t
+val n : t -> int
+val m : t -> int
+val neighbors : t -> int -> int list
+val degree : t -> int -> int
+val mem_edge : t -> int -> int -> bool
+val edges : t -> edge list
+val fold_edges : (edge -> 'a -> 'a) -> t -> 'a -> 'a
+val add_edges : t -> edge list -> t
+val remove_edge : t -> int -> int -> t
+val induced : t -> int list -> t * int array
+val equal : t -> t -> bool

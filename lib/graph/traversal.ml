@@ -6,14 +6,12 @@ let bfs_generic g s ~on_tree_edge =
   Queue.push s q;
   while not (Queue.is_empty q) do
     let u = Queue.pop q in
-    List.iter
-      (fun v ->
+    Graph.iter_neighbors g u (fun v ->
         if dist.(v) < 0 then begin
           dist.(v) <- dist.(u) + 1;
           on_tree_edge u v;
           Queue.push v q
         end)
-      (Graph.neighbors g u)
   done;
   dist
 
@@ -114,14 +112,12 @@ let longest_path_length g =
     let seen = Array.make n false in
     let rec dfs v len =
       if len > !best then best := len;
-      List.iter
-        (fun w ->
+      Graph.iter_neighbors g v (fun w ->
           if not seen.(w) then begin
             seen.(w) <- true;
             dfs w (len + 1);
             seen.(w) <- false
           end)
-        (Graph.neighbors g v)
     in
     for s = 0 to n - 1 do
       seen.(s) <- true;

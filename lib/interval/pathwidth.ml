@@ -12,7 +12,7 @@ let boundary_size g nbr_mask s =
 
 let neighbor_masks g =
   Array.init (Graph.n g) (fun v ->
-      List.fold_left (fun acc w -> acc lor (1 lsl w)) 0 (Graph.neighbors g v))
+      Graph.fold_neighbors g v (fun acc w -> acc lor (1 lsl w)) 0)
 
 let check_size g =
   if Graph.n g > 24 then
@@ -69,10 +69,7 @@ let interval_representation_of_layout g order =
   Array.iteri (fun i v -> pos.(v) <- i) order;
   let intervals =
     Array.init n (fun v ->
-        let r =
-          List.fold_left (fun acc w -> max acc pos.(w)) pos.(v)
-            (Graph.neighbors g v)
-        in
+        let r = Graph.fold_neighbors g v (fun acc w -> max acc pos.(w)) pos.(v) in
         Interval.make pos.(v) r)
   in
   Representation.make g intervals
@@ -109,15 +106,17 @@ let heuristic_layout g =
         (* placing v: v joins the boundary if it keeps outside neighbors;
            each placed neighbor of v with outside_deg = 1 leaves it *)
         let leaves =
-          List.fold_left
+          Graph.fold_neighbors g v
             (fun acc w ->
               if placed.(w) && outside_deg.(w) = 1 then acc + 1 else acc)
-            0 (Graph.neighbors g v)
+            0
         in
-        let joins = if outside_deg.(v) - List.length
-                         (List.filter (fun w -> placed.(w)) (Graph.neighbors g v))
-                       > 0 then 1 else 0
+        let placed_nbrs =
+          Graph.fold_neighbors g v
+            (fun acc w -> if placed.(w) then acc + 1 else acc)
+            0
         in
+        let joins = if outside_deg.(v) - placed_nbrs > 0 then 1 else 0 in
         let b = !boundary - leaves + joins in
         if b < !best_b then begin
           best_b := b;
@@ -128,11 +127,12 @@ let heuristic_layout g =
     let v = !best_v in
     placed.(v) <- true;
     order.(i) <- v;
-    List.iter
-      (fun w -> if placed.(w) then outside_deg.(w) <- outside_deg.(w) - 1)
-      (Graph.neighbors g v);
+    Graph.iter_neighbors g v (fun w ->
+        if placed.(w) then outside_deg.(w) <- outside_deg.(w) - 1);
     outside_deg.(v) <-
-      List.length (List.filter (fun w -> not placed.(w)) (Graph.neighbors g v));
+      Graph.fold_neighbors g v
+        (fun acc w -> if not placed.(w) then acc + 1 else acc)
+        0;
     let b = ref 0 in
     for u = 0 to n - 1 do
       if placed.(u) && outside_deg.(u) > 0 then incr b

@@ -335,10 +335,26 @@ let run_job t (job : Manifest.job) : Stats.job_report =
         r_retries = retries;
       }
 
+(* Copy the process-global composition-memo counters and the GC minor
+   allocation count into the timing sink, where they render next to the
+   histogram and merge across pool workers. Counters are process-wide
+   cumulative totals, so [set_counter] (overwrite) keeps one snapshot
+   per process; the pool's [absorb] then sums across processes. *)
+let snapshot_counters t =
+  match t.timing with
+  | None -> ()
+  | Some timing ->
+      List.iter
+        (fun (name, v) -> Timing.set_counter timing name v)
+        (Lcp_cert.Memo.counters ());
+      Timing.set_counter timing "minor_words"
+        (int_of_float (Gc.minor_words ()))
+
 (* Reports are emitted and returned in canonical order (sorted by job
    id), not arrival order, so the JSONL stream of a sequential run is
    byte-comparable with any sharded run of the same manifest. *)
 let run_jobs ?(emit = fun (_ : Stats.job_report) -> ()) t jobs =
   let reports = Stats.sort_reports (List.map (run_job t) jobs) in
   List.iter emit reports;
+  snapshot_counters t;
   (reports, Stats.summarize reports)

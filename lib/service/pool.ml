@@ -104,10 +104,13 @@ let worker_main ~make_engine ~timed shard wfd =
       let wt = if timed then Some (Timing.create ()) else None in
       let engine = make_engine wt in
       let reports = List.map (Engine.run_job engine) shard in
+      Engine.snapshot_counters engine;
       let store = Engine.store engine in
       W_ok
         ( reports,
-          (match wt with Some t -> Timing.samples t | None -> []),
+          (match wt with
+          | Some t -> Timing.samples t
+          | None -> Timing.samples (Timing.create ())),
           Cert_store.stats store,
           Cert_store.degraded store )
     with
@@ -148,6 +151,7 @@ let run_inline ?timing ~make_engine emit jobs =
   let engine = make_engine timing in
   let reports = Stats.sort_reports (List.map (Engine.run_job engine) jobs) in
   List.iter emit reports;
+  Engine.snapshot_counters engine;
   let store = Engine.store engine in
   {
     reports;

@@ -13,7 +13,12 @@
     worker process serializes its samples with [samples] and the pool
     merges them into the parent's sink with [absorb], so percentiles
     over a sharded run are computed from the {e exact} union of
-    samples, identical to what a sequential run would report. *)
+    samples, identical to what a sequential run would report.
+
+    Besides durations the sink carries named integer {e counters}
+    (composition-memo hits/misses, interned states, GC minor words);
+    [absorb] merges them by summation and [pp] renders them on one
+    [counters:] line after the histogram. *)
 
 type stage = Parse | Prove | Encode | Verify | Store
 
@@ -42,16 +47,31 @@ let buf_push b x =
 
 let buf_to_list b = Array.to_list (Array.sub b.data 0 b.len)
 
-type t = (stage * buf) list
-(* assoc over the five fixed stages; tiny, allocation-free on record *)
+type t = {
+  bufs : (stage * buf) list;
+      (* assoc over the five fixed stages; tiny, allocation-free on record *)
+  mutable ctrs : (string * int) list;
+      (* named event counters (memo hits, allocation words, ...) riding
+         along with the histogram; merged across workers by summation *)
+}
 
-let create () : t = List.map (fun s -> (s, buf_create ())) stages
+let create () : t = { bufs = List.map (fun s -> (s, buf_create ())) stages; ctrs = [] }
 
 let now_ns () = Monotonic_clock.now ()
 
 let ms_of_ns ns = Int64.to_float ns /. 1e6
 
-let record (t : t) stage ms = buf_push (List.assoc stage t) ms
+let record (t : t) stage ms = buf_push (List.assoc stage t.bufs) ms
+
+let set_counter (t : t) name v =
+  t.ctrs <- (name, v) :: List.remove_assoc name t.ctrs
+
+let add_counter (t : t) name v =
+  let cur = match List.assoc_opt name t.ctrs with Some c -> c | None -> 0 in
+  set_counter t name (cur + v)
+
+let counters (t : t) =
+  List.sort (fun (a, _) (b, _) -> compare a b) t.ctrs
 
 (** [time t stage f] runs [f ()], recording its duration under [stage]
     when a sink is present. The [option] lives here so call sites stay
@@ -68,21 +88,28 @@ let time (t : t option) stage f =
 (* ---------------------------------------------------------------- *)
 (* cross-process merge                                               *)
 
-type samples = (string * float list) list
-(** the wire form: stage name -> raw samples. Strings rather than the
-    variant so a marshalled payload from a worker of a different build
-    degrades to an error, not a segfault. *)
+type samples = {
+  w_stages : (string * float list) list;
+  w_ctrs : (string * int) list;
+}
+(** the wire form: stage name -> raw samples, plus the counter snapshot.
+    Strings rather than the variant so a marshalled payload from a
+    worker of a different build degrades to an error, not a segfault. *)
 
 let samples (t : t) : samples =
-  List.map (fun (s, b) -> (stage_name s, buf_to_list b)) t
+  {
+    w_stages = List.map (fun (s, b) -> (stage_name s, buf_to_list b)) t.bufs;
+    w_ctrs = t.ctrs;
+  }
 
 let absorb (t : t) (xs : samples) =
   List.iter
     (fun (name, values) ->
-      match List.find_opt (fun (s, _) -> stage_name s = name) t with
+      match List.find_opt (fun (s, _) -> stage_name s = name) t.bufs with
       | Some (_, b) -> List.iter (buf_push b) values
       | None -> ())
-    xs
+    xs.w_stages;
+  List.iter (fun (name, v) -> add_counter t name v) xs.w_ctrs
 
 (* ---------------------------------------------------------------- *)
 (* rendering                                                         *)
@@ -107,7 +134,7 @@ let percentile sorted q =
 
 let report (t : t) : line list =
   List.filter_map
-    (fun (s, b) ->
+    (fun ((s : stage), b) ->
       if b.len = 0 then None
       else begin
         let sorted = Array.sub b.data 0 b.len in
@@ -124,11 +151,19 @@ let report (t : t) : line list =
             l_max = sorted.(b.len - 1);
           }
       end)
-    t
+    t.bufs
+
+let pp_counters ppf (t : t) =
+  match counters t with
+  | [] -> ()
+  | cs ->
+      Format.fprintf ppf "@,counters:";
+      List.iter (fun (name, v) -> Format.fprintf ppf " %s=%d" name v) cs
 
 let pp ppf (t : t) =
   match report t with
-  | [] -> Format.fprintf ppf "timing: no samples"
+  | [] ->
+      Format.fprintf ppf "@[<v>timing: no samples%a@]" pp_counters t
   | lines ->
       Format.fprintf ppf "@[<v>%-8s %8s %12s %10s %10s %10s %10s" "stage"
         "count" "total ms" "p50 ms" "p90 ms" "p99 ms" "max ms";
@@ -137,4 +172,4 @@ let pp ppf (t : t) =
           Format.fprintf ppf "@,%-8s %8d %12.1f %10.3f %10.3f %10.3f %10.3f"
             l.l_stage l.l_count l.l_total_ms l.l_p50 l.l_p90 l.l_p99 l.l_max)
         lines;
-      Format.fprintf ppf "@]"
+      Format.fprintf ppf "%a@]" pp_counters t

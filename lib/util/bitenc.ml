@@ -1,9 +1,36 @@
+(* Bit layout (unchanged since the first encoder): stream bit [i] lives
+   in byte [i/8] at bit offset [i mod 8]. Writes only ever OR into a
+   zero-initialized buffer, so bytes past [len_bits] are always zero.
+
+   [bits]/[read_bits] move whole bytes at a time: a chunk of [take]
+   stream bits maps to a contiguous bit field of one target byte, and
+   the MSB-first value order vs LSB-first stream order mismatch is a
+   single lookup in an 8-bit bit-reversal table. *)
+
+(* rev8.(b) is b with its 8 bits mirrored *)
+let rev8 =
+  let t = Array.make 256 0 in
+  for b = 0 to 255 do
+    let r = ref 0 in
+    for k = 0 to 7 do
+      if b land (1 lsl k) <> 0 then r := !r lor (1 lsl (7 - k))
+    done;
+    t.(b) <- !r
+  done;
+  t
+
 type writer = {
   mutable buf : Bytes.t;
   mutable len_bits : int;
 }
 
-let writer () = { buf = Bytes.make 16 '\000'; len_bits = 0 }
+let writer ?(capacity = 16) () =
+  { buf = Bytes.make (max capacity 1) '\000'; len_bits = 0 }
+
+let reset w =
+  (* only the used prefix can be nonzero (writes are OR-only) *)
+  Bytes.fill w.buf 0 (min (Bytes.length w.buf) ((w.len_bits + 7) / 8)) '\000';
+  w.len_bits <- 0
 
 let ensure w needed_bits =
   let needed_bytes = (w.len_bits + needed_bits + 7) / 8 in
@@ -22,21 +49,35 @@ let bit w b =
   end;
   w.len_bits <- w.len_bits + 1
 
+(* Append the [width] low bits of [x], most-significant first. The chunk
+   of [take] bits destined for byte [i] at offset [off] is the top [take]
+   remaining bits of [x]; placed LSB-of-chunk-last in stream order, its
+   byte contribution is the bit-reversed chunk shifted to [off]. *)
 let bits w ~width x =
   assert (width >= 0 && width <= 62);
   assert (x >= 0 && (width = 62 || x < 1 lsl width));
-  for j = width - 1 downto 0 do
-    bit w (x land (1 lsl j) <> 0)
-  done
+  ensure w width;
+  let pos = ref w.len_bits and remaining = ref width in
+  while !remaining > 0 do
+    let i = !pos lsr 3 and off = !pos land 7 in
+    let take = min !remaining (8 - off) in
+    let chunk = (x lsr (!remaining - take)) land ((1 lsl take) - 1) in
+    let placed = Array.unsafe_get rev8 chunk lsr (8 - take) in
+    Bytes.unsafe_set w.buf i
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get w.buf i) lor (placed lsl off)));
+    pos := !pos + take;
+    remaining := !remaining - take
+  done;
+  w.len_bits <- !pos
 
+(* LEB128-style groups, low group first; each 8-bit group is one [bits]
+   call: continuation flag in the stream-first (value-MSB) position. *)
 let rec varint w x =
   assert (x >= 0);
-  if x < 128 then begin
-    bit w false;
-    bits w ~width:7 x
-  end else begin
-    bit w true;
-    bits w ~width:7 (x land 0x7f);
+  if x < 128 then bits w ~width:8 x
+  else begin
+    bits w ~width:8 (0x80 lor (x land 0x7f));
     varint w (x lsr 7)
   end
 
@@ -45,12 +86,17 @@ let length_bits w = w.len_bits
 let to_bytes w = Bytes.sub w.buf 0 ((w.len_bits + 7) / 8)
 
 type reader = {
-  data : Bytes.t;
-  total_bits : int;
+  mutable data : Bytes.t;
+  mutable total_bits : int;
   mutable pos : int;
 }
 
 let reader data = { data; total_bits = 8 * Bytes.length data; pos = 0 }
+
+let reset_reader r data =
+  r.data <- data;
+  r.total_bits <- 8 * Bytes.length data;
+  r.pos <- 0
 
 let reader_of_writer w =
   { data = to_bytes w; total_bits = w.len_bits; pos = 0 }
@@ -62,18 +108,29 @@ let read_bit r =
   Char.code (Bytes.get r.data i) land (1 lsl off) <> 0
 
 let read_bits r ~width =
-  let rec go acc j =
-    if j = 0 then acc
-    else go ((acc lsl 1) lor (if read_bit r then 1 else 0)) (j - 1)
-  in
-  go 0 width
+  assert (width >= 0 && width <= 62);
+  if r.pos + width > r.total_bits then
+    invalid_arg "Bitenc.read_bit: out of data";
+  let acc = ref 0 in
+  let pos = ref r.pos and remaining = ref width in
+  while !remaining > 0 do
+    let i = !pos lsr 3 and off = !pos land 7 in
+    let take = min !remaining (8 - off) in
+    let chunk =
+      (Char.code (Bytes.unsafe_get r.data i) lsr off) land ((1 lsl take) - 1)
+    in
+    acc := (!acc lsl take) lor (Array.unsafe_get rev8 chunk lsr (8 - take));
+    pos := !pos + take;
+    remaining := !remaining - take
+  done;
+  r.pos <- !pos;
+  !acc
 
 let read_varint r =
   let rec go acc shift =
-    let continue_ = read_bit r in
-    let group = read_bits r ~width:7 in
-    let acc = acc lor (group lsl shift) in
-    if continue_ then go acc (shift + 7) else acc
+    let y = read_bits r ~width:8 in
+    let acc = acc lor ((y land 0x7f) lsl shift) in
+    if y land 0x80 <> 0 then go acc (shift + 7) else acc
   in
   go 0 0
 

@@ -5,9 +5,16 @@
     measured in bits, not approximated from in-memory structure sizes. *)
 
 type writer
-(** Append-only bit buffer. *)
+(** Append-only bit buffer. Preallocated and growable; appends write
+    whole bytes at a time (no per-bit closure or per-bit bounds check on
+    the [bits]/[varint] path). *)
 
-val writer : unit -> writer
+val writer : ?capacity:int -> unit -> writer
+(** [writer ~capacity ()] preallocates [capacity] bytes (default 16). *)
+
+val reset : writer -> unit
+(** Forget the contents and start a fresh stream in the same buffer —
+    reuse a writer across encodes without reallocating. *)
 
 val bit : writer -> bool -> unit
 (** [bit w b] appends a single bit. *)
@@ -32,6 +39,10 @@ type reader
 
 val reader : bytes -> reader
 val reader_of_writer : writer -> reader
+
+val reset_reader : reader -> bytes -> unit
+(** Repoint an existing reader at a new buffer, position 0 — reuse a
+    reader across decodes without reallocating. *)
 
 val read_bit : reader -> bool
 val read_bits : reader -> width:int -> int

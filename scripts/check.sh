@@ -36,3 +36,10 @@ fi
 
 # E10 quick sweep: pool determinism on the bench corpus (< 30 s)
 ./_build/default/bench/main.exe scale quick
+
+# E11 perf gate: hot-path microbenchmarks vs the committed BENCH_PERF.json
+# baseline (allocation counts and speedup ratios are gated tightly;
+# ns/op only against a catastrophic backstop — see EXPERIMENTS.md E11).
+# After a deliberate perf change, refresh the baseline with
+# `./_build/default/bench/main.exe perf update` and commit BENCH_PERF.json.
+./_build/default/bench/main.exe perf quick

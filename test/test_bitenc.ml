@@ -69,6 +69,109 @@ let prop_bit_sequence =
       let r = B.reader_of_writer w in
       List.for_all (fun b -> B.read_bit r = b) bits)
 
+(* the word-at-a-time fast paths must write exactly the bytes the
+   per-[bit] encoding defines: same stream, one bit at a time *)
+let reference_bits w ~width x =
+  for j = width - 1 downto 0 do
+    B.bit w (x land (1 lsl j) <> 0)
+  done
+
+let rec reference_varint w x =
+  if x < 128 then begin
+    B.bit w false;
+    reference_bits w ~width:7 x
+  end
+  else begin
+    B.bit w true;
+    reference_bits w ~width:7 (x land 0x7f);
+    reference_varint w (x lsr 7)
+  end
+
+let arb_ops =
+  QCheck.(
+    list
+      (oneof
+         [
+           map (fun b -> `Bit b) bool;
+           map
+             (fun (width, x) -> `Bits (width, x land ((1 lsl width) - 1)))
+             (pair (int_range 1 24) (int_bound ((1 lsl 24) - 1)));
+           map (fun x -> `Varint x) (int_bound 1_000_000_000);
+         ]))
+
+let prop_word_vs_per_bit =
+  qcheck ~count:300 "bits/varint byte-identical to the per-bit reference"
+    arb_ops
+    (fun ops ->
+      let w = B.writer () and wr = B.writer () in
+      List.iter
+        (fun op ->
+          match op with
+          | `Bit b ->
+              B.bit w b;
+              B.bit wr b
+          | `Bits (width, x) ->
+              B.bits w ~width x;
+              reference_bits wr ~width x
+          | `Varint x ->
+              B.varint w x;
+              reference_varint wr x)
+        ops;
+      B.length_bits w = B.length_bits wr
+      && Bytes.equal (B.to_bytes w) (B.to_bytes wr))
+
+let prop_read_bits_vs_per_bit =
+  qcheck ~count:200 "read_bits/read_varint agree with per-bit reads" arb_ops
+    (fun ops ->
+      let w = B.writer () in
+      List.iter
+        (fun op ->
+          match op with
+          | `Bit b -> B.bit w b
+          | `Bits (width, x) -> B.bits w ~width x
+          | `Varint x -> B.varint w x)
+        ops;
+      let r = B.reader_of_writer w in
+      let rr = B.reader_of_writer w in
+      let read_bits_ref width =
+        let acc = ref 0 in
+        for _ = 1 to width do
+          acc := (!acc lsl 1) lor (if B.read_bit rr then 1 else 0)
+        done;
+        !acc
+      in
+      List.for_all
+        (fun op ->
+          match op with
+          | `Bit b -> B.read_bit r = b && B.read_bit rr = b
+          | `Bits (width, _) -> B.read_bits r ~width = read_bits_ref width
+          | `Varint x ->
+              B.read_varint r = x
+              && (* reference decode, bit by bit *)
+              let rec go acc shift =
+                let continue_ = B.read_bit rr in
+                let group = read_bits_ref 7 in
+                let acc = acc lor (group lsl shift) in
+                if continue_ then go acc (shift + 7) else acc
+              in
+              go 0 0 = x)
+        ops)
+
+let writer_reset_reuse () =
+  let w = B.writer ~capacity:4 () in
+  B.varint w 987654;
+  B.bits w ~width:11 1234;
+  let first = B.to_bytes w in
+  B.reset w;
+  check_int "reset length" 0 (B.length_bits w);
+  B.varint w 987654;
+  B.bits w ~width:11 1234;
+  check "same bytes after reset+rewrite" true (Bytes.equal first (B.to_bytes w));
+  let r = B.reader (Bytes.make 2 '\255') in
+  check_int "pre-reset read" 255 (B.read_bits r ~width:8);
+  B.reset_reader r first;
+  check_int "reader reset decodes" 987654 (B.read_varint r)
+
 let suite =
   ( "bitenc",
     [
@@ -80,4 +183,7 @@ let suite =
       test "reading past the end fails" out_of_data;
       prop_varint_roundtrip;
       prop_bit_sequence;
+      prop_word_vs_per_bit;
+      prop_read_bits_vs_per_bit;
+      test "writer/reader reset and reuse" writer_reset_reuse;
     ] )

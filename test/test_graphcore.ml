@@ -1,0 +1,246 @@
+(* The hot-path equivalence suite behind the CSR graph backend and the
+   composition memo (`dune build @graphcore`).
+
+   Two families of properties:
+
+   1. Backend equivalence. [Lcp_graph.Graph] (CSR) must agree with
+      [Lcp_graph.Graph_ref] (the pre-CSR list implementation, kept
+      verbatim as an oracle) on every observable operation — n/m,
+      neighbors, degree, mem_edge over all vertex pairs, edges order,
+      induced subgraphs, incremental add_edges and remove_edge — over
+      random graphs including duplicates-in-input, near-empty and
+      near-complete cases. Plus a wall-clock regression bound on the
+      10k-edge add/remove path that the old quadratic rebuild cannot
+      meet.
+
+   2. Memo soundness. Proving and verifying with the composition memo
+      disabled and enabled must produce identical certificate bundles
+      (byte-level, via the canonical bundle encoding) and identical
+      verifier outcomes across every property in the service registry.
+      This is the executable form of the memo-soundness argument in
+      DESIGN.md: keys are Marshal images of the exact inputs, so a hit
+      can only return what recomputation would have produced. *)
+
+module G = Lcp_graph.Graph
+module Gref = Lcp_graph.Graph_ref
+module Gen = Lcp_graph.Gen
+module PW = Lcp_interval.Pathwidth
+module PLS = Lcp_pls
+module S = PLS.Scheme
+module Memo = Lcp_cert.Memo
+module Registry = Lcp_service.Registry
+module Bundle = Lcp_service.Bundle
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let test name f = Alcotest.test_case name `Quick f
+
+let qcheck ?(count = 100) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+(* random (n, edge list) with duplicates and both orientations allowed —
+   exercising of_edges' canonicalization, not just clean inputs *)
+let arb_raw_graph =
+  let open QCheck in
+  let gen st =
+    let n = 1 + Random.State.int st 40 in
+    let m = Random.State.int st (3 * n) in
+    let edges =
+      List.init m (fun _ ->
+          let u = Random.State.int st n in
+          let v = Random.State.int st n in
+          (u, v))
+      |> List.filter (fun (u, v) -> u <> v)
+    in
+    (n, edges)
+  in
+  let print (n, es) =
+    Printf.sprintf "n=%d edges=[%s]" n
+      (String.concat ";" (List.map (fun (u, v) -> Printf.sprintf "%d,%d" u v) es))
+  in
+  make ~print gen
+
+let agree (n, edges) =
+  let g = G.of_edges ~n edges and r = Gref.of_edges ~n edges in
+  G.n g = Gref.n r && G.m g = Gref.m r
+  && G.edges g = Gref.edges r
+  && List.for_all
+       (fun v -> G.neighbors g v = Gref.neighbors r v
+                 && G.degree g v = Gref.degree r v)
+       (List.init n (fun v -> v))
+  (* all pairs incl. out-of-range probes *)
+  && List.for_all
+       (fun u ->
+         List.for_all
+           (fun v -> G.mem_edge g u v = Gref.mem_edge r u v)
+           (List.init (n + 2) (fun v -> v - 1)))
+       (List.init (n + 2) (fun u -> u - 1))
+
+let suite_equiv =
+  [
+    qcheck ~count:300 "CSR = ref on n/m/neighbors/degree/mem_edge/edges"
+      arb_raw_graph agree;
+    qcheck ~count:200 "CSR = ref on induced subgraphs" arb_raw_graph
+      (fun (n, edges) ->
+        let g = G.of_edges ~n edges and r = Gref.of_edges ~n edges in
+        let vs = List.filteri (fun i _ -> i mod 2 = 0) (List.init n (fun v -> v)) in
+        let gi, gb = G.induced g vs and ri, rb = Gref.induced r vs in
+        gb = rb && G.edges gi = Gref.edges ri);
+    qcheck ~count:200 "CSR = ref on add_edges" arb_raw_graph
+      (fun (n, edges) ->
+        let split = List.length edges / 2 in
+        let base = List.filteri (fun i _ -> i < split) edges in
+        let extra = List.filteri (fun i _ -> i >= split) edges in
+        let g = G.add_edges (G.of_edges ~n base) extra in
+        let r = Gref.add_edges (Gref.of_edges ~n base) extra in
+        G.edges g = Gref.edges r
+        && G.m g = Gref.m r
+        && G.equal g (G.of_edges ~n edges));
+    qcheck ~count:200 "CSR = ref on remove_edge (edges and non-edges)"
+      arb_raw_graph
+      (fun (n, edges) ->
+        let g = G.of_edges ~n edges and r = Gref.of_edges ~n edges in
+        if n < 2 then true
+        else begin
+          (* one present edge (if any) and one arbitrary pair *)
+          let pairs =
+            (match edges with e :: _ -> [ e ] | [] -> [])
+            @ [ (0, n - 1) ]
+          in
+          List.for_all
+            (fun (u, v) ->
+              G.edges (G.remove_edge g u v) = Gref.edges (Gref.remove_edge r u v))
+            pairs
+        end);
+    test "add_edges returns the same graph when nothing is new" (fun () ->
+        let g = G.of_edges ~n:5 [ (0, 1); (1, 2) ] in
+        check "physically equal" true (G.add_edges g [ (1, 2); (2, 1) ] == g));
+    test "remove_edge of a non-edge returns the same graph" (fun () ->
+        let g = G.of_edges ~n:5 [ (0, 1); (1, 2) ] in
+        check "physically equal" true (G.remove_edge g 0 4 == g));
+    test "iter/fold_neighbors match neighbors" (fun () ->
+        let g = G.of_edges ~n:6 [ (0, 3); (0, 1); (3, 5); (2, 3) ] in
+        for v = 0 to 5 do
+          let l = ref [] in
+          G.iter_neighbors g v (fun w -> l := w :: !l);
+          check_int "iter" (List.length (G.neighbors g v)) (List.length !l);
+          check "iter order" true (List.rev !l = G.neighbors g v);
+          check "fold order" true
+            (List.rev (G.fold_neighbors g v (fun acc w -> w :: acc) [])
+            = G.neighbors g v)
+        done);
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* the 10k-edge incremental rebuild regression (satellite: the seed
+   add_edges/remove_edge rebuilt the whole graph through the full edge
+   list; the incremental path must stay well under a second) *)
+
+let suite_10k =
+  [
+    test "10k-edge graph: 1500 add/remove ops under 10 s" (fun () ->
+        let rng = Random.State.make [| 11 |] in
+        let n = 2000 in
+        let edges =
+          let seen = Hashtbl.create 20011 in
+          while Hashtbl.length seen < 10_000 do
+            let u = Random.State.int rng n and v = Random.State.int rng n in
+            if u <> v then Hashtbl.replace seen (min u v, max u v) ()
+          done;
+          Hashtbl.fold (fun e () acc -> e :: acc) seen []
+        in
+        let g0 = G.of_edges ~n edges in
+        check_int "m" 10_000 (G.m g0);
+        let t0 = Unix.gettimeofday () in
+        let g = ref g0 in
+        for i = 0 to 1499 do
+          let u = Random.State.int rng n and v = Random.State.int rng n in
+          if u <> v then
+            if G.mem_edge !g u v then begin
+              g := G.remove_edge !g u v;
+              ignore i
+            end
+            else g := G.add_edges !g [ (u, v) ]
+        done;
+        let dt = Unix.gettimeofday () -. t0 in
+        check "edge count stayed sane" true (abs (G.m !g - 10_000) <= 1500);
+        if dt > 10.0 then
+          Alcotest.failf "1500 incremental ops took %.1f s (budget 10 s)" dt);
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* memo-on vs memo-off: identical certificate bundles across every
+   registered property *)
+
+let families =
+  [
+    ("path10", Gen.path 10);
+    ("cycle12", Gen.cycle 12);
+    ("even_path8", Gen.path 8);
+    ( "pw2_24",
+      fst (Gen.random_pathwidth (Random.State.make [| 7 |]) ~n:24 ~k:2 ()) );
+  ]
+
+let rep c =
+  let g = PLS.Config.graph c in
+  if G.n g <= 20 then Some (PW.exact_interval_representation g)
+  else Some (PW.heuristic_interval_representation g)
+
+let prove_bundle (module P : Registry.PROPERTY) g =
+  let module T1 = Lcp_cert.Theorem1.Make (P.A) in
+  let scheme = T1.edge_scheme ~rep ~k:2 () in
+  let cfg = PLS.Config.random_ids (Random.State.make [| 42 |]) g in
+  match scheme.S.es_prove cfg with
+  | None -> None
+  | Some labels ->
+      let bundle =
+        match Bundle.encode ~encode_label:scheme.S.es_encode g labels with
+        | Ok b -> b
+        | Error e -> Alcotest.failf "bundle encode failed: %s" e
+      in
+      let outcome = S.run_edge cfg scheme labels in
+      Some (bundle, outcome = S.Accepted)
+
+let memo_equality () =
+  List.iter
+    (fun (pname, prop) ->
+      List.iter
+        (fun (fname, g) ->
+          Memo.enabled := false;
+          Memo.reset_counters ();
+          let off = prove_bundle prop g in
+          check_int (pname ^ "/" ^ fname ^ ": no memo traffic when disabled")
+            0
+            (!Memo.hits + !Memo.misses + !Memo.intern_hits + !Memo.intern_misses);
+          Memo.enabled := true;
+          let on = prove_bundle prop g in
+          (match (off, on) with
+          | None, None -> ()
+          | Some (b_off, ok_off), Some (b_on, ok_on) ->
+              check (pname ^ "/" ^ fname ^ ": bundle bytes identical") true
+                (Bundle.equal b_off b_on);
+              check (pname ^ "/" ^ fname ^ ": verdicts identical") true
+                (ok_off = ok_on)
+          | _ ->
+              Alcotest.failf "%s/%s: memo changed the prover's decision" pname
+                fname))
+        families)
+    (List.map
+       (fun name -> (name, Option.get (Registry.find name)))
+       (Registry.names ()));
+  (* the second (memo-on) pass must actually exercise the tables *)
+  check "memo saw traffic when enabled" true (!Memo.hits + !Memo.misses > 0)
+
+let suite_memo =
+  [
+    test "memo on/off: identical bundles across all 5 properties"
+      memo_equality;
+  ]
+
+let () =
+  Alcotest.run "lcp-graphcore"
+    [
+      ("csr-vs-ref", suite_equiv);
+      ("10k-regression", suite_10k);
+      ("memo", suite_memo);
+    ]

@@ -381,6 +381,48 @@ let engine_cold_warm () =
       check "warm report served" true (r.Stats.r_status = Stats.Served_cached))
     reports
 
+(* the certd footer surfaces memo hit/miss and allocation counters next
+   to the timing histogram: run real jobs through a timed engine and
+   assert the counters are snapshotted, merged, and rendered *)
+let engine_counters () =
+  let jobs =
+    List.init 2 (fun i ->
+        {
+          Manifest.job_id = Printf.sprintf "c%d" i;
+          source =
+            Manifest.Generated { family = "path"; n = 12 + i; gen_seed = i };
+          property = "connected";
+          k = 2;
+          seed = 5;
+        })
+  in
+  let timing = Lcp_service.Timing.create () in
+  let engine = Engine.create ~cache_cap:16 ~timing () in
+  let _, summary = Engine.run_jobs engine jobs in
+  check_int "all served" 2 summary.Stats.s_served;
+  let ctrs = Lcp_service.Timing.counters timing in
+  List.iter
+    (fun name ->
+      check (name ^ " counter present") true (List.mem_assoc name ctrs))
+    [ "memo_hit"; "memo_miss"; "intern_hit"; "intern_miss"; "minor_words" ];
+  check "some memo traffic" true (List.assoc "memo_miss" ctrs > 0);
+  check "allocation counter positive" true (List.assoc "minor_words" ctrs > 0);
+  let footer = Format.asprintf "%a" Lcp_service.Timing.pp timing in
+  check "footer has a counters line" true
+    (let re = "counters:" in
+     let rec find i =
+       i + String.length re <= String.length footer
+       && (String.sub footer i (String.length re) = re || find (i + 1))
+     in
+     find 0);
+  (* absorb must sum counters across workers, not overwrite *)
+  let t2 = Lcp_service.Timing.create () in
+  Lcp_service.Timing.absorb t2 (Lcp_service.Timing.samples timing);
+  Lcp_service.Timing.absorb t2 (Lcp_service.Timing.samples timing);
+  check_int "absorb sums"
+    (2 * List.assoc "memo_miss" ctrs)
+    (List.assoc "memo_miss" (Lcp_service.Timing.counters t2))
+
 let engine_rejects_unknowns () =
   let job source property =
     { Manifest.job_id = "x"; source; property; k = 2; seed = 1 }
@@ -426,6 +468,7 @@ let suite =
       test "store lru" store_lru;
       test "store disk tier" store_disk;
       test "engine cold/warm" engine_cold_warm;
+      test "engine surfaces memo/alloc counters" engine_counters;
       test "engine rejects unknowns" engine_rejects_unknowns;
     ] )
 
