@@ -17,8 +17,13 @@
      timing                   — bechamel micro-benchmarks (prover, verifier,
                                 baseline; one Test.make per reported table)
 
-   Usage: main.exe [e1|e2|e3|e5|e6|e7|faults|service|recovery|timing|all]
-   (default: all). *)
+     E12 (chaos)              — the persistent daemon under concurrent
+                                fault-injected clients: admission
+                                backpressure, worker crash/respawn,
+                                degraded-mode serving, clean SIGTERM drain
+
+   Usage: main.exe [e1|e2|e3|e5|e6|e7|faults|service|recovery|chaos|timing|all]
+   (default: all; `chaos quick` / `scale quick` shrink for CI). *)
 
 module G = Lcp_graph.Graph
 module Gen = Lcp_graph.Gen
@@ -907,6 +912,407 @@ let recovery () =
        orphans swept on reopen.\n\n"
 
 (* ------------------------------------------------------------------ *)
+(* CHAOS: E12 — the persistent daemon under sustained fault injection   *)
+
+(* `bench chaos` treats the daemon the way E9 treats the storage layer:
+   as a system that must keep its invariants while everything around it
+   misbehaves. It forks a certd server whose worker slots carry per-slot
+   fault plans (one slot degrades to memory-only under persistent
+   ENOSPC, the others crash every few store writes, one also silently
+   bit-flips a record on the shared disk tier), then floods it from
+   several concurrent client connections — deliberately past the
+   admission caps, so backpressure is exercised rather than avoided.
+
+   Invariants asserted, all hard:
+   - every accepted submission ends in exactly one terminal reply;
+   - zero corrupt certificates served (no [unsound] status anywhere —
+     bit rot is caught by the record checksum and re-proved);
+   - the admission queue never exceeds its configured cap;
+   - every induced worker death is followed by a respawn: the pool is
+     fully live at the end, no slot permanently stopped;
+   - client-observed rejections equal the server's rejection counters;
+   - SIGTERM after the storm drains and exits 0, unlinking the socket.
+
+   `bench chaos quick` is the check.sh-sized variant (same invariants,
+   ~30 jobs, >= 1 induced crash instead of >= 20). *)
+
+let chaos () =
+  let module Svc = Lcp_service in
+  let module Wire = Svc.Wire in
+  let module Server = Svc.Server in
+  let module Blob = Svc.Blob_io in
+  let quick = Array.length Sys.argv > 2 && Sys.argv.(2) = "quick" in
+  header
+    (if quick then
+       "E12  CHAOS (quick)  daemon under fault-injected concurrent clients"
+     else
+       "E12  CHAOS  daemon under fault-injected concurrent clients (>= 500 \
+        jobs, >= 20 induced crashes)");
+  let fail = ref [] in
+  let check cond msg =
+    if (not cond) && not (List.mem msg !fail) then fail := msg :: !fail
+  in
+  let rec rm_rf p =
+    if Sys.file_exists p then
+      if Sys.is_directory p then begin
+        Array.iter (fun f -> rm_rf (Filename.concat p f)) (Sys.readdir p);
+        Sys.rmdir p
+      end
+      else Sys.remove p
+  in
+  let dir =
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "lcp_chaos_%d" (Unix.getpid ()))
+    in
+    rm_rf d;
+    Sys.mkdir d 0o755;
+    d
+  in
+  let socket_path = Filename.concat dir "certd.sock" in
+  let cache = Filename.concat dir "cache" in
+  (* pre-create the shared disk tier so each plan's op counter starts
+     at the record writes, not the mkdir *)
+  Sys.mkdir cache 0o755;
+  (* campaign shape: past the caps by construction, so both the global
+     and the per-client admission gates fire *)
+  let n_clients = if quick then 2 else 4 in
+  let per_client = if quick then 15 else 140 in
+  let workers = if quick then 2 else 3 in
+  let queue_cap = if quick then 4 else 24 in
+  let client_cap = if quick then 3 else 8 in
+  let window = client_cap + 1 (* one past the quota: rejections are a goal *)
+  and min_restarts = if quick then 1 else 20 in
+  (* per-slot fault plans, reloaded on every respawn (a fresh
+     incarnation gets a fresh op counter — so a crashing slot keeps
+     crashing for the whole campaign):
+     - slot 0 (full mode): persistent ENOSPC after a warm-up — the
+       store degrades to memory-only and the slot keeps serving, as
+       [served_degraded];
+     - crash slots: a couple of records, then a simulated process
+       death on the next store write;
+     - the flip slot silently corrupts one record on the shared tier
+       before its crash, so readers must catch it by checksum. *)
+  let plans =
+    if quick then [| "crash@6"; "fail@6+:ENOSPC" |]
+    else [| "fail@40+:ENOSPC"; "crash@6"; "flip@5:3,crash@12" |]
+  in
+  let make_engine ~worker timing =
+    let plan =
+      match Blob.parse_plan plans.(worker mod Array.length plans) with
+      | Ok p -> p
+      | Error e -> failwith e
+    in
+    let io = fst (Blob.inject ~plan Blob.real) in
+    Svc.Engine.create ~cache_dir:cache ~io ?timing ()
+  in
+  let cfg =
+    {
+      Server.socket_path;
+      workers;
+      queue_cap;
+      client_cap;
+      make_engine;
+      timed = true;
+      verbose = false;
+    }
+  in
+  (* fork the daemon, wait for the socket to accept *)
+  flush stdout;
+  flush stderr;
+  let pid =
+    match Unix.fork () with
+    | 0 ->
+        (try Server.run cfg with _ -> Unix._exit 1);
+        Unix._exit 0
+    | pid -> pid
+  in
+  let dial () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX socket_path);
+    fd
+  in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec wait_up () =
+    match dial () with
+    | fd -> Unix.close fd
+    | exception Unix.Unix_error _ ->
+        if Unix.gettimeofday () > deadline then begin
+          Unix.kill pid Sys.sigkill;
+          failwith "chaos: daemon did not come up within 10s"
+        end;
+        Unix.sleepf 0.02;
+        wait_up ()
+  in
+  wait_up ();
+  (* the workload: mostly distinct instances (tree + distinct gseed),
+     so nearly every job wants a store write and the crash plans keep
+     firing; the paths recur across clients, so the shared cache tier
+     is live too *)
+  let job_line c i =
+    match i mod 4 with
+    | 0 ->
+        Printf.sprintf
+          "id=chaos-c%d-%d gen=tree n=%d gseed=%d property=acyclic k=2 seed=7"
+          c i
+          (8 + (i mod 9))
+          ((c * 1009) + i)
+    | 1 ->
+        Printf.sprintf
+          "id=chaos-c%d-%d gen=tree n=%d gseed=%d property=bipartite k=2 \
+           seed=7"
+          c i
+          (8 + (i mod 9))
+          ((c * 2003) + i)
+    | 2 ->
+        Printf.sprintf
+          "id=chaos-c%d-%d gen=path n=%d property=connected k=2 seed=7" c i
+          (6 + (i mod 20))
+    | _ ->
+        Printf.sprintf
+          "id=chaos-c%d-%d gen=tree n=%d gseed=%d property=triangle_free \
+           k=2 seed=7"
+          c i
+          (8 + (i mod 9))
+          ((c * 4001) + i)
+  in
+  let submit fd serial line =
+    Wire.write_frame fd
+      (Wire.encode_request
+         (Wire.Submit { serial; canonical = true; deadline_ms = 0.0; line }))
+  in
+  (* one multiplexed driver for all the client connections: keep each
+     window full, requeue on Overloaded, demand exactly one terminal
+     reply per serial *)
+  let total = n_clients * per_client in
+  let clients =
+    Array.init n_clients (fun c ->
+        ( dial (),
+          ref (List.init per_client (fun i -> (i, job_line c i))),
+          ref 0 (* in flight *),
+          Array.make per_client 0 (* terminal replies per serial *) ))
+  in
+  let answered = ref 0 in
+  let overloaded = ref 0 in
+  let by_status = Hashtbl.create 8 in
+  let tally s =
+    Hashtbl.replace by_status s (1 + Option.value ~default:0 (Hashtbl.find_opt by_status s))
+  in
+  while !answered < total do
+    Array.iter
+      (fun (fd, pending, inflight, _) ->
+        while !inflight < window && !pending <> [] do
+          let (serial, line), rest =
+            (List.hd !pending, List.tl !pending)
+          in
+          pending := rest;
+          submit fd serial line;
+          incr inflight
+        done)
+      clients;
+    let fds =
+      Array.to_list clients |> List.map (fun (fd, _, _, _) -> fd)
+    in
+    let progressed = ref false in
+    (match Unix.select fds [] [] 30.0 with
+    | [], _, _ -> failwith "chaos: daemon went quiet for 30s mid-campaign"
+    | readable, _, _ ->
+        Array.iteri
+          (fun c (fd, pending, inflight, replies) ->
+            if List.mem fd readable then
+              match Wire.read_frame fd with
+              | None ->
+                  failwith "chaos: daemon closed a connection mid-campaign"
+              | Some payload -> (
+                  match Wire.decode_response payload with
+                  | Ok (Wire.Report { serial; status; _ }) ->
+                      decr inflight;
+                      replies.(serial) <- replies.(serial) + 1;
+                      incr answered;
+                      progressed := true;
+                      tally status
+                  | Ok (Wire.Overloaded { serial; _ }) ->
+                      decr inflight;
+                      incr overloaded;
+                      pending := !pending @ [ (serial, job_line c serial) ]
+                  | Ok r ->
+                      failwith
+                        (Printf.sprintf "chaos: unexpected reply %s"
+                           (Wire.encode_response r))
+                  | Error e -> failwith ("chaos: undecodable reply: " ^ e)))
+          clients);
+    (* a round that was pure backpressure: yield so the workers can
+       drain a slot before the next submission burst *)
+    if not !progressed then Unix.sleepf 0.002
+  done;
+  Array.iter
+    (fun (_, _, _, replies) ->
+      Array.iteri
+        (fun serial n ->
+          check (n = 1)
+            (Printf.sprintf
+               "a submission got %d terminal replies (serial %d), want \
+                exactly 1"
+               n serial))
+        replies)
+    clients;
+  (* recovery wave: the storm is over; the pool must still answer *)
+  let final_answered = ref 0 in
+  Array.iteri
+    (fun c (fd, _, _, _) ->
+      submit fd per_client
+        (Printf.sprintf
+           "id=chaos-final-%d gen=tree n=10 gseed=%d property=acyclic k=2 \
+            seed=7"
+           c (90000 + c));
+      let rec await () =
+        match Wire.read_frame fd with
+        | None -> check false "recovery wave: connection closed"
+        | Some payload -> (
+            match Wire.decode_response payload with
+            | Ok (Wire.Report { status; _ }) ->
+                incr final_answered;
+                tally status
+            | Ok (Wire.Overloaded _) ->
+                (* the queue is empty now, but a slot may still be
+                   rebooting; retry *)
+                Unix.sleepf 0.01;
+                submit fd per_client
+                  (Printf.sprintf
+                     "id=chaos-final-%d gen=tree n=10 gseed=%d \
+                      property=acyclic k=2 seed=7"
+                     c (90000 + c));
+                await ()
+            | Ok _ | Error _ -> check false "recovery wave: bad reply")
+      in
+      await ())
+    clients;
+  check (!final_answered = n_clients) "recovery wave: not every job answered";
+  (* the live stats endpoint is the campaign's scoreboard *)
+  let stats_fd = dial () in
+  Wire.write_frame stats_fd (Wire.encode_request Wire.Stats_req);
+  let stats_json =
+    match Wire.read_frame stats_fd with
+    | Some payload -> (
+        match Wire.decode_response payload with
+        | Ok (Wire.Stats_reply json) -> json
+        | _ -> failwith "chaos: stats endpoint gave a non-stats reply")
+    | None -> failwith "chaos: stats connection closed"
+  in
+  Unix.close stats_fd;
+  let json_int field =
+    let tag = "\"" ^ field ^ "\":" in
+    let rec find i =
+      if i + String.length tag > String.length stats_json then
+        failwith (Printf.sprintf "chaos: field %s missing from stats" field)
+      else if String.sub stats_json i (String.length tag) = tag then begin
+        let j = ref (i + String.length tag) in
+        let start = !j in
+        while
+          !j < String.length stats_json
+          &&
+          match stats_json.[!j] with '0' .. '9' | '-' -> true | _ -> false
+        do
+          incr j
+        done;
+        int_of_string (String.sub stats_json start (!j - start))
+      end
+      else find (i + 1)
+    in
+    find 0
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let restarts = json_int "restarts" in
+  let status_count s = Option.value ~default:0 (Hashtbl.find_opt by_status s) in
+  Printf.printf
+    "%d jobs over %d clients (window %d, queue cap %d, client cap %d, %d \
+     workers)\n"
+    total n_clients window queue_cap client_cap workers;
+  Printf.printf
+    "  terminal replies: %d  (served_fresh %d, served_cached %d, \
+     served_degraded %d, failed %d)\n"
+    (!answered + !final_answered)
+    (status_count "served_fresh")
+    (status_count "served_cached")
+    (status_count "served_degraded")
+    (status_count "failed");
+  Printf.printf
+    "  backpressure: %d client-observed rejections (server: %d overload + \
+     %d quota)\n"
+    !overloaded
+    (json_int "rejected_overload")
+    (json_int "rejected_quota");
+  Printf.printf
+    "  supervision: %d induced worker deaths survived, %d live / %d \
+     stopped slots, %d jobs requeued\n"
+    restarts (json_int "live") (json_int "stopped") (json_int "requeued");
+  Printf.printf
+    "  store under fire: %d corrupt caught, %d quarantined (%d evicted), \
+     %d disk errors, max queue depth %d/%d\n"
+    (json_int "corrupt") (json_int "quarantined")
+    (json_int "quarantine_evictions")
+    (json_int "disk_errors") (json_int "max_depth") queue_cap;
+  check (json_int "unsound" = 0) "a corrupt certificate was served (unsound > 0)";
+  check (status_count "unsound" = 0) "a client saw an unsound reply";
+  check (restarts >= min_restarts)
+    (Printf.sprintf "too few induced worker crashes (%d, want >= %d)"
+       restarts min_restarts);
+  check (json_int "stopped" = 0) "a worker slot was permanently stopped";
+  check (json_int "live" = workers) "the pool is not fully live after the storm";
+  check (json_int "max_depth" <= queue_cap) "the queue exceeded its cap";
+  check (!overloaded > 0) "backpressure was never exercised";
+  check
+    (json_int "rejected_overload" + json_int "rejected_quota" = !overloaded)
+    "server rejection counters disagree with client-observed rejections";
+  check
+    (json_int "submitted" = json_int "completed")
+    "accepted and completed job counts disagree";
+  check
+    (json_int "submitted" = total + n_clients)
+    "the server accepted a different number of jobs than were submitted";
+  check
+    (contains stats_json "\"stage\":\"prove\"")
+    "the stats endpoint reports no prove-stage percentiles";
+  (if not quick then
+     check (total >= 500) "full campaign must push >= 500 jobs");
+  (* clean drain: SIGTERM, every connection must end in EOF, exit 0,
+     socket unlinked *)
+  Unix.kill pid Sys.sigterm;
+  Array.iter
+    (fun (fd, _, _, _) ->
+      let rec drain_eof () =
+        match Wire.read_frame fd with
+        | None -> ()
+        | Some _ -> drain_eof ()
+        | exception (Sys_error _ | Unix.Unix_error _) ->
+            check false "drain: connection did not end in a clean EOF"
+      in
+      drain_eof ();
+      Unix.close fd)
+    clients;
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED c ->
+      check false (Printf.sprintf "drain: daemon exited %d, want 0" c)
+  | _ -> check false "drain: daemon was killed by a signal");
+  check (not (Sys.file_exists socket_path)) "drain: socket not unlinked";
+  rm_rf dir;
+  if !fail <> [] then begin
+    List.iter (fun m -> Printf.eprintf "CHAOS: FAIL — %s\n" m) !fail;
+    exit 1
+  end
+  else
+    Printf.printf
+      "\nAll invariants hold: every submission answered exactly once, zero \
+       corrupt certificates served,\nqueue bounded by its cap, every \
+       induced death respawned, clean SIGTERM drain.\n\n"
+
+(* ------------------------------------------------------------------ *)
 (* timing: bechamel micro-benchmarks                                    *)
 
 let timing () =
@@ -1294,7 +1700,7 @@ let () =
     [
       ("e1", e1); ("e2", e2); ("e3", e3); ("e5", e5); ("e6", e6); ("e7", e7);
       ("faults", faults); ("service", service); ("scale", scale);
-      ("recovery", recovery); ("timing", timing);
+      ("recovery", recovery); ("chaos", chaos); ("timing", timing);
     ]
   in
   (* perf is the regression *gate*, not an experiment: it is run

@@ -9,6 +9,14 @@
    merged output is emitted in canonical job-id order — byte-comparable
    with a --jobs 1 run of the same manifest.
 
+   With --connect SOCKET the binary is a client of a running
+   certd-server daemon instead: jobs are submitted over the unix-domain
+   socket (a bounded window at a time), replies are collected, and the
+   output — progress lines, --jsonl, exit code — is byte-compatible
+   with the batch paths above. Admission refusals (the daemon's queue
+   or this client's quota is full) are retried with a short backoff;
+   that is the client half of the daemon's explicit backpressure.
+
    Examples:
      certd.exe --manifest jobs.manifest
      certd.exe --manifest jobs.manifest --jobs 4 --cache-dir /tmp/certs
@@ -16,6 +24,8 @@
      certd.exe --manifest jobs.manifest --jsonl results.jsonl --quiet
      certd.exe --manifest jobs.manifest --cache-dir /tmp/certs \
        --faults 'fail@3:ENOSPC,torn@5:40'   # storage-fault drill
+     certd.exe --manifest jobs.manifest --connect /tmp/certd.sock
+     certd.exe --connect /tmp/certd.sock --server-stats
      certd.exe --list-properties
 
    Exit codes: 0 all jobs served/declined; 1 some job ended in
@@ -37,12 +47,213 @@ let list_properties () =
   Printf.printf "graph formats: %s\n"
     (Service.Graph_io.supported_formats_doc ())
 
+(* ---------------------------------------------------------------- *)
+(* client mode: drive a running certd-server over its socket         *)
+
+let dial socket_path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  try
+    Unix.connect fd (Unix.ADDR_UNIX socket_path);
+    fd
+  with Unix.Unix_error (e, _, _) ->
+    Printf.eprintf "certd: cannot connect to %s: %s\n" socket_path
+      (Unix.error_message e);
+    exit 2
+
+let client_rpc fd req =
+  Service.Wire.write_frame fd (Service.Wire.encode_request req);
+  match Service.Wire.read_frame fd with
+  | None ->
+      prerr_endline "certd: server closed the connection";
+      exit 2
+  | Some payload -> (
+      match Service.Wire.decode_response payload with
+      | Ok resp -> resp
+      | Error e ->
+          Printf.eprintf "certd: bad response from server: %s\n" e;
+          exit 2)
+
+(* Submit every job and collect the replies. [window] bounds how many
+   submissions this client keeps unanswered — combined with the retry
+   on [Overloaded] below, the client cooperates with the daemon's
+   admission control instead of fighting it. Results are indexed by
+   serial (= manifest order), so the final stable sort by job id
+   reproduces exactly the canonical order of a batch run. *)
+let client_submit fd ~window ~deadline_ms ~emit ~failed jobs =
+  let jobs = Array.of_list jobs in
+  let total = Array.length jobs in
+  let results = Array.make total None in
+  let attempts = Array.make total 0 in
+  let max_attempts = 100 in
+  let pending = Queue.create () in
+  for i = 0 to total - 1 do
+    Queue.push i pending
+  done;
+  let inflight = ref 0 in
+  let completed = ref 0 in
+  let submit serial =
+    Service.Wire.write_frame fd
+      (Service.Wire.encode_request
+         (Service.Wire.Submit
+            {
+              serial;
+              canonical = false;
+              deadline_ms;
+              line = Service.Manifest.print_job jobs.(serial);
+            }));
+    incr inflight
+  in
+  while !completed < total do
+    while (not (Queue.is_empty pending)) && !inflight < window do
+      submit (Queue.pop pending)
+    done;
+    match Service.Wire.read_frame fd with
+    | None ->
+        Printf.eprintf
+          "certd: server closed the connection with %d job(s) unanswered\n"
+          (total - !completed);
+        exit 1
+    | Some payload -> (
+        match Service.Wire.decode_response payload with
+        | Ok (Service.Wire.Report { serial; id; status; json; canonical }) ->
+            decr inflight;
+            incr completed;
+            results.(serial) <- Some (id, status, json, canonical)
+        | Ok (Service.Wire.Overloaded { serial; reason }) ->
+            decr inflight;
+            attempts.(serial) <- attempts.(serial) + 1;
+            if attempts.(serial) >= max_attempts then begin
+              Printf.eprintf "certd: job %s refused %d times (last: %s)\n"
+                jobs.(serial).Service.Manifest.job_id max_attempts reason;
+              exit 1
+            end;
+            (* admission said "later": honor it before resubmitting *)
+            Unix.sleepf 0.05;
+            Queue.push serial pending
+        | Ok (Service.Wire.Err { serial; reason }) ->
+            Printf.eprintf "certd: server rejected %s: %s\n"
+              (if serial >= 0 && serial < total then
+                 jobs.(serial).Service.Manifest.job_id
+               else "a request")
+              reason;
+            exit 1
+        | Ok (Service.Wire.Stats_reply _ | Service.Wire.Pong) ->
+            prerr_endline "certd: unexpected response from server";
+            exit 2
+        | Error e ->
+            Printf.eprintf "certd: bad response from server: %s\n" e;
+            exit 2)
+  done;
+  (* canonical order: stable sort by id over manifest order *)
+  Array.to_list results |> List.filter_map Fun.id
+  |> List.stable_sort (fun (a, _, _, _) (b, _, _, _) -> compare a b)
+  |> List.iter (fun (id, status, json, canonical) ->
+         if List.mem status [ "input_error"; "unsound"; "failed" ] then
+           failed := true;
+         emit ~id ~status ~json ~canonical)
+
+let run_client ~socket_path ~window ~deadline_ms ~server_stats
+    ~server_shutdown ~manifest ~base_dir ~jsonl ~canonical ~quiet =
+  let fd = dial socket_path in
+  let finish code =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    exit code
+  in
+  if server_stats then begin
+    (match client_rpc fd Service.Wire.Stats_req with
+    | Service.Wire.Stats_reply json -> print_endline json
+    | _ ->
+        prerr_endline "certd: unexpected response to stats request";
+        finish 2);
+    finish 0
+  end;
+  if server_shutdown then begin
+    (match client_rpc fd Service.Wire.Shutdown with
+    | Service.Wire.Pong -> ()
+    | _ ->
+        prerr_endline "certd: unexpected response to shutdown request";
+        finish 2);
+    finish 0
+  end;
+  let manifest =
+    match manifest with
+    | Some m -> m
+    | None ->
+        prerr_endline "certd: --connect needs --manifest (or --server-stats)";
+        finish 2
+  in
+  match Service.Manifest.load_file manifest with
+  | Error e ->
+      Printf.eprintf "certd: %s\n" e;
+      finish 2
+  | Ok jobs ->
+      (* file= paths are meaningful in the daemon's process, not ours:
+         resolve them against --base-dir (default: the manifest's
+         directory, exactly as batch mode does) and make them absolute,
+         so the daemon reads the same file whatever its own cwd is *)
+      let base =
+        match base_dir with
+        | Some d -> d
+        | None -> Filename.dirname manifest
+      in
+      let jobs =
+        List.map
+          (fun (j : Service.Manifest.job) ->
+            match j.Service.Manifest.source with
+            | Service.Manifest.File f ->
+                let f =
+                  if Filename.is_relative f then Filename.concat base f else f
+                in
+                let f =
+                  if Filename.is_relative f then
+                    Filename.concat (Unix.getcwd ()) f
+                  else f
+                in
+                { j with Service.Manifest.source = Service.Manifest.File f }
+            | Service.Manifest.Generated _ -> j)
+          jobs
+      in
+      let jsonl_oc =
+        match jsonl with
+        | None -> None
+        | Some "-" -> Some stdout
+        | Some f -> Some (open_out f)
+      in
+      let emit ~id ~status ~json ~canonical:canonical_line =
+        (match jsonl_oc with
+        | Some oc ->
+            output_string oc (if canonical then canonical_line else json);
+            output_char oc '\n'
+        | None -> ());
+        if not quiet then Printf.printf "%-12s %s\n%!" id status
+      in
+      let failed = ref false in
+      client_submit fd ~window ~deadline_ms ~emit ~failed jobs;
+      (match jsonl_oc with
+      | Some oc when oc != stdout -> close_out oc
+      | _ -> ());
+      finish (if !failed then 1 else 0)
+
 let run manifest base_dir cache_cap cache_dir disk_cap faults jsonl canonical
-    passes njobs quiet list_props =
+    passes njobs quiet list_props connect window deadline_ms server_stats
+    server_shutdown =
   if list_props then begin
     list_properties ();
     exit 0
   end;
+  (match connect with
+  | Some socket_path ->
+      if window < 1 then begin
+        prerr_endline "certd: --window must be >= 1";
+        exit 2
+      end;
+      run_client ~socket_path ~window ~deadline_ms ~server_stats
+        ~server_shutdown ~manifest ~base_dir ~jsonl ~canonical ~quiet
+  | None ->
+      if server_stats || server_shutdown then begin
+        prerr_endline "certd: --server-stats/--server-shutdown need --connect";
+        exit 2
+      end);
   let manifest =
     match manifest with
     | Some m -> m
@@ -122,11 +333,8 @@ let run manifest base_dir cache_cap cache_dir disk_cap faults jsonl canonical
                else Service.Stats.to_json r);
             output_char oc '\n'
         | None -> ());
-        (match r.Service.Stats.r_status with
-        | Service.Stats.Input_error _ | Service.Stats.Unsound _
-        | Service.Stats.Failed _ ->
-            failed := true
-        | _ -> ());
+        if Service.Stats.is_failure r.Service.Stats.r_status then
+          failed := true;
         if not quiet then
           Printf.printf "%-12s %-18s k=%d n=%-5d m=%-5d %-13s %8.2f ms%s\n%!"
             r.Service.Stats.r_id r.Service.Stats.r_property
@@ -176,7 +384,16 @@ let run manifest base_dir cache_cap cache_dir disk_cap faults jsonl canonical
                  (if pass = 1 then "(cold)"
                   else "(warm via shared disk tier)");
              let outcome =
-               Service.Pool.run ~emit ~timing ~workers ~make_engine jobs
+               (* on Ctrl-C the pool reaps its workers, then this sweep
+                  removes their half-written .tmp spool files from the
+                  shared disk tier *)
+               Service.Pool.run ~emit ~timing ~workers ~make_engine
+                 ?on_interrupt:
+                   (Option.map
+                      (fun dir () ->
+                        ignore (Service.Pool.sweep_tmp_files dir : int))
+                      cache_dir)
+                 jobs
              in
              Format.printf "%a@." Service.Stats.pp_summary
                outcome.Service.Pool.summary;
@@ -294,12 +511,55 @@ let list_props =
     & info [ "list-properties" ]
         ~doc:"Print the property catalogue and graph formats, then exit.")
 
+let connect =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"SOCKET"
+        ~doc:
+          "Client mode: submit the manifest's jobs to the certd-server \
+           daemon listening on the unix-domain socket $(docv) instead of \
+           running them in-process. Output and exit codes match batch mode.")
+
+let window =
+  Arg.(
+    value & opt int 16
+    & info [ "window" ] ~docv:"N"
+        ~doc:
+          "With --connect: keep at most $(docv) submissions unanswered at \
+           a time.")
+
+let deadline_ms =
+  Arg.(
+    value & opt float 0.0
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "With --connect: per-job deadline budget the daemon's retry \
+           policy must respect. 0 means the daemon's default.")
+
+let server_stats =
+  Arg.(
+    value & flag
+    & info [ "server-stats" ]
+        ~doc:
+          "With --connect: print the daemon's live statistics (queue, \
+           workers, store, stage percentiles) as JSON and exit.")
+
+let server_shutdown =
+  Arg.(
+    value & flag
+    & info [ "server-shutdown" ]
+        ~doc:
+          "With --connect: ask the daemon to drain its queue and exit, as \
+           SIGTERM would.")
+
 let cmd =
   let doc = "batch certification service driver (cached Theorem 1 pipeline)" in
   Cmd.v
     (Cmd.info "certd" ~doc)
     Term.(
       const run $ manifest $ base_dir $ cache_cap $ cache_dir $ disk_cap
-      $ faults $ jsonl $ canonical $ passes $ njobs $ quiet $ list_props)
+      $ faults $ jsonl $ canonical $ passes $ njobs $ quiet $ list_props
+      $ connect $ window $ deadline_ms $ server_stats $ server_shutdown)
 
 let () = exit (Cmd.eval cmd)

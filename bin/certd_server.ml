@@ -1,0 +1,188 @@
+(* The persistent certification daemon: listen on a unix-domain socket,
+   keep a supervised pool of long-lived workers, answer certd --connect
+   clients. The protocol, admission control, and supervision live in
+   Lcp_service.Server; this binary only parses flags and builds the
+   per-worker engine factory.
+
+   Examples:
+     certd_server.exe --socket /tmp/certd.sock --workers 4 \
+       --cache-dir /tmp/certs --base-dir examples/service
+     certd_server.exe --socket /tmp/certd.sock --faults 'torn@9:8' \
+       --timed           # storage-fault drill with stage percentiles
+
+   The daemon runs until SIGTERM/SIGINT or a client's shutdown request,
+   drains its queue through the workers, and exits 0. Exit code 2 is a
+   usage error (bad flag, socket already served). *)
+
+module Service = Lcp_service
+
+let run socket workers queue_cap client_cap cache_cap cache_dir disk_cap
+    degrade_after deadline_ms faults base_dir timed quiet =
+  if workers < 1 then begin
+    prerr_endline "certd-server: --workers must be >= 1";
+    exit 2
+  end;
+  if queue_cap < 1 then begin
+    prerr_endline "certd-server: --queue-cap must be >= 1";
+    exit 2
+  end;
+  let client_cap =
+    match client_cap with
+    | 0 -> Service.Server.default_client_cap queue_cap
+    | n when n >= 1 -> n
+    | _ ->
+        prerr_endline "certd-server: --client-cap must be >= 1";
+        exit 2
+  in
+  let plan =
+    match faults with
+    | None -> None
+    | Some plan_str -> (
+        match Service.Blob_io.parse_plan plan_str with
+        | Error e ->
+            Printf.eprintf "certd-server: --faults: %s\n" e;
+            exit 2
+        | Ok plan -> Some plan)
+  in
+  let retry =
+    if deadline_ms > 0.0 then
+      { Service.Engine.default_retry with deadline_ms }
+    else Service.Engine.default_retry
+  in
+  (* built once inside each worker process, after the fork: private
+     memory tier and fault-plan counters per worker, shared disk tier *)
+  let make_engine ~worker:_ timing =
+    let io =
+      Option.map
+        (fun plan -> fst (Service.Blob_io.inject ~plan Service.Blob_io.real))
+        plan
+    in
+    Service.Engine.create ~cache_cap ?cache_dir ~cache_disk_cap:disk_cap
+      ~degrade_after ?io ~retry ~base_dir ?timing ()
+  in
+  match
+    Service.Server.run
+      {
+        Service.Server.socket_path = socket;
+        workers;
+        queue_cap;
+        client_cap;
+        make_engine;
+        timed;
+        verbose = not quiet;
+      }
+  with
+  | () -> exit 0
+  | exception Sys_error e ->
+      Printf.eprintf "certd-server: %s\n" e;
+      exit 2
+
+open Cmdliner
+
+let socket =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket to listen on (created; removed on exit).")
+
+let workers =
+  Arg.(
+    value & opt int 2
+    & info [ "workers" ] ~docv:"N"
+        ~doc:"Long-lived worker processes in the supervised pool.")
+
+let queue_cap =
+  Arg.(
+    value
+    & opt int Service.Server.default_queue_cap
+    & info [ "queue-cap" ] ~docv:"N"
+        ~doc:
+          "Admission queue bound: jobs waiting for a worker beyond $(docv) \
+           are refused with an overloaded reply, never buffered.")
+
+let client_cap =
+  Arg.(
+    value & opt int 0
+    & info [ "client-cap" ] ~docv:"N"
+        ~doc:
+          "Per-client share of the admission queue, so one flooding \
+           client cannot starve the rest. 0 (the default) means a \
+           quarter of --queue-cap.")
+
+let cache_cap =
+  Arg.(
+    value & opt int 4096
+    & info [ "cache-cap" ] ~docv:"N"
+        ~doc:"In-memory LRU capacity of each worker's certificate store.")
+
+let cache_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "On-disk certificate tier shared by all workers; bundles served \
+           from it are always re-verified locally first.")
+
+let disk_cap =
+  Arg.(
+    value & opt int 0
+    & info [ "disk-cap" ] ~docv:"N"
+        ~doc:
+          "Cap the on-disk tier at $(docv) records (LRU by mtime). 0 \
+           means unbounded.")
+
+let degrade_after =
+  Arg.(
+    value & opt int 3
+    & info [ "degrade-after" ] ~docv:"N"
+        ~doc:
+          "Demote a worker's store to memory-only after $(docv) \
+           consecutive disk failures; it keeps serving, marked degraded.")
+
+let deadline_ms =
+  Arg.(
+    value & opt float 0.0
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Default per-job retry/deadline budget. 0 means unbounded; a \
+           submission may carry its own tighter budget.")
+
+let faults =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"PLAN"
+        ~doc:
+          "Inject storage faults into every worker (testing/drills); same \
+           plan language as certd --faults. A crash fault kills the \
+           worker process — the supervisor respawns it.")
+
+let base_dir =
+  Arg.(
+    value & opt string "."
+    & info [ "base-dir" ] ~docv:"DIR"
+        ~doc:"Directory that file= paths in submitted jobs resolve against.")
+
+let timed =
+  Arg.(
+    value & flag
+    & info [ "timed" ]
+        ~doc:
+          "Collect per-stage timing samples from the workers; they feed \
+           the p50/p90/p99 figures on the stats endpoint.")
+
+let quiet =
+  Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress lifecycle log lines.")
+
+let cmd =
+  let doc = "persistent certification daemon (serves certd --connect)" in
+  Cmd.v
+    (Cmd.info "certd-server" ~doc)
+    Term.(
+      const run $ socket $ workers $ queue_cap $ client_cap $ cache_cap
+      $ cache_dir $ disk_cap $ degrade_after $ deadline_ms $ faults
+      $ base_dir $ timed $ quiet)
+
+let () = exit (Cmd.eval cmd)

@@ -88,6 +88,8 @@ type stats = {
   mutable quarantined : int;  (** corrupt records moved to quarantine/ *)
   mutable orphans_swept : int;  (** .tmp files removed on create *)
   mutable gc_evictions : int;  (** disk records removed by capacity GC *)
+  mutable quarantine_evictions : int;
+      (** quarantined records dropped by the quarantine capacity cap *)
 }
 
 type t = {
@@ -95,6 +97,7 @@ type t = {
   dir : string option;
   io : Blob.t;
   disk_cap : int;  (** max .cert files on disk; <= 0 means unbounded *)
+  quarantine_cap : int;  (** max files kept in quarantine/; <= 0 unbounded *)
   degrade_after : int;
   mutable degraded : bool;
   mutable disk_failures_in_row : int;
@@ -140,8 +143,8 @@ let sweep_orphans t dir =
       (t.io.Blob.list_dir dir)
   with Sys_error _ -> disk_error t
 
-let create ?(cap = 4096) ?dir ?(disk_cap = 0) ?(degrade_after = 3)
-    ?(io = Blob.real) () =
+let create ?(cap = 4096) ?dir ?(disk_cap = 0) ?(quarantine_cap = 64)
+    ?(degrade_after = 3) ?(io = Blob.real) () =
   if cap < 1 then invalid_arg "Cert_store.create: cap must be >= 1";
   if degrade_after < 1 then
     invalid_arg "Cert_store.create: degrade_after must be >= 1";
@@ -160,6 +163,7 @@ let create ?(cap = 4096) ?dir ?(disk_cap = 0) ?(degrade_after = 3)
       dir;
       io;
       disk_cap;
+      quarantine_cap;
       degrade_after;
       degraded = false;
       disk_failures_in_row = 0;
@@ -179,6 +183,7 @@ let create ?(cap = 4096) ?dir ?(disk_cap = 0) ?(degrade_after = 3)
           quarantined = 0;
           orphans_swept = 0;
           gc_evictions = 0;
+          quarantine_evictions = 0;
         };
     }
   in
@@ -293,6 +298,37 @@ let parse_record key s =
                              e_label_bits = label_bits;
                            })))
 
+(* quarantine is post-mortem evidence, not a cache: on a box taking
+   sustained corruption (bad disk, bad RAM) it would otherwise grow one
+   file per fault, forever. It gets the same LRU-by-mtime cap discipline
+   as the live tier — oldest debris goes first, every drop is counted. *)
+let gc_quarantine t dir =
+  if t.quarantine_cap > 0 then begin
+    try
+      let qdir = quarantine_dir dir in
+      let files = Array.to_list (t.io.Blob.list_dir qdir) in
+      let excess = List.length files - t.quarantine_cap in
+      if excess > 0 then begin
+        let victims =
+          List.filter_map
+            (fun f ->
+              match t.io.Blob.mtime (Filename.concat qdir f) with
+              | m -> Some (m, f)
+              | exception Sys_error _ -> None)
+            files
+          |> List.sort compare
+        in
+        List.iteri
+          (fun i (_, f) ->
+            if i < excess then begin
+              t.io.Blob.remove (Filename.concat qdir f);
+              t.stats.quarantine_evictions <- t.stats.quarantine_evictions + 1
+            end)
+          victims
+      end
+    with Sys_error _ -> disk_error t
+  end
+
 let quarantine t dir path =
   t.stats.corrupt <- t.stats.corrupt + 1;
   try
@@ -301,7 +337,8 @@ let quarantine t dir path =
     t.io.Blob.rename path
       (Filename.concat qdir
          (Printf.sprintf "%s.%d" (Filename.basename path) t.stats.corrupt));
-    t.stats.quarantined <- t.stats.quarantined + 1
+    t.stats.quarantined <- t.stats.quarantined + 1;
+    gc_quarantine t dir
   with Sys_error _ -> disk_error t
 
 (* capacity GC: keep at most [disk_cap] records, dropping the ones with
@@ -461,6 +498,7 @@ let add_stats a b =
     quarantined = a.quarantined + b.quarantined;
     orphans_swept = a.orphans_swept + b.orphans_swept;
     gc_evictions = a.gc_evictions + b.gc_evictions;
+    quarantine_evictions = a.quarantine_evictions + b.quarantine_evictions;
   }
 
 (** The persisted records of the disk tier as (file name, content hash)
@@ -483,7 +521,8 @@ let disk_snapshot t =
 let pp_stats ppf s =
   Format.fprintf ppf
     "hits=%d misses=%d insertions=%d evictions=%d disk_loads=%d drops=%d \
-     disk_errors=%d corrupt=%d quarantined=%d orphans_swept=%d \
-     gc_evictions=%d"
+     disk_errors=%d corrupt=%d quarantined=%d quarantine_evictions=%d \
+     orphans_swept=%d gc_evictions=%d"
     s.hits s.misses s.insertions s.evictions s.disk_loads s.drops s.disk_errors
-    s.corrupt s.quarantined s.orphans_swept s.gc_evictions
+    s.corrupt s.quarantined s.quarantine_evictions s.orphans_swept
+    s.gc_evictions

@@ -67,6 +67,8 @@ let create ?(cache_cap = 4096) ?cache_dir ?(cache_disk_cap = 0)
 
 let store t = t.store
 
+let retry t = t.retry
+
 let now_ms () = Unix.gettimeofday () *. 1000.0
 
 (** Run [f attempt] until it returns, retrying on any exception except
@@ -297,12 +299,14 @@ let run_once t (job : Manifest.job) : Stats.job_report =
                             r_total_ms = now_ms () -. t0;
                           })))))
 
-(* the total, retrying entry point: every job reaches a terminal status *)
-let run_job t (job : Manifest.job) : Stats.job_report =
+(* The total, retrying entry point: every job reaches a terminal status.
+   [?retry] overrides the engine's policy for this one job — the daemon
+   uses it to honor a per-job deadline carried in the request without
+   rebuilding the (long-lived, cache-warm) engine. *)
+let run_job ?retry:retry_override t (job : Manifest.job) : Stats.job_report =
   let t0 = now_ms () in
-  match
-    with_retries ~retry:t.retry ~now:now_ms (fun _attempt -> run_once t job)
-  with
+  let retry = Option.value retry_override ~default:t.retry in
+  match with_retries ~retry ~now:now_ms (fun _attempt -> run_once t job) with
   | Ok (report, retries) ->
       let report =
         { report with Stats.r_retries = retries; r_total_ms = now_ms () -. t0 }

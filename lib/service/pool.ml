@@ -143,7 +143,26 @@ let empty_stats () =
     quarantined = 0;
     orphans_swept = 0;
     gc_evictions = 0;
+    quarantine_evictions = 0;
   }
+
+(** Remove the pid-unique [.tmp] spool files under a shared cache
+    directory — the debris a killed worker leaves between its
+    [write_file tmp] and the atomic rename. Returns how many were
+    removed; unreadable directories and vanished files count zero
+    (cleanup must never raise on the interrupt path). *)
+let sweep_tmp_files dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | files ->
+      Array.fold_left
+        (fun acc f ->
+          if Filename.check_suffix f ".tmp" then
+            match Sys.remove (Filename.concat dir f) with
+            | () -> acc + 1
+            | exception Sys_error _ -> acc
+          else acc)
+        0 files
 
 (* N = 1 runs in-process: same engine code, no fork, and [Crashed]
    propagates directly — byte-compatible with the sequential driver *)
@@ -166,9 +185,16 @@ let run_inline ?timing ~make_engine emit jobs =
     the engines at one cache directory to share the disk tier. [emit]
     fires in the parent, once per report, in canonical (job-id) order,
     after all workers finish. Raises [Blob_io.Crashed] if any worker
-    simulated a crash — after all workers were reaped. *)
-let run ?(emit = fun (_ : Stats.job_report) -> ()) ?timing ~workers
-    ~make_engine jobs =
+    simulated a crash — after all workers were reaped.
+
+    While workers are alive, SIGINT is owned by the pool: the handler
+    kills and reaps every child (no orphans holding the shared cache
+    directory), runs [on_interrupt] (the driver passes a tmp-file sweep
+    of that directory here), and exits 130 — instead of the default
+    behavior, which killed the parent and left children running and
+    half-written [.tmp] files behind. *)
+let run ?(emit = fun (_ : Stats.job_report) -> ()) ?timing ?on_interrupt
+    ~workers ~make_engine jobs =
   let workers = max 1 workers in
   if workers = 1 then run_inline ?timing ~make_engine emit jobs
   else begin
@@ -197,6 +223,29 @@ let run ?(emit = fun (_ : Stats.job_report) -> ()) ?timing ~workers
                    Some (pid, rfd)
              end)
     in
+    (* own SIGINT while children are alive: kill them, reap them, let
+       the driver sweep its cache debris, and exit with the
+       conventional 130 *)
+    let prev_int =
+      Sys.signal Sys.sigint
+        (Sys.Signal_handle
+           (fun _ ->
+             List.iter
+               (fun (pid, _) ->
+                 try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+               spawned;
+             List.iter
+               (fun (pid, _) ->
+                 try ignore (Unix.waitpid [] pid)
+                 with Unix.Unix_error _ -> ())
+               spawned;
+             (match on_interrupt with
+             | Some f -> ( try f () with _ -> ())
+             | None -> ());
+             exit 130))
+    in
+    Fun.protect ~finally:(fun () -> Sys.set_signal Sys.sigint prev_int)
+    @@ fun () ->
     (* drain every pipe before reaping: a worker blocked writing a large
        payload must not deadlock against a parent blocked in waitpid *)
     let payloads =

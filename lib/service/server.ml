@@ -1,0 +1,909 @@
+(** The persistent certification daemon: a single-threaded select/poll
+    event loop owning a unix-domain socket, a bounded admission queue,
+    and a supervised pool of long-lived worker processes.
+
+    {b Admission control.} Every [Submit] passes two gates before it is
+    queued: a global cap ([queue_cap]) on jobs waiting for a worker,
+    and a per-client cap ([client_cap]) on how many of those one
+    connection may hold. Either gate refusing answers [Overloaded]
+    immediately — explicit backpressure, never an unbounded buffer —
+    and the counters on the stats endpoint record every refusal.
+    Queued jobs are dispatched round-robin {e across clients}, so a
+    client that floods its quota still cannot starve a client that
+    submits one job at a time.
+
+    {b Worker supervision.} Workers are forked once and live for the
+    daemon's whole life, amortizing the per-batch fork cost of the old
+    one-shot driver to zero and keeping each worker's in-memory cache
+    tier warm across jobs. The parent watches every worker pipe; EOF
+    means the worker died (a real crash, or [Blob_io.Crashed] — a
+    worker that sees a simulated process death [_exit]s, because a
+    dead process does not handle exceptions). The supervisor reaps the
+    corpse, requeues the in-flight job ({e once} — a job that kills
+    two workers is reported [Failed], not retried forever), and forks
+    a replacement into the same slot. A slot whose worker dies three
+    times before ever signalling readiness (e.g. an uncreatable cache
+    directory) is stopped rather than respawned in a hot loop.
+
+    {b Graceful degradation and observability.} A worker whose store
+    demoted to memory-only keeps serving — its reports carry
+    [served_degraded] — and the daemon aggregates per-worker store
+    counters (corruption, quarantine, orphan sweeps) plus the
+    [Timing] percentile machinery into a live [Stats_req] endpoint:
+    p50/p99 per stage, queue depth and high-water mark, drops, worker
+    restarts.
+
+    {b Shutdown.} SIGTERM/SIGINT (via the self-pipe trick, so the
+    handler does nothing async-unsafe) close the listener, refuse new
+    submissions with [Overloaded], drain every queued job through the
+    workers, answer the last client, reap the pool, unlink the socket,
+    and return. *)
+
+type config = {
+  socket_path : string;
+  workers : int;  (** size of the long-lived worker pool, >= 1 *)
+  queue_cap : int;  (** global admission-queue bound, >= 1 *)
+  client_cap : int;  (** per-client share of the queue, >= 1 *)
+  make_engine : worker:int -> Timing.t option -> Engine.t;
+      (** called once {e inside} each worker process, after the fork;
+          [worker] is the pool slot, letting drills give each worker
+          its own fault plan *)
+  timed : bool;  (** ship per-stage samples from workers to the stats sink *)
+  verbose : bool;
+}
+
+let default_queue_cap = 64
+
+let default_client_cap cap = max 1 (cap / 4)
+
+(* ---------------------------------------------------------------- *)
+(* parent <-> worker messages (Marshal inside Wire frames)           *)
+
+type to_worker =
+  | Job of { token : int; job : Manifest.job; deadline_ms : float }
+  | Quit
+
+type from_worker =
+  | Ready  (** engine built; the slot may receive jobs *)
+  | Done of {
+      token : int;
+      report : Stats.job_report;
+      samples : Timing.samples;
+      store_stats : Cert_store.stats;
+      degraded : bool;
+    }
+
+(* the whole life of a worker incarnation: build the engine, announce
+   readiness, then serve jobs until Quit/EOF. A simulated process death
+   (Blob_io.Crashed) exits the process — that is its meaning — and the
+   supervisor sees EOF. *)
+let worker_main ~make_engine ~timed ~idx rfd wfd =
+  let send (msg : from_worker) =
+    Wire.write_frame wfd (Marshal.to_string msg [])
+  in
+  let timing = if timed then Some (Timing.create ()) else None in
+  let engine =
+    match make_engine ~worker:idx timing with
+    | engine -> engine
+    | exception Blob_io.Crashed _ -> Unix._exit 3
+    | exception e ->
+        Printf.eprintf "certd-server worker %d: cannot start: %s\n%!" idx
+          (Printexc.to_string e);
+        Unix._exit 4
+  in
+  (try send Ready with Sys_error _ | Unix.Unix_error _ -> Unix._exit 1);
+  let rec serve () =
+    match Wire.read_frame rfd with
+    | None | Some "" -> Unix._exit 0 (* parent is gone: die quietly *)
+    | exception (Sys_error _ | Unix.Unix_error _) -> Unix._exit 0
+    | Some payload -> (
+        match (Marshal.from_string payload 0 : to_worker) with
+        | Quit -> Unix._exit 0
+        | Job { token; job; deadline_ms } -> (
+            let retry =
+              if deadline_ms > 0.0 then
+                Some { (Engine.retry engine) with Engine.deadline_ms }
+              else None
+            in
+            match Engine.run_job ?retry engine job with
+            | exception Blob_io.Crashed _ -> Unix._exit 3
+            | report ->
+                let samples =
+                  match timing with
+                  | Some t -> Timing.flush t
+                  | None -> { Timing.w_stages = []; w_ctrs = [] }
+                in
+                let store = Engine.store engine in
+                (try
+                   send
+                     (Done
+                        {
+                          token;
+                          report;
+                          samples;
+                          store_stats = Cert_store.stats store;
+                          degraded = Cert_store.degraded store;
+                        })
+                 with Sys_error _ | Unix.Unix_error _ -> Unix._exit 1);
+                serve ()))
+  in
+  serve ()
+
+(* ---------------------------------------------------------------- *)
+(* supervisor state                                                  *)
+
+type job_ctx = {
+  jc_serial : int;  (** the client's token, echoed in the reply *)
+  jc_client : int;
+  jc_job : Manifest.job;
+  jc_deadline_ms : float;
+  mutable jc_retried : bool;  (** already survived one worker death *)
+  mutable jc_token : int;  (** dispatch token of the current attempt *)
+}
+
+type worker = {
+  w_idx : int;
+  mutable w_pid : int;
+  mutable w_to : Unix.file_descr;
+  mutable w_from : Unix.file_descr;
+  mutable w_conn : Wire.conn;
+  mutable w_ready : bool;
+  mutable w_busy : job_ctx option;
+  mutable w_done : int;  (** jobs completed, across all incarnations *)
+  mutable w_preready_deaths : int;  (** consecutive deaths before Ready *)
+  mutable w_stopped : bool;  (** supervisor gave up respawning this slot *)
+  mutable w_last_store : Cert_store.stats option;
+  mutable w_degraded : bool;
+}
+
+type client = {
+  c_id : int;
+  c_fd : Unix.file_descr;
+  c_conn : Wire.conn;
+  c_queue : job_ctx Queue.t;
+  mutable c_alive : bool;
+}
+
+type counters = {
+  mutable submitted : int;
+  mutable completed : int;
+  mutable served : int;  (** fresh + cached + degraded *)
+  mutable served_degraded : int;
+  mutable declined : int;
+  mutable failed : int;
+  mutable input_error : int;
+  mutable unsound : int;
+  mutable requeued : int;  (** jobs given their one post-crash retry *)
+  mutable dropped : int;  (** queued jobs of clients that disconnected *)
+  mutable rejected_overload : int;  (** queue full, or draining *)
+  mutable rejected_quota : int;  (** per-client cap exceeded *)
+  mutable parse_errors : int;
+  mutable restarts : int;  (** workers respawned after a death *)
+  mutable max_queue : int;
+}
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  mutable listening : bool;
+  sig_r : Unix.file_descr;
+  sig_w : Unix.file_descr;
+  timing : Timing.t;
+  workers : worker array;
+  mutable clients : client list;
+  retry_q : job_ctx Queue.t;  (** crash-orphaned jobs, served first *)
+  mutable rr : int;  (** id of the last client a job was taken from *)
+  mutable next_client : int;
+  mutable next_token : int;
+  mutable draining : bool;
+  mutable retired_store : Cert_store.stats;
+      (** summed store counters of dead worker incarnations *)
+  started : float;
+  c : counters;
+}
+
+let queue_depth t =
+  Queue.length t.retry_q
+  + List.fold_left (fun acc c -> acc + Queue.length c.c_queue) 0 t.clients
+
+let inflight t =
+  Array.fold_left
+    (fun acc w -> if w.w_busy <> None then acc + 1 else acc)
+    0 t.workers
+
+let log t fmt =
+  if t.cfg.verbose then Printf.printf ("certd-server: " ^^ fmt ^^ "\n%!")
+  else Printf.ifprintf stdout fmt
+
+(* ---------------------------------------------------------------- *)
+(* worker lifecycle                                                  *)
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let rec reap pid =
+  match Unix.waitpid [] pid with
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> reap pid
+  | exception Unix.Unix_error _ -> ()
+
+let spawn_worker t idx =
+  let w = t.workers.(idx) in
+  let p2w_r, p2w_w = Unix.pipe ~cloexec:false () in
+  let w2p_r, w2p_w = Unix.pipe ~cloexec:false () in
+  (* a child forked mid-buffer would duplicate unflushed output *)
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      (* the child sheds every parent-side fd and the parent's signal
+         disposition before running the worker loop *)
+      Sys.set_signal Sys.sigterm Sys.Signal_default;
+      Sys.set_signal Sys.sigint Sys.Signal_default;
+      if t.listening then close_quietly t.listen_fd;
+      close_quietly t.sig_r;
+      close_quietly t.sig_w;
+      List.iter (fun c -> close_quietly c.c_fd) t.clients;
+      Array.iter
+        (fun other ->
+          if other.w_idx <> idx && other.w_pid > 0 && not other.w_stopped
+          then begin
+            close_quietly other.w_to;
+            close_quietly other.w_from
+          end)
+        t.workers;
+      close_quietly p2w_w;
+      close_quietly w2p_r;
+      worker_main ~make_engine:t.cfg.make_engine ~timed:t.cfg.timed ~idx p2w_r
+        w2p_w
+  | pid ->
+      Unix.close p2w_r;
+      Unix.close w2p_w;
+      w.w_pid <- pid;
+      w.w_to <- p2w_w;
+      w.w_from <- w2p_r;
+      w.w_conn <- Wire.conn_create ();
+      w.w_ready <- false;
+      w.w_busy <- None
+
+(* ---------------------------------------------------------------- *)
+(* replies                                                           *)
+
+let client_dead t c =
+  if c.c_alive then begin
+    c.c_alive <- false;
+    t.c.dropped <- t.c.dropped + Queue.length c.c_queue;
+    Queue.clear c.c_queue;
+    close_quietly c.c_fd;
+    t.clients <- List.filter (fun c' -> c'.c_id <> c.c_id) t.clients
+  end
+
+let reply t c resp =
+  if c.c_alive then
+    try Wire.write_frame c.c_fd (Wire.encode_response resp)
+    with Sys_error _ | Unix.Unix_error _ -> client_dead t c
+
+let find_client t id = List.find_opt (fun c -> c.c_id = id) t.clients
+
+let adopt_client t fd =
+  let c =
+    {
+      c_id = t.next_client;
+      c_fd = fd;
+      c_conn = Wire.conn_create ();
+      c_queue = Queue.create ();
+      c_alive = true;
+    }
+  in
+  t.next_client <- t.next_client + 1;
+  t.clients <- c :: t.clients;
+  log t "client %d connected (%d clients)" c.c_id (List.length t.clients)
+
+(* a parent-made terminal report for a job whose worker died twice *)
+let failed_report (jc : job_ctx) msg =
+  {
+    Stats.r_id = jc.jc_job.Manifest.job_id;
+    r_property = jc.jc_job.Manifest.property;
+    r_k = jc.jc_job.Manifest.k;
+    r_n = 0;
+    r_m = 0;
+    r_status = Stats.Failed msg;
+    r_cache_hit = false;
+    r_prove_ms = 0.0;
+    r_verify_ms = 0.0;
+    r_total_ms = 0.0;
+    r_label_bits = 0;
+    r_bundle_bits = 0;
+    r_reject_reasons = [];
+    r_retries = 1;
+  }
+
+let count_status t (r : Stats.job_report) =
+  t.c.completed <- t.c.completed + 1;
+  match r.Stats.r_status with
+  | Stats.Served_fresh | Stats.Served_cached -> t.c.served <- t.c.served + 1
+  | Stats.Served_degraded ->
+      t.c.served <- t.c.served + 1;
+      t.c.served_degraded <- t.c.served_degraded + 1
+  | Stats.Declined -> t.c.declined <- t.c.declined + 1
+  | Stats.Input_error _ -> t.c.input_error <- t.c.input_error + 1
+  | Stats.Unsound _ -> t.c.unsound <- t.c.unsound + 1
+  | Stats.Failed _ -> t.c.failed <- t.c.failed + 1
+
+let report_response (jc : job_ctx) (r : Stats.job_report) =
+  Wire.Report
+    {
+      serial = jc.jc_serial;
+      id = r.Stats.r_id;
+      status = Stats.status_name r.Stats.r_status;
+      json = Stats.to_json r;
+      canonical = Stats.to_canonical_json r;
+    }
+
+let finish_job t jc (r : Stats.job_report) =
+  count_status t r;
+  match find_client t jc.jc_client with
+  | Some c -> reply t c (report_response jc r)
+  | None -> () (* the requester hung up; the judgement is dropped *)
+
+(* ---------------------------------------------------------------- *)
+(* dispatch: crash-retries first, then round-robin across clients    *)
+
+let next_job t =
+  if not (Queue.is_empty t.retry_q) then Some (Queue.pop t.retry_q)
+  else begin
+    let with_jobs =
+      List.filter (fun c -> not (Queue.is_empty c.c_queue)) t.clients
+      |> List.sort (fun a b -> compare a.c_id b.c_id)
+    in
+    let chosen =
+      match List.find_opt (fun c -> c.c_id > t.rr) with_jobs with
+      | Some c -> Some c
+      | None -> ( match with_jobs with c :: _ -> Some c | [] -> None)
+    in
+    match chosen with
+    | None -> None
+    | Some c ->
+        t.rr <- c.c_id;
+        Some (Queue.pop c.c_queue)
+  end
+
+let idle_worker t =
+  let found = ref None in
+  Array.iter
+    (fun w ->
+      if
+        !found = None && w.w_ready && w.w_busy = None && not w.w_stopped
+        && w.w_pid > 0
+      then found := Some w)
+    t.workers;
+  !found
+
+let rec dispatch t =
+  match idle_worker t with
+  | None -> ()
+  | Some w -> (
+      match next_job t with
+      | None -> ()
+      | Some jc ->
+          let token = t.next_token in
+          t.next_token <- t.next_token + 1;
+          jc.jc_token <- token;
+          w.w_busy <- Some jc;
+          (match
+             Wire.write_frame w.w_to
+               (Marshal.to_string
+                  (Job
+                     {
+                       token;
+                       job = jc.jc_job;
+                       deadline_ms = jc.jc_deadline_ms;
+                     })
+                  [])
+           with
+          | () -> ()
+          | exception (Sys_error _ | Unix.Unix_error _) ->
+              (* the worker died under us; hand the job back untouched
+                 (it never started, so this is not its one retry) and
+                 let the EOF path reap and respawn *)
+              w.w_busy <- None;
+              Queue.push jc t.retry_q);
+          dispatch t)
+
+(* ---------------------------------------------------------------- *)
+(* the stats endpoint                                                *)
+
+let store_totals t =
+  Array.fold_left
+    (fun acc w ->
+      match w.w_last_store with
+      | Some s -> Cert_store.add_stats acc s
+      | None -> acc)
+    t.retired_store t.workers
+
+let stats_json t =
+  let live =
+    Array.fold_left
+      (fun acc w -> if w.w_pid > 0 && not w.w_stopped then acc + 1 else acc)
+      0 t.workers
+  in
+  let stopped =
+    Array.fold_left
+      (fun acc w -> if w.w_stopped then acc + 1 else acc)
+      0 t.workers
+  in
+  let degraded = Array.exists (fun w -> w.w_degraded) t.workers in
+  let s = store_totals t in
+  Printf.sprintf
+    "{\"uptime_s\":%.3f,\"draining\":%b,\"queue\":{\"depth\":%d,\"cap\":%d,\"max_depth\":%d,\"client_cap\":%d,\"inflight\":%d},\"jobs\":{\"submitted\":%d,\"completed\":%d,\"served\":%d,\"served_degraded\":%d,\"declined\":%d,\"failed\":%d,\"input_error\":%d,\"unsound\":%d,\"requeued\":%d,\"dropped\":%d},\"admission\":{\"rejected_overload\":%d,\"rejected_quota\":%d,\"parse_errors\":%d},\"workers\":{\"configured\":%d,\"live\":%d,\"restarts\":%d,\"stopped\":%d,\"degraded\":%b},\"store\":{\"hits\":%d,\"misses\":%d,\"insertions\":%d,\"corrupt\":%d,\"quarantined\":%d,\"quarantine_evictions\":%d,\"orphans_swept\":%d,\"disk_errors\":%d,\"gc_evictions\":%d},\"stages\":%s}"
+    (Unix.gettimeofday () -. t.started)
+    t.draining (queue_depth t) t.cfg.queue_cap t.c.max_queue t.cfg.client_cap
+    (inflight t) t.c.submitted t.c.completed t.c.served t.c.served_degraded
+    t.c.declined t.c.failed t.c.input_error t.c.unsound t.c.requeued
+    t.c.dropped t.c.rejected_overload t.c.rejected_quota t.c.parse_errors
+    t.cfg.workers live t.c.restarts stopped degraded s.Cert_store.hits
+    s.Cert_store.misses s.Cert_store.insertions s.Cert_store.corrupt
+    s.Cert_store.quarantined s.Cert_store.quarantine_evictions
+    s.Cert_store.orphans_swept s.Cert_store.disk_errors
+    s.Cert_store.gc_evictions
+    (Timing.report_json t.timing)
+
+(* ---------------------------------------------------------------- *)
+(* request handling                                                  *)
+
+let begin_drain t =
+  if not t.draining then begin
+    t.draining <- true;
+    if t.listening then begin
+      (* a client whose connect() already completed into the backlog is
+         committed: closing the listener would RST it and silently drop
+         whatever it wrote. Adopt every pending connection first — its
+         requests get answered (submissions with Overloaded, since we
+         are draining) before the final close. *)
+      (try Unix.set_nonblock t.listen_fd with Unix.Unix_error _ -> ());
+      let rec adopt_backlog () =
+        match Unix.accept t.listen_fd with
+        | fd, _ ->
+            (try Unix.clear_nonblock fd with Unix.Unix_error _ -> ());
+            adopt_client t fd;
+            adopt_backlog ()
+        | exception Unix.Unix_error _ -> ()
+      in
+      adopt_backlog ();
+      close_quietly t.listen_fd;
+      t.listening <- false;
+      (try Sys.remove t.cfg.socket_path with Sys_error _ -> ())
+    end;
+    log t "draining: %d queued, %d in flight" (queue_depth t) (inflight t)
+  end
+
+let handle_request t c req =
+  match req with
+  | Wire.Ping -> reply t c Wire.Pong
+  | Wire.Stats_req -> reply t c (Wire.Stats_reply (stats_json t))
+  | Wire.Shutdown ->
+      reply t c Wire.Pong;
+      begin_drain t
+  | Wire.Submit { serial; canonical = _; deadline_ms; line } ->
+      if t.draining then begin
+        t.c.rejected_overload <- t.c.rejected_overload + 1;
+        reply t c (Wire.Overloaded { serial; reason = "server is draining" })
+      end
+      else if queue_depth t >= t.cfg.queue_cap then begin
+        t.c.rejected_overload <- t.c.rejected_overload + 1;
+        reply t c
+          (Wire.Overloaded
+             {
+               serial;
+               reason =
+                 Printf.sprintf "admission queue full (cap %d)" t.cfg.queue_cap;
+             })
+      end
+      else if Queue.length c.c_queue >= t.cfg.client_cap then begin
+        t.c.rejected_quota <- t.c.rejected_quota + 1;
+        reply t c
+          (Wire.Overloaded
+             {
+               serial;
+               reason =
+                 Printf.sprintf "client quota exceeded (cap %d)"
+                   t.cfg.client_cap;
+             })
+      end
+      else begin
+        match Manifest.parse line with
+        | Error e ->
+            t.c.parse_errors <- t.c.parse_errors + 1;
+            reply t c (Wire.Err { serial; reason = e })
+        | Ok [] ->
+            t.c.parse_errors <- t.c.parse_errors + 1;
+            reply t c (Wire.Err { serial; reason = "no job in submission" })
+        | Ok (_ :: _ :: _) ->
+            t.c.parse_errors <- t.c.parse_errors + 1;
+            reply t c
+              (Wire.Err
+                 { serial; reason = "a submission is exactly one job line" })
+        | Ok [ job ] ->
+            t.c.submitted <- t.c.submitted + 1;
+            Queue.push
+              {
+                jc_serial = serial;
+                jc_client = c.c_id;
+                jc_job = job;
+                jc_deadline_ms = deadline_ms;
+                jc_retried = false;
+                jc_token = -1;
+              }
+              c.c_queue;
+            t.c.max_queue <- max t.c.max_queue (queue_depth t);
+            dispatch t
+      end
+
+let on_client_readable t c =
+  let chunk = Bytes.create 65536 in
+  match Unix.read c.c_fd chunk 0 (Bytes.length chunk) with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      () (* a signal, not a hangup; select will re-report the fd *)
+  | exception Unix.Unix_error _ -> client_dead t c
+  | 0 -> client_dead t c
+  | n -> (
+      Wire.conn_feed c.c_conn chunk n;
+      try
+        let rec drain () =
+          match Wire.conn_next c.c_conn with
+          | None -> ()
+          | Some payload ->
+              (match Wire.decode_request payload with
+              | Ok req -> handle_request t c req
+              | Error e -> reply t c (Wire.Err { serial = -1; reason = e }));
+              if c.c_alive then drain ()
+        in
+        drain ()
+      with Sys_error _ -> client_dead t c (* over-cap frame: cut the cord *))
+
+(* ---------------------------------------------------------------- *)
+(* worker events                                                     *)
+
+let handle_done t w (token, report, samples, store_stats, degraded) =
+  Timing.absorb t.timing samples;
+  w.w_last_store <- Some store_stats;
+  w.w_degraded <- degraded;
+  match w.w_busy with
+  | Some jc when jc.jc_token = token ->
+      w.w_busy <- None;
+      w.w_done <- w.w_done + 1;
+      finish_job t jc report;
+      dispatch t
+  | _ ->
+      (* a stale or duplicated token: nothing sane to attribute it to *)
+      log t "worker %d: dropped result with stale token %d" w.w_idx token
+
+let worker_died t w =
+  reap w.w_pid;
+  close_quietly w.w_to;
+  close_quietly w.w_from;
+  w.w_pid <- -1;
+  (* the in-flight job gets exactly one more chance on another worker *)
+  (match w.w_busy with
+  | Some jc ->
+      w.w_busy <- None;
+      if jc.jc_retried then
+        finish_job t jc
+          (failed_report jc
+             (Printf.sprintf
+                "worker died twice running this job (last in slot %d)" w.w_idx))
+      else begin
+        jc.jc_retried <- true;
+        t.c.requeued <- t.c.requeued + 1;
+        Queue.push jc t.retry_q
+      end
+  | None -> ());
+  if not w.w_ready then begin
+    w.w_preready_deaths <- w.w_preready_deaths + 1;
+    if w.w_preready_deaths >= 3 then begin
+      w.w_stopped <- true;
+      log t "worker slot %d stopped: died %d times before becoming ready"
+        w.w_idx w.w_preready_deaths
+    end
+  end;
+  if not w.w_stopped then begin
+    t.c.restarts <- t.c.restarts + 1;
+    spawn_worker t w.w_idx;
+    log t "worker slot %d respawned as pid %d" w.w_idx w.w_pid
+  end
+  else if Array.for_all (fun w -> w.w_stopped) t.workers then begin
+    (* no worker will ever run again: fail everything queued loudly
+       instead of letting clients wait forever *)
+    let fail_queue q =
+      Queue.iter
+        (fun jc ->
+          finish_job t jc (failed_report jc "no live workers remain"))
+        q;
+      Queue.clear q
+    in
+    fail_queue t.retry_q;
+    List.iter (fun c -> fail_queue c.c_queue) t.clients
+  end;
+  dispatch t
+
+let on_worker_readable t w =
+  let chunk = Bytes.create 65536 in
+  let drain_frames () =
+    let rec go () =
+      match Wire.conn_next w.w_conn with
+      | None -> ()
+      | Some payload ->
+          (match (Marshal.from_string payload 0 : from_worker) with
+          | Ready ->
+              w.w_ready <- true;
+              w.w_preready_deaths <- 0;
+              dispatch t
+          | Done { token; report; samples; store_stats; degraded } ->
+              handle_done t w (token, report, samples, store_stats, degraded));
+          go ()
+    in
+    go ()
+  in
+  match Unix.read w.w_from chunk 0 (Bytes.length chunk) with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error _ -> worker_died t w
+  | 0 ->
+      drain_frames ();
+      worker_died t w
+  | n ->
+      Wire.conn_feed w.w_conn chunk n;
+      drain_frames ()
+
+(* ---------------------------------------------------------------- *)
+(* accept / select loop                                              *)
+
+let on_accept t =
+  match Unix.accept t.listen_fd with
+  | exception Unix.Unix_error _ -> ()
+  | fd, _ -> adopt_client t fd
+
+(* The last act of a drain: requests a client wrote before the shutdown
+   signal may still sit unread in the socket buffer (on a unix socket
+   the client's writes landed there synchronously). Closing the fd with
+   them unread would RST the connection and silently drop them — so
+   slurp whatever is buffered and answer it (submissions are refused
+   with Overloaded, since we are draining). *)
+let final_client_sweep t =
+  List.iter
+    (fun c ->
+      if c.c_alive then begin
+        (try Unix.set_nonblock c.c_fd with Unix.Unix_error _ -> ());
+        let chunk = Bytes.create 65536 in
+        let rec slurp () =
+          match Unix.read c.c_fd chunk 0 (Bytes.length chunk) with
+          | 0 -> ()
+          | n ->
+              Wire.conn_feed c.c_conn chunk n;
+              slurp ()
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            ->
+              ()
+          | exception Unix.Unix_error _ -> ()
+        in
+        slurp ();
+        (try Unix.clear_nonblock c.c_fd with Unix.Unix_error _ -> ());
+        try
+          let rec drain () =
+            match Wire.conn_next c.c_conn with
+            | None -> ()
+            | Some payload ->
+                (match Wire.decode_request payload with
+                | Ok req -> handle_request t c req
+                | Error e -> reply t c (Wire.Err { serial = -1; reason = e }));
+                if c.c_alive then drain ()
+          in
+          drain ()
+        with Sys_error _ -> client_dead t c
+      end)
+    t.clients
+
+let finish t =
+  final_client_sweep t;
+  (* the queue is drained and every worker is idle: dismiss the pool *)
+  Array.iter
+    (fun w ->
+      if w.w_pid > 0 && not w.w_stopped then begin
+        (try Wire.write_frame w.w_to (Marshal.to_string Quit [])
+         with Sys_error _ | Unix.Unix_error _ -> ());
+        close_quietly w.w_to;
+        close_quietly w.w_from;
+        reap w.w_pid;
+        (match w.w_last_store with
+        | Some s ->
+            t.retired_store <- Cert_store.add_stats t.retired_store s;
+            w.w_last_store <- None
+        | None -> ());
+        w.w_pid <- -1
+      end)
+    t.workers;
+  List.iter (fun c -> close_quietly c.c_fd) t.clients;
+  t.clients <- [];
+  if t.listening then begin
+    close_quietly t.listen_fd;
+    t.listening <- false;
+    try Sys.remove t.cfg.socket_path with Sys_error _ -> ()
+  end;
+  close_quietly t.sig_r;
+  close_quietly t.sig_w;
+  log t
+    "drained: %d submitted, %d completed (%d served, %d failed), %d \
+     restarts, max queue %d"
+    t.c.submitted t.c.completed t.c.served t.c.failed t.c.restarts
+    t.c.max_queue
+
+let rec loop t =
+  dispatch t;
+  if t.draining && queue_depth t = 0 && inflight t = 0 then finish t
+  else begin
+    let fds =
+      (if t.listening then [ t.listen_fd ] else [])
+      @ [ t.sig_r ]
+      @ List.map (fun c -> c.c_fd) t.clients
+      @ Array.to_list
+          (Array.of_seq
+             (Seq.filter_map
+                (fun w ->
+                  if w.w_pid > 0 && not w.w_stopped then Some w.w_from
+                  else None)
+                (Array.to_seq t.workers)))
+    in
+    match Unix.select fds [] [] 1.0 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop t
+    | readable, _, _ ->
+        if List.mem t.sig_r readable then begin
+          let b = Bytes.create 64 in
+          (try ignore (Unix.read t.sig_r b 0 64)
+           with Unix.Unix_error _ -> ());
+          begin_drain t
+        end;
+        if t.listening && List.mem t.listen_fd readable then on_accept t;
+        (* snapshot: handlers mutate t.clients/worker fds as they run *)
+        List.iter
+          (fun c ->
+            if c.c_alive && List.mem c.c_fd readable then
+              on_client_readable t c)
+          t.clients;
+        Array.iter
+          (fun w ->
+            if w.w_pid > 0 && not w.w_stopped && List.mem w.w_from readable
+            then on_worker_readable t w)
+          t.workers;
+        loop t
+  end
+
+(* ---------------------------------------------------------------- *)
+(* entry point                                                       *)
+
+(** Run the daemon until it is told to stop (SIGTERM, SIGINT, or a
+    [Shutdown] request), then drain and return. Raises [Sys_error] if
+    the socket cannot be bound. *)
+let run (cfg : config) =
+  if cfg.workers < 1 then invalid_arg "Server.run: workers must be >= 1";
+  if cfg.queue_cap < 1 then invalid_arg "Server.run: queue_cap must be >= 1";
+  if cfg.client_cap < 1 then invalid_arg "Server.run: client_cap must be >= 1";
+  (* a stale socket file from a dead daemon would make bind fail; a live
+     one must win, so probe it before unlinking *)
+  if Sys.file_exists cfg.socket_path then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX cfg.socket_path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    close_quietly probe;
+    if live then
+      raise
+        (Sys_error
+           (Printf.sprintf "%s: a server is already listening here"
+              cfg.socket_path));
+    try Sys.remove cfg.socket_path with Sys_error _ -> ()
+  end;
+  let sig_r, sig_w = Unix.pipe ~cloexec:false () in
+  (* the signal plumbing must be live BEFORE the socket is bound: the
+     moment [listen] returns a client can connect, submit, and send
+     SIGTERM — and with the default disposition still in place that
+     kills the daemon mid-startup, RSTing the client's submissions
+     instead of draining them *)
+  let on_signal _ =
+    try ignore (Unix.write sig_w (Bytes.of_string "x") 0 1)
+    with Unix.Unix_error _ -> ()
+  in
+  (* a flooding client that stops reading must cost an EPIPE we absorb,
+     not a process death *)
+  let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle on_signal) in
+  let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle on_signal) in
+  let restore_signals () =
+    Sys.set_signal Sys.sigpipe prev_pipe;
+    Sys.set_signal Sys.sigterm prev_term;
+    Sys.set_signal Sys.sigint prev_int
+  in
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+     Unix.listen listen_fd 64
+   with Unix.Unix_error (e, _, _) ->
+     close_quietly listen_fd;
+     close_quietly sig_r;
+     close_quietly sig_w;
+     restore_signals ();
+     raise
+       (Sys_error
+          (Printf.sprintf "%s: %s" cfg.socket_path (Unix.error_message e))));
+  let t =
+    {
+      cfg;
+      listen_fd;
+      listening = true;
+      sig_r;
+      sig_w;
+      timing = Timing.create ();
+      workers =
+        Array.init cfg.workers (fun w_idx ->
+            {
+              w_idx;
+              w_pid = -1;
+              w_to = Unix.stdin;
+              w_from = Unix.stdin;
+              w_conn = Wire.conn_create ();
+              w_ready = false;
+              w_busy = None;
+              w_done = 0;
+              w_preready_deaths = 0;
+              w_stopped = false;
+              w_last_store = None;
+              w_degraded = false;
+            });
+      clients = [];
+      retry_q = Queue.create ();
+      rr = -1;
+      next_client = 0;
+      next_token = 0;
+      draining = false;
+      retired_store =
+        {
+          Cert_store.hits = 0;
+          misses = 0;
+          insertions = 0;
+          evictions = 0;
+          disk_loads = 0;
+          drops = 0;
+          disk_errors = 0;
+          corrupt = 0;
+          quarantined = 0;
+          orphans_swept = 0;
+          gc_evictions = 0;
+          quarantine_evictions = 0;
+        };
+      started = Unix.gettimeofday ();
+      c =
+        {
+          submitted = 0;
+          completed = 0;
+          served = 0;
+          served_degraded = 0;
+          declined = 0;
+          failed = 0;
+          input_error = 0;
+          unsound = 0;
+          requeued = 0;
+          dropped = 0;
+          rejected_overload = 0;
+          rejected_quota = 0;
+          parse_errors = 0;
+          restarts = 0;
+          max_queue = 0;
+        };
+    }
+  in
+  Fun.protect ~finally:restore_signals (fun () ->
+      for idx = 0 to cfg.workers - 1 do
+        spawn_worker t idx
+      done;
+      log t "listening on %s (%d workers, queue cap %d, client cap %d)"
+        cfg.socket_path cfg.workers cfg.queue_cap cfg.client_cap;
+      loop t)

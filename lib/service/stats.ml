@@ -26,6 +26,13 @@ let status_name = function
   | Unsound _ -> "unsound"
   | Failed _ -> "failed"
 
+(** Statuses that make a batch (or a connected client) exit nonzero:
+    the job reached a terminal state with nothing sound served and the
+    workload itself was not at fault the way a [Declined] is. *)
+let is_failure = function
+  | Input_error _ | Unsound _ | Failed _ -> true
+  | Served_fresh | Served_cached | Served_degraded | Declined -> false
+
 type job_report = {
   r_id : string;
   r_property : string;

@@ -111,6 +111,19 @@ let absorb (t : t) (xs : samples) =
     xs.w_stages;
   List.iter (fun (name, v) -> add_counter t name v) xs.w_ctrs
 
+(** Drop every sample and counter, keeping the sink itself. *)
+let reset (t : t) =
+  List.iter (fun (_, b) -> b.len <- 0) t.bufs;
+  t.ctrs <- []
+
+(** Take the sink's samples and reset it: the shipping discipline of a
+    long-lived daemon worker, which flushes after every job so the
+    supervisor absorbs each job's stage durations exactly once. *)
+let flush (t : t) : samples =
+  let s = samples t in
+  reset t;
+  s
+
 (* ---------------------------------------------------------------- *)
 (* rendering                                                         *)
 
@@ -152,6 +165,16 @@ let report (t : t) : line list =
           }
       end)
     t.bufs
+
+(** The percentile lines as a JSON array, for the daemon's live stats
+    endpoint — same numbers [pp] renders as the histogram footer. *)
+let report_json (t : t) =
+  let line l =
+    Printf.sprintf
+      "{\"stage\":\"%s\",\"count\":%d,\"total_ms\":%.3f,\"p50_ms\":%.3f,\"p90_ms\":%.3f,\"p99_ms\":%.3f,\"max_ms\":%.3f}"
+      l.l_stage l.l_count l.l_total_ms l.l_p50 l.l_p90 l.l_p99 l.l_max
+  in
+  "[" ^ String.concat "," (List.map line (report t)) ^ "]"
 
 let pp_counters ppf (t : t) =
   match counters t with

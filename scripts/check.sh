@@ -34,6 +34,52 @@ if ! cmp -s "$tmp/j1" "$tmp/j2"; then
   exit 1
 fi
 
+# daemon smoke test: a certd-server on a tmp socket must serve 3 jobs
+# submitted via `certd --connect`, the canonical JSONL must be
+# byte-identical to batch mode, and SIGTERM must drain cleanly (exit 0,
+# socket unlinked)
+cat > "$tmp/daemon.manifest" <<EOF
+id=ring file=$PWD/examples/service/ring.dimacs property=connected k=2 seed=1
+id=tree16 gen=tree n=16 gseed=4 property=acyclic k=3
+id=match12 gen=path n=12 property=perfect_matching k=1
+EOF
+./_build/default/bin/certd.exe --manifest "$tmp/daemon.manifest" \
+  --jobs 1 --jsonl "$tmp/batch.jsonl" --canonical --quiet
+./_build/default/bin/certd_server.exe --socket "$tmp/certd.sock" \
+  --workers 2 --quiet &
+server_pid=$!
+i=0
+until [ -S "$tmp/certd.sock" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "check.sh: certd-server did not come up within 10s" >&2
+    kill -KILL "$server_pid" 2>/dev/null || true
+    exit 1
+  fi
+  sleep 0.1
+done
+./_build/default/bin/certd.exe --manifest "$tmp/daemon.manifest" \
+  --connect "$tmp/certd.sock" --jsonl "$tmp/daemon.jsonl" --canonical --quiet
+if ! cmp -s "$tmp/batch.jsonl" "$tmp/daemon.jsonl"; then
+  echo "check.sh: daemon and batch mode disagree on the canonical JSONL" >&2
+  diff "$tmp/batch.jsonl" "$tmp/daemon.jsonl" >&2 || true
+  kill -KILL "$server_pid" 2>/dev/null || true
+  exit 1
+fi
+kill -TERM "$server_pid"
+if ! wait "$server_pid"; then
+  echo "check.sh: certd-server did not exit 0 on SIGTERM" >&2
+  exit 1
+fi
+if [ -e "$tmp/certd.sock" ]; then
+  echo "check.sh: certd-server left its socket behind" >&2
+  exit 1
+fi
+
+# E12 quick chaos drill: the daemon under fault-injected concurrent
+# clients — backpressure, crash/respawn, degraded serving, clean drain
+./_build/default/bench/main.exe chaos quick
+
 # E10 quick sweep: pool determinism on the bench corpus (< 30 s)
 ./_build/default/bench/main.exe scale quick
 

@@ -1,0 +1,663 @@
+(* Daemon-layer tests: the wire protocol (framing, incremental
+   reassembly, codec round-trips), the Timing percentile-merge edge
+   cases a long-lived multi-process daemon exercises (empty sample
+   sets, single-sample stages, workers that recorded nothing for a
+   stage), and end-to-end tests of the server itself — a real forked
+   certd-server on a tmp socket: canonical output byte-identical to a
+   batch run, admission-control rejections, the live stats endpoint,
+   worker crash/respawn with single-retry semantics, and SIGTERM
+   drain.
+
+   Runs as its own executable; `dune build @daemon` runs it in
+   isolation. *)
+
+module Wire = Lcp_service.Wire
+module Server = Lcp_service.Server
+module Engine = Lcp_service.Engine
+module Manifest = Lcp_service.Manifest
+module Stats = Lcp_service.Stats
+module Timing = Lcp_service.Timing
+module Blob = Lcp_service.Blob_io
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let test name f = Alcotest.test_case name `Quick f
+
+let qcheck ?(count = 200) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+let contains s frag =
+  let ls = String.length s and lf = String.length frag in
+  let rec go i = i + lf <= ls && (String.sub s i lf = frag || go (i + 1)) in
+  go 0
+
+let rec rm_rf p =
+  if Sys.file_exists p then
+    if Sys.is_directory p then begin
+      Array.iter (fun f -> rm_rf (Filename.concat p f)) (Sys.readdir p);
+      Sys.rmdir p
+    end
+    else Sys.remove p
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lcp_test_daemon_%d_%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Sys.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* ---------------------------------------------------------------- *)
+(* framing                                                           *)
+
+let frame_roundtrip () =
+  let rfd, wfd = Unix.pipe () in
+  (* total must fit the pipe buffer (64 KiB): these writes have no
+     concurrent reader *)
+  let payloads = [ ""; "x"; "hello\nworld"; String.make 40_000 'q' ] in
+  List.iter (fun p -> Wire.write_frame wfd p) payloads;
+  Unix.close wfd;
+  List.iter
+    (fun expected ->
+      match Wire.read_frame rfd with
+      | Some got -> check_str "frame round-trips" expected got
+      | None -> Alcotest.fail "premature EOF")
+    payloads;
+  check "clean EOF reads as None" true (Wire.read_frame rfd = None);
+  Unix.close rfd;
+  (* a torn frame — EOF inside the payload — is an error, not an end *)
+  let rfd, wfd = Unix.pipe () in
+  let b = Bytes.of_string "\x00\x00\x00\x10abc" in
+  ignore (Unix.write wfd b 0 (Bytes.length b));
+  Unix.close wfd;
+  (match Wire.read_frame rfd with
+  | exception Sys_error e -> check "says mid-frame" true (contains e "mid-frame")
+  | Some _ | None -> Alcotest.fail "torn frame must raise");
+  Unix.close rfd;
+  (* the length cap guards both directions *)
+  let rfd, wfd = Unix.pipe () in
+  (match Wire.write_frame wfd (String.make (Wire.max_frame + 1) 'z') with
+  | exception Sys_error e -> check "cap named" true (contains e "cap")
+  | () -> Alcotest.fail "over-cap write must raise");
+  let b = Bytes.of_string "\xff\xff\xff\xff" in
+  ignore (Unix.write wfd b 0 4);
+  (match Wire.read_frame rfd with
+  | exception Sys_error e -> check "cap named" true (contains e "cap")
+  | _ -> Alcotest.fail "over-cap length prefix must raise");
+  Unix.close rfd;
+  Unix.close wfd
+
+let conn_reassembly () =
+  (* one byte at a time: frames must pop out whole, exactly once *)
+  let c = Wire.conn_create () in
+  let payloads = [ "alpha"; ""; "beta\ngamma" ] in
+  let stream = Buffer.create 64 in
+  List.iter
+    (fun p ->
+      let rfd, wfd = Unix.pipe () in
+      Wire.write_frame wfd p;
+      Unix.close wfd;
+      let chunk = Bytes.create 4096 in
+      let n = Unix.read rfd chunk 0 4096 in
+      Buffer.add_subbytes stream chunk 0 n;
+      Unix.close rfd)
+    payloads;
+  let bytes = Buffer.to_bytes stream in
+  let got = ref [] in
+  Bytes.iter
+    (fun ch ->
+      Wire.conn_feed c (Bytes.make 1 ch) 1;
+      let rec drain () =
+        match Wire.conn_next c with
+        | Some p ->
+            got := p :: !got;
+            drain ()
+        | None -> ()
+      in
+      drain ())
+    bytes;
+  check "drip-fed frames arrive in order" true (List.rev !got = payloads);
+  check_int "no residue" 0 (Wire.conn_buffered c);
+  (* all at once: every frame pops from a single feed *)
+  let c = Wire.conn_create () in
+  Wire.conn_feed c bytes (Bytes.length bytes);
+  List.iter
+    (fun expected ->
+      match Wire.conn_next c with
+      | Some got -> check_str "bulk-fed frame" expected got
+      | None -> Alcotest.fail "frame missing from bulk feed")
+    payloads;
+  check "no phantom frame" true (Wire.conn_next c = None)
+
+(* ---------------------------------------------------------------- *)
+(* codec round-trips                                                 *)
+
+(* single-space-separated words: the codec's reason fields live on the
+   head line where runs of spaces collapse, so the generator avoids
+   them (real reasons are printf-built and single-spaced) *)
+let words_gen =
+  QCheck.Gen.(
+    map (String.concat " ")
+      (list_size (int_range 1 6)
+         (string_size ~gen:(char_range 'a' 'z') (int_range 1 8))))
+
+let line_gen =
+  QCheck.Gen.(
+    map
+      (fun (id, n) -> Printf.sprintf "id=%s gen=path n=%d property=connected k=2 seed=1" id n)
+      (pair (string_size ~gen:(char_range 'a' 'z') (int_range 1 12)) (int_range 1 50)))
+
+let request_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 6,
+          map
+            (fun (serial, canonical, deadline, line) ->
+              Wire.Submit
+                {
+                  serial = abs serial;
+                  canonical;
+                  deadline_ms = Float.of_int (abs deadline);
+                  line;
+                })
+            (quad small_signed_int bool small_signed_int line_gen) );
+        (1, return Wire.Stats_req);
+        (1, return Wire.Ping);
+        (1, return Wire.Shutdown);
+      ])
+
+let request_arb = QCheck.make ~print:Wire.encode_request request_gen
+
+let request_roundtrip =
+  qcheck "decode_request inverts encode_request" request_arb (fun req ->
+      match Wire.decode_request (Wire.encode_request req) with
+      | Ok req' -> req' = req
+      | Error _ -> false)
+
+let response_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 4,
+          map
+            (fun (serial, id, status) ->
+              Wire.Report
+                {
+                  serial = abs serial;
+                  id;
+                  status;
+                  json = Printf.sprintf "{\"id\":\"%s\"}" id;
+                  canonical = Printf.sprintf "{\"id\":\"%s\",\"verdict\":\"served\"}" id;
+                })
+            (triple small_signed_int
+               (string_size ~gen:(char_range 'a' 'z') (int_range 1 12))
+               (oneofl [ "served_fresh"; "served_cached"; "failed" ])) );
+        ( 2,
+          map
+            (fun (serial, reason) ->
+              Wire.Overloaded { serial = abs serial; reason })
+            (pair small_signed_int words_gen) );
+        ( 2,
+          map
+            (fun (serial, reason) -> Wire.Err { serial = abs serial; reason })
+            (pair small_signed_int words_gen) );
+        (1, map (fun s -> Wire.Stats_reply ("{\"x\":" ^ string_of_int (abs s) ^ "}")) small_signed_int);
+        (1, return Wire.Pong);
+      ])
+
+let response_arb = QCheck.make ~print:Wire.encode_response response_gen
+
+let response_roundtrip =
+  qcheck "decode_response inverts encode_response" response_arb (fun resp ->
+      match Wire.decode_response (Wire.encode_response resp) with
+      | Ok resp' -> resp' = resp
+      | Error _ -> false)
+
+let decoder_is_total =
+  qcheck ~count:500 "decoders never raise on junk" QCheck.(string)
+    (fun payload ->
+      (match Wire.decode_request payload with Ok _ | Error _ -> true)
+      && match Wire.decode_response payload with Ok _ | Error _ -> true)
+
+(* ---------------------------------------------------------------- *)
+(* Timing percentile merges (the daemon's cross-process cases)       *)
+
+let find_line t stage =
+  List.find_opt (fun l -> l.Timing.l_stage = stage) (Timing.report t)
+
+let timing_empty_merge () =
+  let parent = Timing.create () in
+  (* absorbing a worker that recorded nothing changes nothing *)
+  Timing.absorb parent (Timing.samples (Timing.create ()));
+  check "still no lines" true (Timing.report parent = []);
+  Timing.record parent Timing.Prove 2.0;
+  Timing.absorb parent (Timing.samples (Timing.create ()));
+  match find_line parent "prove" with
+  | Some l ->
+      check_int "count unchanged by empty merge" 1 l.Timing.l_count;
+      check "p50 is the sample" true (l.Timing.l_p50 = 2.0)
+  | None -> Alcotest.fail "prove line vanished"
+
+let timing_single_sample () =
+  let t = Timing.create () in
+  Timing.record t Timing.Verify 7.5;
+  match find_line t "verify" with
+  | Some l ->
+      check_int "count 1" 1 l.Timing.l_count;
+      check "all percentiles equal the one sample" true
+        (l.Timing.l_p50 = 7.5 && l.Timing.l_p90 = 7.5 && l.Timing.l_p99 = 7.5
+       && l.Timing.l_max = 7.5 && l.Timing.l_total_ms = 7.5)
+  | None -> Alcotest.fail "single sample produced no line"
+
+let timing_partial_worker_merge () =
+  (* worker 1 recorded prove only; worker 2 recorded verify only; the
+     merged report must treat each stage as the exact union — a stage
+     one worker never saw must not dilute the other's percentiles *)
+  let w1 = Timing.create () and w2 = Timing.create () in
+  List.iter (fun v -> Timing.record w1 Timing.Prove v)
+    [ 1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 7.0; 8.0; 9.0 ];
+  Timing.record w2 Timing.Verify 42.0;
+  let parent = Timing.create () in
+  Timing.absorb parent (Timing.samples w1);
+  Timing.absorb parent (Timing.samples w2);
+  (match find_line parent "prove" with
+  | Some l ->
+      check_int "prove count is w1's alone" 9 l.Timing.l_count;
+      check "prove p50 exact" true (l.Timing.l_p50 = 5.0);
+      check "prove p99 exact" true (l.Timing.l_p99 = 9.0)
+  | None -> Alcotest.fail "prove line missing");
+  (match find_line parent "verify" with
+  | Some l ->
+      check_int "verify count is w2's alone" 1 l.Timing.l_count;
+      check "verify percentiles undiluted" true
+        (l.Timing.l_p50 = 42.0 && l.Timing.l_p99 = 42.0)
+  | None -> Alcotest.fail "verify line missing");
+  check "unrecorded stages stay absent" true (find_line parent "parse" = None)
+
+let timing_merge_equals_sequential () =
+  (* absorbing shards must give byte-for-byte the percentiles of one
+     sink holding every sample *)
+  let values = List.init 101 (fun i -> float_of_int ((i * 37) mod 101)) in
+  let whole = Timing.create () in
+  List.iter (fun v -> Timing.record whole Timing.Encode v) values;
+  let parent = Timing.create () in
+  let shard = Timing.create () in
+  List.iteri
+    (fun i v ->
+      Timing.record shard Timing.Encode v;
+      if i mod 7 = 0 then Timing.absorb parent (Timing.flush shard))
+    values;
+  Timing.absorb parent (Timing.flush shard);
+  match (find_line whole "encode", find_line parent "encode") with
+  | Some a, Some b -> check "sharded merge = sequential" true (a = b)
+  | _ -> Alcotest.fail "encode line missing"
+
+let timing_flush_discipline () =
+  (* flush hands over each sample exactly once — the invariant that
+     stops a long-lived worker double-counting its history *)
+  let w = Timing.create () in
+  Timing.record w Timing.Store 1.0;
+  Timing.add_counter w "memo_hits" 3;
+  let first = Timing.flush w in
+  check "flush carries the sample" true
+    (List.assoc "store" first.Timing.w_stages = [ 1.0 ]);
+  check "flush carries counters" true
+    (List.assoc "memo_hits" first.Timing.w_ctrs = 3);
+  let second = Timing.flush w in
+  check "second flush is empty" true
+    (List.for_all (fun (_, vs) -> vs = []) second.Timing.w_stages
+    && second.Timing.w_ctrs = []);
+  Timing.record w Timing.Store 9.0;
+  let third = Timing.flush w in
+  check "post-flush samples are fresh" true
+    (List.assoc "store" third.Timing.w_stages = [ 9.0 ])
+
+(* ---------------------------------------------------------------- *)
+(* end-to-end: a real daemon on a tmp socket                         *)
+
+let jobs_lines =
+  [
+    "id=e2e-ring gen=cycle n=12 property=connected k=2 seed=1";
+    "id=e2e-tree gen=tree n=16 gseed=5 property=acyclic k=2 seed=2";
+    "id=e2e-ladder gen=ladder n=12 property=bipartite k=2 seed=3";
+    "id=e2e-star gen=star n=9 property=triangle_free k=2 seed=4";
+    "id=e2e-path gen=path n=10 property=perfect_matching k=1 seed=5";
+  ]
+
+let parse_lines lines =
+  List.map
+    (fun l ->
+      match Manifest.parse l with
+      | Ok [ j ] -> j
+      | _ -> Alcotest.failf "bad test job line %S" l)
+    lines
+
+(* fork a server; wait until its socket accepts *)
+let start_server cfg =
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      (try Server.run cfg with _ -> Unix._exit 1);
+      Unix._exit 0
+  | pid ->
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      let rec wait () =
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        match Unix.connect fd (Unix.ADDR_UNIX cfg.Server.socket_path) with
+        | () ->
+            Unix.close fd;
+            ()
+        | exception Unix.Unix_error _ ->
+            Unix.close fd;
+            if Unix.gettimeofday () > deadline then begin
+              Unix.kill pid Sys.sigkill;
+              ignore (Unix.waitpid [] pid);
+              Alcotest.fail "server did not come up"
+            end;
+            Unix.sleepf 0.02;
+            wait ()
+      in
+      wait ();
+      pid
+
+let dial path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+let read_response fd =
+  match Wire.read_frame fd with
+  | None -> Alcotest.fail "server closed the connection"
+  | Some p -> (
+      match Wire.decode_response p with
+      | Ok r -> r
+      | Error e -> Alcotest.failf "bad response: %s" e)
+
+let submit fd serial line =
+  Wire.write_frame fd
+    (Wire.encode_request
+       (Wire.Submit { serial; canonical = true; deadline_ms = 0.0; line }))
+
+let stop_server ?(signal = Sys.sigterm) pid =
+  Unix.kill pid signal;
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED code -> code
+  | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) ->
+      Alcotest.fail "server killed by signal instead of draining"
+
+let base_cfg ~socket_path ~workers =
+  {
+    Server.socket_path;
+    workers;
+    queue_cap = 16;
+    client_cap = 8;
+    make_engine = (fun ~worker:_ timing -> Engine.create ?timing ());
+    timed = true;
+    verbose = false;
+  }
+
+let daemon_matches_batch () =
+  with_temp_dir (fun dir ->
+      let socket_path = Filename.concat dir "d.sock" in
+      let pid = start_server (base_cfg ~socket_path ~workers:2) in
+      let fd = dial socket_path in
+      List.iteri (fun i line -> submit fd i line) jobs_lines;
+      let results = Array.make (List.length jobs_lines) ("", "") in
+      List.iter
+        (fun _ ->
+          match read_response fd with
+          | Wire.Report { serial; id; canonical; _ } ->
+              results.(serial) <- (id, canonical)
+          | r -> Alcotest.failf "unexpected reply %s" (Wire.encode_response r))
+        jobs_lines;
+      Unix.close fd;
+      (* the client-side canonical order: stable sort by id over
+         submission order *)
+      let daemon_lines =
+        Array.to_list results
+        |> List.stable_sort (fun (a, _) (b, _) -> compare a b)
+        |> List.map snd |> String.concat "\n"
+      in
+      let reports, _ =
+        Engine.run_jobs (Engine.create ()) (parse_lines jobs_lines)
+      in
+      check_str "daemon canonical output = batch canonical output"
+        (Stats.canonical_lines reports)
+        daemon_lines;
+      check_int "clean SIGTERM drain" 0 (stop_server pid);
+      check "socket unlinked after drain" true
+        (not (Sys.file_exists socket_path)))
+
+let daemon_backpressure () =
+  with_temp_dir (fun dir ->
+      let socket_path = Filename.concat dir "d.sock" in
+      let cfg =
+        { (base_cfg ~socket_path ~workers:1) with queue_cap = 1; client_cap = 1 }
+      in
+      let pid = start_server cfg in
+      let fd = dial socket_path in
+      (* a burst far over both caps: the excess must be refused with
+         Overloaded, not buffered *)
+      let burst = 10 in
+      for i = 0 to burst - 1 do
+        submit fd i "id=burst gen=tree n=40 gseed=7 property=acyclic k=3 seed=9"
+      done;
+      let reports = ref 0 and refused = ref 0 in
+      for _ = 1 to burst do
+        match read_response fd with
+        | Wire.Report _ -> incr reports
+        | Wire.Overloaded { reason; _ } ->
+            incr refused;
+            check "reason names a cap" true
+              (contains reason "cap" || contains reason "draining")
+        | r -> Alcotest.failf "unexpected reply %s" (Wire.encode_response r)
+      done;
+      check "some jobs served" true (!reports >= 1);
+      check "excess refused, not buffered" true (!refused >= 1);
+      check_int "every submission answered" burst (!reports + !refused);
+      (* the stats endpoint must agree *)
+      Wire.write_frame fd (Wire.encode_request Wire.Stats_req);
+      (match read_response fd with
+      | Wire.Stats_reply json ->
+          check "stats counts refusals" true
+            (contains json "\"rejected_overload\":"
+            && contains json "\"rejected_quota\":")
+      | r -> Alcotest.failf "unexpected reply %s" (Wire.encode_response r));
+      Unix.close fd;
+      check_int "clean drain" 0 (stop_server pid))
+
+let daemon_stats_endpoint () =
+  with_temp_dir (fun dir ->
+      let socket_path = Filename.concat dir "d.sock" in
+      let pid = start_server (base_cfg ~socket_path ~workers:2) in
+      let fd = dial socket_path in
+      List.iteri (fun i line -> submit fd i line) jobs_lines;
+      List.iter (fun _ -> ignore (read_response fd)) jobs_lines;
+      Wire.write_frame fd (Wire.encode_request Wire.Stats_req);
+      (match read_response fd with
+      | Wire.Stats_reply json ->
+          check "submitted counted" true (contains json "\"submitted\":5");
+          check "completed counted" true (contains json "\"completed\":5");
+          check "workers reported" true (contains json "\"configured\":2");
+          check "queue cap surfaced" true (contains json "\"cap\":16");
+          (* timed=true: worker samples reach the endpoint's percentiles *)
+          check "stage percentiles present" true
+            (contains json "\"stage\":\"prove\"" && contains json "\"p99_ms\":")
+      | r -> Alcotest.failf "unexpected reply %s" (Wire.encode_response r));
+      (* ping still answered while idle *)
+      Wire.write_frame fd (Wire.encode_request Wire.Ping);
+      (match read_response fd with
+      | Wire.Pong -> ()
+      | r -> Alcotest.failf "unexpected reply %s" (Wire.encode_response r));
+      Unix.close fd;
+      check_int "clean drain" 0 (stop_server pid))
+
+(* substring-scan an int field out of the stats JSON *)
+let json_int json field =
+  let tag = "\"" ^ field ^ "\":" in
+  let rec find i =
+    if i + String.length tag > String.length json then
+      Alcotest.failf "field %s missing from %s" field json
+    else if String.sub json i (String.length tag) = tag then begin
+      let j = ref (i + String.length tag) in
+      let start = !j in
+      while
+        !j < String.length json
+        && match json.[!j] with '0' .. '9' | '-' -> true | _ -> false
+      do
+        incr j
+      done;
+      int_of_string (String.sub json start (!j - start))
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let daemon_crash_respawn () =
+  with_temp_dir (fun dir ->
+      let socket_path = Filename.concat dir "d.sock" in
+      let cache = Filename.concat dir "cache" in
+      (* pre-create the shared disk tier so the fault plan's op counter
+         starts at the record writes, not the mkdir *)
+      Sys.mkdir cache 0o755;
+      let plan =
+        match Blob.parse_plan "crash@3" with
+        | Ok p -> p
+        | Error e -> Alcotest.fail e
+      in
+      let cfg =
+        {
+          (base_cfg ~socket_path ~workers:2) with
+          make_engine =
+            (fun ~worker:_ timing ->
+              (* every worker incarnation: two mutating ops succeed (one
+                 record = tmp write + rename), then the process dies on
+                 the next store write *)
+              let io = fst (Blob.inject ~plan Blob.real) in
+              Engine.create ~cache_dir:cache ~io ?timing ());
+        }
+      in
+      let pid = start_server cfg in
+      let fd = dial socket_path in
+      (* distinct instances: every job is a cache miss, so each wants a
+         store write and the workers keep crashing and respawning *)
+      let lines =
+        List.init 8 (fun i ->
+            Printf.sprintf
+              "id=c%d gen=path n=%d property=connected k=2 seed=1" i (6 + i))
+      in
+      List.iteri (fun i line -> submit fd i line) lines;
+      let served = ref 0 and failed = ref 0 in
+      List.iter
+        (fun _ ->
+          match read_response fd with
+          | Wire.Report { status; _ } ->
+              if
+                List.mem status
+                  [ "served_fresh"; "served_cached"; "served_degraded" ]
+              then incr served
+              else incr failed
+          | r -> Alcotest.failf "unexpected reply %s" (Wire.encode_response r))
+        lines;
+      check_int "every job reached a terminal reply" 8 (!served + !failed);
+      check "most jobs served despite crashes" true (!served >= 6);
+      Wire.write_frame fd (Wire.encode_request Wire.Stats_req);
+      (match read_response fd with
+      | Wire.Stats_reply json ->
+          check "workers died and were respawned" true
+            (json_int json "restarts" >= 2);
+          check "crashed jobs were requeued" true
+            (json_int json "requeued" >= 1);
+          check_int "no slot permanently stopped" 0 (json_int json "stopped");
+          check_int "full pool alive after every crash" 2
+            (json_int json "live")
+      | r -> Alcotest.failf "unexpected reply %s" (Wire.encode_response r));
+      Unix.close fd;
+      check_int "clean drain after crashes" 0 (stop_server pid))
+
+let daemon_sigterm_drains_inflight () =
+  with_temp_dir (fun dir ->
+      let socket_path = Filename.concat dir "d.sock" in
+      let pid = start_server (base_cfg ~socket_path ~workers:1) in
+      let fd = dial socket_path in
+      (* queue several slow-ish jobs, then fire SIGTERM immediately:
+         every accepted job must still be answered before the close *)
+      let lines =
+        List.init 4 (fun i ->
+            Printf.sprintf
+              "id=drain%d gen=tree n=%d gseed=%d property=acyclic k=3 seed=2" i
+              (30 + i) i)
+      in
+      List.iteri (fun i line -> submit fd i line) lines;
+      Unix.kill pid Sys.sigterm;
+      let answered = ref 0 in
+      List.iter
+        (fun _ ->
+          match read_response fd with
+          | Wire.Report _ -> incr answered
+          | Wire.Overloaded _ ->
+              (* a job that raced the drain gate: refused, not dropped *)
+              incr answered
+          | r -> Alcotest.failf "unexpected reply %s" (Wire.encode_response r))
+        lines;
+      check_int "every accepted job answered during drain" 4 !answered;
+      check "connection closed after drain" true (Wire.read_frame fd = None);
+      Unix.close fd;
+      (match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _, Unix.WEXITED c -> Alcotest.failf "drain exited %d" c
+      | _ -> Alcotest.fail "server killed by signal");
+      check "socket unlinked" true (not (Sys.file_exists socket_path)))
+
+let daemon_rejects_garbage () =
+  with_temp_dir (fun dir ->
+      let socket_path = Filename.concat dir "d.sock" in
+      let pid = start_server (base_cfg ~socket_path ~workers:1) in
+      let fd = dial socket_path in
+      Wire.write_frame fd "frobnicate 7";
+      (match read_response fd with
+      | Wire.Err { reason; _ } ->
+          check "names the bad verb" true (contains reason "frobnicate")
+      | r -> Alcotest.failf "unexpected reply %s" (Wire.encode_response r));
+      (* a bad job line is an Err tied to its serial, and the
+         connection keeps working afterwards *)
+      Wire.write_frame fd
+        (Wire.encode_request
+           (Wire.Submit
+              { serial = 3; canonical = false; deadline_ms = 0.0; line = "nonsense" }));
+      (match read_response fd with
+      | Wire.Err { serial; _ } -> check_int "serial echoed" 3 serial
+      | r -> Alcotest.failf "unexpected reply %s" (Wire.encode_response r));
+      submit fd 4 (List.hd jobs_lines);
+      (match read_response fd with
+      | Wire.Report { serial; _ } -> check_int "connection survives" 4 serial
+      | r -> Alcotest.failf "unexpected reply %s" (Wire.encode_response r));
+      Unix.close fd;
+      check_int "clean drain" 0 (stop_server pid))
+
+let suite =
+  ( "daemon",
+    [
+      test "frame round-trip, torn frames, length cap" frame_roundtrip;
+      test "incremental reassembly" conn_reassembly;
+      request_roundtrip;
+      response_roundtrip;
+      decoder_is_total;
+      test "timing: empty-sample merges" timing_empty_merge;
+      test "timing: single-sample stage" timing_single_sample;
+      test "timing: partial-worker merge" timing_partial_worker_merge;
+      test "timing: sharded merge = sequential" timing_merge_equals_sequential;
+      test "timing: flush ships each sample once" timing_flush_discipline;
+      test "daemon output = batch output" daemon_matches_batch;
+      test "admission control refuses the excess" daemon_backpressure;
+      test "live stats endpoint" daemon_stats_endpoint;
+      test "worker crash, respawn, single retry" daemon_crash_respawn;
+      test "SIGTERM drains in-flight jobs" daemon_sigterm_drains_inflight;
+      test "garbage requests answered, connection survives" daemon_rejects_garbage;
+    ] )
+
+let () = Alcotest.run "lcp-daemon" [ suite ]

@@ -376,6 +376,36 @@ let disk_gc () =
       check "disk hit touched mtime" true
         ((Unix.stat (path 2)).Unix.st_mtime > 2000.0))
 
+let quarantine_cap () =
+  with_temp_dir (fun dir ->
+      (* five intact records, then corrupt every one of them on disk *)
+      let st = Store.create ~cap:16 ~dir () in
+      for i = 0 to 4 do
+        Store.add st (dummy_entry (key_i i) i)
+      done;
+      let path i = Filename.concat dir (Store.key_hex (key_i i) ^ ".cert") in
+      for i = 0 to 4 do
+        let b = Bytes.of_string (read_file (path i)) in
+        let last = Bytes.length b - 1 in
+        Bytes.set b last (Char.chr (Char.code (Bytes.get b last) lxor 0xff));
+        write_file (path i) (Bytes.to_string b)
+      done;
+      (* a cold store rejects each record on read and quarantines it;
+         the quarantine cap must keep the directory at 3, evicting the
+         oldest debris as the 4th and 5th arrive *)
+      let st2 = Store.create ~cap:16 ~dir ~quarantine_cap:3 () in
+      for i = 0 to 4 do
+        check "corrupt record reads as a miss" true
+          (Store.find st2 (key_i i) = None)
+      done;
+      let s = Store.stats st2 in
+      check_int "all five corrupt" 5 s.Store.corrupt;
+      check_int "all five quarantined" 5 s.Store.quarantined;
+      check_int "two quarantine evictions" 2 s.Store.quarantine_evictions;
+      let qdir = Filename.concat dir "quarantine" in
+      check_int "quarantine dir capped at 3" 3
+        (Array.length (Sys.readdir qdir)))
+
 (* ---------------------------------------------------------------- *)
 (* engine robustness                                                 *)
 
@@ -524,6 +554,7 @@ let suite =
       test "add absorbs Sys_error (unwritable dir)" add_boundary_regression;
       test "create errors are immediate and descriptive" create_errors;
       test "disk GC by mtime" disk_gc;
+      test "quarantine dir is capped" quarantine_cap;
       test "engine validates n uniformly" engine_n_validation;
       test "retry machinery" retry_machinery;
       test "engine degraded vs crash" engine_degraded_and_crash;
