@@ -91,6 +91,15 @@ let client_submit fd ~window ~deadline_ms ~emit ~failed jobs =
   done;
   let inflight = ref 0 in
   let completed = ref 0 in
+  (* serials in replies come from the server; a corrupt one must take
+     the protocol-error exit, not raise Invalid_argument on an array *)
+  let check_serial serial =
+    if serial < 0 || serial >= total then begin
+      Printf.eprintf "certd: bad response from server: serial %d out of range\n"
+        serial;
+      exit 2
+    end
+  in
   let submit serial =
     Service.Wire.write_frame fd
       (Service.Wire.encode_request
@@ -116,10 +125,12 @@ let client_submit fd ~window ~deadline_ms ~emit ~failed jobs =
     | Some payload -> (
         match Service.Wire.decode_response payload with
         | Ok (Service.Wire.Report { serial; id; status; json; canonical }) ->
+            check_serial serial;
             decr inflight;
             incr completed;
             results.(serial) <- Some (id, status, json, canonical)
         | Ok (Service.Wire.Overloaded { serial; reason }) ->
+            check_serial serial;
             decr inflight;
             attempts.(serial) <- attempts.(serial) + 1;
             if attempts.(serial) >= max_attempts then begin

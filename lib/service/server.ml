@@ -10,7 +10,10 @@
     and the counters on the stats endpoint record every refusal.
     Queued jobs are dispatched round-robin {e across clients}, so a
     client that floods its quota still cannot starve a client that
-    submits one job at a time.
+    submits one job at a time. Replies cannot stall the loop either:
+    client sockets are nonblocking, undeliverable frames queue per
+    client and drain through select's write set, and a client that
+    stops reading its replies past a byte cap is dropped.
 
     {b Worker supervision.} Workers are forked once and live for the
     daemon's whole life, amortizing the per-batch fork cost of the old
@@ -158,9 +161,12 @@ type worker = {
 
 type client = {
   c_id : int;
-  c_fd : Unix.file_descr;
+  c_fd : Unix.file_descr;  (** nonblocking for the daemon's whole life *)
   c_conn : Wire.conn;
   c_queue : job_ctx Queue.t;
+  c_out : string Queue.t;  (** encoded frames not yet on the wire *)
+  mutable c_out_off : int;  (** bytes of the head frame already written *)
+  mutable c_out_bytes : int;  (** total unwritten bytes across [c_out] *)
   mutable c_alive : bool;
 }
 
@@ -273,24 +279,97 @@ let client_dead t c =
     c.c_alive <- false;
     t.c.dropped <- t.c.dropped + Queue.length c.c_queue;
     Queue.clear c.c_queue;
+    Queue.clear c.c_out;
+    c.c_out_off <- 0;
+    c.c_out_bytes <- 0;
     close_quietly c.c_fd;
     t.clients <- List.filter (fun c' -> c'.c_id <> c.c_id) t.clients
   end
 
+(* Replies to a live client may only wait on the client, never on the
+   event loop: the fd is nonblocking, frames queue in [c_out], and a
+   full socket buffer parks the remainder for select's write set. A
+   client that keeps submitting but stops reading hits the backlog cap
+   and is dropped — it cannot stall the daemon for everyone else. *)
+
+let max_client_backlog = 2 * Wire.max_frame
+(* >= one max-size frame, so a single huge (legitimate) reply is never
+   itself grounds for dropping a client that is still reading *)
+
+let rec flush_client t c =
+  if c.c_alive && not (Queue.is_empty c.c_out) then begin
+    let head = Queue.peek c.c_out in
+    let len = String.length head - c.c_out_off in
+    match Unix.write_substring c.c_fd head c.c_out_off len with
+    | n ->
+        c.c_out_bytes <- c.c_out_bytes - n;
+        if n = len then begin
+          ignore (Queue.pop c.c_out : string);
+          c.c_out_off <- 0;
+          flush_client t c
+        end
+        else c.c_out_off <- c.c_out_off + n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        () (* socket buffer full: select's write set resumes us *)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> flush_client t c
+    | exception (Unix.Unix_error _ | Sys_error _) -> client_dead t c
+  end
+
 let reply t c resp =
-  if c.c_alive then
-    try Wire.write_frame c.c_fd (Wire.encode_response resp)
-    with Sys_error _ | Unix.Unix_error _ -> client_dead t c
+  if c.c_alive then begin
+    let frame = Wire.frame (Wire.encode_response resp) in
+    Queue.push frame c.c_out;
+    c.c_out_bytes <- c.c_out_bytes + String.length frame;
+    flush_client t c;
+    if c.c_alive && c.c_out_bytes > max_client_backlog then begin
+      log t "client %d dropped: %d reply bytes unread" c.c_id c.c_out_bytes;
+      client_dead t c
+    end
+  end
+
+(* the drain-time flush: the loop is over, so block — but only as long
+   as the send timeout, a peer that stopped reading must not wedge the
+   shutdown *)
+let flush_final t c =
+  if c.c_alive && c.c_out_bytes > 0 then begin
+    (try Unix.clear_nonblock c.c_fd with Unix.Unix_error _ -> ());
+    (try Unix.setsockopt_float c.c_fd Unix.SO_SNDTIMEO 10.0
+     with Unix.Unix_error _ -> ());
+    let rec go () =
+      if c.c_alive && not (Queue.is_empty c.c_out) then begin
+        let head = Queue.peek c.c_out in
+        let len = String.length head - c.c_out_off in
+        match Unix.write_substring c.c_fd head c.c_out_off len with
+        | n ->
+            c.c_out_bytes <- c.c_out_bytes - n;
+            if n = len then begin
+              ignore (Queue.pop c.c_out : string);
+              c.c_out_off <- 0
+            end
+            else c.c_out_off <- c.c_out_off + n;
+            go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception (Unix.Unix_error _ | Sys_error _) ->
+            (* EAGAIN here means the send timeout expired *)
+            client_dead t c
+      end
+    in
+    go ()
+  end
 
 let find_client t id = List.find_opt (fun c -> c.c_id = id) t.clients
 
 let adopt_client t fd =
+  (try Unix.set_nonblock fd with Unix.Unix_error _ -> ());
   let c =
     {
       c_id = t.next_client;
       c_fd = fd;
       c_conn = Wire.conn_create ();
       c_queue = Queue.create ();
+      c_out = Queue.create ();
+      c_out_off = 0;
+      c_out_bytes = 0;
       c_alive = true;
     }
   in
@@ -403,8 +482,12 @@ let rec dispatch t =
           | () -> ()
           | exception (Sys_error _ | Unix.Unix_error _) ->
               (* the worker died under us; hand the job back untouched
-                 (it never started, so this is not its one retry) and
-                 let the EOF path reap and respawn *)
+                 (it never started, so this is not its one retry). The
+                 slot must stop looking idle before we recurse, or this
+                 dispatch would pick the same corpse for the same job
+                 forever without ever reaching the select loop — so
+                 mark it unready and let the EOF path reap and respawn *)
+              w.w_ready <- false;
               w.w_busy <- None;
               Queue.push jc t.retry_q);
           dispatch t)
@@ -541,8 +624,9 @@ let handle_request t c req =
 let on_client_readable t c =
   let chunk = Bytes.create 65536 in
   match Unix.read c.c_fd chunk 0 (Bytes.length chunk) with
-  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
-      () (* a signal, not a hangup; select will re-report the fd *)
+  | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+    ->
+      () (* a signal or spurious wakeup, not a hangup *)
   | exception Unix.Unix_error _ -> client_dead t c
   | 0 -> client_dead t c
   | n -> (
@@ -671,7 +755,8 @@ let final_client_sweep t =
   List.iter
     (fun c ->
       if c.c_alive then begin
-        (try Unix.set_nonblock c.c_fd with Unix.Unix_error _ -> ());
+        (* the fd is already nonblocking, so this read cannot hang on a
+           silent client; replies queue in c_out for the final flush *)
         let chunk = Bytes.create 65536 in
         let rec slurp () =
           match Unix.read c.c_fd chunk 0 (Bytes.length chunk) with
@@ -685,7 +770,6 @@ let final_client_sweep t =
           | exception Unix.Unix_error _ -> ()
         in
         slurp ();
-        (try Unix.clear_nonblock c.c_fd with Unix.Unix_error _ -> ());
         try
           let rec drain () =
             match Wire.conn_next c.c_conn with
@@ -720,6 +804,7 @@ let finish t =
         w.w_pid <- -1
       end)
     t.workers;
+  List.iter (fun c -> flush_final t c) t.clients;
   List.iter (fun c -> close_quietly c.c_fd) t.clients;
   t.clients <- [];
   if t.listening then begin
@@ -735,12 +820,19 @@ let finish t =
     t.c.submitted t.c.completed t.c.served t.c.failed t.c.restarts
     t.c.max_queue
 
+(* [Unix.select] fails with EINVAL past FD_SETSIZE (~1024) fds; stop
+   accepting comfortably below that — waiting connections sit in the
+   listen backlog until a slot frees up, which is just admission
+   control one layer down *)
+let max_clients = 960
+
 let rec loop t =
   dispatch t;
   if t.draining && queue_depth t = 0 && inflight t = 0 then finish t
   else begin
+    let accepting = t.listening && List.length t.clients < max_clients in
     let fds =
-      (if t.listening then [ t.listen_fd ] else [])
+      (if accepting then [ t.listen_fd ] else [])
       @ [ t.sig_r ]
       @ List.map (fun c -> c.c_fd) t.clients
       @ Array.to_list
@@ -751,17 +843,27 @@ let rec loop t =
                   else None)
                 (Array.to_seq t.workers)))
     in
-    match Unix.select fds [] [] 1.0 with
+    let wfds =
+      List.filter_map
+        (fun c -> if c.c_out_bytes > 0 then Some c.c_fd else None)
+        t.clients
+    in
+    match Unix.select fds wfds [] 1.0 with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop t
-    | readable, _, _ ->
+    | readable, writable, _ ->
         if List.mem t.sig_r readable then begin
           let b = Bytes.create 64 in
           (try ignore (Unix.read t.sig_r b 0 64)
            with Unix.Unix_error _ -> ());
           begin_drain t
         end;
-        if t.listening && List.mem t.listen_fd readable then on_accept t;
+        if accepting && t.listening && List.mem t.listen_fd readable then
+          on_accept t;
         (* snapshot: handlers mutate t.clients/worker fds as they run *)
+        List.iter
+          (fun c ->
+            if c.c_alive && List.mem c.c_fd writable then flush_client t c)
+          t.clients;
         List.iter
           (fun c ->
             if c.c_alive && List.mem c.c_fd readable then

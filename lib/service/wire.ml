@@ -38,9 +38,10 @@ let write_all fd (b : Bytes.t) =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done
 
-(** [write_frame fd payload] writes the 4-byte length then the payload.
-    Raises [Sys_error] if the payload exceeds [max_frame]. *)
-let write_frame fd payload =
+(** [frame payload] is the on-wire bytes of one frame: the 4-byte
+    big-endian length, then the payload. Raises [Sys_error] if the
+    payload exceeds [max_frame]. *)
+let frame payload =
   let len = String.length payload in
   if len > max_frame then
     raise (Sys_error (Printf.sprintf "frame of %d bytes exceeds the cap" len));
@@ -50,7 +51,11 @@ let write_frame fd payload =
   Bytes.set b 2 (Char.chr ((len lsr 8) land 0xff));
   Bytes.set b 3 (Char.chr (len land 0xff));
   Bytes.blit_string payload 0 b 4 len;
-  write_all fd b
+  Bytes.unsafe_to_string b
+
+(** [write_frame fd payload] writes the 4-byte length then the payload.
+    Raises [Sys_error] if the payload exceeds [max_frame]. *)
+let write_frame fd payload = write_all fd (Bytes.unsafe_of_string (frame payload))
 
 let decode_len b off =
   (Char.code (Bytes.get b off) lsl 24)

@@ -579,6 +579,58 @@ let daemon_crash_respawn () =
       Unix.close fd;
       check_int "clean drain after crashes" 0 (stop_server pid))
 
+(* the server's worker pids are not on the wire; on Linux /proc names a
+   process's children, which is exactly the external-kill (OOM, admin)
+   scenario the supervisor must survive *)
+let children_of pid =
+  let path = Printf.sprintf "/proc/%d/task/%d/children" pid pid in
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let line = try input_line ic with End_of_file -> "" in
+      close_in ic;
+      Some
+        (String.split_on_char ' ' line
+        |> List.filter_map int_of_string_opt)
+
+let daemon_idle_worker_death () =
+  with_temp_dir (fun dir ->
+      let socket_path = Filename.concat dir "d.sock" in
+      let pid = start_server (base_cfg ~socket_path ~workers:1) in
+      let fd = dial socket_path in
+      (* prove the worker serves, then kill it while it sits idle *)
+      submit fd 0 (List.hd jobs_lines);
+      (match read_response fd with
+      | Wire.Report _ -> ()
+      | r -> Alcotest.failf "unexpected reply %s" (Wire.encode_response r));
+      (match children_of pid with
+      | None | Some [] -> () (* no /proc children file: cannot stage it *)
+      | Some kids ->
+          List.iter
+            (fun k ->
+              try Unix.kill k Sys.sigkill with Unix.Unix_error _ -> ())
+            kids;
+          Unix.sleepf 0.05;
+          (* a submission against the dead slot must not wedge dispatch:
+             the daemon has to notice the EOF, respawn, and answer *)
+          submit fd 1 (List.nth jobs_lines 1);
+          (match Unix.select [ fd ] [] [] 30.0 with
+          | [], _, _ ->
+              Alcotest.fail "daemon wedged after an idle worker death"
+          | _ -> ());
+          (match read_response fd with
+          | Wire.Report { serial; _ } ->
+              check_int "answered after respawn" 1 serial
+          | r -> Alcotest.failf "unexpected reply %s" (Wire.encode_response r));
+          Wire.write_frame fd (Wire.encode_request Wire.Stats_req);
+          (match read_response fd with
+          | Wire.Stats_reply json ->
+              check "the death was counted as a restart" true
+                (json_int json "restarts" >= 1)
+          | r -> Alcotest.failf "unexpected reply %s" (Wire.encode_response r)));
+      Unix.close fd;
+      check_int "clean drain" 0 (stop_server pid))
+
 let daemon_sigterm_drains_inflight () =
   with_temp_dir (fun dir ->
       let socket_path = Filename.concat dir "d.sock" in
@@ -656,6 +708,8 @@ let suite =
       test "admission control refuses the excess" daemon_backpressure;
       test "live stats endpoint" daemon_stats_endpoint;
       test "worker crash, respawn, single retry" daemon_crash_respawn;
+      test "idle worker killed externally, daemon recovers"
+        daemon_idle_worker_death;
       test "SIGTERM drains in-flight jobs" daemon_sigterm_drains_inflight;
       test "garbage requests answered, connection survives" daemon_rejects_garbage;
     ] )

@@ -264,6 +264,30 @@ let crash_propagates () =
       check (Printf.sprintf "workers=%d: Crashed re-raised" n) true crashed)
     [ 1; 4 ]
 
+(* the interrupt-path sweep must only touch spool files it owns (this
+   pid) or whose owner is dead — a live daemon sharing the cache dir
+   keeps its in-flight .tmp files *)
+let sweep_is_pid_aware () =
+  with_dir "sweep" @@ fun dir ->
+  let touch f = close_out (open_out (Filename.concat dir f)) in
+  (* a pid that is certainly dead: fork a child that exits, reap it *)
+  let dead_pid =
+    match Unix.fork () with
+    | 0 -> Unix._exit 0
+    | pid ->
+        ignore (Unix.waitpid [] pid);
+        pid
+  in
+  touch (Printf.sprintf "a.cert.%d.tmp" (Unix.getpid ())); (* ours *)
+  touch (Printf.sprintf "b.cert.%d.tmp" dead_pid); (* dead owner *)
+  touch (Printf.sprintf "c.cert.%d.tmp" 1); (* pid 1: alive, not ours *)
+  touch "d.cert.tmp"; (* no owner pid parseable: left alone *)
+  touch "e.cert"; (* not a tmp file at all *)
+  check_int "swept own + dead-owner files only" 2 (Pool.sweep_tmp_files dir);
+  let left = Sys.readdir dir |> Array.to_list |> List.sort compare in
+  check "live-owner, unparseable, and real records survive" true
+    (left = [ Printf.sprintf "c.cert.%d.tmp" 1; "d.cert.tmp"; "e.cert" ])
+
 let () =
   Alcotest.run "lcp-pool"
     [
@@ -277,5 +301,6 @@ let () =
           test "fault plan armed per worker: verdicts and repaired store match"
             jobs1_vs_jobs4_under_faults;
           test "crash in a worker kills the batch" crash_propagates;
+          test "interrupt sweep is pid-aware" sweep_is_pid_aware;
         ] );
     ]
