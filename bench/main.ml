@@ -22,8 +22,12 @@
                                 backpressure, worker crash/respawn,
                                 degraded-mode serving, clean SIGTERM drain
 
-   Usage: main.exe [e1|e2|e3|e5|e6|e7|faults|service|recovery|chaos|timing|all]
-   (default: all; `chaos quick` / `scale quick` shrink for CI). *)
+     E13 (incr)               — incremental re-certification of edit
+                                streams (transplant + splice + warm memo +
+                                localized verify) vs full reproof per step
+
+   Usage: main.exe [e1|e2|e3|e5|e6|e7|faults|service|recovery|chaos|timing|incr|all]
+   (default: all; `chaos quick` / `scale quick` / `incr quick` shrink for CI). *)
 
 module G = Lcp_graph.Graph
 module Gen = Lcp_graph.Gen
@@ -1384,6 +1388,142 @@ let timing () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* E13: incremental re-certification vs full reproof                   *)
+
+let e13_incr () =
+  header "E13: incremental re-certification vs full reproof (dynamic graphs)";
+  let quick = Array.length Sys.argv > 2 && Sys.argv.(2) = "quick" in
+  let module Svc = Lcp_service in
+  let module Inc = Lcp_cert.Incremental in
+  let now () = Unix.gettimeofday () in
+  Printf.printf
+    "  random single-edge edit streams against live delta sessions: a small\n\
+    \  volatile pool of chord edges toggles on and off, so every state stays\n\
+    \  connected and certifiable and revisited states are real.  incr = the\n\
+    \  certd session path (content-addressed store, hits decoded and fully\n\
+    \  re-verified before serving; misses transplant + splice + localized\n\
+    \  verify).  full = the same session code forced to from-scratch\n\
+    \  recompute each step on a storeless engine.  Verdicts must agree on\n\
+    \  every step.\n\n";
+  Printf.printf "  %-12s %6s %7s %6s | %10s %10s %8s | %6s %7s %9s\n" "family"
+    "n" "m0" "steps" "full ms/st" "incr ms/st" "speedup" "hit%" "reuse%"
+    "memo hit%";
+  line ();
+  let open_session ~cache line =
+    let job =
+      match Svc.Manifest.parse line with
+      | Ok [ j ] -> j
+      | Ok _ -> failwith "e13: expected one job"
+      | Error e -> failwith e
+    in
+    let engine =
+      if cache then Svc.Engine.create ()
+      else Svc.Engine.create ~cache_cap:1 ()
+    in
+    match Svc.Delta.create engine job with
+    | Ok (s, r, _) ->
+        (match r.Svc.Stats.r_status with
+        | Svc.Stats.Served_fresh | Svc.Stats.Served_cached -> s
+        | _ ->
+            failwith
+              (Printf.sprintf "e13: base instance not certifiable: %s"
+                 (Svc.Stats.to_canonical_json r)))
+    | Error (r, _) -> failwith (Svc.Stats.to_canonical_json r)
+  in
+  let verdict_class r =
+    match r.Svc.Stats.r_status with
+    | Svc.Stats.Served_fresh | Svc.Stats.Served_cached
+    | Svc.Stats.Served_degraded -> `Served
+    | Svc.Stats.Declined -> `Declined
+    | Svc.Stats.Input_error _ -> `Input_error
+    | Svc.Stats.Unsound _ | Svc.Stats.Failed _ -> `Broken
+  in
+  let stream ~family ~n ~steps =
+    let gen = match family with "dense" -> "random" | f -> f in
+    let line_of id =
+      Printf.sprintf "id=%s gen=%s n=%d gseed=13 property=connected k=2 seed=11"
+        id gen n
+    in
+    let s_inc = open_session ~cache:true (line_of ("e13i-" ^ family)) in
+    let s_full = open_session ~cache:false (line_of ("e13f-" ^ family)) in
+    let g0 = Svc.Delta.graph s_inc in
+    let nb = G.n g0 and m0 = G.m g0 in
+    (* the volatile pool: a handful of short chords (cycle edges), so a
+       deletion never disconnects and both pipelines certify every
+       state; 2^|pool| possible states keeps revisits honest, not
+       guaranteed *)
+    let srng = Random.State.make [| 0xE13; n; Hashtbl.hash family |] in
+    let pool =
+      let rec draw acc tries =
+        if List.length acc >= 4 || tries > 200 then acc
+        else
+          let u = Random.State.int srng (nb - 7) in
+          let e = (u, u + 2 + Random.State.int srng 5) in
+          if List.mem e acc || G.mem_edge g0 (fst e) (snd e) then
+            draw acc (tries + 1)
+          else draw (e :: acc) (tries + 1)
+      in
+      Array.of_list (draw [] 0)
+    in
+    let t_full = ref 0.0 and t_inc = ref 0.0 in
+    let hits = ref 0 and reused = ref 0 and changed = ref 0 in
+    let memo_h = ref 0 and memo_m = ref 0 in
+    let total = ref 0 in
+    let run_step ops =
+      incr total;
+      let t0 = now () in
+      let ri, ii = Svc.Delta.step s_inc ~full:false ops in
+      t_inc := !t_inc +. (now () -. t0);
+      let t1 = now () in
+      let rf, _ = Svc.Delta.step s_full ~full:true ops in
+      t_full := !t_full +. (now () -. t1);
+      if verdict_class ri <> verdict_class rf then
+        failwith
+          (Printf.sprintf "e13: verdict divergence on %s:\n  %s\n  %s" ops
+             (Svc.Stats.to_canonical_json ri)
+             (Svc.Stats.to_canonical_json rf));
+      (match verdict_class ri with
+      | `Served | `Declined -> ()
+      | _ -> failwith ("e13: broken step: " ^ Svc.Stats.to_canonical_json ri));
+      if ii.Svc.Delta.pi_mode = "cached" then incr hits;
+      reused := !reused + ii.Svc.Delta.pi_reused;
+      changed := !changed + ii.Svc.Delta.pi_changed;
+      memo_h := !memo_h + ii.Svc.Delta.pi_memo_hits;
+      memo_m := !memo_m + ii.Svc.Delta.pi_memo_misses
+    in
+    (* warm-in: place the pool edges (timed; these are real misses) *)
+    Array.iter
+      (fun (u, v) -> run_step (Printf.sprintf "add=%d-%d" u v))
+      pool;
+    for _ = 1 to steps do
+      let u, v = pool.(Random.State.int srng (Array.length pool)) in
+      let g = Svc.Delta.graph s_inc in
+      let ops =
+        if G.mem_edge g u v then Printf.sprintf "del=%d-%d" u v
+        else Printf.sprintf "add=%d-%d" u v
+      in
+      run_step ops
+    done;
+    Printf.printf
+      "  %-12s %6d %7d %6d | %10.2f %10.2f %7.1fx | %5.1f%% %6.1f%% %8.1f%%\n%!"
+      family nb m0 !total
+      (1000.0 *. !t_full /. float_of_int !total)
+      (1000.0 *. !t_inc /. float_of_int !total)
+      (!t_full /. !t_inc)
+      (100.0 *. float_of_int !hits /. float_of_int !total)
+      (100.0 *. float_of_int !reused
+      /. float_of_int (max 1 (!reused + !changed)))
+      (100.0 *. float_of_int !memo_h
+      /. float_of_int (max 1 (!memo_h + !memo_m)))
+  in
+  let ns = if quick then [ 1024 ] else [ 1024; 2048 ] in
+  let steps = if quick then 20 else 60 in
+  List.iter
+    (fun family -> List.iter (fun n -> stream ~family ~n ~steps) ns)
+    [ "path"; "caterpillar"; "dense" ];
+  line ()
+
+(* ------------------------------------------------------------------ *)
 (* perf (E11): hot-path microbenchmarks with a committed-baseline gate   *)
 
 module Gref = Lcp_graph.Graph_ref
@@ -1701,6 +1841,7 @@ let () =
       ("e1", e1); ("e2", e2); ("e3", e3); ("e5", e5); ("e6", e6); ("e7", e7);
       ("faults", faults); ("service", service); ("scale", scale);
       ("recovery", recovery); ("chaos", chaos); ("timing", timing);
+      ("incr", e13_incr);
     ]
   in
   (* perf is the regression *gate*, not an experiment: it is run

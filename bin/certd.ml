@@ -148,7 +148,9 @@ let client_submit fd ~window ~deadline_ms ~emit ~failed jobs =
                else "a request")
               reason;
             exit 1
-        | Ok (Service.Wire.Stats_reply _ | Service.Wire.Pong) ->
+        | Ok
+            ( Service.Wire.Stats_reply _ | Service.Wire.Pong
+            | Service.Wire.Dreport _ ) ->
             prerr_endline "certd: unexpected response from server";
             exit 2
         | Error e ->
@@ -163,8 +165,83 @@ let client_submit fd ~window ~deadline_ms ~emit ~failed jobs =
            failed := true;
          emit ~id ~status ~json ~canonical)
 
+(* Streaming edit mode: open a daemon-side delta session on the
+   manifest's single job, then play the edit file through it one batch
+   at a time — lock-step, because each edit's meaning depends on the
+   graph the previous one left behind. Replies come back in stream
+   order and are emitted that way (no id sort: this is a stream, not a
+   batch). Overloaded answers are retried with the same backoff as
+   batch submissions. *)
+let client_edits fd ~deadline_ms ~full ~emit ~failed ~quiet job edits =
+  let rec rpc serial req attempts =
+    Service.Wire.write_frame fd (Service.Wire.encode_request req);
+    match Service.Wire.read_frame fd with
+    | None ->
+        prerr_endline "certd: server closed the connection mid-stream";
+        exit 1
+    | Some payload -> (
+        match Service.Wire.decode_response payload with
+        | Ok (Service.Wire.Dreport { serial = s; id; status; json; canonical; patch })
+          when s = serial ->
+            (id, status, json, canonical, patch)
+        | Ok (Service.Wire.Overloaded { serial = s; reason }) when s = serial ->
+            if attempts >= 100 then begin
+              Printf.eprintf "certd: edit %d refused %d times (last: %s)\n"
+                serial attempts reason;
+              exit 1
+            end;
+            Unix.sleepf 0.05;
+            rpc serial req (attempts + 1)
+        | Ok (Service.Wire.Err { reason; _ }) ->
+            Printf.eprintf "certd: server rejected request %d: %s\n" serial
+              reason;
+            exit 1
+        | Ok _ ->
+            prerr_endline "certd: unexpected response in edit stream";
+            exit 2
+        | Error e ->
+            Printf.eprintf "certd: bad response from server: %s\n" e;
+            exit 2)
+  in
+  let handle (id, status, json, canonical, patch) =
+    if List.mem status [ "input_error"; "unsound"; "failed" ] then
+      failed := true;
+    emit ~id ~status ~json ~canonical;
+    if not quiet then Printf.printf "%-12s %-13s %s\n%!" id status patch
+  in
+  let line = Service.Manifest.print_job job in
+  handle (rpc 0 (Service.Wire.Delta_open { serial = 0; deadline_ms; line }) 0);
+  List.iteri
+    (fun i ops ->
+      let serial = i + 1 in
+      handle
+        (rpc serial
+           (Service.Wire.Delta_edit { serial; deadline_ms; full; ops })
+           0))
+    edits
+
+(* the edit file: one delta per line ("add=0-1,2-3 del=4-5"); blank
+   lines and #-comments are skipped, an empty line of ops is legal *)
+let load_edit_lines file =
+  match open_in file with
+  | exception Sys_error e ->
+      Printf.eprintf "certd: %s\n" e;
+      exit 2
+  | ic ->
+      let rec go acc =
+        match input_line ic with
+        | exception End_of_file ->
+            close_in ic;
+            List.rev acc
+        | line ->
+            let tr = String.trim line in
+            if tr = "" || tr.[0] = '#' then go acc else go (tr :: acc)
+      in
+      go []
+
 let run_client ~socket_path ~window ~deadline_ms ~server_stats
-    ~server_shutdown ~manifest ~base_dir ~jsonl ~canonical ~quiet =
+    ~server_shutdown ~manifest ~base_dir ~jsonl ~canonical ~quiet ~edits
+    ~edits_full =
   let fd = dial socket_path in
   let finish code =
     (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -239,7 +316,19 @@ let run_client ~socket_path ~window ~deadline_ms ~server_stats
         if not quiet then Printf.printf "%-12s %s\n%!" id status
       in
       let failed = ref false in
-      client_submit fd ~window ~deadline_ms ~emit ~failed jobs;
+      (match edits with
+      | Some edits_file -> (
+          match jobs with
+          | [ job ] ->
+              client_edits fd ~deadline_ms ~full:edits_full ~emit ~failed
+                ~quiet job
+                (load_edit_lines edits_file)
+          | _ ->
+              Printf.eprintf
+                "certd: --edits needs a manifest with exactly one job (got %d)\n"
+                (List.length jobs);
+              finish 2)
+      | None -> client_submit fd ~window ~deadline_ms ~emit ~failed jobs);
       (match jsonl_oc with
       | Some oc when oc != stdout -> close_out oc
       | _ -> ());
@@ -247,7 +336,7 @@ let run_client ~socket_path ~window ~deadline_ms ~server_stats
 
 let run manifest base_dir cache_cap cache_dir disk_cap faults jsonl canonical
     passes njobs quiet list_props connect window deadline_ms server_stats
-    server_shutdown =
+    server_shutdown edits edits_full =
   if list_props then begin
     list_properties ();
     exit 0
@@ -259,10 +348,15 @@ let run manifest base_dir cache_cap cache_dir disk_cap faults jsonl canonical
         exit 2
       end;
       run_client ~socket_path ~window ~deadline_ms ~server_stats
-        ~server_shutdown ~manifest ~base_dir ~jsonl ~canonical ~quiet
+        ~server_shutdown ~manifest ~base_dir ~jsonl ~canonical ~quiet ~edits
+        ~edits_full
   | None ->
       if server_stats || server_shutdown then begin
         prerr_endline "certd: --server-stats/--server-shutdown need --connect";
+        exit 2
+      end;
+      if edits <> None || edits_full then begin
+        prerr_endline "certd: --edits/--edits-full need --connect";
         exit 2
       end);
   let manifest =
@@ -564,6 +658,29 @@ let server_shutdown =
           "With --connect: ask the daemon to drain its queue and exit, as \
            SIGTERM would.")
 
+let edits =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "edits" ] ~docv:"FILE"
+        ~doc:
+          "With --connect: streaming edit mode. Open a daemon-side delta \
+           session on the manifest's single job, then apply $(docv) one \
+           line at a time (each line an edit batch like \
+           'add=0-1,2-3 del=4-5'; blank lines and #-comments skipped). \
+           Each step is re-certified incrementally and re-verified before \
+           it is served; replies stream back in edit order.")
+
+let edits_full =
+  Arg.(
+    value & flag
+    & info [ "edits-full" ]
+        ~doc:
+          "With --edits: force a from-scratch recompute at every step \
+           (same representation policy, no splice) — the differential \
+           anchor whose canonical JSONL must match the incremental run \
+           byte for byte.")
+
 let cmd =
   let doc = "batch certification service driver (cached Theorem 1 pipeline)" in
   Cmd.v
@@ -571,6 +688,7 @@ let cmd =
     Term.(
       const run $ manifest $ base_dir $ cache_cap $ cache_dir $ disk_cap
       $ faults $ jsonl $ canonical $ passes $ njobs $ quiet $ list_props
-      $ connect $ window $ deadline_ms $ server_stats $ server_shutdown)
+      $ connect $ window $ deadline_ms $ server_stats $ server_shutdown
+      $ edits $ edits_full)
 
 let () = exit (Cmd.eval cmd)

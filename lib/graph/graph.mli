@@ -29,10 +29,16 @@ val of_edges : n:int -> edge list -> t
 val empty : n:int -> t
 
 val add_edges : t -> edge list -> t
-(** Incremental: edges already present are ignored; the adjacency arrays
-    are rebuilt in one linear merge pass (the full edge list is never
-    materialized). Returns the graph unchanged (physically) when every
-    listed edge is already present. *)
+(** Incremental: edges already present are ignored and duplicates among
+    the additions are collapsed (listing an edge twice adds it once);
+    the adjacency arrays are rebuilt in one linear merge pass (the full
+    edge list is never materialized). Returns the graph unchanged
+    {e physically} ([==], not merely {!equal}) when every listed edge is
+    already present — including the empty list — so a no-op delta costs
+    nothing and callers may use sharing as a change test. Raises
+    [Invalid_argument] on a self-loop or an endpoint outside [0..n-1];
+    the graph is never mutated (it is immutable), so a raising call
+    leaves the original fully usable. *)
 
 (** {1 Accessors} *)
 
@@ -100,7 +106,11 @@ val remove_vertex : t -> int -> t * int array
 
 val remove_edge : t -> int -> int -> t
 (** Drop one edge in a single linear pass over the adjacency arrays.
-    Removing a non-edge returns the graph unchanged. *)
+    Removing a non-edge returns the graph unchanged {e physically}
+    ([==], not merely {!equal}) — the mirror of {!add_edges}'s no-op
+    contract, and what lets an edit pipeline detect "nothing happened"
+    by sharing alone. Raises [Invalid_argument] on a self-loop
+    ([u = v]); out-of-range endpoints are simply non-edges. *)
 
 (** {1 Comparison and printing} *)
 

@@ -69,6 +69,8 @@ let store t = t.store
 
 let retry t = t.retry
 
+let base_dir t = t.base_dir
+
 let now_ms () = Unix.gettimeofday () *. 1000.0
 
 (** Run [f attempt] until it returns, retrying on any exception except
@@ -338,6 +340,53 @@ let run_job ?retry:retry_override t (job : Manifest.job) : Stats.job_report =
         r_reject_reasons = [];
         r_retries = retries;
       }
+
+(* The delta-session entry point: the same totality/retry/degraded
+   contract as [run_job], for a step computed by the caller. [Delta]
+   sits above the engine in the module graph (it needs the registry and
+   the store), so the engine only sees "a job-shaped computation": the
+   step must be effect-free until it returns — a retried attempt reruns
+   it whole — and commits its session state exactly when it produces a
+   report. [Blob_io.Crashed] propagates, as everywhere. *)
+let run_delta_job ?retry:retry_override t ~job_id ~property ~k
+    ~(fallback_info : 'info) (step : attempt:int -> Stats.job_report * 'info) :
+    Stats.job_report * 'info =
+  let t0 = now_ms () in
+  let retry = Option.value retry_override ~default:t.retry in
+  match with_retries ~retry ~now:now_ms (fun attempt -> step ~attempt) with
+  | Ok ((report, info), retries) ->
+      let report =
+        { report with Stats.r_retries = retries; r_total_ms = now_ms () -. t0 }
+      in
+      let report =
+        if
+          Cert_store.degraded t.store
+          &&
+          match report.Stats.r_status with
+          | Stats.Served_fresh | Stats.Served_cached -> true
+          | _ -> false
+        then { report with Stats.r_status = Stats.Served_degraded }
+        else report
+      in
+      (report, info)
+  | Error (msg, retries) ->
+      ( {
+          Stats.r_id = job_id;
+          r_property = property;
+          r_k = k;
+          r_n = 0;
+          r_m = 0;
+          r_status = Stats.Failed msg;
+          r_cache_hit = false;
+          r_prove_ms = 0.0;
+          r_verify_ms = 0.0;
+          r_total_ms = now_ms () -. t0;
+          r_label_bits = 0;
+          r_bundle_bits = 0;
+          r_reject_reasons = [];
+          r_retries = retries;
+        },
+        fallback_info )
 
 (* Copy the process-global composition-memo counters and the GC minor
    allocation count into the timing sink, where they render next to the

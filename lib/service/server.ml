@@ -62,8 +62,21 @@ let default_client_cap cap = max 1 (cap / 4)
 (* ---------------------------------------------------------------- *)
 (* parent <-> worker messages (Marshal inside Wire frames)           *)
 
+type delta_op =
+  | Dopen of Manifest.job  (** (re)open the client's delta session *)
+  | Dedit of { full : bool; ops : string }  (** one edit batch *)
+
 type to_worker =
   | Job of { token : int; job : Manifest.job; deadline_ms : float }
+  | Delta_job of {
+      token : int;
+      client : int;  (** sessions are keyed by client id in the worker *)
+      deadline_ms : float;
+      op : delta_op;
+    }
+  | Delta_close of { client : int }
+      (** drop the client's session (disconnect, or re-open that landed
+          on another slot); no reply *)
   | Quit
 
 type from_worker =
@@ -71,15 +84,37 @@ type from_worker =
   | Done of {
       token : int;
       report : Stats.job_report;
+      patch : string option;  (** patch-info JSON for delta jobs *)
       samples : Timing.samples;
       store_stats : Cert_store.stats;
       degraded : bool;
     }
 
+(* a Dedit that arrives with no live session (its open failed, or a
+   prior incarnation of this slot held it) must still answer *)
+let no_session_report =
+  {
+    Stats.r_id = "-";
+    r_property = "-";
+    r_k = 0;
+    r_n = 0;
+    r_m = 0;
+    r_status = Stats.Failed "no open delta session; send a dopen first";
+    r_cache_hit = false;
+    r_prove_ms = 0.0;
+    r_verify_ms = 0.0;
+    r_total_ms = 0.0;
+    r_label_bits = 0;
+    r_bundle_bits = 0;
+    r_reject_reasons = [];
+    r_retries = 0;
+  }
+
 (* the whole life of a worker incarnation: build the engine, announce
    readiness, then serve jobs until Quit/EOF. A simulated process death
    (Blob_io.Crashed) exits the process — that is its meaning — and the
-   supervisor sees EOF. *)
+   supervisor sees EOF. Delta sessions live and die with the
+   incarnation: the supervisor re-pins clients on a respawn. *)
 let worker_main ~make_engine ~timed ~idx rfd wfd =
   let send (msg : from_worker) =
     Wire.write_frame wfd (Marshal.to_string msg [])
@@ -95,6 +130,50 @@ let worker_main ~make_engine ~timed ~idx rfd wfd =
         Unix._exit 4
   in
   (try send Ready with Sys_error _ | Unix.Unix_error _ -> Unix._exit 1);
+  let sessions : (int, Delta.session) Hashtbl.t = Hashtbl.create 8 in
+  (* per-job memo-counter DELTAS into the timing sink: [flush] resets
+     the counters after every job and the parent's [absorb] merges by
+     summation, so shipping cumulative totals would overcount *)
+  let with_memo_counters f =
+    let before =
+      match timing with Some _ -> Lcp_cert.Memo.counters () | None -> []
+    in
+    let result = f () in
+    (match timing with
+    | Some tsink ->
+        List.iter
+          (fun (name, v) ->
+            let v0 = Option.value ~default:0 (List.assoc_opt name before) in
+            Timing.set_counter tsink name (v - v0))
+          (Lcp_cert.Memo.counters ())
+    | None -> ());
+    result
+  in
+  let retry_of deadline_ms =
+    if deadline_ms > 0.0 then
+      Some { (Engine.retry engine) with Engine.deadline_ms }
+    else None
+  in
+  let finish ~token ~report ~patch =
+    let samples =
+      match timing with
+      | Some t -> Timing.flush t
+      | None -> { Timing.w_stages = []; w_ctrs = [] }
+    in
+    let store = Engine.store engine in
+    try
+      send
+        (Done
+           {
+             token;
+             report;
+             patch;
+             samples;
+             store_stats = Cert_store.stats store;
+             degraded = Cert_store.degraded store;
+           })
+    with Sys_error _ | Unix.Unix_error _ -> Unix._exit 1
+  in
   let rec serve () =
     match Wire.read_frame rfd with
     | None | Some "" -> Unix._exit 0 (* parent is gone: die quietly *)
@@ -103,31 +182,39 @@ let worker_main ~make_engine ~timed ~idx rfd wfd =
         match (Marshal.from_string payload 0 : to_worker) with
         | Quit -> Unix._exit 0
         | Job { token; job; deadline_ms } -> (
-            let retry =
-              if deadline_ms > 0.0 then
-                Some { (Engine.retry engine) with Engine.deadline_ms }
-              else None
-            in
-            match Engine.run_job ?retry engine job with
+            match
+              with_memo_counters (fun () ->
+                  Engine.run_job ?retry:(retry_of deadline_ms) engine job)
+            with
             | exception Blob_io.Crashed _ -> Unix._exit 3
             | report ->
-                let samples =
-                  match timing with
-                  | Some t -> Timing.flush t
-                  | None -> { Timing.w_stages = []; w_ctrs = [] }
-                in
-                let store = Engine.store engine in
-                (try
-                   send
-                     (Done
-                        {
-                          token;
-                          report;
-                          samples;
-                          store_stats = Cert_store.stats store;
-                          degraded = Cert_store.degraded store;
-                        })
-                 with Sys_error _ | Unix.Unix_error _ -> Unix._exit 1);
+                finish ~token ~report ~patch:None;
+                serve ())
+        | Delta_close { client } ->
+            Hashtbl.remove sessions client;
+            serve ()
+        | Delta_job { token; client; deadline_ms; op } -> (
+            let retry = retry_of deadline_ms in
+            let run () =
+              match op with
+              | Dopen job -> (
+                  match Delta.create ?retry engine job with
+                  | Ok (session, report, info) ->
+                      Hashtbl.replace sessions client session;
+                      (report, info)
+                  | Error (report, info) ->
+                      (* a failed open leaves no session to edit *)
+                      Hashtbl.remove sessions client;
+                      (report, info))
+              | Dedit { full; ops } -> (
+                  match Hashtbl.find_opt sessions client with
+                  | None -> (no_session_report, Delta.no_info "none")
+                  | Some s -> Delta.step ?retry s ~full ops)
+            in
+            match with_memo_counters run with
+            | exception Blob_io.Crashed _ -> Unix._exit 3
+            | report, info ->
+                finish ~token ~report ~patch:(Some (Delta.info_json info));
                 serve ()))
   in
   serve ()
@@ -135,10 +222,19 @@ let worker_main ~make_engine ~timed ~idx rfd wfd =
 (* ---------------------------------------------------------------- *)
 (* supervisor state                                                  *)
 
+type jkind =
+  | Jk_submit  (** a one-shot [Submit]: any worker may run it *)
+  | Jk_open  (** [Delta_open]: any worker; pins the client to its slot *)
+  | Jk_edit of { full : bool; ops : string }
+      (** [Delta_edit]: only the pinned slot holds the session *)
+
 type job_ctx = {
   jc_serial : int;  (** the client's token, echoed in the reply *)
   jc_client : int;
   jc_job : Manifest.job;
+      (** the job itself, or — for [Jk_edit] — the session's base job,
+          so a parent-made [Failed] report still names the session *)
+  jc_kind : jkind;
   jc_deadline_ms : float;
   mutable jc_retried : bool;  (** already survived one worker death *)
   mutable jc_token : int;  (** dispatch token of the current attempt *)
@@ -168,6 +264,13 @@ type client = {
   mutable c_out_off : int;  (** bytes of the head frame already written *)
   mutable c_out_bytes : int;  (** total unwritten bytes across [c_out] *)
   mutable c_alive : bool;
+  mutable c_slot : int option;
+      (** worker slot holding this client's delta session — set when a
+          [Jk_open] is dispatched; edits are only eligible for it *)
+  mutable c_opened : bool;
+      (** a session open has been queued and not since lost; gates
+          edit admission *)
+  mutable c_base : Manifest.job option;  (** the session's base job *)
 }
 
 type counters = {
@@ -274,9 +377,24 @@ let spawn_worker t idx =
 (* ---------------------------------------------------------------- *)
 (* replies                                                           *)
 
+(* best-effort session teardown in a pinned slot: the worker is long
+   past due for a [Delta_close] when its client died or re-opened
+   elsewhere; a write failure means the slot is dying anyway and takes
+   the session with it *)
+let send_close t idx ~client =
+  let w = t.workers.(idx) in
+  if w.w_pid > 0 && not w.w_stopped then
+    try Wire.write_frame w.w_to (Marshal.to_string (Delta_close { client }) [])
+    with Sys_error _ | Unix.Unix_error _ -> ()
+
 let client_dead t c =
   if c.c_alive then begin
     c.c_alive <- false;
+    (match c.c_slot with
+    | Some idx -> send_close t idx ~client:c.c_id
+    | None -> ());
+    c.c_slot <- None;
+    c.c_opened <- false;
     t.c.dropped <- t.c.dropped + Queue.length c.c_queue;
     Queue.clear c.c_queue;
     Queue.clear c.c_out;
@@ -371,6 +489,9 @@ let adopt_client t fd =
       c_out_off = 0;
       c_out_bytes = 0;
       c_alive = true;
+      c_slot = None;
+      c_opened = false;
+      c_base = None;
     }
   in
   t.next_client <- t.next_client + 1;
@@ -418,79 +539,151 @@ let report_response (jc : job_ctx) (r : Stats.job_report) =
       canonical = Stats.to_canonical_json r;
     }
 
-let finish_job t jc (r : Stats.job_report) =
+let dreport_response (jc : job_ctx) (r : Stats.job_report) patch =
+  Wire.Dreport
+    {
+      serial = jc.jc_serial;
+      id = r.Stats.r_id;
+      status = Stats.status_name r.Stats.r_status;
+      json = Stats.to_json r;
+      canonical = Stats.to_canonical_json r;
+      patch;
+    }
+
+let finish_job ?(patch = "{}") t jc (r : Stats.job_report) =
   count_status t r;
   match find_client t jc.jc_client with
-  | Some c -> reply t c (report_response jc r)
+  | Some c ->
+      reply t c
+        (match jc.jc_kind with
+        | Jk_submit -> report_response jc r
+        | Jk_open | Jk_edit _ -> dreport_response jc r patch)
   | None -> () (* the requester hung up; the judgement is dropped *)
 
 (* ---------------------------------------------------------------- *)
 (* dispatch: crash-retries first, then round-robin across clients    *)
 
-let next_job t =
-  if not (Queue.is_empty t.retry_q) then Some (Queue.pop t.retry_q)
-  else begin
-    let with_jobs =
-      List.filter (fun c -> not (Queue.is_empty c.c_queue)) t.clients
-      |> List.sort (fun a b -> compare a.c_id b.c_id)
-    in
-    let chosen =
-      match List.find_opt (fun c -> c.c_id > t.rr) with_jobs with
-      | Some c -> Some c
-      | None -> ( match with_jobs with c :: _ -> Some c | [] -> None)
-    in
-    match chosen with
-    | None -> None
-    | Some c ->
-        t.rr <- c.c_id;
-        Some (Queue.pop c.c_queue)
-  end
+(* which worker may run a job: anything one-shot goes anywhere, an
+   edit only to the slot holding its client's session *)
+let eligible t w jc =
+  match jc.jc_kind with
+  | Jk_submit | Jk_open -> true
+  | Jk_edit _ -> (
+      match find_client t jc.jc_client with
+      | Some c -> c.c_slot = Some w.w_idx
+      | None -> false)
 
-let idle_worker t =
-  let found = ref None in
-  Array.iter
-    (fun w ->
-      if
-        !found = None && w.w_ready && w.w_busy = None && not w.w_stopped
-        && w.w_pid > 0
-      then found := Some w)
-    t.workers;
-  !found
+(* pop the first retry-queue job this worker may run; an edit whose
+   client hung up is dropped on the floor here (its reply had no
+   recipient anyway, and it would never become eligible again) *)
+let take_retry t w =
+  let keep = Queue.create () in
+  let taken = ref None in
+  Queue.iter
+    (fun jc ->
+      if !taken <> None then Queue.push jc keep
+      else
+        match jc.jc_kind with
+        | Jk_edit _ when find_client t jc.jc_client = None ->
+            t.c.dropped <- t.c.dropped + 1
+        | _ -> if eligible t w jc then taken := Some jc else Queue.push jc keep)
+    t.retry_q;
+  Queue.clear t.retry_q;
+  Queue.transfer keep t.retry_q;
+  !taken
+
+(* Round-robin across clients, but only over queue HEADS: taking a
+   later job from a queue whose head this worker cannot run would
+   reorder one client's session stream. A client whose head is an
+   edit pinned elsewhere simply waits for its slot. *)
+let next_job_for t w =
+  match take_retry t w with
+  | Some jc -> Some jc
+  | None -> (
+      let with_jobs =
+        List.filter
+          (fun c ->
+            (not (Queue.is_empty c.c_queue)) && eligible t w (Queue.peek c.c_queue))
+          t.clients
+        |> List.sort (fun a b -> compare a.c_id b.c_id)
+      in
+      let chosen =
+        match List.find_opt (fun c -> c.c_id > t.rr) with_jobs with
+        | Some c -> Some c
+        | None -> ( match with_jobs with c :: _ -> Some c | [] -> None)
+      in
+      match chosen with
+      | None -> None
+      | Some c ->
+          t.rr <- c.c_id;
+          Some (Queue.pop c.c_queue))
+
+let assign t w jc =
+  let token = t.next_token in
+  t.next_token <- t.next_token + 1;
+  jc.jc_token <- token;
+  (* an open pins its client to this slot; a session still living in a
+     previously pinned slot is torn down — one session per client *)
+  (match jc.jc_kind with
+  | Jk_open -> (
+      match find_client t jc.jc_client with
+      | Some c ->
+          (match c.c_slot with
+          | Some old when old <> w.w_idx -> send_close t old ~client:c.c_id
+          | _ -> ());
+          c.c_slot <- Some w.w_idx
+      | None -> ())
+  | Jk_submit | Jk_edit _ -> ());
+  let msg =
+    match jc.jc_kind with
+    | Jk_submit ->
+        Job { token; job = jc.jc_job; deadline_ms = jc.jc_deadline_ms }
+    | Jk_open ->
+        Delta_job
+          {
+            token;
+            client = jc.jc_client;
+            deadline_ms = jc.jc_deadline_ms;
+            op = Dopen jc.jc_job;
+          }
+    | Jk_edit { full; ops } ->
+        Delta_job
+          {
+            token;
+            client = jc.jc_client;
+            deadline_ms = jc.jc_deadline_ms;
+            op = Dedit { full; ops };
+          }
+  in
+  w.w_busy <- Some jc;
+  match Wire.write_frame w.w_to (Marshal.to_string msg []) with
+  | () -> ()
+  | exception (Sys_error _ | Unix.Unix_error _) ->
+      (* the worker died under us; hand the job back untouched (it
+         never started, so this is not its one retry). The slot must
+         stop looking idle before dispatch continues, or it would pick
+         the same corpse for the same job forever without ever
+         reaching the select loop — so mark it unready and let the EOF
+         path reap and respawn *)
+      w.w_ready <- false;
+      w.w_busy <- None;
+      Queue.push jc t.retry_q
 
 let rec dispatch t =
-  match idle_worker t with
-  | None -> ()
-  | Some w -> (
-      match next_job t with
-      | None -> ()
-      | Some jc ->
-          let token = t.next_token in
-          t.next_token <- t.next_token + 1;
-          jc.jc_token <- token;
-          w.w_busy <- Some jc;
-          (match
-             Wire.write_frame w.w_to
-               (Marshal.to_string
-                  (Job
-                     {
-                       token;
-                       job = jc.jc_job;
-                       deadline_ms = jc.jc_deadline_ms;
-                     })
-                  [])
-           with
-          | () -> ()
-          | exception (Sys_error _ | Unix.Unix_error _) ->
-              (* the worker died under us; hand the job back untouched
-                 (it never started, so this is not its one retry). The
-                 slot must stop looking idle before we recurse, or this
-                 dispatch would pick the same corpse for the same job
-                 forever without ever reaching the select loop — so
-                 mark it unready and let the EOF path reap and respawn *)
-              w.w_ready <- false;
-              w.w_busy <- None;
-              Queue.push jc t.retry_q);
-          dispatch t)
+  let progressed = ref false in
+  Array.iter
+    (fun w ->
+      if w.w_ready && w.w_busy = None && not w.w_stopped && w.w_pid > 0 then
+        match next_job_for t w with
+        | None -> ()
+        | Some jc ->
+            assign t w jc;
+            progressed := true)
+    t.workers;
+  (* a successful assign may have unblocked a pinned edit behind it;
+     a failed one put the job back for another slot. Either way the
+     pass strictly shrank queue+idle, so this terminates. *)
+  if !progressed then dispatch t
 
 (* ---------------------------------------------------------------- *)
 (* the stats endpoint                                                *)
@@ -517,7 +710,7 @@ let stats_json t =
   let degraded = Array.exists (fun w -> w.w_degraded) t.workers in
   let s = store_totals t in
   Printf.sprintf
-    "{\"uptime_s\":%.3f,\"draining\":%b,\"queue\":{\"depth\":%d,\"cap\":%d,\"max_depth\":%d,\"client_cap\":%d,\"inflight\":%d},\"jobs\":{\"submitted\":%d,\"completed\":%d,\"served\":%d,\"served_degraded\":%d,\"declined\":%d,\"failed\":%d,\"input_error\":%d,\"unsound\":%d,\"requeued\":%d,\"dropped\":%d},\"admission\":{\"rejected_overload\":%d,\"rejected_quota\":%d,\"parse_errors\":%d},\"workers\":{\"configured\":%d,\"live\":%d,\"restarts\":%d,\"stopped\":%d,\"degraded\":%b},\"store\":{\"hits\":%d,\"misses\":%d,\"insertions\":%d,\"corrupt\":%d,\"quarantined\":%d,\"quarantine_evictions\":%d,\"orphans_swept\":%d,\"disk_errors\":%d,\"gc_evictions\":%d},\"stages\":%s}"
+    "{\"uptime_s\":%.3f,\"draining\":%b,\"queue\":{\"depth\":%d,\"cap\":%d,\"max_depth\":%d,\"client_cap\":%d,\"inflight\":%d},\"jobs\":{\"submitted\":%d,\"completed\":%d,\"served\":%d,\"served_degraded\":%d,\"declined\":%d,\"failed\":%d,\"input_error\":%d,\"unsound\":%d,\"requeued\":%d,\"dropped\":%d},\"admission\":{\"rejected_overload\":%d,\"rejected_quota\":%d,\"parse_errors\":%d},\"workers\":{\"configured\":%d,\"live\":%d,\"restarts\":%d,\"stopped\":%d,\"degraded\":%b},\"store\":{\"hits\":%d,\"misses\":%d,\"insertions\":%d,\"corrupt\":%d,\"quarantined\":%d,\"quarantine_evictions\":%d,\"orphans_swept\":%d,\"disk_errors\":%d,\"gc_evictions\":%d},\"counters\":%s,\"stages\":%s}"
     (Unix.gettimeofday () -. t.started)
     t.draining (queue_depth t) t.cfg.queue_cap t.c.max_queue t.cfg.client_cap
     (inflight t) t.c.submitted t.c.completed t.c.served t.c.served_degraded
@@ -528,6 +721,7 @@ let stats_json t =
     s.Cert_store.quarantined s.Cert_store.quarantine_evictions
     s.Cert_store.orphans_swept s.Cert_store.disk_errors
     s.Cert_store.gc_evictions
+    (Timing.counters_json t.timing)
     (Timing.report_json t.timing)
 
 (* ---------------------------------------------------------------- *)
@@ -559,6 +753,62 @@ let begin_drain t =
     log t "draining: %d queued, %d in flight" (queue_depth t) (inflight t)
   end
 
+(* the admission gates every queueing request passes: refuse while
+   draining, at the global cap, and past the client's quota *)
+let admitted t c serial =
+  if t.draining then begin
+    t.c.rejected_overload <- t.c.rejected_overload + 1;
+    reply t c (Wire.Overloaded { serial; reason = "server is draining" });
+    false
+  end
+  else if queue_depth t >= t.cfg.queue_cap then begin
+    t.c.rejected_overload <- t.c.rejected_overload + 1;
+    reply t c
+      (Wire.Overloaded
+         {
+           serial;
+           reason =
+             Printf.sprintf "admission queue full (cap %d)" t.cfg.queue_cap;
+         });
+    false
+  end
+  else if Queue.length c.c_queue >= t.cfg.client_cap then begin
+    t.c.rejected_quota <- t.c.rejected_quota + 1;
+    reply t c
+      (Wire.Overloaded
+         {
+           serial;
+           reason =
+             Printf.sprintf "client quota exceeded (cap %d)" t.cfg.client_cap;
+         });
+    false
+  end
+  else true
+
+(* a [Submit] and a [Delta_open] both carry exactly one manifest line *)
+let parse_one_job t c serial line =
+  match Manifest.parse line with
+  | Error e ->
+      t.c.parse_errors <- t.c.parse_errors + 1;
+      reply t c (Wire.Err { serial; reason = e });
+      None
+  | Ok [] ->
+      t.c.parse_errors <- t.c.parse_errors + 1;
+      reply t c (Wire.Err { serial; reason = "no job in submission" });
+      None
+  | Ok (_ :: _ :: _) ->
+      t.c.parse_errors <- t.c.parse_errors + 1;
+      reply t c
+        (Wire.Err { serial; reason = "a submission is exactly one job line" });
+      None
+  | Ok [ job ] -> Some job
+
+let enqueue t c jc =
+  t.c.submitted <- t.c.submitted + 1;
+  Queue.push jc c.c_queue;
+  t.c.max_queue <- max t.c.max_queue (queue_depth t);
+  dispatch t
+
 let handle_request t c req =
   match req with
   | Wire.Ping -> reply t c Wire.Pong
@@ -567,59 +817,57 @@ let handle_request t c req =
       reply t c Wire.Pong;
       begin_drain t
   | Wire.Submit { serial; canonical = _; deadline_ms; line } ->
-      if t.draining then begin
-        t.c.rejected_overload <- t.c.rejected_overload + 1;
-        reply t c (Wire.Overloaded { serial; reason = "server is draining" })
-      end
-      else if queue_depth t >= t.cfg.queue_cap then begin
-        t.c.rejected_overload <- t.c.rejected_overload + 1;
-        reply t c
-          (Wire.Overloaded
-             {
-               serial;
-               reason =
-                 Printf.sprintf "admission queue full (cap %d)" t.cfg.queue_cap;
-             })
-      end
-      else if Queue.length c.c_queue >= t.cfg.client_cap then begin
-        t.c.rejected_quota <- t.c.rejected_quota + 1;
-        reply t c
-          (Wire.Overloaded
-             {
-               serial;
-               reason =
-                 Printf.sprintf "client quota exceeded (cap %d)"
-                   t.cfg.client_cap;
-             })
-      end
-      else begin
-        match Manifest.parse line with
-        | Error e ->
-            t.c.parse_errors <- t.c.parse_errors + 1;
-            reply t c (Wire.Err { serial; reason = e })
-        | Ok [] ->
-            t.c.parse_errors <- t.c.parse_errors + 1;
-            reply t c (Wire.Err { serial; reason = "no job in submission" })
-        | Ok (_ :: _ :: _) ->
-            t.c.parse_errors <- t.c.parse_errors + 1;
-            reply t c
-              (Wire.Err
-                 { serial; reason = "a submission is exactly one job line" })
-        | Ok [ job ] ->
-            t.c.submitted <- t.c.submitted + 1;
-            Queue.push
+      if admitted t c serial then begin
+        match parse_one_job t c serial line with
+        | None -> ()
+        | Some job ->
+            enqueue t c
               {
                 jc_serial = serial;
                 jc_client = c.c_id;
                 jc_job = job;
+                jc_kind = Jk_submit;
                 jc_deadline_ms = deadline_ms;
                 jc_retried = false;
                 jc_token = -1;
               }
-              c.c_queue;
-            t.c.max_queue <- max t.c.max_queue (queue_depth t);
-            dispatch t
       end
+  | Wire.Delta_open { serial; deadline_ms; line } ->
+      if admitted t c serial then begin
+        match parse_one_job t c serial line with
+        | None -> ()
+        | Some job ->
+            c.c_opened <- true;
+            c.c_base <- Some job;
+            enqueue t c
+              {
+                jc_serial = serial;
+                jc_client = c.c_id;
+                jc_job = job;
+                jc_kind = Jk_open;
+                jc_deadline_ms = deadline_ms;
+                jc_retried = false;
+                jc_token = -1;
+              }
+      end
+  | Wire.Delta_edit { serial; deadline_ms; full; ops } -> (
+      match c.c_base with
+      | Some base when c.c_opened ->
+          if admitted t c serial then
+            enqueue t c
+              {
+                jc_serial = serial;
+                jc_client = c.c_id;
+                jc_job = base;
+                jc_kind = Jk_edit { full; ops };
+                jc_deadline_ms = deadline_ms;
+                jc_retried = false;
+                jc_token = -1;
+              }
+      | _ ->
+          reply t c
+            (Wire.Err
+               { serial; reason = "no delta session open; send a dopen first" }))
 
 let on_client_readable t c =
   let chunk = Bytes.create 65536 in
@@ -647,7 +895,7 @@ let on_client_readable t c =
 (* ---------------------------------------------------------------- *)
 (* worker events                                                     *)
 
-let handle_done t w (token, report, samples, store_stats, degraded) =
+let handle_done t w (token, report, patch, samples, store_stats, degraded) =
   Timing.absorb t.timing samples;
   w.w_last_store <- Some store_stats;
   w.w_degraded <- degraded;
@@ -655,7 +903,7 @@ let handle_done t w (token, report, samples, store_stats, degraded) =
   | Some jc when jc.jc_token = token ->
       w.w_busy <- None;
       w.w_done <- w.w_done + 1;
-      finish_job t jc report;
+      finish_job ~patch:(Option.value ~default:"{}" patch) t jc report;
       dispatch t
   | _ ->
       (* a stale or duplicated token: nothing sane to attribute it to *)
@@ -666,21 +914,84 @@ let worker_died t w =
   close_quietly w.w_to;
   close_quietly w.w_from;
   w.w_pid <- -1;
-  (* the in-flight job gets exactly one more chance on another worker *)
+  (* the in-flight job gets exactly one more chance on another worker —
+     except an edit, whose session just died with the slot: replaying
+     it elsewhere would certify against no baseline *)
   (match w.w_busy with
   | Some jc ->
       w.w_busy <- None;
-      if jc.jc_retried then
-        finish_job t jc
-          (failed_report jc
-             (Printf.sprintf
-                "worker died twice running this job (last in slot %d)" w.w_idx))
-      else begin
-        jc.jc_retried <- true;
-        t.c.requeued <- t.c.requeued + 1;
-        Queue.push jc t.retry_q
-      end
+      (match jc.jc_kind with
+      | Jk_edit _ ->
+          finish_job t jc
+            (failed_report jc "delta session lost with its worker; reopen")
+      | Jk_submit | Jk_open ->
+          if jc.jc_retried then
+            finish_job t jc
+              (failed_report jc
+                 (Printf.sprintf
+                    "worker died twice running this job (last in slot %d)"
+                    w.w_idx))
+          else begin
+            jc.jc_retried <- true;
+            t.c.requeued <- t.c.requeued + 1;
+            Queue.push jc t.retry_q
+          end)
   | None -> ());
+  (* every session pinned to this slot is gone. Unpin the clients; an
+     open pending in the retry queue will re-pin on dispatch, and the
+     edits queued behind it still belong to the session it will build.
+     With no pending open, queued edits up to the client's next open
+     (if any) certified against the lost session — fail them now
+     rather than leave them eligible for no slot. *)
+  let pending_open cid =
+    Queue.fold
+      (fun acc jc -> acc || (jc.jc_client = cid && jc.jc_kind = Jk_open))
+      false t.retry_q
+  in
+  List.iter
+    (fun c ->
+      if c.c_slot = Some w.w_idx then begin
+        c.c_slot <- None;
+        if not (pending_open c.c_id) then begin
+          let keep = Queue.create () in
+          let failing = ref true in
+          Queue.iter
+            (fun jc ->
+              match jc.jc_kind with
+              | Jk_open ->
+                  failing := false;
+                  Queue.push jc keep
+              | Jk_edit _ when !failing ->
+                  finish_job t jc
+                    (failed_report jc "delta session lost with its worker; reopen")
+              | _ -> Queue.push jc keep)
+            c.c_queue;
+          Queue.clear c.c_queue;
+          Queue.transfer keep c.c_queue;
+          c.c_opened <-
+            Queue.fold (fun acc jc -> acc || jc.jc_kind = Jk_open) false c.c_queue
+        end
+      end)
+    t.clients;
+  (* sweep edits orphaned in the retry queue (a dispatch write-failure
+     raced the death): with their client unpinned and no open pending,
+     they can never run *)
+  (let keep = Queue.create () in
+   Queue.iter
+     (fun jc ->
+       match jc.jc_kind with
+       | Jk_edit _ -> (
+           match find_client t jc.jc_client with
+           | Some c when c.c_slot <> None || pending_open c.c_id ->
+               Queue.push jc keep
+           | Some _ ->
+               finish_job t jc
+                 (failed_report jc "delta session lost with its worker; reopen")
+           | None -> t.c.dropped <- t.c.dropped + 1)
+       | _ -> Queue.push jc keep)
+     t.retry_q;
+   Queue.clear t.retry_q;
+   Queue.transfer keep t.retry_q);
   if not w.w_ready then begin
     w.w_preready_deaths <- w.w_preready_deaths + 1;
     if w.w_preready_deaths >= 3 then begin
@@ -721,8 +1032,9 @@ let on_worker_readable t w =
               w.w_ready <- true;
               w.w_preready_deaths <- 0;
               dispatch t
-          | Done { token; report; samples; store_stats; degraded } ->
-              handle_done t w (token, report, samples, store_stats, degraded));
+          | Done { token; report; patch; samples; store_stats; degraded } ->
+              handle_done t w
+                (token, report, patch, samples, store_stats, degraded));
           go ()
     in
     go ()

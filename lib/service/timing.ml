@@ -176,6 +176,16 @@ let report_json (t : t) =
   in
   "[" ^ String.concat "," (List.map line (report t)) ^ "]"
 
+(** The counters as one JSON object ([{}] when none have been
+    recorded), for the daemon's live stats endpoint — the same numbers
+    [pp_counters] renders after the histogram. Counter names are
+    identifier-shaped (memo_hit, minor_words, ...), so no escaping. *)
+let counters_json (t : t) =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (name, v) -> Printf.sprintf "\"%s\":%d" name v) (counters t))
+  ^ "}"
+
 let pp_counters ppf (t : t) =
   match counters t with
   | [] -> ()

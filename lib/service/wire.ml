@@ -145,6 +145,22 @@ type request =
   | Stats_req  (** live queue/worker/stage statistics as JSON *)
   | Ping
   | Shutdown  (** drain the queue and exit, as SIGTERM would *)
+  | Delta_open of {
+      serial : int;
+      deadline_ms : float;
+      line : string;  (** one manifest job line: the session's base job *)
+    }
+      (** open a per-connection delta session: certify the base graph
+          and keep its typed state (graph, representation, labeling,
+          warm memo) daemon-side for subsequent edits. One session per
+          connection; a second open replaces the first. *)
+  | Delta_edit of {
+      serial : int;
+      deadline_ms : float;
+      full : bool;  (** force a from-scratch recompute (differential) *)
+      ops : string;  (** one edit line, e.g. ["add=0-1 del=2-3"] *)
+    }
+      (** apply one edit batch to the connection's open session *)
 
 type response =
   | Report of {
@@ -162,6 +178,15 @@ type response =
           error is not tied to a submission) *)
   | Stats_reply of string  (** the stats JSON object *)
   | Pong
+  | Dreport of {
+      serial : int;
+      id : string;
+      status : string;
+      json : string;
+      canonical : string;
+      patch : string;  (** one-line patch-info JSON (mode, dirty windows,
+                           reused/changed labels, memo hits) *)
+    }  (** the reply to [Delta_open] and [Delta_edit] *)
 
 let encode_request = function
   | Submit { serial; canonical; deadline_ms; line } ->
@@ -171,6 +196,15 @@ let encode_request = function
   | Stats_req -> "stats"
   | Ping -> "ping"
   | Shutdown -> "shutdown"
+  | Delta_open { serial; deadline_ms; line } ->
+      Printf.sprintf "dopen %d %.3f\n%s" serial deadline_ms line
+  | Delta_edit { serial; deadline_ms; full; ops } ->
+      (* the edit line may be empty (a no-op batch), so it always
+         travels as a body — [split_head] keeps "" distinct from no
+         body at all *)
+      Printf.sprintf "dedit %d %d %.3f\n%s" serial
+        (if full then 1 else 0)
+        deadline_ms ops
 
 let encode_response = function
   | Report { serial; id; status; json; canonical } ->
@@ -180,6 +214,9 @@ let encode_response = function
   | Err { serial; reason } -> Printf.sprintf "error %d %s" serial reason
   | Stats_reply json -> "stats\n" ^ json
   | Pong -> "pong"
+  | Dreport { serial; id; status; json; canonical; patch } ->
+      Printf.sprintf "dreport %d %s\n%s\n%s\n%s\n%s" serial status id json
+        canonical patch
 
 (* split off the first line; the body (if any) keeps no leading '\n' *)
 let split_head s =
@@ -206,6 +243,19 @@ let decode_request payload =
   | [ "stats" ] when body = None -> Ok Stats_req
   | [ "ping" ] when body = None -> Ok Ping
   | [ "shutdown" ] when body = None -> Ok Shutdown
+  | [ "dopen"; serial; deadline ] -> (
+      match (int_of_string_opt serial, float_of_string_opt deadline, body) with
+      | Some serial, Some deadline_ms, Some line when deadline_ms >= 0.0 ->
+          Ok (Delta_open { serial; deadline_ms; line })
+      | _ -> Error "malformed dopen header")
+  | [ "dedit"; serial; full; deadline ] -> (
+      match
+        (int_of_string_opt serial, full, float_of_string_opt deadline, body)
+      with
+      | Some serial, ("0" | "1"), Some deadline_ms, Some ops
+        when deadline_ms >= 0.0 ->
+          Ok (Delta_edit { serial; deadline_ms; full = full = "1"; ops })
+      | _ -> Error "malformed dedit header")
   | w :: _ -> Error (Printf.sprintf "unknown request %S" w)
   | [] -> Error "empty request"
 
@@ -234,5 +284,15 @@ let decode_response payload =
       | Some json -> Ok (Stats_reply json)
       | None -> Error "stats reply carries no body")
   | [ "pong" ] when body = None -> Ok Pong
+  | "dreport" :: serial :: status -> (
+      match (int_of_string_opt serial, status, body) with
+      | Some serial, [ status ], Some body -> (
+          match String.split_on_char '\n' body with
+          | [ id; json; canonical; patch ] ->
+              Ok (Dreport { serial; id; status; json; canonical; patch })
+          | _ ->
+              Error
+                "dreport body must be id, json, canonical, patch — one per line")
+      | _ -> Error "malformed dreport header")
   | w :: _ -> Error (Printf.sprintf "unknown response %S" w)
   | [] -> Error "empty response"

@@ -76,6 +76,56 @@ if [ -e "$tmp/certd.sock" ]; then
   exit 1
 fi
 
+# incremental differential gate: >= 500 random edit batches across
+# >= 3 families and >= 3 properties, every step byte-compared against
+# a forced from-scratch session (see test/test_incr.ml)
+dune build @incr
+
+# daemon edit-stream smoke: the same edit stream served once
+# incrementally (--edits) and once forced-full (--edits-full) against
+# one daemon must produce byte-identical canonical JSONL
+cat > "$tmp/dyn.manifest" <<EOF
+id=dyn gen=path n=24 property=connected k=2 seed=7
+EOF
+cat > "$tmp/dyn.edits" <<EOF
+add=0-5,3-9
+del=3-9
+add=3-9 del=0-5
+add=0-5
+del=0-5 add=7-12
+EOF
+./_build/default/bin/certd_server.exe --socket "$tmp/dyn.sock" \
+  --workers 1 --quiet &
+dyn_pid=$!
+i=0
+until [ -S "$tmp/dyn.sock" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "check.sh: certd-server (edit smoke) did not come up within 10s" >&2
+    kill -KILL "$dyn_pid" 2>/dev/null || true
+    exit 1
+  fi
+  sleep 0.1
+done
+./_build/default/bin/certd.exe --manifest "$tmp/dyn.manifest" \
+  --connect "$tmp/dyn.sock" --edits "$tmp/dyn.edits" \
+  --jsonl "$tmp/dyn-incr.jsonl" --canonical --quiet
+./_build/default/bin/certd.exe --manifest "$tmp/dyn.manifest" \
+  --connect "$tmp/dyn.sock" --edits "$tmp/dyn.edits" --edits-full \
+  --jsonl "$tmp/dyn-full.jsonl" --canonical --quiet
+if ! cmp -s "$tmp/dyn-incr.jsonl" "$tmp/dyn-full.jsonl"; then
+  echo "check.sh: incremental and forced-full edit streams disagree" >&2
+  diff "$tmp/dyn-incr.jsonl" "$tmp/dyn-full.jsonl" >&2 || true
+  kill -KILL "$dyn_pid" 2>/dev/null || true
+  exit 1
+fi
+kill -TERM "$dyn_pid"
+wait "$dyn_pid" || true
+
+# E13 quick campaign: delta sessions vs from-scratch reproof on
+# n=1024 edit streams; fails on any verdict divergence
+./_build/default/bench/main.exe incr quick
+
 # E12 quick chaos drill: the daemon under fault-injected concurrent
 # clients — backpressure, crash/respawn, degraded serving, clean drain
 ./_build/default/bench/main.exe chaos quick

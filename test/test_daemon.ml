@@ -131,6 +131,50 @@ let conn_reassembly () =
     payloads;
   check "no phantom frame" true (Wire.conn_next c = None)
 
+let conn_frame_limits () =
+  (* a payload of exactly [max_frame] bytes is legal and must
+     reassemble whole; zero-length frames on both sides must pop as
+     their own (empty) payloads, not be absorbed into it *)
+  let big = String.make Wire.max_frame 'x' in
+  let stream =
+    Bytes.of_string (Wire.frame "" ^ Wire.frame big ^ Wire.frame "")
+  in
+  let c = Wire.conn_create () in
+  (* feed in socket-read-sized chunks so the cap-sized frame is split
+     across many feeds *)
+  let chunk = 65536 in
+  let off = ref 0 and got = ref [] in
+  while !off < Bytes.length stream do
+    let n = min chunk (Bytes.length stream - !off) in
+    Wire.conn_feed c (Bytes.sub stream !off n) n;
+    let rec drain () =
+      match Wire.conn_next c with
+      | Some p ->
+          got := p :: !got;
+          drain ()
+      | None -> ()
+    in
+    drain ();
+    off := !off + n
+  done;
+  (match List.rev !got with
+  | [ ""; p; "" ] ->
+      check_int "cap-sized payload intact" Wire.max_frame (String.length p);
+      check "cap-sized payload unmangled" true (String.equal p big)
+  | fs -> Alcotest.failf "expected 3 frames, got %d" (List.length fs));
+  check_int "no residue" 0 (Wire.conn_buffered c);
+  (* one byte over the cap refuses at encode time... *)
+  (match Wire.frame (String.make (Wire.max_frame + 1) 'z') with
+  | exception Sys_error e -> check "cap named" true (contains e "cap")
+  | _ -> Alcotest.fail "over-cap frame must raise");
+  (* ...and a hostile length prefix poisons the connection in conn_next
+     rather than provoking a giant allocation *)
+  let c = Wire.conn_create () in
+  Wire.conn_feed c (Bytes.of_string "\xff\x00\x00\x00rest") 8;
+  match Wire.conn_next c with
+  | exception Sys_error e -> check "cap named" true (contains e "cap")
+  | _ -> Alcotest.fail "over-cap prefix must raise in conn_next"
+
 (* ---------------------------------------------------------------- *)
 (* codec round-trips                                                 *)
 
@@ -164,6 +208,30 @@ let request_gen =
                   line;
                 })
             (quad small_signed_int bool small_signed_int line_gen) );
+        ( 2,
+          map
+            (fun (serial, deadline, line) ->
+              Wire.Delta_open
+                {
+                  serial = abs serial;
+                  deadline_ms = Float.of_int (abs deadline);
+                  line;
+                })
+            (triple small_signed_int small_signed_int line_gen) );
+        ( 2,
+          map
+            (fun (serial, deadline, full, ops) ->
+              Wire.Delta_edit
+                {
+                  serial = abs serial;
+                  deadline_ms = Float.of_int (abs deadline);
+                  full;
+                  ops;
+                })
+            (quad small_signed_int small_signed_int bool
+               (* an empty edit line is a legal no-op batch and must
+                  survive the trip distinctly from "no body" *)
+               (oneof [ return ""; return "add=0-1,2-3 del=4-5"; words_gen ])) );
         (1, return Wire.Stats_req);
         (1, return Wire.Ping);
         (1, return Wire.Shutdown);
@@ -204,6 +272,22 @@ let response_gen =
           map
             (fun (serial, reason) -> Wire.Err { serial = abs serial; reason })
             (pair small_signed_int words_gen) );
+        ( 2,
+          map
+            (fun (serial, id, status) ->
+              Wire.Dreport
+                {
+                  serial = abs serial;
+                  id;
+                  status;
+                  json = Printf.sprintf "{\"id\":\"%s\"}" id;
+                  canonical =
+                    Printf.sprintf "{\"id\":\"%s\",\"verdict\":\"served\"}" id;
+                  patch = "{\"mode\":\"patched\",\"edits\":1,\"reused\":7}";
+                })
+            (triple small_signed_int
+               (string_size ~gen:(char_range 'a' 'z') (int_range 1 12))
+               (oneofl [ "served_fresh"; "served_cached"; "declined"; "unsound" ])) );
         (1, map (fun s -> Wire.Stats_reply ("{\"x\":" ^ string_of_int (abs s) ^ "}")) small_signed_int);
         (1, return Wire.Pong);
       ])
@@ -221,6 +305,24 @@ let decoder_is_total =
     (fun payload ->
       (match Wire.decode_request payload with Ok _ | Error _ -> true)
       && match Wire.decode_response payload with Ok _ | Error _ -> true)
+
+let delta_codec_rejects_malformed () =
+  let req p = match Wire.decode_request p with Ok _ -> true | Error _ -> false in
+  let resp p =
+    match Wire.decode_response p with Ok _ -> true | Error _ -> false
+  in
+  check "dopen without body" false (req "dopen 1 0.0");
+  check "dopen negative deadline" false
+    (req "dopen 1 -5.0\nid=x gen=path n=4 property=connected k=1 seed=1");
+  check "dedit full flag out of range" false (req "dedit 1 2 0.0\nadd=0-1");
+  check "dedit without body" false (req "dedit 1 1 0.0");
+  check "dedit non-numeric serial" false (req "dedit one 0 0.0\nadd=0-1");
+  check "dedit empty ops is a legal no-op batch" true (req "dedit 1 0 0.0\n");
+  check "dreport three-line body" false (resp "dreport 1 ok\nid\njson\ncanon");
+  check "dreport five-line body" false (resp "dreport 1 ok\na\nb\nc\nd\ne");
+  check "dreport trailing header garbage" false
+    (resp "dreport 1 ok extra\na\nb\nc\nd");
+  check "dreport well-formed accepted" true (resp "dreport 1 ok\na\nb\nc\nd")
 
 (* ---------------------------------------------------------------- *)
 (* Timing percentile merges (the daemon's cross-process cases)       *)
@@ -691,14 +793,104 @@ let daemon_rejects_garbage () =
       Unix.close fd;
       check_int "clean drain" 0 (stop_server pid))
 
+let daemon_delta_session () =
+  with_temp_dir (fun dir ->
+      let socket_path = Filename.concat dir "d.sock" in
+      let pid = start_server (base_cfg ~socket_path ~workers:2) in
+      let fd = dial socket_path in
+      (* an edit before any open is a protocol error, not a crash *)
+      Wire.write_frame fd
+        (Wire.encode_request
+           (Wire.Delta_edit
+              { serial = 0; deadline_ms = 0.0; full = false; ops = "add=0-1" }));
+      (match read_response fd with
+      | Wire.Err { serial; reason } ->
+          check_int "serial echoed" 0 serial;
+          check "asks for a dopen" true (contains reason "dopen")
+      | r -> Alcotest.failf "unexpected reply %s" (Wire.encode_response r));
+      (* open a session, then stream edits: replies must be Dreports in
+         submission order, ids suffixed per edit, patch info attached *)
+      Wire.write_frame fd
+        (Wire.encode_request
+           (Wire.Delta_open
+              {
+                serial = 1;
+                deadline_ms = 0.0;
+                line = "id=dyn gen=path n=24 property=connected k=2 seed=7";
+              }));
+      (match read_response fd with
+      | Wire.Dreport { serial; id; status; patch; _ } ->
+          check_int "open serial" 1 serial;
+          check_str "open id" "dyn" id;
+          check_str "open served" "served_fresh" status;
+          check "open patch mode" true (contains patch "\"mode\":\"open\"")
+      | r -> Alcotest.failf "unexpected reply %s" (Wire.encode_response r));
+      let edits = [ "del=3-4"; "add=3-4"; "add=0-5 del=5-6"; "" ] in
+      List.iteri
+        (fun i ops ->
+          Wire.write_frame fd
+            (Wire.encode_request
+               (Wire.Delta_edit
+                  { serial = 2 + i; deadline_ms = 0.0; full = false; ops })))
+        edits;
+      List.iteri
+        (fun i _ ->
+          match read_response fd with
+          | Wire.Dreport { serial; id; status; patch; canonical; _ } ->
+              check_int "edit serial in stream order" (2 + i) serial;
+              check_str "edit id suffixed"
+                (Printf.sprintf "dyn#e%04d" (i + 1))
+                id;
+              check "edit reached a verdict" true
+                (status <> "failed" && status <> "input_error");
+              check "patch info is json" true (contains patch "\"mode\":");
+              check "canonical line carries the verdict" true
+                (contains canonical "\"verdict\":")
+          | r -> Alcotest.failf "unexpected reply %s" (Wire.encode_response r))
+        edits;
+      (* a malformed edit line is an input error pinned to its serial,
+         and the session survives it *)
+      Wire.write_frame fd
+        (Wire.encode_request
+           (Wire.Delta_edit
+              { serial = 6; deadline_ms = 0.0; full = false; ops = "frob=1-2" }));
+      (match read_response fd with
+      | Wire.Dreport { serial; status; _ } ->
+          check_int "bad edit serial" 6 serial;
+          check_str "bad edit is an input error" "input_error" status
+      | r -> Alcotest.failf "unexpected reply %s" (Wire.encode_response r));
+      Wire.write_frame fd
+        (Wire.encode_request
+           (Wire.Delta_edit
+              { serial = 7; deadline_ms = 0.0; full = true; ops = "add=3-4" }));
+      (match read_response fd with
+      | Wire.Dreport { serial; patch; _ } ->
+          check_int "session survives a bad edit" 7 serial;
+          check "forced full recompute labelled" true
+            (contains patch "\"mode\":\"full\""
+            || contains patch "\"mode\":\"cached\"")
+      | r -> Alcotest.failf "unexpected reply %s" (Wire.encode_response r));
+      (* memo hit/miss counters ride the live stats endpoint *)
+      Wire.write_frame fd (Wire.encode_request Wire.Stats_req);
+      (match read_response fd with
+      | Wire.Stats_reply json ->
+          check "counters object present" true (contains json "\"counters\":{");
+          check "memo misses surfaced" true (json_int json "memo_miss" >= 1);
+          check "memo hits surfaced" true (json_int json "memo_hit" >= 0)
+      | r -> Alcotest.failf "unexpected reply %s" (Wire.encode_response r));
+      Unix.close fd;
+      check_int "clean drain" 0 (stop_server pid))
+
 let suite =
   ( "daemon",
     [
       test "frame round-trip, torn frames, length cap" frame_roundtrip;
       test "incremental reassembly" conn_reassembly;
+      test "zero-length and cap-sized frames" conn_frame_limits;
       request_roundtrip;
       response_roundtrip;
       decoder_is_total;
+      test "delta codec rejects malformed payloads" delta_codec_rejects_malformed;
       test "timing: empty-sample merges" timing_empty_merge;
       test "timing: single-sample stage" timing_single_sample;
       test "timing: partial-worker merge" timing_partial_worker_merge;
@@ -712,6 +904,7 @@ let suite =
         daemon_idle_worker_death;
       test "SIGTERM drains in-flight jobs" daemon_sigterm_drains_inflight;
       test "garbage requests answered, connection survives" daemon_rejects_garbage;
+      test "delta session: open, edit stream, memo counters" daemon_delta_session;
     ] )
 
 let () = Alcotest.run "lcp-daemon" [ suite ]

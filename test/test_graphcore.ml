@@ -118,6 +118,55 @@ let suite_equiv =
     test "remove_edge of a non-edge returns the same graph" (fun () ->
         let g = G.of_edges ~n:5 [ (0, 1); (1, 2) ] in
         check "physically equal" true (G.remove_edge g 0 4 == g));
+    (* the documented edit contracts, property-style: no-op edits share
+       physically (==), duplicates collapse, self-loops raise — each
+       checked against the reference implementation's edge sets *)
+    qcheck ~count:200 "add_edges of present edges is physically the same graph"
+      arb_raw_graph
+      (fun (n, edges) ->
+        let g = G.of_edges ~n edges in
+        (* any subset of existing edges, both orientations, duplicated *)
+        let present =
+          List.filteri (fun i _ -> i mod 2 = 0) (G.edges g)
+          |> List.concat_map (fun (u, v) -> [ (u, v); (v, u); (u, v) ])
+        in
+        G.add_edges g present == g && G.add_edges g [] == g);
+    qcheck ~count:200 "remove_edge of a non-edge is physically the same graph"
+      arb_raw_graph
+      (fun (n, edges) ->
+        let g = G.of_edges ~n edges in
+        let non_edges =
+          List.concat_map
+            (fun u ->
+              List.filter_map
+                (fun v ->
+                  if u <> v && not (G.mem_edge g u v) then Some (u, v) else None)
+                (List.init (min n 8) (fun v -> v)))
+            (List.init (min n 8) (fun u -> u))
+        in
+        List.for_all (fun (u, v) -> G.remove_edge g u v == g) non_edges);
+    qcheck ~count:200 "add_edges collapses duplicates (CSR = ref = of_edges)"
+      arb_raw_graph
+      (fun (n, edges) ->
+        let g0 = G.of_edges ~n [] and r0 = Gref.of_edges ~n [] in
+        let doubled = List.concat_map (fun (u, v) -> [ (u, v); (v, u) ]) edges in
+        let g = G.add_edges g0 doubled and r = Gref.add_edges r0 doubled in
+        G.edges g = Gref.edges r
+        && G.m g = Gref.m r
+        && G.equal g (G.of_edges ~n edges));
+    test "add_edges and remove_edge reject self-loops" (fun () ->
+        let g = G.of_edges ~n:4 [ (0, 1) ] in
+        let raises f =
+          match f () with
+          | exception Invalid_argument _ -> true
+          | (_ : G.t) -> false
+        in
+        check "add self-loop raises" true (raises (fun () -> G.add_edges g [ (2, 2) ]));
+        check "remove self-loop raises" true (raises (fun () -> G.remove_edge g 2 2));
+        check "add out-of-range raises" true
+          (raises (fun () -> G.add_edges g [ (0, 9) ]));
+        (* a raising call never touched the (immutable) original *)
+        check "original intact" true (G.m g = 1 && G.mem_edge g 0 1));
     test "iter/fold_neighbors match neighbors" (fun () ->
         let g = G.of_edges ~n:6 [ (0, 3); (0, 1); (3, 5); (2, 3) ] in
         for v = 0 to 5 do
