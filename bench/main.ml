@@ -1020,6 +1020,9 @@ let chaos () =
       make_engine;
       timed = true;
       verbose = false;
+      journal_dir = None;
+      journal_fsync = `Every 8;
+      journal_checkpoint = 256;
     }
   in
   (* fork the daemon, wait for the socket to accept *)
@@ -1035,6 +1038,14 @@ let chaos () =
   let dial () =
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     Unix.connect fd (Unix.ADDR_UNIX socket_path);
+    Wire.write_frame fd
+      (Wire.encode_request (Wire.Hello { version = Wire.protocol_version }));
+    (match Wire.read_frame fd with
+    | Some payload -> (
+        match Wire.decode_response payload with
+        | Ok (Wire.Hello_ok _) -> ()
+        | _ -> failwith "chaos: handshake refused")
+    | None -> failwith "chaos: connection closed during handshake");
     fd
   in
   let deadline = Unix.gettimeofday () +. 10.0 in
@@ -1315,6 +1326,363 @@ let chaos () =
       "\nAll invariants hold: every submission answered exactly once, zero \
        corrupt certificates served,\nqueue bounded by its cap, every \
        induced death respawned, clean SIGTERM drain.\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* E14: crash-recovery campaign — SIGKILL the daemon during streaming
+   edits, restart it on the same socket and journal, resume, and demand
+   that the final canonical JSONL is byte-identical to an uninterrupted
+   run of the same edit script.
+
+   Each trial plays one edit stream (open + E edits) against a
+   journal-backed daemon and kills it with SIGKILL at randomized
+   points — half of them before a request is sent, half with the
+   request already in flight, so both the crash-before-journal-append
+   and the crash-after-append arms of the exactly-once argument are
+   exercised. After every kill the daemon is restarted cold and the
+   client resumes (resume=1 re-open, then resend of the in-flight
+   serial); recovery latency (SIGKILL to resumed-open reply, including
+   respawn, journal replay, and the whole-graph re-verification of the
+   rebuilt session) is measured per kill.
+
+   Invariants, all hard:
+   - the concatenated canonical JSONL of every trial is byte-identical
+     to the uninterrupted baseline (nothing lost, duplicated, or
+     recomputed differently);
+   - zero unsound serves, in the replies and in the daemon's counters;
+   - every rebuilt step re-verified (resume_mismatch = 0 with
+     rebuilt_steps > 0);
+   - every trial drains cleanly on SIGTERM afterwards.
+
+   Full: >= 200 SIGKILL points. `bench crash quick`: 12. *)
+
+let e14_crash () =
+  let module Svc = Lcp_service in
+  let module Wire = Svc.Wire in
+  let module Server = Svc.Server in
+  let quick = Array.length Sys.argv > 2 && Sys.argv.(2) = "quick" in
+  header
+    (if quick then "E14  CRASH (quick)  SIGKILL + journal resume, 12 kills"
+     else
+       "E14  CRASH  SIGKILL during streaming edits, journal resume (>= 200 \
+        kills)");
+  let fail = ref [] in
+  let check cond msg =
+    if (not cond) && not (List.mem msg !fail) then fail := msg :: !fail
+  in
+  let rec rm_rf p =
+    if Sys.file_exists p then
+      if Sys.is_directory p then begin
+        Array.iter (fun f -> rm_rf (Filename.concat p f)) (Sys.readdir p);
+        Sys.rmdir p
+      end
+      else Sys.remove p
+  in
+  let root =
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "lcp_crash_%d" (Unix.getpid ()))
+    in
+    rm_rf d;
+    Sys.mkdir d 0o755;
+    d
+  in
+  let trials = if quick then 3 else 25 in
+  let edits = if quick then 10 else 20 in
+  let kills_per_trial = if quick then 4 else 8 in
+  let base_line = "id=dyn gen=path n=24 property=connected k=2 seed=7" in
+  let ops_of i =
+    match i mod 4 with
+    | 0 -> Printf.sprintf "del=%d-%d" (i mod 20) ((i mod 20) + 1)
+    | 1 -> Printf.sprintf "add=%d-%d" (i mod 20) ((i mod 20) + 1)
+    | 2 -> Printf.sprintf "add=%d-%d del=%d-%d" (i mod 6) (17 + (i mod 6)) (i mod 12) ((i mod 12) + 1)
+    | _ -> ""
+  in
+  let mk_cfg trial =
+    let dir = Filename.concat root (Printf.sprintf "t%d" trial) in
+    Sys.mkdir dir 0o755;
+    ( dir,
+      {
+        Server.socket_path = Filename.concat dir "certd.sock";
+        workers = 1;
+        queue_cap = 64;
+        client_cap = 48;
+        make_engine = (fun ~worker:_ timing -> Svc.Engine.create ?timing ());
+        timed = false;
+        verbose = false;
+        journal_dir = Some (Filename.concat dir "journal");
+        journal_fsync = `Always;
+        journal_checkpoint = 256;
+      } )
+  in
+  let start_server cfg =
+    flush stdout;
+    flush stderr;
+    let pid =
+      match Unix.fork () with
+      | 0 ->
+          (try Server.run cfg with _ -> Unix._exit 1);
+          Unix._exit 0
+      | pid -> pid
+    in
+    let deadline = Unix.gettimeofday () +. 10.0 in
+    let rec wait_up () =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX cfg.Server.socket_path) with
+      | () -> Unix.close fd
+      | exception Unix.Unix_error _ ->
+          Unix.close fd;
+          if Unix.gettimeofday () > deadline then begin
+            (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+            failwith "crash: daemon did not come up within 10s"
+          end;
+          Unix.sleepf 0.005;
+          wait_up ()
+    in
+    wait_up ();
+    pid
+  in
+  let dial cfg =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX cfg.Server.socket_path);
+    Wire.write_frame fd
+      (Wire.encode_request (Wire.Hello { version = Wire.protocol_version }));
+    (match Wire.read_frame fd with
+    | Some payload -> (
+        match Wire.decode_response payload with
+        | Ok (Wire.Hello_ok _) -> ()
+        | _ -> failwith "crash: handshake refused")
+    | None -> failwith "crash: connection closed during handshake");
+    fd
+  in
+  let read_dreport fd =
+    match Wire.read_frame fd with
+    | None -> None
+    | Some payload -> (
+        match Wire.decode_response payload with
+        | Ok (Wire.Dreport { serial; status; canonical; _ }) ->
+            Some (`Dreport (serial, status, canonical))
+        | Ok (Wire.Overloaded _) -> Some `Overloaded
+        | Ok r ->
+            failwith
+              (Printf.sprintf "crash: unexpected reply %s"
+                 (Wire.encode_response r))
+        | Error e -> failwith ("crash: undecodable reply: " ^ e))
+    | exception (Sys_error _ | Unix.Unix_error _) -> None
+  in
+  let req_of serial =
+    if serial = 0 then
+      Wire.Delta_open
+        { serial = 0; deadline_ms = 0.0; sid = "e14"; resume = false;
+          line = base_line }
+    else
+      Wire.Delta_edit
+        { serial; deadline_ms = 0.0; full = false; ops = ops_of serial }
+  in
+  (* one full stream against a server we may kill under it; returns the
+     canonical line per serial plus the measured resume latencies *)
+  let play cfg ~kills =
+    let pid = ref (start_server cfg) in
+    let fd = ref (dial cfg) in
+    let canon = Array.make (edits + 1) "" in
+    let latencies = ref [] in
+    let resumed = ref 0 in
+    let kill_now () =
+      Unix.kill !pid Sys.sigkill;
+      ignore (Unix.waitpid [] !pid);
+      (try Unix.close !fd with Unix.Unix_error _ -> ());
+      let t0 = Unix.gettimeofday () in
+      pid := start_server cfg;
+      fd := dial cfg;
+      (* resume; the re-open reply must be the journaled serial-0 line *)
+      let rec await attempts =
+        Wire.write_frame !fd
+          (Wire.encode_request
+             (Wire.Delta_open
+                { serial = 0; deadline_ms = 0.0; sid = "e14"; resume = true;
+                  line = "" }));
+        match read_dreport !fd with
+        | Some (`Dreport (0, _, c)) ->
+            latencies := (Unix.gettimeofday () -. t0) :: !latencies;
+            incr resumed;
+            check
+              (canon.(0) = "" || canon.(0) = c)
+              "resumed open reply differs from the original open reply"
+        | Some `Overloaded ->
+            if attempts > 600 then failwith "crash: resume refused 600 times";
+            Unix.sleepf 0.02;
+            await (attempts + 1)
+        | Some (`Dreport _) -> failwith "crash: resume answered a wrong serial"
+        | None -> failwith "crash: connection lost during resume"
+      in
+      await 0
+    in
+    for serial = 0 to edits do
+      (match List.assoc_opt serial kills with
+      | Some `Before -> kill_now ()
+      | Some `Inflight | None -> ());
+      (* send, then (for an in-flight kill) shoot the server before
+         reading the reply — the resend after resume must come back
+         byte-identical, recomputed or deduplicated from the journal *)
+      let inflight_pending =
+        ref (List.assoc_opt serial kills = Some `Inflight)
+      in
+      let rec exchange attempts =
+        if attempts > 600 then failwith "crash: no terminal reply in 600 tries";
+        Wire.write_frame !fd (Wire.encode_request (req_of serial));
+        if !inflight_pending then begin
+          (* the request is on the wire: shoot the server now, resume,
+             and resend — the journal must dedup or recompute to the
+             same bytes whether or not the edit landed before death *)
+          inflight_pending := false;
+          kill_now ();
+          exchange (attempts + 1)
+        end
+        else
+          match read_dreport !fd with
+          | Some (`Dreport (s, status, c)) ->
+              if s <> serial then
+                failwith
+                  (Printf.sprintf "crash: reply serial %d, want %d" s serial);
+              check
+                (status <> "unsound")
+                "an unsound report was served after recovery";
+              if canon.(serial) = "" then canon.(serial) <- c
+              else
+                check
+                  (canon.(serial) = c)
+                  "a resent serial got a different reply than the original"
+          | Some `Overloaded ->
+              Unix.sleepf 0.02;
+              exchange (attempts + 1)
+          | None ->
+              (* the kill landed between send and reply *)
+              kill_now ();
+              exchange (attempts + 1)
+      in
+      (try exchange 0
+       with Sys_error _ | Unix.Unix_error _ ->
+         kill_now ();
+         exchange 1)
+    done;
+    (* counters: every rebuilt step re-verified, none diverged *)
+    let stats_fd = dial cfg in
+    Wire.write_frame stats_fd (Wire.encode_request Wire.Stats_req);
+    let stats_json =
+      match Wire.read_frame stats_fd with
+      | Some payload -> (
+          match Wire.decode_response payload with
+          | Ok (Wire.Stats_reply json) -> json
+          | _ -> failwith "crash: non-stats reply")
+      | None -> failwith "crash: stats connection closed"
+    in
+    Unix.close stats_fd;
+    let json_int field =
+      let tag = "\"" ^ field ^ "\":" in
+      let rec find i =
+        if i + String.length tag > String.length stats_json then
+          failwith (Printf.sprintf "crash: field %s missing" field)
+        else if String.sub stats_json i (String.length tag) = tag then begin
+          let j = ref (i + String.length tag) in
+          let start = !j in
+          while
+            !j < String.length stats_json
+            &&
+            match stats_json.[!j] with '0' .. '9' | '-' -> true | _ -> false
+          do
+            incr j
+          done;
+          int_of_string (String.sub stats_json start (!j - start))
+        end
+        else find (i + 1)
+      in
+      find 0
+    in
+    if kills <> [] then begin
+      check (json_int "resumed" >= 1) "a killed trial never resumed";
+      check
+        (json_int "rebuilt_steps" >= 1 || List.for_all (fun (s, _) -> s = 0) kills)
+        "a resume rebuilt no steps";
+      check
+        (json_int "resume_mismatch" = 0)
+        "a rebuilt step diverged from its journaled reply (resume_mismatch)"
+    end;
+    check (json_int "unsound" = 0) "the daemon counted an unsound serve";
+    (* clean drain *)
+    Unix.kill !pid Sys.sigterm;
+    (match Unix.waitpid [] !pid with
+    | _, Unix.WEXITED 0 -> ()
+    | _ -> check false "a trial's daemon did not drain cleanly on SIGTERM");
+    (try Unix.close !fd with Unix.Unix_error _ -> ());
+    (canon, !latencies, !resumed)
+  in
+  (* the uninterrupted baseline this whole campaign is measured against *)
+  let baseline, _, _ =
+    let _, cfg = mk_cfg 0 in
+    play cfg ~kills:[]
+  in
+  let total_kills = ref 0 in
+  let all_latencies = ref [] in
+  let t_start = Unix.gettimeofday () in
+  for trial = 1 to trials do
+    let _, cfg = mk_cfg trial in
+    let st = Random.State.make [| 0xE14; trial |] in
+    (* distinct kill serials, half before-send and half in-flight *)
+    (* distinct serials in 1..edits: the open itself is never a kill
+       point (there is nothing journaled to resume before it), but
+       every later point — before-send or in-flight — is fair game *)
+    let rec pick acc =
+      if List.length acc >= kills_per_trial then acc
+      else
+        let s = 1 + Random.State.int st edits in
+        if List.mem_assoc s acc then pick acc
+        else
+          pick
+            ((s, if Random.State.bool st then `Before else `Inflight) :: acc)
+    in
+    let kills = pick [] in
+    let canon, latencies, resumed = play cfg ~kills in
+    total_kills := !total_kills + List.length kills;
+    all_latencies := latencies @ !all_latencies;
+    check
+      (resumed = List.length kills)
+      "a trial resumed a different number of times than it was killed";
+    check
+      (Array.to_list canon = Array.to_list baseline)
+      (Printf.sprintf
+         "trial %d: canonical JSONL differs from the uninterrupted baseline"
+         trial)
+  done;
+  let wall = Unix.gettimeofday () -. t_start in
+  let lat = List.sort compare !all_latencies in
+  let n_lat = List.length lat in
+  let pct p =
+    if n_lat = 0 then 0.0
+    else List.nth lat (min (n_lat - 1) (p * n_lat / 100))
+  in
+  Printf.printf
+    "%d trials x (1 open + %d edits), %d SIGKILLs (before-send and \
+     in-flight), %.1fs wall\n"
+    trials edits !total_kills wall;
+  Printf.printf
+    "  recovery latency (SIGKILL -> resumed-open reply, incl. respawn + \
+     journal replay + whole-graph re-verify):\n";
+  Printf.printf "    min %.1f ms   p50 %.1f ms   p90 %.1f ms   max %.1f ms\n"
+    (1000.0 *. pct 0) (1000.0 *. pct 50) (1000.0 *. pct 90)
+    (1000.0 *. List.fold_left Float.max 0.0 lat);
+  check
+    (!total_kills >= if quick then 12 else 200)
+    (Printf.sprintf "too few kill points (%d)" !total_kills);
+  rm_rf root;
+  if !fail <> [] then begin
+    List.iter (fun m -> Printf.eprintf "CRASH: FAIL — %s\n" m) !fail;
+    exit 1
+  end
+  else
+    Printf.printf
+      "\nAll invariants hold: every trial's canonical JSONL byte-identical \
+       to the uninterrupted run,\nzero unsound serves, every rebuilt step \
+       re-verified against its journaled reply, clean drains.\n\n"
 
 (* ------------------------------------------------------------------ *)
 (* timing: bechamel micro-benchmarks                                    *)
@@ -1840,8 +2208,8 @@ let () =
     [
       ("e1", e1); ("e2", e2); ("e3", e3); ("e5", e5); ("e6", e6); ("e7", e7);
       ("faults", faults); ("service", service); ("scale", scale);
-      ("recovery", recovery); ("chaos", chaos); ("timing", timing);
-      ("incr", e13_incr);
+      ("recovery", recovery); ("chaos", chaos); ("crash", e14_crash);
+      ("timing", timing); ("incr", e13_incr);
     ]
   in
   (* perf is the regression *gate*, not an experiment: it is run

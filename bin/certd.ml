@@ -50,15 +50,76 @@ let list_properties () =
 (* ---------------------------------------------------------------- *)
 (* client mode: drive a running certd-server over its socket         *)
 
-let dial socket_path =
+let try_dial socket_path =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  try
-    Unix.connect fd (Unix.ADDR_UNIX socket_path);
-    fd
-  with Unix.Unix_error (e, _, _) ->
-    Printf.eprintf "certd: cannot connect to %s: %s\n" socket_path
-      (Unix.error_message e);
-    exit 2
+  match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+  | () -> Some fd
+  | exception Unix.Unix_error _ ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      None
+
+(* the mandatory first exchange on every connection: version check up
+   front, so a protocol mismatch is one descriptive error instead of a
+   decode failure mid-stream *)
+let try_hello fd =
+  match
+    Service.Wire.write_frame fd
+      (Service.Wire.encode_request
+         (Service.Wire.Hello { version = Service.Wire.protocol_version }));
+    Service.Wire.read_frame fd
+  with
+  | Some payload -> (
+      match Service.Wire.decode_response payload with
+      | Ok (Service.Wire.Hello_ok _) -> Ok ()
+      | Ok (Service.Wire.Err { reason; _ }) -> Error (`Fatal reason)
+      | Ok _ -> Error (`Fatal "unexpected handshake response")
+      | Error e -> Error (`Fatal e))
+  | None -> Error `Lost
+  | exception (Sys_error _ | Unix.Unix_error _) -> Error `Lost
+
+let dial socket_path =
+  match try_dial socket_path with
+  | None ->
+      Printf.eprintf "certd: cannot connect to %s\n" socket_path;
+      exit 2
+  | Some fd -> (
+      match try_hello fd with
+      | Ok () -> fd
+      | Error (`Fatal reason) ->
+          Printf.eprintf "certd: server refused the handshake: %s\n" reason;
+          exit 2
+      | Error `Lost ->
+          prerr_endline "certd: server closed the connection during handshake";
+          exit 2)
+
+(* Exponential-backoff redial, for riding out a server restart: a
+   supervised daemon respawns within a couple of seconds plus journal
+   recovery, so ~14 s of patience covers it without hammering the
+   socket. Returns a fresh post-handshake connection, or [None]. *)
+let reconnect socket_path =
+  let rec go n delay =
+    if n > 12 then None
+    else begin
+      Unix.sleepf delay;
+      let next () = go (n + 1) (Float.min 1.6 (delay *. 2.0)) in
+      match try_dial socket_path with
+      | None -> next ()
+      | Some fd -> (
+          match try_hello fd with
+          | Ok () -> Some fd
+          | Error _ ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              next ())
+    end
+  in
+  go 0 0.05
+
+let reconnect_or_die socket_path =
+  match reconnect socket_path with
+  | Some fd -> fd
+  | None ->
+      Printf.eprintf "certd: cannot reconnect to %s; giving up\n" socket_path;
+      exit 1
 
 let client_rpc fd req =
   Service.Wire.write_frame fd (Service.Wire.encode_request req);
@@ -78,8 +139,15 @@ let client_rpc fd req =
    on [Overloaded] below, the client cooperates with the daemon's
    admission control instead of fighting it. Results are indexed by
    serial (= manifest order), so the final stable sort by job id
-   reproduces exactly the canonical order of a batch run. *)
-let client_submit fd ~window ~deadline_ms ~emit ~failed jobs =
+   reproduces exactly the canonical order of a batch run.
+
+   A lost connection (the server was killed and respawned) is survived
+   by reconnecting with backoff and resubmitting every unanswered
+   serial: one-shot jobs are idempotent — the pipeline is
+   deterministic, so a recomputed reply is the reply — and each serial
+   lands in [results] exactly once, whatever the resend count. *)
+let client_submit fd0 ~socket_path ~window ~deadline_ms ~emit ~failed jobs =
+  let fd = ref fd0 in
   let jobs = Array.of_list jobs in
   let total = Array.length jobs in
   let results = Array.make total None in
@@ -89,7 +157,7 @@ let client_submit fd ~window ~deadline_ms ~emit ~failed jobs =
   for i = 0 to total - 1 do
     Queue.push i pending
   done;
-  let inflight = ref 0 in
+  let inflight = Hashtbl.create 16 in
   let completed = ref 0 in
   (* serials in replies come from the server; a corrupt one must take
      the protocol-error exit, not raise Invalid_argument on an array *)
@@ -101,7 +169,10 @@ let client_submit fd ~window ~deadline_ms ~emit ~failed jobs =
     end
   in
   let submit serial =
-    Service.Wire.write_frame fd
+    (* register before writing: a write torn by a dying server must
+       still count as in flight, so the resubmission sweep covers it *)
+    Hashtbl.replace inflight serial ();
+    Service.Wire.write_frame !fd
       (Service.Wire.encode_request
          (Service.Wire.Submit
             {
@@ -109,29 +180,36 @@ let client_submit fd ~window ~deadline_ms ~emit ~failed jobs =
               canonical = false;
               deadline_ms;
               line = Service.Manifest.print_job jobs.(serial);
-            }));
-    incr inflight
+            }))
+  in
+  let on_lost () =
+    Printf.eprintf
+      "certd: connection lost; reconnecting to resubmit %d in-flight job(s)\n%!"
+      (Hashtbl.length inflight);
+    fd := reconnect_or_die socket_path;
+    Hashtbl.iter (fun serial () -> Queue.push serial pending) inflight;
+    Hashtbl.reset inflight
   in
   while !completed < total do
-    while (not (Queue.is_empty pending)) && !inflight < window do
-      submit (Queue.pop pending)
-    done;
-    match Service.Wire.read_frame fd with
-    | None ->
-        Printf.eprintf
-          "certd: server closed the connection with %d job(s) unanswered\n"
-          (total - !completed);
-        exit 1
+    match
+      while (not (Queue.is_empty pending)) && Hashtbl.length inflight < window
+      do
+        submit (Queue.pop pending)
+      done;
+      Service.Wire.read_frame !fd
+    with
+    | exception (Sys_error _ | Unix.Unix_error _) -> on_lost ()
+    | None -> on_lost ()
     | Some payload -> (
         match Service.Wire.decode_response payload with
         | Ok (Service.Wire.Report { serial; id; status; json; canonical }) ->
             check_serial serial;
-            decr inflight;
-            incr completed;
+            Hashtbl.remove inflight serial;
+            if results.(serial) = None then incr completed;
             results.(serial) <- Some (id, status, json, canonical)
         | Ok (Service.Wire.Overloaded { serial; reason }) ->
             check_serial serial;
-            decr inflight;
+            Hashtbl.remove inflight serial;
             attempts.(serial) <- attempts.(serial) + 1;
             if attempts.(serial) >= max_attempts then begin
               Printf.eprintf "certd: job %s refused %d times (last: %s)\n"
@@ -150,7 +228,7 @@ let client_submit fd ~window ~deadline_ms ~emit ~failed jobs =
             exit 1
         | Ok
             ( Service.Wire.Stats_reply _ | Service.Wire.Pong
-            | Service.Wire.Dreport _ ) ->
+            | Service.Wire.Hello_ok _ | Service.Wire.Dreport _ ) ->
             prerr_endline "certd: unexpected response from server";
             exit 2
         | Error e ->
@@ -171,21 +249,37 @@ let client_submit fd ~window ~deadline_ms ~emit ~failed jobs =
    graph the previous one left behind. Replies come back in stream
    order and are emitted that way (no id sort: this is a stream, not a
    batch). Overloaded answers are retried with the same backoff as
-   batch submissions. *)
-let client_edits fd ~deadline_ms ~full ~emit ~failed ~quiet job edits =
+   batch submissions — with a much deeper budget than batch mode,
+   because a freshly resumed session replays its whole history through
+   the queue before our next edit gets a slot.
+
+   A lost connection mid-stream is survived, not fatal: reconnect with
+   backoff, re-open the session with resume=1 (the server rebuilds the
+   graph from its journal and answers the open from the journaled
+   reply), then resend the request that was in flight. The journal
+   dedups by serial, so a request whose reply we never saw comes back
+   byte-identical whether it had been applied or not — the emitted
+   JSONL is exactly-once either way. *)
+let client_edits fd0 ~socket_path ~sid ~deadline_ms ~full ~emit ~failed ~quiet
+    job edits =
+  let fd = ref fd0 in
+  let opened = ref false in
+  let line = Service.Manifest.print_job job in
+  let max_attempts = 600 in
   let rec rpc serial req attempts =
-    Service.Wire.write_frame fd (Service.Wire.encode_request req);
-    match Service.Wire.read_frame fd with
-    | None ->
-        prerr_endline "certd: server closed the connection mid-stream";
-        exit 1
+    match
+      Service.Wire.write_frame !fd (Service.Wire.encode_request req);
+      Service.Wire.read_frame !fd
+    with
+    | exception (Sys_error _ | Unix.Unix_error _) -> lost serial req attempts
+    | None -> lost serial req attempts
     | Some payload -> (
         match Service.Wire.decode_response payload with
         | Ok (Service.Wire.Dreport { serial = s; id; status; json; canonical; patch })
           when s = serial ->
             (id, status, json, canonical, patch)
         | Ok (Service.Wire.Overloaded { serial = s; reason }) when s = serial ->
-            if attempts >= 100 then begin
+            if attempts >= max_attempts then begin
               Printf.eprintf "certd: edit %d refused %d times (last: %s)\n"
                 serial attempts reason;
               exit 1
@@ -202,6 +296,24 @@ let client_edits fd ~deadline_ms ~full ~emit ~failed ~quiet job edits =
         | Error e ->
             Printf.eprintf "certd: bad response from server: %s\n" e;
             exit 2)
+  and lost serial req attempts =
+    Printf.eprintf
+      "certd: connection lost mid-stream; reconnecting to resume session %s\n%!"
+      sid;
+    fd := reconnect_or_die socket_path;
+    if !opened then begin
+      (* the re-open's reply is the journaled open report we already
+         emitted at serial 0 — consume and discard it *)
+      let _, status, _, _, _ =
+        rpc 0
+          (Service.Wire.Delta_open
+             { serial = 0; deadline_ms; sid; resume = true; line = "" })
+          0
+      in
+      Printf.eprintf "certd: session %s resumed (open report: %s)\n%!" sid
+        status
+    end;
+    rpc serial req attempts
   in
   let handle (id, status, json, canonical, patch) =
     if List.mem status [ "input_error"; "unsound"; "failed" ] then
@@ -209,8 +321,14 @@ let client_edits fd ~deadline_ms ~full ~emit ~failed ~quiet job edits =
     emit ~id ~status ~json ~canonical;
     if not quiet then Printf.printf "%-12s %-13s %s\n%!" id status patch
   in
-  let line = Service.Manifest.print_job job in
-  handle (rpc 0 (Service.Wire.Delta_open { serial = 0; deadline_ms; line }) 0);
+  let open_reply =
+    rpc 0
+      (Service.Wire.Delta_open
+         { serial = 0; deadline_ms; sid; resume = false; line })
+      0
+  in
+  opened := true;
+  handle open_reply;
   List.iteri
     (fun i ops ->
       let serial = i + 1 in
@@ -241,7 +359,7 @@ let load_edit_lines file =
 
 let run_client ~socket_path ~window ~deadline_ms ~server_stats
     ~server_shutdown ~manifest ~base_dir ~jsonl ~canonical ~quiet ~edits
-    ~edits_full =
+    ~edits_full ~session =
   let fd = dial socket_path in
   let finish code =
     (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -320,15 +438,34 @@ let run_client ~socket_path ~window ~deadline_ms ~server_stats
       | Some edits_file -> (
           match jobs with
           | [ job ] ->
-              client_edits fd ~deadline_ms ~full:edits_full ~emit ~failed
-                ~quiet job
+              (* the resume handle: stable across reconnects of this
+                 process, unique across processes unless the user pins
+                 it (--session) to hand a stream over deliberately *)
+              let sid =
+                match session with
+                | Some s
+                  when s = ""
+                       || String.exists
+                            (fun ch -> ch = ' ' || ch = '\t' || ch = '\n')
+                            s ->
+                    prerr_endline
+                      "certd: --session must be a nonempty word (no whitespace)";
+                    finish 2
+                | Some s -> s
+                | None ->
+                    Printf.sprintf "c%d-%x" (Unix.getpid ())
+                      (int_of_float (Unix.gettimeofday () *. 1000.) land 0xffffff)
+              in
+              client_edits fd ~socket_path ~sid ~deadline_ms ~full:edits_full
+                ~emit ~failed ~quiet job
                 (load_edit_lines edits_file)
           | _ ->
               Printf.eprintf
                 "certd: --edits needs a manifest with exactly one job (got %d)\n"
                 (List.length jobs);
               finish 2)
-      | None -> client_submit fd ~window ~deadline_ms ~emit ~failed jobs);
+      | None ->
+          client_submit fd ~socket_path ~window ~deadline_ms ~emit ~failed jobs);
       (match jsonl_oc with
       | Some oc when oc != stdout -> close_out oc
       | _ -> ());
@@ -336,7 +473,7 @@ let run_client ~socket_path ~window ~deadline_ms ~server_stats
 
 let run manifest base_dir cache_cap cache_dir disk_cap faults jsonl canonical
     passes njobs quiet list_props connect window deadline_ms server_stats
-    server_shutdown edits edits_full =
+    server_shutdown edits edits_full session =
   if list_props then begin
     list_properties ();
     exit 0
@@ -349,14 +486,14 @@ let run manifest base_dir cache_cap cache_dir disk_cap faults jsonl canonical
       end;
       run_client ~socket_path ~window ~deadline_ms ~server_stats
         ~server_shutdown ~manifest ~base_dir ~jsonl ~canonical ~quiet ~edits
-        ~edits_full
+        ~edits_full ~session
   | None ->
       if server_stats || server_shutdown then begin
         prerr_endline "certd: --server-stats/--server-shutdown need --connect";
         exit 2
       end;
-      if edits <> None || edits_full then begin
-        prerr_endline "certd: --edits/--edits-full need --connect";
+      if edits <> None || edits_full || session <> None then begin
+        prerr_endline "certd: --edits/--edits-full/--session need --connect";
         exit 2
       end);
   let manifest =
@@ -681,6 +818,16 @@ let edits_full =
            anchor whose canonical JSONL must match the incremental run \
            byte for byte.")
 
+let session =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "session" ] ~docv:"SID"
+        ~doc:
+          "With --edits: the session id used to resume the edit stream \
+           against a journal-backed daemon after a crash or disconnect \
+           (default: a fresh id derived from this process).")
+
 let cmd =
   let doc = "batch certification service driver (cached Theorem 1 pipeline)" in
   Cmd.v
@@ -689,6 +836,6 @@ let cmd =
       const run $ manifest $ base_dir $ cache_cap $ cache_dir $ disk_cap
       $ faults $ jsonl $ canonical $ passes $ njobs $ quiet $ list_props
       $ connect $ window $ deadline_ms $ server_stats $ server_shutdown
-      $ edits $ edits_full)
+      $ edits $ edits_full $ session)
 
 let () = exit (Cmd.eval cmd)

@@ -32,6 +32,14 @@ type t = {
   read_file : string -> string;  (** whole contents of a regular file *)
   write_file : string -> string -> unit;
       (** create-or-truncate, then write the full contents *)
+  append_file : string -> string -> unit;
+      (** create-or-append: write the contents at the end of the file.
+          A mutating op like [write_file] — [torn@]/[flip@]/[crash@]
+          plans apply to the appended chunk. *)
+  sync : string -> unit;
+      (** fsync the file's contents to stable storage. Not counted as a
+          mutating op (plans written against the PR 3 numbering keep
+          firing at the same points), but dead after a crash. *)
   rename : string -> string -> unit;
   remove : string -> unit;
   list_dir : string -> string array;
@@ -60,6 +68,23 @@ let real : t =
         Fun.protect
           ~finally:(fun () -> close_out_noerr oc)
           (fun () -> output_string oc s));
+    append_file =
+      (fun p s ->
+        let oc =
+          open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ]
+            0o644 p
+        in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc s));
+    sync =
+      (fun p ->
+        try
+          let fd = Unix.openfile p [ Unix.O_WRONLY ] 0o644 in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () -> Unix.fsync fd)
+        with Unix.Unix_error (e, _, _) -> raise (of_unix_error p e));
     rename = Sys.rename;
     remove = Sys.remove;
     list_dir = Sys.readdir;
@@ -245,6 +270,20 @@ let inject ~plan base =
               base.write_file p (String.sub s 0 (min b (String.length s)));
               die p
           | Some (Flip b) -> base.write_file p (flip_bit_of_string s b));
+      append_file =
+        (fun p s ->
+          match next p with
+          | None -> base.append_file p s
+          | Some (Fail tag) -> raise (Sys_error (p ^ ": " ^ tag))
+          | Some Crash -> die p
+          | Some (Torn b) ->
+              base.append_file p (String.sub s 0 (min b (String.length s)));
+              die p
+          | Some (Flip b) -> base.append_file p (flip_bit_of_string s b));
+      sync =
+        (fun p ->
+          alive p;
+          base.sync p);
       rename =
         (fun a b ->
           match next a with

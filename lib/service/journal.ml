@@ -1,0 +1,455 @@
+(** A checksummed write-ahead log of the daemon's delta-session
+    traffic, built on the [Blob_io] record-of-operations API so the
+    fault plans of PR 3 ([torn@]/[flip@]/[crash@]) apply to the journal
+    exactly as they do to the cert store.
+
+    The journal records {e judgements}, never certificates: each record
+    carries the session id, the request that was served (base job line
+    or edit batch) and the reply that was sent. Recovery therefore
+    cannot fabricate an unverified serve — rebuilding a session means
+    re-running the full prove/verify discipline over the journaled
+    request sequence, and the deterministic pipeline guarantees the
+    replayed canonical lines match the journaled ones (the server
+    asserts this and counts divergence).
+
+    On-disk format, append-only [journal.log]:
+
+    {v J1 <kind> <len> <sum>\n<payload bytes>\n v}
+
+    where [kind] is [open]/[step]/[close], [len] is the payload byte
+    count, and [sum] is 64-bit FNV-1a over the kind and payload
+    ([Lcp_util.Hash64], the cert-store checksum). Payload fields are
+    one per line and newline-free by construction (manifest lines are
+    line-oriented, the JSON emitter escapes control characters, edit
+    batches are single lines).
+
+    Recovery is total: [decode] never raises on hostile bytes — it
+    returns the longest valid prefix of records plus a reason for the
+    first undecodable byte, and [create] rewrites the file to that
+    prefix, moving the torn tail to [quarantine/] for post-mortem.
+
+    Durability knobs: [fsync] policy ([`Always], [`Never], [`Every n])
+    and [checkpoint_every] — after that many appends the journal is
+    compacted to a snapshot of the live sessions (closed sessions
+    drop out) via the same tmp-then-rename discipline as the store. *)
+
+module Hash64 = Lcp_util.Hash64
+
+let file_name = "journal.log"
+let tmp_name = "journal.tmp"
+let quarantine_dirname = "quarantine"
+
+(* far above any reply, far below an allocation attack *)
+let max_payload = 1 lsl 24
+
+(* ---------------------------------------------------------------- *)
+(* records                                                           *)
+
+type reply = {
+  r_id : string;
+  r_status : string;
+  r_json : string;
+  r_canonical : string;
+  r_patch : string;
+}
+(** the served [dreport], minus the wire serial (the serial of a
+    deduplicated resend is echoed from the incoming frame) *)
+
+type record =
+  | Opened of { sid : string; serial : int; line : string; reply : reply }
+      (** a delta session was opened on base job [line] and its open
+          report was served *)
+  | Stepped of {
+      sid : string;
+      serial : int;
+      full : bool;
+      ops : string;
+      reply : reply;
+    }  (** one edit batch was applied and its report served *)
+  | Closed of { sid : string }
+      (** the session ended cleanly (client disconnect after the
+          stream, or an explicit close) — drop it at the next
+          checkpoint and refuse resumption *)
+
+let record_kind = function
+  | Opened _ -> "open"
+  | Stepped _ -> "step"
+  | Closed _ -> "close"
+
+let payload_of_record = function
+  | Opened { sid; serial; line; reply } ->
+      String.concat "\n"
+        [
+          sid;
+          string_of_int serial;
+          line;
+          reply.r_status;
+          reply.r_id;
+          reply.r_json;
+          reply.r_canonical;
+          reply.r_patch;
+        ]
+  | Stepped { sid; serial; full; ops; reply } ->
+      String.concat "\n"
+        [
+          sid;
+          string_of_int serial;
+          (if full then "1" else "0");
+          ops;
+          reply.r_status;
+          reply.r_id;
+          reply.r_json;
+          reply.r_canonical;
+          reply.r_patch;
+        ]
+  | Closed { sid } -> sid
+
+let record_of_payload kind payload =
+  match kind with
+  | "open" -> (
+      match String.split_on_char '\n' payload with
+      | [ sid; serial; line; r_status; r_id; r_json; r_canonical; r_patch ]
+        -> (
+          match int_of_string_opt serial with
+          | Some serial when sid <> "" ->
+              Some
+                (Opened
+                   {
+                     sid;
+                     serial;
+                     line;
+                     reply = { r_id; r_status; r_json; r_canonical; r_patch };
+                   })
+          | _ -> None)
+      | _ -> None)
+  | "step" -> (
+      match String.split_on_char '\n' payload with
+      | [
+       sid; serial; full; ops; r_status; r_id; r_json; r_canonical; r_patch;
+      ] -> (
+          match (int_of_string_opt serial, full) with
+          | Some serial, ("0" | "1") when sid <> "" ->
+              Some
+                (Stepped
+                   {
+                     sid;
+                     serial;
+                     full = full = "1";
+                     ops;
+                     reply = { r_id; r_status; r_json; r_canonical; r_patch };
+                   })
+          | _ -> None)
+      | _ -> None)
+  | "close" ->
+      if payload <> "" && not (String.contains payload '\n') then
+        Some (Closed { sid = payload })
+      else None
+  | _ -> None
+
+let record_sum kind payload =
+  Hash64.init
+  |> Fun.flip Hash64.string kind
+  |> Fun.flip Hash64.int (String.length payload)
+  |> Fun.flip Hash64.string payload
+
+(** the exact on-disk bytes of one record *)
+let encode_record r =
+  let kind = record_kind r in
+  let payload = payload_of_record r in
+  Printf.sprintf "J1 %s %d %s\n%s\n" kind (String.length payload)
+    (Hash64.to_hex (record_sum kind payload))
+    payload
+
+(** Total decoder: the longest valid prefix of [s] as records, the byte
+    length of that prefix, and — when the prefix is proper — a reason
+    for the first undecodable byte. Never raises; the inverse of
+    concatenated [encode_record] on well-formed input. *)
+let decode s =
+  let n = String.length s in
+  let records = ref [] in
+  let off = ref 0 in
+  let stop = ref None in
+  let fail reason = stop := Some reason in
+  while !stop = None && !off < n do
+    let start = !off in
+    (* header line: "J1 <kind> <len> <sum>" — short, so a missing
+       newline in the first 80 bytes is a torn or foreign tail *)
+    match String.index_from_opt s start '\n' with
+    | Some hdr_end when hdr_end - start <= 80 -> (
+        let header = String.sub s start (hdr_end - start) in
+        match String.split_on_char ' ' header with
+        | [ "J1"; kind; len_s; sum_hex ] -> (
+            match (int_of_string_opt len_s, Hash64.of_hex sum_hex) with
+            | Some len, Some sum when len >= 0 && len <= max_payload ->
+                let body_start = hdr_end + 1 in
+                if body_start + len + 1 > n then fail "torn record tail"
+                else if s.[body_start + len] <> '\n' then
+                  fail "record not newline-terminated"
+                else
+                  let payload = String.sub s body_start len in
+                  if not (Hash64.equal sum (record_sum kind payload)) then
+                    fail "checksum mismatch"
+                  else (
+                    match record_of_payload kind payload with
+                    | Some r ->
+                        records := r :: !records;
+                        off := body_start + len + 1
+                    | None -> fail "malformed payload")
+            | _ -> fail "malformed record header")
+        | _ -> fail "malformed record header")
+    | Some _ -> fail "oversized record header"
+    | None -> fail "torn record header"
+  done;
+  (List.rev !records, !off, !stop)
+
+(* ---------------------------------------------------------------- *)
+(* live session state                                                *)
+
+type step = { p_serial : int; p_full : bool; p_ops : string; p_reply : reply }
+
+type session = {
+  z_sid : string;
+  z_serial : int;  (** the open's serial *)
+  z_line : string;  (** the base job line *)
+  z_open : reply;
+  mutable z_steps : step list;  (** newest first *)
+  mutable z_applied : int;  (** highest edit serial applied; open = 0 *)
+}
+
+type counters = {
+  mutable appended : int;  (** records appended this process *)
+  mutable fsyncs : int;
+  mutable checkpoints : int;
+  mutable recovered_records : int;  (** valid records found at startup *)
+  mutable recovered_sessions : int;  (** live sessions rebuilt at startup *)
+  mutable torn_bytes : int;  (** quarantined tail bytes at startup *)
+  mutable quarantined : int;  (** torn tails moved to quarantine/ *)
+  mutable replay_skipped : int;
+      (** records dropped during replay (step for an unknown or
+          out-of-order session — possible only under manual edits) *)
+}
+
+type fsync_policy = [ `Always | `Never | `Every of int ]
+
+type t = {
+  io : Blob_io.t;
+  dir : string;
+  fsync : fsync_policy;
+  checkpoint_every : int;  (** <= 0 disables compaction *)
+  sessions : (string, session) Hashtbl.t;
+  c : counters;
+  mutable since_sync : int;
+  mutable since_checkpoint : int;
+}
+
+let path t = Filename.concat t.dir file_name
+
+let fsync_policy_to_string = function
+  | `Always -> "always"
+  | `Never -> "never"
+  | `Every n -> Printf.sprintf "every=%d" n
+
+let fsync_policy_of_string s =
+  match s with
+  | "always" -> Some `Always
+  | "never" -> Some `Never
+  | _ -> (
+      match String.index_opt s '=' with
+      | Some i when String.sub s 0 i = "every" -> (
+          match
+            int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+          with
+          | Some n when n >= 1 -> Some (`Every n)
+          | _ -> None)
+      | _ -> None)
+
+(* ---------------------------------------------------------------- *)
+(* replay                                                            *)
+
+(* apply one journal record to the session map; total — a record that
+   does not fit (unknown sid, serial gap) is counted and skipped, never
+   fatal, because a hand-edited or cross-version journal must not stop
+   the daemon from starting *)
+let apply t r =
+  match r with
+  | Opened { sid; serial; line; reply } ->
+      Hashtbl.replace t.sessions sid
+        {
+          z_sid = sid;
+          z_serial = serial;
+          z_line = line;
+          z_open = reply;
+          z_steps = [];
+          z_applied = 0;
+        }
+  | Stepped { sid; serial; full; ops; reply } -> (
+      match Hashtbl.find_opt t.sessions sid with
+      | Some z when serial = z.z_applied + 1 ->
+          z.z_steps <-
+            { p_serial = serial; p_full = full; p_ops = ops; p_reply = reply }
+            :: z.z_steps;
+          z.z_applied <- serial
+      | _ -> t.c.replay_skipped <- t.c.replay_skipped + 1)
+  | Closed { sid } ->
+      if Hashtbl.mem t.sessions sid then Hashtbl.remove t.sessions sid
+      else t.c.replay_skipped <- t.c.replay_skipped + 1
+
+let quarantine t tail =
+  let qdir = Filename.concat t.dir quarantine_dirname in
+  (try if not (t.io.Blob_io.is_directory qdir) then t.io.Blob_io.mkdir qdir
+   with Sys_error _ -> ());
+  let name =
+    let existing =
+      try Array.length (t.io.Blob_io.list_dir qdir) with Sys_error _ -> 0
+    in
+    Printf.sprintf "tail-%04d" existing
+  in
+  (try t.io.Blob_io.write_file (Filename.concat qdir name) tail
+   with Sys_error _ -> ());
+  t.c.quarantined <- t.c.quarantined + 1
+
+(* rewrite the journal to exactly the given records, tmp-then-rename *)
+let rewrite t records =
+  let buf = Buffer.create 4096 in
+  List.iter (fun r -> Buffer.add_string buf (encode_record r)) records;
+  let tmp = Filename.concat t.dir tmp_name in
+  t.io.Blob_io.write_file tmp (Buffer.contents buf);
+  t.io.Blob_io.sync tmp;
+  t.io.Blob_io.rename tmp (path t)
+
+let recover t =
+  let p = path t in
+  if t.io.Blob_io.file_exists p then begin
+    let raw = t.io.Blob_io.read_file p in
+    let records, prefix_len, torn = decode raw in
+    t.c.recovered_records <- List.length records;
+    List.iter (apply t) records;
+    t.c.recovered_sessions <- Hashtbl.length t.sessions;
+    match torn with
+    | None -> ()
+    | Some _reason ->
+        t.c.torn_bytes <- String.length raw - prefix_len;
+        quarantine t
+          (String.sub raw prefix_len (String.length raw - prefix_len));
+        (* drop the tail so later appends start at a record boundary *)
+        rewrite t records
+  end
+
+(** Open (or create) the journal under [dir], replaying any existing
+    log: the longest valid prefix rebuilds the live-session map, a torn
+    or corrupt tail is quarantined and truncated away. Never raises on
+    corrupt journal {e contents}; I/O failures surface as [Sys_error]
+    like every other [Blob_io] operation. *)
+let create ?(io = Blob_io.real) ?(fsync = `Every 8) ?(checkpoint_every = 256)
+    ~dir () =
+  if not (io.Blob_io.is_directory dir) then io.Blob_io.mkdir dir;
+  let t =
+    {
+      io;
+      dir;
+      fsync;
+      checkpoint_every;
+      sessions = Hashtbl.create 64;
+      c =
+        {
+          appended = 0;
+          fsyncs = 0;
+          checkpoints = 0;
+          recovered_records = 0;
+          recovered_sessions = 0;
+          torn_bytes = 0;
+          quarantined = 0;
+          replay_skipped = 0;
+        };
+      since_sync = 0;
+      since_checkpoint = 0;
+    }
+  in
+  recover t;
+  t
+
+(* ---------------------------------------------------------------- *)
+(* appending                                                         *)
+
+let snapshot_records t =
+  Hashtbl.fold (fun _ z acc -> z :: acc) t.sessions []
+  |> List.sort (fun a b -> compare a.z_sid b.z_sid)
+  |> List.concat_map (fun z ->
+         Opened
+           { sid = z.z_sid; serial = z.z_serial; line = z.z_line; reply = z.z_open }
+         :: (List.rev z.z_steps
+            |> List.map (fun p ->
+                   Stepped
+                     {
+                       sid = z.z_sid;
+                       serial = p.p_serial;
+                       full = p.p_full;
+                       ops = p.p_ops;
+                       reply = p.p_reply;
+                     })))
+
+let checkpoint t =
+  rewrite t (snapshot_records t);
+  t.since_checkpoint <- 0;
+  t.c.checkpoints <- t.c.checkpoints + 1
+
+let maybe_sync t =
+  let sync () =
+    t.io.Blob_io.sync (path t);
+    t.c.fsyncs <- t.c.fsyncs + 1;
+    t.since_sync <- 0
+  in
+  match t.fsync with
+  | `Always -> sync ()
+  | `Never -> ()
+  | `Every n ->
+      t.since_sync <- t.since_sync + 1;
+      if t.since_sync >= n then sync ()
+
+let append t r =
+  apply t r;
+  t.io.Blob_io.append_file (path t) (encode_record r);
+  t.c.appended <- t.c.appended + 1;
+  maybe_sync t;
+  t.since_checkpoint <- t.since_checkpoint + 1;
+  if t.checkpoint_every > 0 && t.since_checkpoint >= t.checkpoint_every then
+    checkpoint t
+
+let log_open t ~sid ~serial ~line reply =
+  append t (Opened { sid; serial; line; reply })
+
+let log_step t ~sid ~serial ~full ~ops reply =
+  append t (Stepped { sid; serial; full; ops; reply })
+
+let log_close t ~sid =
+  (* closing an unknown session is a no-op, not a journal entry *)
+  if Hashtbl.mem t.sessions sid then append t (Closed { sid })
+
+(* ---------------------------------------------------------------- *)
+(* lookups for the server's resume path                              *)
+
+let find t sid = Hashtbl.find_opt t.sessions sid
+let live_sessions t = Hashtbl.length t.sessions
+
+(** the journaled reply for edit [serial] of [sid] ([0] = the open),
+    for answering an idempotent resend without recomputation *)
+let reply_for t ~sid ~serial =
+  match Hashtbl.find_opt t.sessions sid with
+  | None -> None
+  | Some z ->
+      if serial = 0 then Some z.z_open
+      else
+        List.find_map
+          (fun p -> if p.p_serial = serial then Some p.p_reply else None)
+          z.z_steps
+
+let counters t = t.c
+
+let counters_json t =
+  Printf.sprintf
+    "{\"appended\":%d,\"fsyncs\":%d,\"checkpoints\":%d,\
+     \"recovered_records\":%d,\"recovered_sessions\":%d,\"torn_bytes\":%d,\
+     \"quarantined\":%d,\"replay_skipped\":%d,\"live_sessions\":%d}"
+    t.c.appended t.c.fsyncs t.c.checkpoints t.c.recovered_records
+    t.c.recovered_sessions t.c.torn_bytes t.c.quarantined t.c.replay_skipped
+    (Hashtbl.length t.sessions)

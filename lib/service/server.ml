@@ -40,7 +40,27 @@
     handler does nothing async-unsafe) close the listener, refuse new
     submissions with [Overloaded], drain every queued job through the
     workers, answer the last client, reap the pool, unlink the socket,
-    and return. *)
+    and return.
+
+    {b Durability.} With [journal_dir] set, every delta-session open
+    and edit is appended to a checksummed write-ahead [Journal]
+    {e before} its reply leaves the daemon. A client whose connection
+    died mid-stream (the server was killed and respawned, or the
+    daemon dropped it) re-attaches with [dopen resume=1 sid]: the
+    journaled open report is served immediately, the session state is
+    rebuilt worker-side by replaying the journaled request sequence
+    through the full prove/verify discipline (every replayed canonical
+    line is checked against the journal — divergence is counted, and
+    would indicate non-determinism, never an unverified serve), and
+    an already-served edit serial is answered from the journal without
+    recomputation — exactly-once from the client's point of view.
+
+    {b Single instance.} The daemon takes an [fcntl] lock on
+    [socket_path ^ ".pid"] before touching the socket. A second server
+    started on the same path fails with [Sys_error] instead of racing
+    the first for the socket file, and a stale socket left by a killed
+    daemon is unlinked safely — holding the lock proves its owner is
+    dead. *)
 
 type config = {
   socket_path : string;
@@ -53,6 +73,11 @@ type config = {
           its own fault plan *)
   timed : bool;  (** ship per-stage samples from workers to the stats sink *)
   verbose : bool;
+  journal_dir : string option;
+      (** where the write-ahead session journal lives; [None] disables
+          durability (sessions die with the process, as before) *)
+  journal_fsync : Journal.fsync_policy;
+  journal_checkpoint : int;  (** appends between compactions; <= 0 never *)
 }
 
 let default_queue_cap = 64
@@ -236,6 +261,14 @@ type job_ctx = {
           so a parent-made [Failed] report still names the session *)
   jc_kind : jkind;
   jc_deadline_ms : float;
+  jc_sid : string option;  (** wire session id, for journaling *)
+  jc_line : string;  (** the open's verbatim manifest line, journaled *)
+  jc_internal : bool;
+      (** a resume-rebuild job: replayed from the journal to
+          reconstruct worker state — no client reply, no re-journal *)
+  jc_expect : string option;
+      (** the journaled canonical line an internal rebuild must
+          reproduce (the determinism check) *)
   mutable jc_retried : bool;  (** already survived one worker death *)
   mutable jc_token : int;  (** dispatch token of the current attempt *)
 }
@@ -264,6 +297,10 @@ type client = {
   mutable c_out_off : int;  (** bytes of the head frame already written *)
   mutable c_out_bytes : int;  (** total unwritten bytes across [c_out] *)
   mutable c_alive : bool;
+  mutable c_hello : bool;  (** the version handshake completed *)
+  mutable c_closing : bool;
+      (** a fatal protocol error was answered; close the connection
+          once the error frame has drained *)
   mutable c_slot : int option;
       (** worker slot holding this client's delta session — set when a
           [Jk_open] is dispatched; edits are only eligible for it *)
@@ -271,6 +308,7 @@ type client = {
       (** a session open has been queued and not since lost; gates
           edit admission *)
   mutable c_base : Manifest.job option;  (** the session's base job *)
+  mutable c_sid : string option;  (** the open session's wire id *)
 }
 
 type counters = {
@@ -289,12 +327,23 @@ type counters = {
   mutable parse_errors : int;
   mutable restarts : int;  (** workers respawned after a death *)
   mutable max_queue : int;
+  mutable resumed : int;  (** sessions re-attached from the journal *)
+  mutable rebuilt_steps : int;  (** internal replay jobs completed *)
+  mutable resume_mismatch : int;
+      (** replayed canonical lines that diverged from the journal *)
+  mutable dedup_served : int;
+      (** already-applied edit serials answered from the journal *)
+  mutable journal_errors : int;  (** appends lost to I/O failure *)
+  mutable bad_hello : int;  (** connections rejected by the handshake *)
 }
 
 type t = {
   cfg : config;
   listen_fd : Unix.file_descr;
   mutable listening : bool;
+  pid_fd : Unix.file_descr;  (** holds the instance lock for life *)
+  pidfile : string;
+  journal : Journal.t option;
   sig_r : Unix.file_descr;
   sig_w : Unix.file_descr;
   timing : Timing.t;
@@ -349,6 +398,9 @@ let spawn_worker t idx =
       Sys.set_signal Sys.sigterm Sys.Signal_default;
       Sys.set_signal Sys.sigint Sys.Signal_default;
       if t.listening then close_quietly t.listen_fd;
+      (* fcntl locks are per-process: closing the inherited fd here
+         does not release the parent's instance lock *)
+      close_quietly t.pid_fd;
       close_quietly t.sig_r;
       close_quietly t.sig_w;
       List.iter (fun c -> close_quietly c.c_fd) t.clients;
@@ -433,6 +485,12 @@ let rec flush_client t c =
     | exception (Unix.Unix_error _ | Sys_error _) -> client_dead t c
   end
 
+(* a connection answered with a fatal protocol error closes as soon as
+   the error frame has actually left — never before, so the client
+   reads a descriptive reason instead of a bare hangup *)
+let maybe_close t c =
+  if c.c_alive && c.c_closing && c.c_out_bytes = 0 then client_dead t c
+
 let reply t c resp =
   if c.c_alive then begin
     let frame = Wire.frame (Wire.encode_response resp) in
@@ -443,6 +501,7 @@ let reply t c resp =
       log t "client %d dropped: %d reply bytes unread" c.c_id c.c_out_bytes;
       client_dead t c
     end
+    else maybe_close t c
   end
 
 (* the drain-time flush: the loop is over, so block — but only as long
@@ -489,9 +548,12 @@ let adopt_client t fd =
       c_out_off = 0;
       c_out_bytes = 0;
       c_alive = true;
+      c_hello = false;
+      c_closing = false;
       c_slot = None;
       c_opened = false;
       c_base = None;
+      c_sid = None;
     }
   in
   t.next_client <- t.next_client + 1;
@@ -550,15 +612,63 @@ let dreport_response (jc : job_ctx) (r : Stats.job_report) patch =
       patch;
     }
 
+(* append the served judgement to the journal BEFORE the reply leaves:
+   a crash between append and reply makes the client resend, and the
+   resend is answered from the journal — exactly-once either way. An
+   append lost to an I/O error is counted and serving continues
+   (availability over durability, like the degraded store); a simulated
+   process death propagates, as everywhere else. *)
+let journal_serve t jc (r : Stats.job_report) patch =
+  match (t.journal, jc.jc_sid) with
+  | Some j, Some sid -> (
+      let reply_rec =
+        {
+          Journal.r_id = r.Stats.r_id;
+          r_status = Stats.status_name r.Stats.r_status;
+          r_json = Stats.to_json r;
+          r_canonical = Stats.to_canonical_json r;
+          r_patch = patch;
+        }
+      in
+      try
+        match jc.jc_kind with
+        | Jk_open ->
+            Journal.log_open j ~sid ~serial:jc.jc_serial ~line:jc.jc_line
+              reply_rec
+        | Jk_edit { full; ops } ->
+            Journal.log_step j ~sid ~serial:jc.jc_serial ~full ~ops reply_rec
+        | Jk_submit -> ()
+      with Sys_error e ->
+        t.c.journal_errors <- t.c.journal_errors + 1;
+        log t "journal append failed: %s" e)
+  | _ -> ()
+
 let finish_job ?(patch = "{}") t jc (r : Stats.job_report) =
-  count_status t r;
-  match find_client t jc.jc_client with
-  | Some c ->
-      reply t c
-        (match jc.jc_kind with
-        | Jk_submit -> report_response jc r
-        | Jk_open | Jk_edit _ -> dreport_response jc r patch)
-  | None -> () (* the requester hung up; the judgement is dropped *)
+  if jc.jc_internal then begin
+    (* a resume-rebuild job: its only observable effect is worker-side
+       session state. The replayed canonical line must match what the
+       journal says was served — the pipeline is deterministic, so a
+       divergence means the rebuilt session is not the one the client
+       was streaming against, and it is counted loudly. *)
+    t.c.rebuilt_steps <- t.c.rebuilt_steps + 1;
+    match jc.jc_expect with
+    | Some expect when expect <> Stats.to_canonical_json r ->
+        t.c.resume_mismatch <- t.c.resume_mismatch + 1;
+        log t "resume replay diverged from the journal for %s"
+          r.Stats.r_id
+    | _ -> ()
+  end
+  else begin
+    count_status t r;
+    journal_serve t jc r patch;
+    match find_client t jc.jc_client with
+    | Some c ->
+        reply t c
+          (match jc.jc_kind with
+          | Jk_submit -> report_response jc r
+          | Jk_open | Jk_edit _ -> dreport_response jc r patch)
+    | None -> () (* the requester hung up; the judgement is dropped *)
+  end
 
 (* ---------------------------------------------------------------- *)
 (* dispatch: crash-retries first, then round-robin across clients    *)
@@ -709,8 +819,19 @@ let stats_json t =
   in
   let degraded = Array.exists (fun w -> w.w_degraded) t.workers in
   let s = store_totals t in
+  let durability =
+    Printf.sprintf
+      "{\"resumed\":%d,\"rebuilt_steps\":%d,\"resume_mismatch\":%d,\
+       \"dedup_served\":%d,\"journal_errors\":%d,\"bad_hello\":%d,\
+       \"journal\":%s}"
+      t.c.resumed t.c.rebuilt_steps t.c.resume_mismatch t.c.dedup_served
+      t.c.journal_errors t.c.bad_hello
+      (match t.journal with
+      | Some j -> Journal.counters_json j
+      | None -> "null")
+  in
   Printf.sprintf
-    "{\"uptime_s\":%.3f,\"draining\":%b,\"queue\":{\"depth\":%d,\"cap\":%d,\"max_depth\":%d,\"client_cap\":%d,\"inflight\":%d},\"jobs\":{\"submitted\":%d,\"completed\":%d,\"served\":%d,\"served_degraded\":%d,\"declined\":%d,\"failed\":%d,\"input_error\":%d,\"unsound\":%d,\"requeued\":%d,\"dropped\":%d},\"admission\":{\"rejected_overload\":%d,\"rejected_quota\":%d,\"parse_errors\":%d},\"workers\":{\"configured\":%d,\"live\":%d,\"restarts\":%d,\"stopped\":%d,\"degraded\":%b},\"store\":{\"hits\":%d,\"misses\":%d,\"insertions\":%d,\"corrupt\":%d,\"quarantined\":%d,\"quarantine_evictions\":%d,\"orphans_swept\":%d,\"disk_errors\":%d,\"gc_evictions\":%d},\"counters\":%s,\"stages\":%s}"
+    "{\"uptime_s\":%.3f,\"draining\":%b,\"queue\":{\"depth\":%d,\"cap\":%d,\"max_depth\":%d,\"client_cap\":%d,\"inflight\":%d},\"jobs\":{\"submitted\":%d,\"completed\":%d,\"served\":%d,\"served_degraded\":%d,\"declined\":%d,\"failed\":%d,\"input_error\":%d,\"unsound\":%d,\"requeued\":%d,\"dropped\":%d},\"admission\":{\"rejected_overload\":%d,\"rejected_quota\":%d,\"parse_errors\":%d},\"workers\":{\"configured\":%d,\"live\":%d,\"restarts\":%d,\"stopped\":%d,\"degraded\":%b},\"store\":{\"hits\":%d,\"misses\":%d,\"insertions\":%d,\"corrupt\":%d,\"quarantined\":%d,\"quarantine_evictions\":%d,\"orphans_swept\":%d,\"disk_errors\":%d,\"gc_evictions\":%d},\"durability\":%s,\"counters\":%s,\"stages\":%s}"
     (Unix.gettimeofday () -. t.started)
     t.draining (queue_depth t) t.cfg.queue_cap t.c.max_queue t.cfg.client_cap
     (inflight t) t.c.submitted t.c.completed t.c.served t.c.served_degraded
@@ -720,7 +841,7 @@ let stats_json t =
     s.Cert_store.misses s.Cert_store.insertions s.Cert_store.corrupt
     s.Cert_store.quarantined s.Cert_store.quarantine_evictions
     s.Cert_store.orphans_swept s.Cert_store.disk_errors
-    s.Cert_store.gc_evictions
+    s.Cert_store.gc_evictions durability
     (Timing.counters_json t.timing)
     (Timing.report_json t.timing)
 
@@ -809,8 +930,117 @@ let enqueue t c jc =
   t.c.max_queue <- max t.c.max_queue (queue_depth t);
   dispatch t
 
+(* the resume-rebuild chain bypasses admission (it is the server's own
+   recovery work, not client traffic) but still rides the client's
+   queue, so the client's next live edit dispatches strictly after the
+   session state it needs exists again *)
+let enqueue_internal t c jc =
+  Queue.push jc c.c_queue;
+  t.c.max_queue <- max t.c.max_queue (queue_depth t)
+
+let protocol_err =
+  Printf.sprintf
+    "expected hello (this server speaks protocol version %d); upgrade the \
+     client"
+    Wire.protocol_version
+
+(* another live connection already streaming against [sid]: admitting a
+   second writer would interleave two edit streams in one journal *)
+let sid_busy t c sid =
+  List.exists
+    (fun c' -> c'.c_alive && c'.c_id <> c.c_id && c'.c_sid = Some sid)
+    t.clients
+
+let dreport_of_journal serial (r : Journal.reply) =
+  Wire.Dreport
+    {
+      serial;
+      id = r.Journal.r_id;
+      status = r.Journal.r_status;
+      json = r.Journal.r_json;
+      canonical = r.Journal.r_canonical;
+      patch = r.Journal.r_patch;
+    }
+
+(* re-attach [c] to the journaled session [sid]: serve the journaled
+   open report now, and queue an internal replay of the whole journaled
+   request sequence to rebuild the worker-side state — through the
+   full prove/verify discipline, exactly as the original stream ran *)
+let resume_session t c ~serial ~deadline_ms ~sid j (z : Journal.session) =
+  match Manifest.parse z.Journal.z_line with
+  | Ok [ job ] ->
+      c.c_sid <- Some sid;
+      c.c_opened <- true;
+      c.c_base <- Some job;
+      t.c.resumed <- t.c.resumed + 1;
+      reply t c (dreport_of_journal serial z.Journal.z_open);
+      enqueue_internal t c
+        {
+          jc_serial = -1;
+          jc_client = c.c_id;
+          jc_job = job;
+          jc_kind = Jk_open;
+          jc_deadline_ms = deadline_ms;
+          jc_sid = Some sid;
+          jc_line = z.Journal.z_line;
+          jc_internal = true;
+          jc_expect = Some z.Journal.z_open.Journal.r_canonical;
+          jc_retried = false;
+          jc_token = -1;
+        };
+      List.iter
+        (fun (p : Journal.step) ->
+          enqueue_internal t c
+            {
+              jc_serial = -1;
+              jc_client = c.c_id;
+              jc_job = job;
+              jc_kind = Jk_edit { full = p.Journal.p_full; ops = p.Journal.p_ops };
+              jc_deadline_ms = deadline_ms;
+              jc_sid = Some sid;
+              jc_line = z.Journal.z_line;
+              jc_internal = true;
+              jc_expect = Some p.Journal.p_reply.Journal.r_canonical;
+              jc_retried = false;
+              jc_token = -1;
+            })
+        (List.rev z.Journal.z_steps);
+      log t "client %d resumed session %s (%d journaled edits replaying)"
+        c.c_id sid
+        (List.length z.Journal.z_steps);
+      ignore j;
+      dispatch t
+  | Ok _ | Error _ ->
+      reply t c
+        (Wire.Err
+           { serial; reason = "journaled base job line no longer parses" })
+
 let handle_request t c req =
   match req with
+  | _ when c.c_closing -> ()
+  | Wire.Hello { version } ->
+      if version = Wire.protocol_version then begin
+        c.c_hello <- true;
+        reply t c (Wire.Hello_ok { version = Wire.protocol_version })
+      end
+      else begin
+        t.c.bad_hello <- t.c.bad_hello + 1;
+        c.c_closing <- true;
+        reply t c
+          (Wire.Err
+             {
+               serial = -1;
+               reason =
+                 Printf.sprintf
+                   "protocol version mismatch: client speaks %d, server \
+                    speaks %d"
+                   version Wire.protocol_version;
+             })
+      end
+  | _ when not c.c_hello ->
+      t.c.bad_hello <- t.c.bad_hello + 1;
+      c.c_closing <- true;
+      reply t c (Wire.Err { serial = -1; reason = protocol_err })
   | Wire.Ping -> reply t c Wire.Pong
   | Wire.Stats_req -> reply t c (Wire.Stats_reply (stats_json t))
   | Wire.Shutdown ->
@@ -828,17 +1058,62 @@ let handle_request t c req =
                 jc_job = job;
                 jc_kind = Jk_submit;
                 jc_deadline_ms = deadline_ms;
+                jc_sid = None;
+                jc_line = "";
+                jc_internal = false;
+                jc_expect = None;
                 jc_retried = false;
                 jc_token = -1;
               }
       end
-  | Wire.Delta_open { serial; deadline_ms; line } ->
-      if admitted t c serial then begin
+  | Wire.Delta_open { serial; deadline_ms; sid; resume = true; line = _ } -> (
+      match t.journal with
+      | None ->
+          reply t c
+            (Wire.Err
+               {
+                 serial;
+                 reason = "resume unavailable: the server runs without a journal";
+               })
+      | Some j ->
+          if sid_busy t c sid then
+            reply t c
+              (Wire.Err
+                 {
+                   serial;
+                   reason =
+                     Printf.sprintf "session %s busy: another client holds it"
+                       sid;
+                 })
+          else if admitted t c serial then begin
+            match Journal.find j sid with
+            | Some z -> resume_session t c ~serial ~deadline_ms ~sid j z
+            | None ->
+                reply t c
+                  (Wire.Err
+                     {
+                       serial;
+                       reason =
+                         Printf.sprintf
+                           "unknown session %s: nothing to resume" sid;
+                     })
+          end)
+  | Wire.Delta_open { serial; deadline_ms; sid; resume = false; line } ->
+      if sid_busy t c sid then
+        reply t c
+          (Wire.Err
+             {
+               serial;
+               reason =
+                 Printf.sprintf "session %s busy: another client holds it" sid;
+             })
+      else if admitted t c serial then begin
         match parse_one_job t c serial line with
         | None -> ()
         | Some job ->
             c.c_opened <- true;
             c.c_base <- Some job;
+            c.c_sid <- Some sid;
             enqueue t c
               {
                 jc_serial = serial;
@@ -846,24 +1121,70 @@ let handle_request t c req =
                 jc_job = job;
                 jc_kind = Jk_open;
                 jc_deadline_ms = deadline_ms;
+                jc_sid = Some sid;
+                jc_line = line;
+                jc_internal = false;
+                jc_expect = None;
                 jc_retried = false;
                 jc_token = -1;
               }
       end
   | Wire.Delta_edit { serial; deadline_ms; full; ops } -> (
       match c.c_base with
-      | Some base when c.c_opened ->
-          if admitted t c serial then
-            enqueue t c
-              {
-                jc_serial = serial;
-                jc_client = c.c_id;
-                jc_job = base;
-                jc_kind = Jk_edit { full; ops };
-                jc_deadline_ms = deadline_ms;
-                jc_retried = false;
-                jc_token = -1;
-              }
+      | Some base when c.c_opened -> (
+          let enqueue_edit () =
+            if admitted t c serial then
+              enqueue t c
+                {
+                  jc_serial = serial;
+                  jc_client = c.c_id;
+                  jc_job = base;
+                  jc_kind = Jk_edit { full; ops };
+                  jc_deadline_ms = deadline_ms;
+                  jc_sid = c.c_sid;
+                  jc_line = "";
+                  jc_internal = false;
+                  jc_expect = None;
+                  jc_retried = false;
+                  jc_token = -1;
+                }
+          in
+          (* journal-backed idempotence: an already-applied serial is a
+             resend from a client that never saw its reply — answer it
+             from the journal, byte-for-byte, without recomputation; a
+             serial past the next expected one lost an edit in flight
+             and can only diverge, so refuse it descriptively *)
+          match (t.journal, c.c_sid) with
+          | Some j, Some sid -> (
+              match Journal.find j sid with
+              | Some z when serial >= 1 && serial <= z.Journal.z_applied -> (
+                  match Journal.reply_for j ~sid ~serial with
+                  | Some r ->
+                      t.c.dedup_served <- t.c.dedup_served + 1;
+                      reply t c (dreport_of_journal serial r)
+                  | None ->
+                      reply t c
+                        (Wire.Err
+                           {
+                             serial;
+                             reason =
+                               "edit already applied but its reply has been \
+                                compacted out of the journal";
+                           }))
+              | Some z when serial > z.Journal.z_applied + 1 ->
+                  reply t c
+                    (Wire.Err
+                       {
+                         serial;
+                         reason =
+                           Printf.sprintf
+                             "serial gap: expected %d, got %d — an edit was \
+                              lost in flight"
+                             (z.Journal.z_applied + 1)
+                             serial;
+                       })
+              | _ -> enqueue_edit ())
+          | _ -> enqueue_edit ())
       | _ ->
           reply t c
             (Wire.Err
@@ -876,7 +1197,20 @@ let on_client_readable t c =
     ->
       () (* a signal or spurious wakeup, not a hangup *)
   | exception Unix.Unix_error _ -> client_dead t c
-  | 0 -> client_dead t c
+  | 0 ->
+      (* a clean EOF is the client saying its stream is complete — on a
+         unix socket the fd only closes when the client process chose
+         to (or died). Retire the journaled session so it stops
+         accumulating in checkpoints; a server death never reaches
+         here, which is exactly what leaves its sessions resumable. *)
+      (match (c.c_sid, t.journal) with
+      | Some sid, Some j -> (
+          try Journal.log_close j ~sid
+          with Sys_error e ->
+            t.c.journal_errors <- t.c.journal_errors + 1;
+            log t "journal close failed: %s" e)
+      | _ -> ());
+      client_dead t c
   | n -> (
       Wire.conn_feed c.c_conn chunk n;
       try
@@ -886,8 +1220,15 @@ let on_client_readable t c =
           | Some payload ->
               (match Wire.decode_request payload with
               | Ok req -> handle_request t c req
-              | Error e -> reply t c (Wire.Err { serial = -1; reason = e }));
-              if c.c_alive then drain ()
+              | Error e ->
+                  (* a pre-handshake decode failure is an old or foreign
+                     client: tell it why, then hang up *)
+                  if not c.c_hello then begin
+                    t.c.bad_hello <- t.c.bad_hello + 1;
+                    c.c_closing <- true
+                  end;
+                  reply t c (Wire.Err { serial = -1; reason = e }));
+              if c.c_alive && not c.c_closing then drain ()
         in
         drain ()
       with Sys_error _ -> client_dead t c (* over-cap frame: cut the cord *))
@@ -1126,6 +1467,10 @@ let finish t =
   end;
   close_quietly t.sig_r;
   close_quietly t.sig_w;
+  (* release the instance lock last: until here a concurrent starter
+     must still lose to us *)
+  (try Sys.remove t.pidfile with Sys_error _ -> ());
+  close_quietly t.pid_fd;
   log t
     "drained: %d submitted, %d completed (%d served, %d failed), %d \
      restarts, max queue %d"
@@ -1174,7 +1519,10 @@ let rec loop t =
         (* snapshot: handlers mutate t.clients/worker fds as they run *)
         List.iter
           (fun c ->
-            if c.c_alive && List.mem c.c_fd writable then flush_client t c)
+            if c.c_alive && List.mem c.c_fd writable then begin
+              flush_client t c;
+              maybe_close t c
+            end)
           t.clients;
         List.iter
           (fun c ->
@@ -1194,28 +1542,57 @@ let rec loop t =
 
 (** Run the daemon until it is told to stop (SIGTERM, SIGINT, or a
     [Shutdown] request), then drain and return. Raises [Sys_error] if
-    the socket cannot be bound. *)
+    the socket cannot be bound or another server already holds the
+    instance lock for this socket path. *)
 let run (cfg : config) =
   if cfg.workers < 1 then invalid_arg "Server.run: workers must be >= 1";
   if cfg.queue_cap < 1 then invalid_arg "Server.run: queue_cap must be >= 1";
   if cfg.client_cap < 1 then invalid_arg "Server.run: client_cap must be >= 1";
-  (* a stale socket file from a dead daemon would make bind fail; a live
-     one must win, so probe it before unlinking *)
-  if Sys.file_exists cfg.socket_path then begin
-    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    let live =
-      match Unix.connect probe (Unix.ADDR_UNIX cfg.socket_path) with
-      | () -> true
-      | exception Unix.Unix_error _ -> false
-    in
-    close_quietly probe;
-    if live then
+  (* Single-instance lock. The old probe-then-bind dance raced: two
+     servers started together could both find the socket dead, both
+     unlink, both bind — last binder silently steals the socket. An
+     fcntl lock on the pidfile is atomic: exactly one process holds it
+     for its whole life, the loser gets [Sys_error] (exit 2 in the
+     binary), and the kernel releases it on any death — so if we hold
+     the lock, any existing socket file is provably stale. *)
+  let pidfile = cfg.socket_path ^ ".pid" in
+  let pid_fd =
+    try Unix.openfile pidfile [ Unix.O_RDWR; Unix.O_CREAT ] 0o644
+    with Unix.Unix_error (e, _, _) ->
+      raise
+        (Sys_error (Printf.sprintf "%s: %s" pidfile (Unix.error_message e)))
+  in
+  (match Unix.lockf pid_fd Unix.F_TLOCK 0 with
+  | () -> ()
+  | exception Unix.Unix_error _ ->
+      close_quietly pid_fd;
       raise
         (Sys_error
-           (Printf.sprintf "%s: a server is already listening here"
-              cfg.socket_path));
-    try Sys.remove cfg.socket_path with Sys_error _ -> ()
-  end;
+           (Printf.sprintf
+              "%s: another server holds the lock for this socket" pidfile)));
+  (try
+     ignore (Unix.lseek pid_fd 0 Unix.SEEK_SET);
+     ignore (Unix.ftruncate pid_fd 0);
+     let pid = Printf.sprintf "%d\n" (Unix.getpid ()) in
+     ignore (Unix.write_substring pid_fd pid 0 (String.length pid))
+   with Unix.Unix_error _ -> ());
+  if Sys.file_exists cfg.socket_path then (
+    try Sys.remove cfg.socket_path with Sys_error _ -> ());
+  (* recover the journal before accepting anyone: a resume arriving
+     mid-replay would race the rebuild of the very state it needs *)
+  let journal =
+    match cfg.journal_dir with
+    | None -> None
+    | Some dir -> (
+        try
+          Some
+            (Journal.create ~fsync:cfg.journal_fsync
+               ~checkpoint_every:cfg.journal_checkpoint ~dir ())
+        with Sys_error _ as e ->
+          (try Sys.remove pidfile with Sys_error _ -> ());
+          close_quietly pid_fd;
+          raise e)
+  in
   let sig_r, sig_w = Unix.pipe ~cloexec:false () in
   (* the signal plumbing must be live BEFORE the socket is bound: the
      moment [listen] returns a client can connect, submit, and send
@@ -1245,6 +1622,8 @@ let run (cfg : config) =
      close_quietly sig_r;
      close_quietly sig_w;
      restore_signals ();
+     (try Sys.remove pidfile with Sys_error _ -> ());
+     close_quietly pid_fd;
      raise
        (Sys_error
           (Printf.sprintf "%s: %s" cfg.socket_path (Unix.error_message e))));
@@ -1253,6 +1632,9 @@ let run (cfg : config) =
       cfg;
       listen_fd;
       listening = true;
+      pid_fd;
+      pidfile;
+      journal;
       sig_r;
       sig_w;
       timing = Timing.create ();
@@ -1311,6 +1693,12 @@ let run (cfg : config) =
           parse_errors = 0;
           restarts = 0;
           max_queue = 0;
+          resumed = 0;
+          rebuilt_steps = 0;
+          resume_mismatch = 0;
+          dedup_served = 0;
+          journal_errors = 0;
+          bad_hello = 0;
         };
     }
   in

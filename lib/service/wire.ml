@@ -24,6 +24,13 @@
 
 let max_frame = 1 lsl 24 (* 16 MiB: far above any report, below danger *)
 
+(** Bumped whenever a frame changes shape. Version 2 added the hello
+    handshake itself and the session-id/resume fields of [dopen]; a
+    version-1 client's first frame is not a hello, so the server can
+    reject it with a descriptive [error] frame instead of a decode
+    failure mid-stream. *)
+let protocol_version = 2
+
 (* ---------------------------------------------------------------- *)
 (* framing                                                           *)
 
@@ -145,9 +152,19 @@ type request =
   | Stats_req  (** live queue/worker/stage statistics as JSON *)
   | Ping
   | Shutdown  (** drain the queue and exit, as SIGTERM would *)
+  | Hello of { version : int }
+      (** the mandatory first frame on every connection; a server
+          seeing anything else (or a version it does not speak)
+          replies with a descriptive [error] frame and closes *)
   | Delta_open of {
       serial : int;
       deadline_ms : float;
+      sid : string;
+          (** client-chosen session id (one word, no whitespace) —
+              the key under which the journal records the stream *)
+      resume : bool;
+          (** re-attach to the journaled session [sid] after a server
+              restart instead of certifying the base from scratch *)
       line : string;  (** one manifest job line: the session's base job *)
     }
       (** open a per-connection delta session: certify the base graph
@@ -178,6 +195,7 @@ type response =
           error is not tied to a submission) *)
   | Stats_reply of string  (** the stats JSON object *)
   | Pong
+  | Hello_ok of { version : int }  (** handshake accepted *)
   | Dreport of {
       serial : int;
       id : string;
@@ -196,8 +214,11 @@ let encode_request = function
   | Stats_req -> "stats"
   | Ping -> "ping"
   | Shutdown -> "shutdown"
-  | Delta_open { serial; deadline_ms; line } ->
-      Printf.sprintf "dopen %d %.3f\n%s" serial deadline_ms line
+  | Hello { version } -> Printf.sprintf "hello %d" version
+  | Delta_open { serial; deadline_ms; sid; resume; line } ->
+      Printf.sprintf "dopen %d %.3f %d %s\n%s" serial deadline_ms
+        (if resume then 1 else 0)
+        sid line
   | Delta_edit { serial; deadline_ms; full; ops } ->
       (* the edit line may be empty (a no-op batch), so it always
          travels as a body — [split_head] keeps "" distinct from no
@@ -214,6 +235,7 @@ let encode_response = function
   | Err { serial; reason } -> Printf.sprintf "error %d %s" serial reason
   | Stats_reply json -> "stats\n" ^ json
   | Pong -> "pong"
+  | Hello_ok { version } -> Printf.sprintf "hello-ok %d" version
   | Dreport { serial; id; status; json; canonical; patch } ->
       Printf.sprintf "dreport %d %s\n%s\n%s\n%s\n%s" serial status id json
         canonical patch
@@ -243,10 +265,17 @@ let decode_request payload =
   | [ "stats" ] when body = None -> Ok Stats_req
   | [ "ping" ] when body = None -> Ok Ping
   | [ "shutdown" ] when body = None -> Ok Shutdown
-  | [ "dopen"; serial; deadline ] -> (
-      match (int_of_string_opt serial, float_of_string_opt deadline, body) with
-      | Some serial, Some deadline_ms, Some line when deadline_ms >= 0.0 ->
-          Ok (Delta_open { serial; deadline_ms; line })
+  | [ "hello"; version ] when body = None -> (
+      match int_of_string_opt version with
+      | Some version when version >= 1 -> Ok (Hello { version })
+      | _ -> Error "malformed hello header")
+  | [ "dopen"; serial; deadline; resume; sid ] -> (
+      match
+        (int_of_string_opt serial, float_of_string_opt deadline, resume, body)
+      with
+      | Some serial, Some deadline_ms, ("0" | "1"), Some line
+        when deadline_ms >= 0.0 && sid <> "" ->
+          Ok (Delta_open { serial; deadline_ms; sid; resume = resume = "1"; line })
       | _ -> Error "malformed dopen header")
   | [ "dedit"; serial; full; deadline ] -> (
       match
@@ -284,6 +313,10 @@ let decode_response payload =
       | Some json -> Ok (Stats_reply json)
       | None -> Error "stats reply carries no body")
   | [ "pong" ] when body = None -> Ok Pong
+  | [ "hello-ok"; version ] when body = None -> (
+      match int_of_string_opt version with
+      | Some version when version >= 1 -> Ok (Hello_ok { version })
+      | _ -> Error "malformed hello-ok header")
   | "dreport" :: serial :: status -> (
       match (int_of_string_opt serial, status, body) with
       | Some serial, [ status ], Some body -> (

@@ -139,3 +139,87 @@ wait "$dyn_pid" || true
 # After a deliberate perf change, refresh the baseline with
 # `./_build/default/bench/main.exe perf update` and commit BENCH_PERF.json.
 ./_build/default/bench/main.exe perf quick
+
+# crash-recovery smoke: a supervised, journaled daemon is SIGKILLed
+# mid edit-stream. The supervisor must respawn it, the client must
+# reconnect and resume its session, and the canonical JSONL must be
+# byte-identical to an uninterrupted run of the same stream. The kill
+# is timed off journal growth, so on a fast machine it can land after
+# the stream already ended — retry a few times and require at least
+# one observed resume.
+: > "$tmp/crash.edits"
+i=0
+while [ "$i" -lt 150 ]; do
+  printf 'add=0-5,3-9\ndel=3-9\nadd=3-9 del=0-5\nadd=0-5\ndel=0-5 add=7-12\n' \
+    >> "$tmp/crash.edits"
+  i=$((i + 5))
+done
+./_build/default/bin/certd_server.exe --socket "$tmp/kill.sock" \
+  --workers 1 --quiet --supervise --journal-dir "$tmp/kill-journal" \
+  --fsync always --checkpoint-every 100000 &
+sup_pid=$!
+i=0
+until [ -S "$tmp/kill.sock" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "check.sh: supervised certd-server did not come up within 10s" >&2
+    kill -KILL "$sup_pid" 2>/dev/null || true
+    exit 1
+  fi
+  sleep 0.1
+done
+./_build/default/bin/certd.exe --manifest "$tmp/dyn.manifest" \
+  --connect "$tmp/kill.sock" --edits "$tmp/crash.edits" \
+  --session smoke-base --jsonl "$tmp/kill-base.jsonl" --canonical --quiet
+resumed=0
+attempt=0
+while [ "$attempt" -lt 5 ]; do
+  attempt=$((attempt + 1))
+  before=$(wc -c < "$tmp/kill-journal/journal.log")
+  ./_build/default/bin/certd.exe --manifest "$tmp/dyn.manifest" \
+    --connect "$tmp/kill.sock" --edits "$tmp/crash.edits" \
+    --session "smoke-kill$attempt" --jsonl "$tmp/kill-run.jsonl" \
+    --canonical --quiet 2> "$tmp/kill-client.err" &
+  client_pid=$!
+  j=0
+  while :; do
+    now=$(wc -c < "$tmp/kill-journal/journal.log" 2>/dev/null || echo "$before")
+    if [ "$now" -gt $((before + 2000)) ]; then break; fi
+    if ! kill -0 "$client_pid" 2>/dev/null; then break; fi
+    j=$((j + 1))
+    if [ "$j" -gt 200 ]; then break; fi
+    sleep 0.02
+  done
+  kill -KILL "$(cat "$tmp/kill.sock.pid")" 2>/dev/null || true
+  if ! wait "$client_pid"; then
+    echo "check.sh: edit-stream client failed across the daemon kill" >&2
+    cat "$tmp/kill-client.err" >&2
+    kill -KILL "$sup_pid" 2>/dev/null || true
+    exit 1
+  fi
+  if ! cmp -s "$tmp/kill-base.jsonl" "$tmp/kill-run.jsonl"; then
+    echo "check.sh: resumed edit stream diverged from the clean run" >&2
+    diff "$tmp/kill-base.jsonl" "$tmp/kill-run.jsonl" >&2 || true
+    kill -KILL "$sup_pid" 2>/dev/null || true
+    exit 1
+  fi
+  if grep -q "resumed" "$tmp/kill-client.err"; then
+    resumed=1
+    break
+  fi
+done
+if [ "$resumed" -ne 1 ]; then
+  echo "check.sh: SIGKILL never landed mid-stream (no resume observed)" >&2
+  kill -KILL "$sup_pid" 2>/dev/null || true
+  exit 1
+fi
+kill -TERM "$sup_pid"
+if ! wait "$sup_pid"; then
+  echo "check.sh: supervised certd-server did not exit 0 on SIGTERM" >&2
+  exit 1
+fi
+
+# E14 quick crash campaign: randomized SIGKILLs during streaming edit
+# sessions; resumed streams must stay byte-identical with zero unsound
+# serves (see bench/main.ml e14_crash)
+./_build/default/bench/main.exe crash quick

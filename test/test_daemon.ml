@@ -210,14 +210,24 @@ let request_gen =
             (quad small_signed_int bool small_signed_int line_gen) );
         ( 2,
           map
-            (fun (serial, deadline, line) ->
+            (fun (serial, deadline, (sid, resume), line) ->
               Wire.Delta_open
                 {
                   serial = abs serial;
                   deadline_ms = Float.of_int (abs deadline);
+                  sid;
+                  resume;
                   line;
                 })
-            (triple small_signed_int small_signed_int line_gen) );
+            (quad small_signed_int small_signed_int
+               (pair
+                  (string_size ~gen:(char_range 'a' 'z') (int_range 1 16))
+                  bool)
+               line_gen) );
+        ( 1,
+          map
+            (fun v -> Wire.Hello { version = 1 + abs v })
+            small_signed_int );
         ( 2,
           map
             (fun (serial, deadline, full, ops) ->
@@ -290,6 +300,7 @@ let response_gen =
                (oneofl [ "served_fresh"; "served_cached"; "declined"; "unsound" ])) );
         (1, map (fun s -> Wire.Stats_reply ("{\"x\":" ^ string_of_int (abs s) ^ "}")) small_signed_int);
         (1, return Wire.Pong);
+        (1, map (fun v -> Wire.Hello_ok { version = 1 + abs v }) small_signed_int);
       ])
 
 let response_arb = QCheck.make ~print:Wire.encode_response response_gen
@@ -311,9 +322,26 @@ let delta_codec_rejects_malformed () =
   let resp p =
     match Wire.decode_response p with Ok _ -> true | Error _ -> false
   in
-  check "dopen without body" false (req "dopen 1 0.0");
+  check "dopen without body" false (req "dopen 1 0.0 0 s");
   check "dopen negative deadline" false
-    (req "dopen 1 -5.0\nid=x gen=path n=4 property=connected k=1 seed=1");
+    (req "dopen 1 -5.0 0 s\nid=x gen=path n=4 property=connected k=1 seed=1");
+  (* the protocol-1 dopen shape (no sid, no resume flag) must no longer
+     decode: an old client gets a descriptive error, not a silently
+     un-resumable session *)
+  check "v1 dopen frame rejected" false
+    (req "dopen 1 0.0\nid=x gen=path n=4 property=connected k=1 seed=1");
+  check "v2 dopen frame accepted" true
+    (req "dopen 1 0.0 0 s7\nid=x gen=path n=4 property=connected k=1 seed=1");
+  check "dopen resume flag out of range" false
+    (req "dopen 1 0.0 2 s7\nid=x gen=path n=4 property=connected k=1 seed=1");
+  check "dopen empty sid" false
+    (req "dopen 1 0.0 0 \nid=x gen=path n=4 property=connected k=1 seed=1");
+  check "hello accepted" true (req "hello 2");
+  check "hello needs a version" false (req "hello");
+  check "hello non-numeric version" false (req "hello two");
+  check "hello with body" false (req "hello 2\nx");
+  check "hello-ok accepted" true (resp "hello-ok 2");
+  check "hello-ok with body" false (resp "hello-ok 2\nx");
   check "dedit full flag out of range" false (req "dedit 1 2 0.0\nadd=0-1");
   check "dedit without body" false (req "dedit 1 1 0.0");
   check "dedit non-numeric serial" false (req "dedit one 0 0.0\nadd=0-1");
@@ -466,7 +494,9 @@ let start_server cfg =
       wait ();
       pid
 
-let dial path =
+(* a connection that has not yet said hello — only the handshake tests
+   want one of these *)
+let dial_raw path =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.connect fd (Unix.ADDR_UNIX path);
   fd
@@ -478,6 +508,15 @@ let read_response fd =
       match Wire.decode_response p with
       | Ok r -> r
       | Error e -> Alcotest.failf "bad response: %s" e)
+
+let dial path =
+  let fd = dial_raw path in
+  Wire.write_frame fd
+    (Wire.encode_request (Wire.Hello { version = Wire.protocol_version }));
+  (match read_response fd with
+  | Wire.Hello_ok _ -> ()
+  | r -> Alcotest.failf "handshake refused: %s" (Wire.encode_response r));
+  fd
 
 let submit fd serial line =
   Wire.write_frame fd
@@ -500,6 +539,9 @@ let base_cfg ~socket_path ~workers =
     make_engine = (fun ~worker:_ timing -> Engine.create ?timing ());
     timed = true;
     verbose = false;
+    journal_dir = None;
+    journal_fsync = `Every 8;
+    journal_checkpoint = 256;
   }
 
 let daemon_matches_batch () =
@@ -816,6 +858,8 @@ let daemon_delta_session () =
               {
                 serial = 1;
                 deadline_ms = 0.0;
+                sid = "t-dyn";
+                resume = false;
                 line = "id=dyn gen=path n=24 property=connected k=2 seed=7";
               }));
       (match read_response fd with
@@ -881,6 +925,232 @@ let daemon_delta_session () =
       Unix.close fd;
       check_int "clean drain" 0 (stop_server pid))
 
+(* the mandatory handshake: a frame before hello — garbage, an honest
+   v1 frame, anything — gets one descriptive error naming the expected
+   exchange, then the connection is closed; a wrong version gets a
+   mismatch error naming both versions *)
+let daemon_requires_hello () =
+  with_temp_dir (fun dir ->
+      let socket_path = Filename.concat dir "d.sock" in
+      let pid = start_server (base_cfg ~socket_path ~workers:1) in
+      (* an old (protocol-1) client submitting straight away *)
+      let fd = dial_raw socket_path in
+      submit fd 0 (List.hd jobs_lines);
+      (match read_response fd with
+      | Wire.Err { reason; _ } ->
+          check "error names the handshake" true (contains reason "hello");
+          check "error names the server version" true
+            (contains reason (string_of_int Wire.protocol_version))
+      | r -> Alcotest.failf "unexpected reply %s" (Wire.encode_response r));
+      check "connection closed after the error" true (Wire.read_frame fd = None);
+      Unix.close fd;
+      (* a future client speaking a version we do not *)
+      let fd = dial_raw socket_path in
+      Wire.write_frame fd
+        (Wire.encode_request
+           (Wire.Hello { version = Wire.protocol_version + 1 }));
+      (match read_response fd with
+      | Wire.Err { reason; _ } ->
+          check "mismatch error names both versions" true
+            (contains reason "mismatch"
+            && contains reason (string_of_int (Wire.protocol_version + 1)))
+      | r -> Alcotest.failf "unexpected reply %s" (Wire.encode_response r));
+      check "mismatched client hung up on" true (Wire.read_frame fd = None);
+      Unix.close fd;
+      (* an undecodable first frame, ditto: the decode error is served,
+         then the connection is cut instead of waiting for more junk *)
+      let fd = dial_raw socket_path in
+      Wire.write_frame fd "frobnicate 7";
+      (match read_response fd with
+      | Wire.Err { reason; _ } ->
+          check "garbage pre-hello named" true (contains reason "frobnicate")
+      | r -> Alcotest.failf "unexpected reply %s" (Wire.encode_response r));
+      check "garbage client hung up on" true (Wire.read_frame fd = None);
+      Unix.close fd;
+      (* and none of it hurt a well-behaved client *)
+      let fd = dial socket_path in
+      submit fd 9 (List.hd jobs_lines);
+      (match read_response fd with
+      | Wire.Report { serial; _ } -> check_int "server still serves" 9 serial
+      | r -> Alcotest.failf "unexpected reply %s" (Wire.encode_response r));
+      Unix.close fd;
+      check_int "clean drain" 0 (stop_server pid))
+
+(* a second server on a live socket must refuse to start (the pidfile
+   lock), and a server started over a SIGKILLed predecessor's leftovers
+   must take over the stale socket *)
+let daemon_pidfile_lock () =
+  with_temp_dir (fun dir ->
+      let socket_path = Filename.concat dir "d.sock" in
+      let pid = start_server (base_cfg ~socket_path ~workers:1) in
+      (* the contender must lose while the first server holds the lock *)
+      flush stdout;
+      flush stderr;
+      (match Unix.fork () with
+      | 0 ->
+          Unix.close Unix.stderr;
+          (try Server.run (base_cfg ~socket_path ~workers:1)
+           with Sys_error _ -> Unix._exit 2);
+          Unix._exit 0
+      | contender -> (
+          match Unix.waitpid [] contender with
+          | _, Unix.WEXITED 2 -> ()
+          | _, s ->
+              Alcotest.failf "contender did not lose the lock race (%s)"
+                (match s with
+                | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+                | _ -> "signal")));
+      (* the incumbent is unharmed by the contender's attempt *)
+      let fd = dial socket_path in
+      submit fd 0 (List.hd jobs_lines);
+      (match read_response fd with
+      | Wire.Report _ -> ()
+      | r -> Alcotest.failf "unexpected reply %s" (Wire.encode_response r));
+      Unix.close fd;
+      (* SIGKILL the incumbent: socket + pidfile left behind, lock
+         released by the kernel — a new server must take over *)
+      Unix.kill pid Sys.sigkill;
+      ignore (Unix.waitpid [] pid);
+      check "socket left behind by SIGKILL" true (Sys.file_exists socket_path);
+      let pid = start_server (base_cfg ~socket_path ~workers:1) in
+      let fd = dial socket_path in
+      submit fd 1 (List.hd jobs_lines);
+      (match read_response fd with
+      | Wire.Report _ -> ()
+      | r -> Alcotest.failf "unexpected reply %s" (Wire.encode_response r));
+      Unix.close fd;
+      check_int "takeover server drains cleanly" 0 (stop_server pid))
+
+(* the tentpole end-to-end: open a journaled session, apply edits,
+   SIGKILL the daemon mid-life, restart it on the same socket+journal,
+   resume — the journaled replies dedup byte-for-byte and the stream
+   continues where it left off *)
+let daemon_journal_resume () =
+  with_temp_dir (fun dir ->
+      let socket_path = Filename.concat dir "d.sock" in
+      let cfg =
+        {
+          (base_cfg ~socket_path ~workers:1) with
+          journal_dir = Some (Filename.concat dir "journal");
+          journal_fsync = `Always;
+        }
+      in
+      let pid = start_server cfg in
+      let fd = dial socket_path in
+      let dopen ~resume serial =
+        Wire.write_frame fd
+          (Wire.encode_request
+             (Wire.Delta_open
+                {
+                  serial;
+                  deadline_ms = 0.0;
+                  sid = "t-resume";
+                  resume;
+                  line =
+                    (if resume then ""
+                     else "id=dyn gen=path n=24 property=connected k=2 seed=7");
+                }))
+      in
+      let dedit serial ops =
+        Wire.write_frame fd
+          (Wire.encode_request
+             (Wire.Delta_edit { serial; deadline_ms = 0.0; full = false; ops }))
+      in
+      let dreport what =
+        match read_response fd with
+        | Wire.Dreport { serial; canonical; _ } -> (serial, canonical)
+        | r ->
+            Alcotest.failf "unexpected reply to %s: %s" what
+              (Wire.encode_response r)
+      in
+      dopen ~resume:false 0;
+      let _, open_canonical = dreport "open" in
+      let edits = [ "del=3-4"; "add=3-4"; "add=0-5 del=5-6" ] in
+      let firsts =
+        List.mapi
+          (fun i ops ->
+            dedit (i + 1) ops;
+            dreport "edit")
+          edits
+      in
+      (* die without warning; socket, pidfile, journal all left behind *)
+      Unix.kill pid Sys.sigkill;
+      ignore (Unix.waitpid [] pid);
+      Unix.close fd;
+      let pid = start_server cfg in
+      let fd = dial socket_path in
+      dopen ~resume:true 0;
+      let _, resumed_open = dreport "resumed open" in
+      check_str "resumed open reply is the journaled one byte-for-byte"
+        open_canonical resumed_open;
+      (* a client that never saw its last reply resends it: the journal
+         answers, byte-identical, without recomputing *)
+      dedit 3 "add=0-5 del=5-6";
+      let s, dedup_canonical = dreport "deduplicated resend" in
+      check_int "resent serial echoed" 3 s;
+      check_str "journal-dedup reply byte-identical"
+        (snd (List.nth firsts 2))
+        dedup_canonical;
+      (* ... and the stream continues against the rebuilt graph *)
+      dedit 4 "add=7-9";
+      let s, _ = dreport "post-resume edit" in
+      check_int "stream continues past the crash" 4 s;
+      (* a serial further ahead than the journal is a lost edit: the
+         daemon must refuse it descriptively, not diverge silently *)
+      dedit 9 "add=0-1";
+      (match read_response fd with
+      | Wire.Err { serial; reason } ->
+          check_int "gap serial echoed" 9 serial;
+          check "gap named" true (contains reason "serial gap")
+      | r -> Alcotest.failf "unexpected reply %s" (Wire.encode_response r));
+      (* resumption is single-writer: a second connection is refused
+         while this one holds the session *)
+      let fd2 = dial socket_path in
+      Wire.write_frame fd2
+        (Wire.encode_request
+           (Wire.Delta_open
+              {
+                serial = 0;
+                deadline_ms = 0.0;
+                sid = "t-resume";
+                resume = true;
+                line = "";
+              }));
+      (match read_response fd2 with
+      | Wire.Err { reason; _ } -> check "busy named" true (contains reason "busy")
+      | r -> Alcotest.failf "unexpected reply %s" (Wire.encode_response r));
+      Unix.close fd2;
+      (* durability counters ride the stats endpoint *)
+      Wire.write_frame fd (Wire.encode_request Wire.Stats_req);
+      (match read_response fd with
+      | Wire.Stats_reply json ->
+          check "resumed counted" true (json_int json "resumed" >= 1);
+          check "rebuilt steps counted" true (json_int json "rebuilt_steps" >= 3);
+          check "no resume mismatches" true (json_int json "resume_mismatch" = 0);
+          check "dedup served counted" true (json_int json "dedup_served" >= 1)
+      | r -> Alcotest.failf "unexpected reply %s" (Wire.encode_response r));
+      Unix.close fd;
+      check_int "clean drain" 0 (stop_server pid);
+      (* an unknown session stays unknown after everything *)
+      let pid = start_server cfg in
+      let fd = dial socket_path in
+      Wire.write_frame fd
+        (Wire.encode_request
+           (Wire.Delta_open
+              {
+                serial = 0;
+                deadline_ms = 0.0;
+                sid = "never-opened";
+                resume = true;
+                line = "";
+              }));
+      (match read_response fd with
+      | Wire.Err { reason; _ } ->
+          check "unknown sid named" true (contains reason "never-opened")
+      | r -> Alcotest.failf "unexpected reply %s" (Wire.encode_response r));
+      Unix.close fd;
+      check_int "clean drain" 0 (stop_server pid))
+
 let suite =
   ( "daemon",
     [
@@ -905,6 +1175,11 @@ let suite =
       test "SIGTERM drains in-flight jobs" daemon_sigterm_drains_inflight;
       test "garbage requests answered, connection survives" daemon_rejects_garbage;
       test "delta session: open, edit stream, memo counters" daemon_delta_session;
+      test "hello handshake enforced, old frames rejected" daemon_requires_hello;
+      test "pidfile lock: contender loses, stale socket taken over"
+        daemon_pidfile_lock;
+      test "journal: SIGKILL, restart, resume, dedup byte-identical"
+        daemon_journal_resume;
     ] )
 
 let () = Alcotest.run "lcp-daemon" [ suite ]

@@ -1,0 +1,423 @@
+(* Durability tests for the write-ahead session journal
+   (lib/service/journal):
+
+   - the record codec: encode_record/decode round-trip on random
+     traces, and the central recovery property — for EVERY byte
+     truncation of a journal file, and for EVERY single-bit flip of
+     it, [decode] returns a valid prefix of the original records
+     without raising;
+   - replay = identity: appending a random session trace and then
+     re-opening the journal rebuilds exactly the sessions the writer
+     held, byte-for-byte down to the journaled replies;
+   - torn-tail recovery through the [Blob_io] fault plans: a write
+     torn mid-record is quarantined on reopen and every record before
+     it survives;
+   - checkpoint compaction: closed sessions drop out, live ones
+     survive with their full step history, and dedup replies are
+     byte-identical across a compaction.
+
+   Runs as its own executable; `dune build @journal` runs it in
+   isolation. *)
+
+module Blob = Lcp_service.Blob_io
+module Journal = Lcp_service.Journal
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let test name f = Alcotest.test_case name `Quick f
+
+let qcheck ?(count = 100) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+let rec rm_rf p =
+  if Sys.file_exists p then
+    if Sys.is_directory p then begin
+      Array.iter (fun f -> rm_rf (Filename.concat p f)) (Sys.readdir p);
+      Sys.rmdir p
+    end
+    else Sys.remove p
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lcp_test_journal_%d_%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Sys.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* ---------------------------------------------------------------- *)
+(* generators: records whose fields respect the codec's line          *)
+(* discipline (no embedded newlines; nonempty sid)                    *)
+
+let word_gen =
+  QCheck.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 1 10))
+
+(* printable, newline-free, possibly empty — json/canonical/patch/ops *)
+let field_gen =
+  QCheck.Gen.(
+    string_size ~gen:(char_range ' ' '~') (int_range 0 40)
+    |> map (String.map (fun c -> if c = '\n' then ' ' else c)))
+
+let reply_gen =
+  QCheck.Gen.(
+    map
+      (fun (id, status, json, canonical, patch) ->
+        {
+          Journal.r_id = id;
+          r_status = status;
+          r_json = json;
+          r_canonical = canonical;
+          r_patch = patch;
+        })
+      (tup5 word_gen
+         (oneofl [ "served_fresh"; "served_cached"; "declined"; "unsound" ])
+         field_gen field_gen field_gen))
+
+let record_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 3,
+          map
+            (fun (sid, serial, line, reply) ->
+              Journal.Opened { sid; serial = abs serial; line; reply })
+            (quad word_gen small_signed_int field_gen reply_gen) );
+        ( 4,
+          map
+            (fun (sid, serial, full, ops, reply) ->
+              Journal.Stepped { sid; serial = abs serial; full; ops; reply })
+            (tup5 word_gen small_signed_int bool field_gen reply_gen) );
+        (1, map (fun sid -> Journal.Closed { sid }) word_gen);
+      ])
+
+let trace_gen = QCheck.Gen.(list_size (int_range 0 12) record_gen)
+
+let trace_arb =
+  QCheck.make
+    ~print:(fun t -> String.concat "" (List.map Journal.encode_record t))
+    trace_gen
+
+(* a coherent session trace: opens followed by consecutively numbered
+   steps — what a real daemon writes, for the replay-identity test *)
+let session_trace_gen =
+  QCheck.Gen.(
+    let session i =
+      map
+        (fun (steps, reply) ->
+          let sid = Printf.sprintf "s%d" i in
+          Journal.Opened { sid; serial = 0; line = "line " ^ sid; reply }
+          :: List.mapi
+               (fun k (full, ops, r) ->
+                 Journal.Stepped
+                   { sid; serial = k + 1; full; ops; reply = r })
+               steps)
+        (pair
+           (list_size (int_range 0 8) (triple bool field_gen reply_gen))
+           reply_gen)
+    in
+    int_range 1 4 >>= fun n ->
+    List.init n session |> flatten_l |> map List.concat)
+
+let session_trace_arb =
+  QCheck.make
+    ~print:(fun t -> String.concat "" (List.map Journal.encode_record t))
+    session_trace_gen
+
+(* ---------------------------------------------------------------- *)
+(* codec properties                                                   *)
+
+let codec_roundtrip =
+  qcheck ~count:200 "decode inverts concatenated encode_record" trace_arb
+    (fun trace ->
+      let bytes = String.concat "" (List.map Journal.encode_record trace) in
+      let records, used, stop = Journal.decode bytes in
+      records = trace && used = String.length bytes && stop = None)
+
+let is_prefix_of shorter longer =
+  let rec go = function
+    | [], _ -> true
+    | _, [] -> false
+    | a :: xs, b :: ys -> a = b && go (xs, ys)
+  in
+  go (shorter, longer)
+
+(* every truncation point, exhaustively: the decoder must neither raise
+   nor invent records — it returns exactly the records whose bytes lie
+   entirely inside the kept prefix *)
+let truncation_recovers_prefix =
+  qcheck ~count:60 "every byte-truncation recovers the valid prefix" trace_arb
+    (fun trace ->
+      let bytes = String.concat "" (List.map Journal.encode_record trace) in
+      let boundaries =
+        (* byte offset at which each record ends *)
+        List.fold_left
+          (fun acc r ->
+            let last = match acc with b :: _ -> b | [] -> 0 in
+            (last + String.length (Journal.encode_record r)) :: acc)
+          [] trace
+        |> List.rev
+      in
+      let ok = ref true in
+      for cut = 0 to String.length bytes do
+        let records, used, _ = Journal.decode (String.sub bytes 0 cut) in
+        let expected =
+          List.length (List.filter (fun b -> b <= cut) boundaries)
+        in
+        if
+          List.length records <> expected
+          || (not (is_prefix_of records trace))
+          || used > cut
+        then ok := false
+      done;
+      !ok)
+
+(* every single-bit flip: never raises, and the records decoded are a
+   prefix of the original that still contains every record lying
+   strictly before the flipped byte (a flip cannot damage the past) *)
+let bitflip_recovers_prefix =
+  qcheck ~count:30 "every single-bit flip recovers a valid prefix" trace_arb
+    (fun trace ->
+      let bytes = String.concat "" (List.map Journal.encode_record trace) in
+      let boundaries =
+        List.fold_left
+          (fun acc r ->
+            let last = match acc with b :: _ -> b | [] -> 0 in
+            (last + String.length (Journal.encode_record r)) :: acc)
+          [] trace
+        |> List.rev
+      in
+      let ok = ref true in
+      String.iteri
+        (fun i _ ->
+          for bit = 0 to 7 do
+            let b = Bytes.of_string bytes in
+            Bytes.set b i (Char.chr (Char.code bytes.[i] lxor (1 lsl bit)));
+            let records, _, _ = Journal.decode (Bytes.to_string b) in
+            let intact =
+              List.length (List.filter (fun e -> e <= i) boundaries)
+            in
+            if
+              (not (is_prefix_of records trace))
+              || List.length records < intact
+            then ok := false
+          done)
+        bytes;
+      !ok)
+
+(* ---------------------------------------------------------------- *)
+(* replay = identity over the real file layer                         *)
+
+let steps_of z = List.rev z.Journal.z_steps
+
+let same_reply (a : Journal.reply) (b : Journal.reply) =
+  a.r_id = b.r_id && a.r_status = b.r_status && a.r_json = b.r_json
+  && a.r_canonical = b.r_canonical
+  && a.r_patch = b.r_patch
+
+let same_session (a : Journal.session) (b : Journal.session) =
+  a.z_sid = b.z_sid && a.z_serial = b.z_serial && a.z_line = b.z_line
+  && a.z_applied = b.z_applied
+  && same_reply a.z_open b.z_open
+  && List.length (steps_of a) = List.length (steps_of b)
+  && List.for_all2
+       (fun (x : Journal.step) (y : Journal.step) ->
+         x.p_serial = y.p_serial && x.p_full = y.p_full && x.p_ops = y.p_ops
+         && same_reply x.p_reply y.p_reply)
+       (steps_of a) (steps_of b)
+
+let append_trace j trace =
+  List.iter
+    (fun r ->
+      match r with
+      | Journal.Opened { sid; serial; line; reply } ->
+          Journal.log_open j ~sid ~serial ~line reply
+      | Journal.Stepped { sid; serial; full; ops; reply } ->
+          Journal.log_step j ~sid ~serial ~full ~ops reply
+      | Journal.Closed { sid } -> Journal.log_close j ~sid)
+    trace
+
+let sids_of trace =
+  List.filter_map
+    (function Journal.Opened { sid; _ } -> Some sid | _ -> None)
+    trace
+  |> List.sort_uniq compare
+
+let replay_is_identity =
+  qcheck ~count:60 "replay after append rebuilds the writer's sessions"
+    session_trace_arb (fun trace ->
+      with_temp_dir (fun dir ->
+          let w = Journal.create ~fsync:`Never ~dir () in
+          append_trace w trace;
+          let r = Journal.create ~fsync:`Never ~dir () in
+          Journal.live_sessions w = Journal.live_sessions r
+          && List.for_all
+               (fun sid ->
+                 match (Journal.find w sid, Journal.find r sid) with
+                 | Some a, Some b -> same_session a b
+                 | None, None -> true
+                 | _ -> false)
+               (sids_of trace)
+          && (Journal.counters r).Journal.replay_skipped = 0))
+
+(* ---------------------------------------------------------------- *)
+(* directed cases: torn tails, quarantine, close, dedup, compaction   *)
+
+let mk_reply tag =
+  {
+    Journal.r_id = "dyn";
+    r_status = "served_fresh";
+    r_json = Printf.sprintf "{\"tag\":%S}" tag;
+    r_canonical = Printf.sprintf "{\"tag\":%S,\"verdict\":\"served\"}" tag;
+    r_patch = "{\"mode\":\"patched\"}";
+  }
+
+let write_session j ~sid ~steps =
+  Journal.log_open j ~sid ~serial:0 ~line:("line " ^ sid) (mk_reply (sid ^ "o"));
+  for s = 1 to steps do
+    Journal.log_step j ~sid ~serial:s ~full:false
+      ~ops:(Printf.sprintf "add=%d-%d" s (s + 1))
+      (mk_reply (Printf.sprintf "%s#%d" sid s))
+  done
+
+let torn_tail_quarantined () =
+  with_temp_dir (fun dir ->
+      let j = Journal.create ~fsync:`Never ~dir () in
+      write_session j ~sid:"a" ~steps:3;
+      (* tear the file mid-record by hand: append half a record *)
+      let whole =
+        Journal.encode_record
+          (Journal.Stepped
+             {
+               sid = "a";
+               serial = 4;
+               full = false;
+               ops = "add=9-10";
+               reply = mk_reply "torn";
+             })
+      in
+      let half = String.sub whole 0 (String.length whole - 7) in
+      Blob.real.Blob.append_file (Filename.concat dir "journal.log") half;
+      let r = Journal.create ~fsync:`Never ~dir () in
+      (match Journal.find r "a" with
+      | Some z -> check_int "steps before the tear survive" 3 z.Journal.z_applied
+      | None -> Alcotest.fail "session lost to a torn tail");
+      let c = Journal.counters r in
+      check_int "tail quarantined" 1 c.Journal.quarantined;
+      check "torn bytes counted" true (c.Journal.torn_bytes > 0);
+      let qdir = Filename.concat dir "quarantine" in
+      check "quarantine file written" true
+        (Sys.file_exists qdir && Array.length (Sys.readdir qdir) = 1);
+      (* the rewritten log is clean: a third open finds no tail *)
+      let r2 = Journal.create ~fsync:`Never ~dir () in
+      check_int "rewritten log has no tail" 0
+        (Journal.counters r2).Journal.quarantined)
+
+let close_retires_session () =
+  with_temp_dir (fun dir ->
+      let j = Journal.create ~fsync:`Never ~dir () in
+      write_session j ~sid:"a" ~steps:2;
+      write_session j ~sid:"b" ~steps:1;
+      Journal.log_close j ~sid:"a";
+      check_int "writer sees one live session" 1 (Journal.live_sessions j);
+      let r = Journal.create ~fsync:`Never ~dir () in
+      check_int "replay sees one live session" 1 (Journal.live_sessions r);
+      check "the closed one is gone" true (Journal.find r "a" = None);
+      check "the open one survives" true (Journal.find r "b" <> None))
+
+let dedup_reply_byte_identical () =
+  with_temp_dir (fun dir ->
+      let j = Journal.create ~fsync:`Never ~dir () in
+      write_session j ~sid:"a" ~steps:3;
+      let r = Journal.create ~fsync:`Never ~dir () in
+      (match Journal.reply_for r ~sid:"a" ~serial:2 with
+      | Some rep ->
+          check_str "journaled reply canonical bytes"
+            (mk_reply "a#2").Journal.r_canonical rep.Journal.r_canonical
+      | None -> Alcotest.fail "applied serial not found for dedup");
+      check "open reply at serial 0" true
+        (Journal.reply_for r ~sid:"a" ~serial:0 <> None);
+      check "unapplied serial has no reply" true
+        (Journal.reply_for r ~sid:"a" ~serial:9 = None))
+
+let checkpoint_compacts () =
+  with_temp_dir (fun dir ->
+      (* checkpoint_every = 8: the traffic below crosses it several
+         times, so closed sessions must be compacted out of the file *)
+      let j = Journal.create ~fsync:`Never ~checkpoint_every:8 ~dir () in
+      write_session j ~sid:"dead" ~steps:6;
+      Journal.log_close j ~sid:"dead";
+      write_session j ~sid:"live" ~steps:6;
+      check "compaction ran" true ((Journal.counters j).Journal.checkpoints >= 1);
+      let r = Journal.create ~fsync:`Never ~checkpoint_every:8 ~dir () in
+      check "closed session compacted away" true (Journal.find r "dead" = None);
+      (match Journal.find r "live" with
+      | Some z ->
+          check_int "live session survives compaction whole" 6
+            z.Journal.z_applied;
+          check_str "replies survive compaction byte-for-byte"
+            (mk_reply "live#4").Journal.r_canonical
+            (match Journal.reply_for r ~sid:"live" ~serial:4 with
+            | Some rep -> rep.Journal.r_canonical
+            | None -> "<missing>")
+      | None -> Alcotest.fail "live session lost to compaction");
+      check_int "no replay skips after compaction" 0
+        (Journal.counters r).Journal.replay_skipped)
+
+let torn_write_via_fault_plan () =
+  with_temp_dir (fun dir ->
+      (* op 1 is the journal's mkdir probe-or-create; the torn append
+         lands on a later record write. Find the op that writes the
+         step-2 record by letting the plan tear successive ops. *)
+      let plan =
+        match Blob.parse_plan "torn@5:10" with
+        | Ok p -> p
+        | Error e -> Alcotest.fail e
+      in
+      let io, _ = Blob.inject ~plan Blob.real in
+      let j = Journal.create ~io ~fsync:`Never ~dir () in
+      (match write_session j ~sid:"a" ~steps:6 with
+      | () -> Alcotest.fail "fault plan never fired"
+      | exception Blob.Crashed _ -> ());
+      (* reboot on the real backend: whatever prefix of records hit the
+         disk must replay, the torn tail must quarantine, and nothing
+         may raise *)
+      let r = Journal.create ~fsync:`Never ~dir () in
+      match Journal.find r "a" with
+      | Some z ->
+          check "a prefix of the stream survives" true
+            (z.Journal.z_applied >= 0 && z.Journal.z_applied <= 6);
+          check_int "the torn record is quarantined, not replayed" 1
+            (Journal.counters r).Journal.quarantined
+      | None -> Alcotest.fail "session lost entirely to one torn append")
+
+let fsync_policy_strings () =
+  List.iter
+    (fun (s, p) ->
+      check ("parse " ^ s) true (Journal.fsync_policy_of_string s = Some p);
+      check_str ("print " ^ s) s (Journal.fsync_policy_to_string p))
+    [ ("always", `Always); ("never", `Never); ("every=8", `Every 8) ];
+  List.iter
+    (fun s ->
+      check ("reject " ^ s) true (Journal.fsync_policy_of_string s = None))
+    [ ""; "sometimes"; "every="; "every=0"; "every=x" ]
+
+let () =
+  Random.self_init ();
+  Alcotest.run "lcp-journal"
+    [
+      ( "journal",
+        [
+          codec_roundtrip;
+          truncation_recovers_prefix;
+          bitflip_recovers_prefix;
+          replay_is_identity;
+          test "torn tail quarantined, prefix survives" torn_tail_quarantined;
+          test "close retires the session" close_retires_session;
+          test "journaled dedup replies byte-identical" dedup_reply_byte_identical;
+          test "checkpoint compacts closed sessions" checkpoint_compacts;
+          test "torn append via fault plan, clean reboot" torn_write_via_fault_plan;
+          test "fsync policy round-trip" fsync_policy_strings;
+        ] );
+    ]
