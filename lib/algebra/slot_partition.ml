@@ -7,13 +7,31 @@ let canonical classes =
   |> List.map (List.sort compare)
   |> List.sort compare
 
+(* The operations below maintain the canonical form incrementally — one
+   ordered insertion instead of re-sorting every class — and keep the
+   untouched classes physically shared with the input. They reproduce
+   the reference [canonical]-based results byte for byte, including on
+   adversarial decoded partitions with duplicate or overlapping classes
+   (structural filters remove every copy, exactly as the old full
+   re-canonicalization did); [rename] falls back to the reference path
+   in that adversarial corner. *)
+
+let rec insert_class c = function
+  | [] -> [ c ]
+  | c' :: rest as l ->
+      if compare c c' <= 0 then c :: l else c' :: insert_class c rest
+
+let rec insert_slot s = function
+  | [] -> [ s ]
+  | x :: rest as l -> if s <= x then s :: l else x :: insert_slot s rest
+
 let empty = []
 
 let mem t s = List.exists (List.mem s) t
 
 let add_singleton t s =
   if mem t s then invalid_arg "Slot_partition.add_singleton: slot exists";
-  canonical ([ s ] :: t)
+  insert_class [ s ] t
 
 let class_of t s = List.find_opt (List.mem s) t
 
@@ -22,12 +40,14 @@ let merge t a b =
   | Some ca, Some cb ->
       if ca == cb || ca = cb then t
       else
-        canonical ((ca @ cb) :: List.filter (fun c -> c <> ca && c <> cb) t)
+        insert_class
+          (List.merge compare ca cb)
+          (List.filter (fun c -> c <> ca && c <> cb) t)
   | _ -> invalid_arg "Slot_partition.merge: unknown slot"
 
 let same_class t a b =
   match (class_of t a, class_of t b) with
-  | Some ca, Some cb -> ca = cb
+  | Some ca, Some cb -> ca == cb || ca = cb
   | _ -> invalid_arg "Slot_partition.same_class: unknown slot"
 
 let remove t s =
@@ -35,7 +55,8 @@ let remove t s =
   | None -> invalid_arg "Slot_partition.remove: unknown slot"
   | Some c ->
       let c' = List.filter (fun x -> x <> s) c in
-      (canonical (c' :: List.filter (fun cl -> cl <> c) t), c' = [])
+      let rest = List.filter (fun cl -> cl <> c) t in
+      if c' = [] then (rest, true) else (insert_class c' rest, false)
 
 let slots t = List.concat t |> List.sort compare
 
@@ -45,14 +66,33 @@ let class_count t = List.length t
 
 let rename t ~old_slot ~new_slot =
   if mem t new_slot then invalid_arg "Slot_partition.rename: slot exists";
-  canonical
-    (List.map (List.map (fun x -> if x = old_slot then new_slot else x)) t)
+  match class_of t old_slot with
+  | None -> t
+  | Some c ->
+      let rec count_occ n = function
+        | [] -> n
+        | x :: rest -> count_occ (if x = old_slot then n + 1 else n) rest
+      in
+      if
+        count_occ 0 c = 1
+        && not (List.exists (fun cl -> cl != c && List.mem old_slot cl) t)
+      then
+        let c' =
+          insert_slot new_slot (List.filter (fun x -> x <> old_slot) c)
+        in
+        insert_class c' (List.filter (fun cl -> cl != c) t)
+      else
+        (* adversarial duplicate/overlap: reference path *)
+        canonical
+          (List.map
+             (List.map (fun x -> if x = old_slot then new_slot else x))
+             t)
 
 let union t1 t2 =
   let s1 = slots t1 in
   if List.exists (fun s -> mem t2 s) s1 then
     invalid_arg "Slot_partition.union: slot sets not disjoint";
-  canonical (t1 @ t2)
+  List.merge compare t1 t2
 
 let equal a b = a = b
 let compare = compare
@@ -75,6 +115,16 @@ let decode r =
     (read_n nclasses (fun () ->
          let size = Lcp_util.Bitenc.read_varint r in
          read_n size (fun () -> Lcp_util.Bitenc.read_varint r)))
+
+let pack buf t =
+  Lcp_util.Packed_state.push_list buf
+    (fun b c ->
+      Lcp_util.Packed_state.push_list b Lcp_util.Packed_state.Buf.push c)
+    t
+
+let unpack c =
+  Lcp_util.Packed_state.read_list c (fun c ->
+      Lcp_util.Packed_state.read_list c Lcp_util.Packed_state.read)
 
 let pp ppf t =
   Format.fprintf ppf "{%s}"

@@ -31,4 +31,11 @@ val decode : Lcp_util.Bitenc.reader -> t
     writes absolute values; certification slots are vertex identifiers,
     which are non-negative). *)
 
+val pack : Lcp_util.Packed_state.Buf.t -> t -> unit
+(** Flat word encoding (class count, then per class: size and slots);
+    literal — no re-canonicalization — so [unpack] is a structural
+    inverse. *)
+
+val unpack : Lcp_util.Packed_state.cursor -> t
+
 val pp : Format.formatter -> t -> unit

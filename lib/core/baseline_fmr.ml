@@ -36,8 +36,11 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
 
   let fail fmt = Printf.ksprintf (fun s -> raise (Reject s)) fmt
 
+  (* lazy on the happy path: the message is only rendered when the check
+     fails, so accepting runs never pay the Printf allocation *)
   let require cond fmt =
-    Printf.ksprintf (fun s -> if not cond then raise (Reject s)) fmt
+    if cond then Printf.ikfprintf (fun () -> ()) () fmt
+    else Printf.ksprintf (fun s -> raise (Reject s)) fmt
 
   let forget_to st keep =
     List.fold_left

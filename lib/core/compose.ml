@@ -1,5 +1,5 @@
 module Klane = Lcp_lanewidth.Klane
-module Hash64 = Lcp_util.Hash64
+module Packed = Lcp_util.Packed_state
 
 module Make (A : Lcp_algebra.Algebra_sig.S) = struct
   type iface = {
@@ -8,82 +8,120 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
     t_out : (int * int) list;
   }
 
-  (* ---- composition memo ----------------------------------------------
+  (* ---- composition memo on packed words ------------------------------
      The prover pushes one frame per edge of every klane and the verifier
      recomputes the same bridge/parent glue for each of those frames, so
      identical (state, state, glue) joins recur many times per run. Keys
-     are [Marshal] bytes of the exact inputs: marshal-equal implies
-     structurally equal, so a hit returns a value structurally identical
-     to recomputation and downstream encodes are byte-identical (sharing
-     can make structurally equal values marshal differently — that only
-     costs extra misses, never a wrong hit). Buckets are indexed by the
-     FNV-1a hash of the key and disambiguated by full string equality.
+     are the packed flat images of the exact inputs ([A.pack] words laid
+     down in a reusable arena — no allocation on the lookup path): packs
+     are injective up to [A.equal] and up to everything any observer
+     ([A.encode] included) distinguishes, so a hit returns a value the
+     rest of the pipeline treats identically to recomputation and
+     downstream encodes are byte-identical. Buckets are indexed by the
+     word-wise FNV-1a hash of the key and disambiguated by comparing the
+     words themselves — hash equality alone never certifies a hit.
      Exceptions are never cached: a raising compute stays uncached and
      raises again on recomputation, preserving the verifier's
-     Invalid_argument-to-rejection conversion. *)
+     Invalid_argument-to-rejection conversion. A raising [pack] (broken
+     algebra contract — packs are total) falls back to an uncached
+     compute and is counted as [memo_key_fallback]. *)
 
-  let memo_tbl : (int64, (string * A.state) list ref) Hashtbl.t =
+  let memo_tbl : (int, (int array * A.state) list ref) Hashtbl.t =
     Hashtbl.create 1024
 
-  let intern_tbl : (int64, (string * A.state) list ref) Hashtbl.t =
+  let intern_tbl : (int, (int array * A.state) list ref) Hashtbl.t =
     Hashtbl.create 256
 
-  let marshal_key v = try Some (Marshal.to_string v []) with _ -> None
+  let arena_hint =
+    let l = A.packed_layout in
+    4 + l.Packed.fixed_words + (16 * l.Packed.words_per_slot)
 
-  let memoize ~tag key compute =
+  (* separate arenas so a leaf intern can never clobber an in-flight memo
+     key; keys are copied out of the arena only on a miss *)
+  let memo_buf = Packed.Buf.create (4 + (2 * arena_hint))
+  let intern_buf = Packed.Buf.create arena_hint
+
+  let key_matches (key : int array) (data : int array) len =
+    Array.length key = len
+    &&
+    let rec go i =
+      i >= len || (Array.unsafe_get key i = Array.unsafe_get data i && go (i + 1))
+    in
+    go 0
+
+  let rec find_in_bucket data len = function
+    | [] -> None
+    | (key, st) :: rest ->
+        if key_matches key data len then Some st
+        else find_in_bucket data len rest
+
+  (* look the current arena contents up in [tbl]; on a miss, copy the key
+     out of the arena, run [compute] (never cached if it raises) and
+     remember the result *)
+  let lookup tbl buf ~hit ~miss compute =
+    let data = Packed.Buf.data buf and len = Packed.Buf.len buf in
+    let h = Packed.hash_words data ~len in
+    (* cap check before touching a bucket: reset would orphan it *)
+    if Hashtbl.length tbl >= Memo.max_entries then Hashtbl.reset tbl;
+    match Hashtbl.find_opt tbl h with
+    | Some bucket -> (
+        match find_in_bucket data len !bucket with
+        | Some st ->
+            incr hit;
+            st
+        | None ->
+            incr miss;
+            let key = Packed.Buf.contents buf in
+            let st = compute () in
+            bucket := (key, st) :: !bucket;
+            st)
+    | None ->
+        incr miss;
+        let key = Packed.Buf.contents buf in
+        let st = compute () in
+        Hashtbl.add tbl h (ref [ (key, st) ]);
+        st
+
+  (* distinct first words keep the three key spaces disjoint even though
+     they share one table *)
+  let tag_bridge = 1
+  let tag_glue = 2
+  let tag_forget = 3
+
+  let memoize ~tag fill compute =
     if not !Memo.enabled then compute ()
     else
-      match marshal_key key with
-      | None -> compute ()
-      | Some bytes -> (
-          let skey = tag ^ "\x00" ^ bytes in
-          let h = Hash64.of_string skey in
-          (* cap check before touching a bucket: reset would orphan it *)
-          if Hashtbl.length memo_tbl >= Memo.max_entries then
-            Hashtbl.reset memo_tbl;
-          match Hashtbl.find_opt memo_tbl h with
-          | Some bucket -> (
-              match List.assoc_opt skey !bucket with
-              | Some st ->
-                  incr Memo.hits;
-                  st
-              | None ->
-                  incr Memo.misses;
-                  let st = compute () in
-                  bucket := (skey, st) :: !bucket;
-                  st)
-          | None ->
-              incr Memo.misses;
-              let st = compute () in
-              Hashtbl.add memo_tbl h (ref [ (skey, st) ]);
-              st)
+      match
+        Packed.Buf.reset memo_buf;
+        Packed.Buf.push memo_buf tag;
+        fill memo_buf
+      with
+      | () -> lookup memo_tbl memo_buf ~hit:Memo.hits ~miss:Memo.misses compute
+      | exception _ ->
+          incr Memo.key_fallbacks;
+          compute ()
 
-  (* hash-cons a freshly built state: structurally equal states collapse
-     to one representative, so later memo keys over them are cheaper to
-     marshal and physically shared *)
+  (* hash-cons a freshly built state: states with equal packed images
+     collapse to one physical representative, so later memo keys over
+     them hit the same buckets and structural comparisons short-circuit *)
   let intern st =
     if not !Memo.enabled then st
     else
-      match marshal_key st with
-      | None -> st
-      | Some skey -> (
-          let h = Hash64.of_string skey in
-          if Hashtbl.length intern_tbl >= Memo.max_entries then
-            Hashtbl.reset intern_tbl;
-          match Hashtbl.find_opt intern_tbl h with
-          | Some bucket -> (
-              match List.assoc_opt skey !bucket with
-              | Some st' ->
-                  incr Memo.intern_hits;
-                  st'
-              | None ->
-                  incr Memo.intern_misses;
-                  bucket := (skey, st) :: !bucket;
-                  st)
-          | None ->
-              incr Memo.intern_misses;
-              Hashtbl.add intern_tbl h (ref [ (skey, st) ]);
-              st)
+      match
+        Packed.Buf.reset intern_buf;
+        A.pack intern_buf st
+      with
+      | () ->
+          lookup intern_tbl intern_buf ~hit:Memo.intern_hits
+            ~miss:Memo.intern_misses
+            (fun () -> st)
+      | exception _ ->
+          incr Memo.key_fallbacks;
+          st
+
+  (* table sizes, exposed for the cap-eviction tests *)
+  let memo_table_size () = Hashtbl.length memo_tbl
+  let intern_table_size () = Hashtbl.length intern_tbl
 
   let iface_of_klane ~vid (k : Klane.t) =
     {
@@ -117,17 +155,36 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
     | Some v -> v
     | None -> invalid_arg ("Compose: missing lane in " ^ name)
 
+  (* allocation-free forms of the well-formedness predicates (this runs
+     for every frame of every edge, so the old sort_uniq/map chains were
+     a measurable slice of the verify allocation tax) *)
+  let rec strictly_sorted = function
+    | a :: (b :: _ as rest) -> a < b && strictly_sorted rest
+    | _ -> true
+
+  let rec lanes_match lanes pairs =
+    match (lanes, pairs) with
+    | [], [] -> true
+    | l :: ls, (l', _) :: ps -> l = l' && lanes_match ls ps
+    | _ -> false
+
+  (* two-argument helper instead of List.exists so no closure is
+     allocated per element *)
+  let rec snd_mem v = function
+    | [] -> false
+    | (_, v') :: rest -> v' = v || snd_mem v rest
+
+  let rec distinct_snd = function
+    | [] -> true
+    | (_, v) :: rest -> (not (snd_mem v rest)) && distinct_snd rest
+
   let well_formed f =
     check (f.lanes <> []) "empty lane set";
-    check (List.sort_uniq compare f.lanes = f.lanes) "lanes not sorted-unique";
-    check (List.map fst f.t_in = f.lanes) "t_in lanes mismatch";
-    check (List.map fst f.t_out = f.lanes) "t_out lanes mismatch";
-    let injective m =
-      let vs = List.map snd m in
-      List.length (List.sort_uniq compare vs) = List.length vs
-    in
-    check (injective f.t_in) "t_in not injective";
-    check (injective f.t_out) "t_out not injective"
+    check (strictly_sorted f.lanes) "lanes not sorted-unique";
+    check (lanes_match f.lanes f.t_in) "t_in lanes mismatch";
+    check (lanes_match f.lanes f.t_out) "t_out lanes mismatch";
+    check (distinct_snd f.t_in) "t_in not injective";
+    check (distinct_snd f.t_out) "t_out not injective"
 
   let v_state f =
     well_formed f;
@@ -172,7 +229,14 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
     let a = assoc_lane "left t_out" f1.t_out i in
     let b = assoc_lane "right t_out" f2.t_out j in
     let st =
-      memoize ~tag:"bridge" (s1, s2, a, b, real) (fun () ->
+      memoize ~tag:tag_bridge
+        (fun buf ->
+          A.pack buf s1;
+          A.pack buf s2;
+          Packed.Buf.push buf a;
+          Packed.Buf.push buf b;
+          Packed.push_bool buf real)
+        (fun () ->
           let st = A.union s1 s2 in
           if real then A.add_edge st a b else st)
     in
@@ -202,7 +266,12 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
         fc.lanes
     in
     let st =
-      memoize ~tag:"glue" (sc, sp, glued) (fun () ->
+      memoize ~tag:tag_glue
+        (fun buf ->
+          A.pack buf sc;
+          A.pack buf sp;
+          Packed.push_list buf Packed.Buf.push glued)
+        (fun () ->
           let sc, temp_pairs =
             List.fold_left
               (fun (st, acc) s ->
@@ -229,7 +298,18 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
       }
     in
     well_formed f;
-    let terms = terminals f in
-    let st = memoize ~tag:"forget" (st, terms) (fun () -> forget_to st terms) in
+    (* key on the raw terminal ids in interface order rather than the
+       sorted-uniqued terminal set: [terminals f] is a deterministic
+       function of them, so equal keys still force equal results, and
+       the sort_uniq (the wrapper's single biggest allocation) only runs
+       when the memo misses *)
+    let st =
+      memoize ~tag:tag_forget
+        (fun buf ->
+          A.pack buf st;
+          Packed.push_list buf (fun b (_, v) -> Packed.Buf.push b v) f.t_in;
+          Packed.push_list buf (fun b (_, v) -> Packed.Buf.push b v) f.t_out)
+        (fun () -> forget_to st (terminals f))
+    in
     (st, f)
 end

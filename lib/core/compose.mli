@@ -44,4 +44,12 @@ module Make (A : Lcp_algebra.Algebra_sig.S) : sig
   (** f_P: checks [T(child) ⊆ T(parent)] and that each child's in-terminal
       id equals the parent's same-lane out-terminal id, then glues and
       forgets the vertices that stop being terminals. *)
+
+  val memo_table_size : unit -> int
+  (** Number of live hash buckets in this instance's composition memo
+      table — exposed so the cap-eviction tests can assert the bounded
+      live set (see {!Memo.max_entries}). *)
+
+  val intern_table_size : unit -> int
+  (** Same for the leaf-state intern table. *)
 end

@@ -15,16 +15,24 @@ let misses = ref 0
 let intern_hits = ref 0
 let intern_misses = ref 0
 
+(* a state whose [pack] raised: the memo fell back to an uncached
+   compute. Packs are total, so a nonzero count means an algebra broke
+   its contract — surfaced in --server-stats rather than silently
+   disabling memoization. *)
+let key_fallbacks = ref 0
+
 let counters () =
   [
     ("memo_hit", !hits);
     ("memo_miss", !misses);
     ("intern_hit", !intern_hits);
     ("intern_miss", !intern_misses);
+    ("memo_key_fallback", !key_fallbacks);
   ]
 
 let reset_counters () =
   hits := 0;
   misses := 0;
   intern_hits := 0;
-  intern_misses := 0
+  intern_misses := 0;
+  key_fallbacks := 0

@@ -1,10 +1,12 @@
 (** Switches and counters for composition memoization (see {!Compose}).
 
-    Soundness does not depend on [enabled]: memo keys are
-    [Marshal]-serialized inputs, so a hit returns a value structurally
-    identical to what recomputation would produce, and encoded
-    certificates are byte-identical with the memo on or off (the
-    @graphcore suite asserts this across every registered property). *)
+    Soundness does not depend on [enabled]: memo keys are the packed
+    flat images of the exact inputs ([Algebra_sig.S.pack]), compared
+    word for word on bucket collision, so a hit returns a value the
+    algebra treats identically to what recomputation would produce, and
+    encoded certificates are byte-identical with the memo on or off
+    (the @graphcore and @packed suites assert this across every
+    registered property). *)
 
 val enabled : bool ref
 (** Toggle memoization globally (default [true]). Flipping it affects
@@ -18,8 +20,14 @@ val misses : int ref
 val intern_hits : int ref
 val intern_misses : int ref
 
+val key_fallbacks : int ref
+(** Number of memo/intern lookups skipped because a state's [pack]
+    raised. Packs are total, so anything nonzero flags a broken algebra
+    contract; the count is exported (as [memo_key_fallback]) so it shows
+    up in [--server-stats] instead of silently disabling memoization. *)
+
 val counters : unit -> (string * int) list
 (** Snapshot as [(name, count)] pairs: [memo_hit], [memo_miss],
-    [intern_hit], [intern_miss]. *)
+    [intern_hit], [intern_miss], [memo_key_fallback]. *)
 
 val reset_counters : unit -> unit

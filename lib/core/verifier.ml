@@ -13,17 +13,16 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
   }
 
   let fail fmt = Printf.ksprintf (fun s -> raise (Reject s)) fmt
-
-  let require cond fmt =
-    Printf.ksprintf (fun s -> if not cond then raise (Reject s)) fmt
-
   let info_equal (a : A.state info) (b : A.state info) =
-    a.node_id = b.node_id && a.lanes = b.lanes && a.t_in = b.t_in
-    && a.t_out = b.t_out
-    && A.equal a.state b.state
+    a == b
+    || a.node_id = b.node_id && a.lanes = b.lanes && a.t_in = b.t_in
+       && a.t_out = b.t_out
+       && (a.state == b.state || A.equal a.state b.state)
 
   (* frame equality: T-frames fully; B-frames modulo per-edge fields *)
   let frames_equal f1 f2 =
+    f1 == f2
+    ||
     match (f1, f2) with
     | ( T_frame { member = m1, k1; merged = g1; is_tree_root = r1;
                   member_real = e1; children = c1 },
@@ -61,21 +60,20 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
     let virtual_items = ref [] in
     Hashtbl.iter
       (fun (vu, vv) records ->
-        require (vu <> vv) "transport: degenerate virtual edge %d-%d" vu vv;
+        if vu = vv then fail "transport: degenerate virtual edge %d-%d" vu vv;
         (match records with
         | r0 :: rest ->
             List.iter
               (fun r ->
-                require (r.vframes = r0.vframes)
+                if not (r.vframes == r0.vframes || r.vframes = r0.vframes) then fail
                   "transport: inconsistent payload for %d-%d" vu vv)
               rest
         | [] -> ());
         if my_id = vu || my_id = vv then begin
           match records with
           | [ r ] ->
-              require
-                ((r.rank_fwd = 1 && vu = my_id)
-                || (r.rank_bwd = 1 && vv = my_id))
+              if not ((r.rank_fwd = 1 && vu = my_id)
+                || (r.rank_bwd = 1 && vv = my_id)) then fail
                 "transport: endpoint %d has wrong rank for %d-%d" my_id vu vv;
               virtual_items :=
                 { frames = r.vframes; is_real = false } :: !virtual_items
@@ -86,15 +84,12 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
         else begin
           match records with
           | [ r1; r2 ] ->
-              require
-                (r1.rank_fwd + r1.rank_bwd = r2.rank_fwd + r2.rank_bwd)
+              if not (r1.rank_fwd + r1.rank_bwd = r2.rank_fwd + r2.rank_bwd) then fail
                 "transport: rank sums differ for %d-%d" vu vv;
-              require
-                (abs (r1.rank_fwd - r2.rank_fwd) = 1)
+              if not (abs (r1.rank_fwd - r2.rank_fwd) = 1) then fail
                 "transport: ranks not consecutive for %d-%d" vu vv;
-              require
-                (r1.rank_fwd >= 1 && r2.rank_fwd >= 1 && r1.rank_bwd >= 1
-               && r2.rank_bwd >= 1)
+              if not (r1.rank_fwd >= 1 && r2.rank_fwd >= 1 && r1.rank_bwd >= 1
+               && r2.rank_bwd >= 1) then fail
                 "transport: non-positive rank for %d-%d" vu vv
           | rs ->
               fail "transport: interior vertex sees %d records for %d-%d"
@@ -108,15 +103,14 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
 
   let check_stack ~max_lanes (it : item) =
     let frames = it.frames in
-    require (frames <> []) "stack: edge with empty frame stack";
-    require
-      (List.length frames <= 2 * max_lanes)
+    if frames = [] then fail "stack: edge with empty frame stack";
+    if not (List.length frames <= 2 * max_lanes) then fail
       "stack: deeper than 2k (Obs 5.5 violated)";
     let check_info (info : A.state info) =
-      require (info.lanes <> []) "stack: empty lane set";
+      if info.lanes = [] then fail "stack: empty lane set";
       List.iter
         (fun l ->
-          require (l >= 0 && l < max_lanes) "stack: lane %d out of range" l)
+          if not (l >= 0 && l < max_lanes) then fail "stack: lane %d out of range" l)
         info.lanes
     in
     let rec walk frames =
@@ -127,12 +121,11 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
           check_info merged;
           match mkind with
           | KE | KP ->
-              require (rest = []) "stack: frames below a leaf member"
+              if rest <> [] then fail "stack: frames below a leaf member"
           | KB -> (
               match rest with
               | B_frame { bnode; _ } :: _ ->
-                  require
-                    (bnode.node_id = minfo.node_id && info_equal bnode minfo)
+                  if not (bnode.node_id = minfo.node_id && info_equal bnode minfo) then fail
                     "stack: B-frame does not match its member";
                   walk rest
               | _ -> fail "stack: B member without B-frame")
@@ -140,21 +133,19 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
       | B_frame { bnode; left = _, lkind; right = _, rkind; position; _ }
         :: rest -> (
           check_info bnode;
-          require
-            (lkind = KV || lkind = KT)
+          if not (lkind = KV || lkind = KT) then fail
             "stack: B-node left part of invalid kind";
-          require
-            (rkind = KV || rkind = KT)
+          if not (rkind = KV || rkind = KT) then fail
             "stack: B-node right part of invalid kind";
           match position with
-          | `Bridge -> require (rest = []) "stack: frames below a bridge edge"
+          | `Bridge -> if rest <> [] then fail "stack: frames below a bridge edge"
           | `Left ->
-              require (lkind = KT) "stack: edge inside a V-node part";
+              if lkind <> KT then fail "stack: edge inside a V-node part";
               (match rest with
               | T_frame _ :: _ -> walk rest
               | _ -> fail "stack: B side without inner tree frame")
           | `Right ->
-              require (rkind = KT) "stack: edge inside a V-node part";
+              if rkind <> KT then fail "stack: edge inside a V-node part";
               (match rest with
               | T_frame _ :: _ -> walk rest
               | _ -> fail "stack: B side without inner tree frame"))
@@ -196,10 +187,9 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
                     Hashtbl.replace tgroups minfo.node_id
                       { tg_level = level; tg_frame = frame; tg_items = [ it ] }
                 | Some g ->
-                    require (g.tg_level = level)
+                    if g.tg_level <> level then fail
                       "group: node %d appears at two levels" minfo.node_id;
-                    require
-                      (frames_equal g.tg_frame frame)
+                    if not (frames_equal g.tg_frame frame) then fail
                       "group: inconsistent T-frames for node %d" minfo.node_id;
                     g.tg_items <- it :: g.tg_items)
             | B_frame { bnode; position; left_ptr; right_ptr; _ } -> (
@@ -212,10 +202,9 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
                         bg_items = [ (it, position, left_ptr, right_ptr) ];
                       }
                 | Some g ->
-                    require (g.bg_level = level)
+                    if g.bg_level <> level then fail
                       "group: node %d appears at two levels" bnode.node_id;
-                    require
-                      (frames_equal g.bg_frame frame)
+                    if not (frames_equal g.bg_frame frame) then fail
                       "group: inconsistent B-frames for node %d" bnode.node_id;
                     g.bg_items <-
                       (it, position, left_ptr, right_ptr) :: g.bg_items))
@@ -236,21 +225,20 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
         (* member-kind specific checks *)
         (match mkind with
         | KE ->
-            require (List.length member_real = 1) "E-member: bad realness mask";
+            if List.length member_real <> 1 then fail "E-member: bad realness mask";
             let real = List.hd member_real in
             let st =
               try C.e_state iface ~real
               with Invalid_argument m -> fail "E-member: %s" m
             in
-            require (A.equal st minfo.state) "E-member: wrong class";
+            if not (A.equal st minfo.state) then fail "E-member: wrong class";
             let a = snd (List.hd iface.C.t_in)
             and b = snd (List.hd iface.C.t_out) in
-            require
-              (my_id = a || my_id = b)
+            if not (my_id = a || my_id = b) then fail
               "E-member: I carry an edge of an E-node I am not in";
             (match g.tg_items with
             | [ it ] ->
-                require (it.is_real = real) "E-member: realness mismatch"
+                if it.is_real <> real then fail "E-member: realness mismatch"
             | items ->
                 fail "E-member: %d incident edges of a single-edge node"
                   (List.length items))
@@ -259,7 +247,7 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
               try C.p_state iface ~mask:member_real
               with Invalid_argument m -> fail "P-member: %s" m
             in
-            require (A.equal st minfo.state) "P-member: wrong class";
+            if not (A.equal st minfo.state) then fail "P-member: wrong class";
             let path = List.map snd iface.C.t_in in
             let len = List.length path in
             let pos =
@@ -275,12 +263,11 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
               @
               if pos < len - 1 then [ List.nth member_real pos ] else []
             in
-            require
-              (multiset_eq expected_flags
-                 (List.map (fun it -> it.is_real) g.tg_items))
+            if not (multiset_eq expected_flags
+                 (List.map (fun it -> it.is_real) g.tg_items)) then fail
               "P-member: incident edges do not match the path"
         | KB ->
-            require (member_real = []) "B-member: unexpected realness mask"
+            if member_real <> [] then fail "B-member: unexpected realness mask"
             (* class and topology checked by the B-group *)
         | KV | KT -> fail "T-group: member of invalid kind");
         (* merged class = f_P fold of member and children *)
@@ -294,11 +281,9 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
               (minfo.state, iface) children
           with Invalid_argument m -> fail "Tree-merge: %s" m
         in
-        require
-          (A.equal merged_state merged.state)
+        if not (A.equal merged_state merged.state) then fail
           "Tree-merge: claimed class differs from f_P of the parts";
-        require
-          (merged_iface = C.iface_of_info merged)
+        if merged_iface <> C.iface_of_info merged then fail
           "Tree-merge: claimed terminals differ from the merge of the parts";
         (* junction: children claiming me as in-terminal must be visible *)
         List.iter
@@ -312,12 +297,11 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
               | Some cg -> (
                   match cg.tg_frame with
                   | T_frame { merged = cmerged; is_tree_root = croot; _ } ->
-                      require (not croot)
+                      if not (not croot) then fail
                         "Tree-merge: child root member claims to be tree root";
-                      require (cg.tg_level = g.tg_level)
+                      if cg.tg_level <> g.tg_level then fail
                         "Tree-merge: child member at wrong level";
-                      require
-                        (info_equal cmerged cinfo)
+                      if not (info_equal cmerged cinfo) then fail
                         "Tree-merge: child merged info mismatch"
                   | B_frame _ -> assert false)
             end)
@@ -325,9 +309,9 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
         (* the root of the outermost tree carries the global class *)
         if is_tree_root && g.tg_level = 0 then begin
           let ok = try C.accepts merged.state with Invalid_argument m -> fail "root: %s" m in
-          require (ok = accept_claim)
+          if ok <> accept_claim then fail
             "root: accept bit does not match the root class";
-          require ok "root: the property does not hold"
+          if not (ok) then fail "root: the property does not hold"
         end
 
   let check_b_group ~my_id tgroups (g : b_group) =
@@ -342,10 +326,9 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
                 ~real:bridge_real
           with Invalid_argument m -> fail "Bridge-merge: %s" m
         in
-        require (A.equal st bnode.state)
+        if not (A.equal st bnode.state) then fail
           "Bridge-merge: claimed class differs from f_B of the parts";
-        require
-          (iface = C.iface_of_info bnode)
+        if iface <> C.iface_of_info bnode then fail
           "Bridge-merge: claimed terminals differ from the merge";
         (* V-node parts: class recomputation + pointer certification *)
         let check_side side_info side_kind root_member get_ptr =
@@ -356,7 +339,7 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
                 try C.v_state vif
                 with Invalid_argument m -> fail "V-part: %s" m
               in
-              require (A.equal st side_info.state) "V-part: wrong class";
+              if not (A.equal st side_info.state) then fail "V-part: wrong class";
               let target = snd (List.hd side_info.t_in) in
               let ptrs =
                 List.map
@@ -378,7 +361,7 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
               | Error m -> fail "V-part: %s" m
             end
           | KT ->
-              require (root_member <> None)
+              if root_member = None then fail
                 "T-part: missing root member reference"
           | _ -> fail "B-node part of invalid kind"
         in
@@ -401,14 +384,14 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
         if my_id = a || my_id = b then begin
           match bridge_items with
           | [ (it, _, _, _) ] ->
-              require (it.is_real = bridge_real)
+              if it.is_real <> bridge_real then fail
                 "Bridge-merge: bridge realness mismatch"
           | items ->
               fail "Bridge-merge: endpoint sees %d bridge edges"
                 (List.length items)
         end
         else
-          require (bridge_items = [])
+          if bridge_items <> [] then fail
             "Bridge-merge: non-endpoint carries the bridge edge";
         (* side items link into the inner trees *)
         let check_side_items position side_info root_member =
@@ -426,17 +409,16 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
                 match below it.frames with
                 | T_frame { member; merged; is_tree_root; _ } :: _ ->
                     if is_tree_root then begin
-                      require (Some (fst member).node_id = root_member)
+                      if not (Some (fst member).node_id = root_member) then fail
                         "B-part: inner tree root member mismatch";
-                      require
-                        (info_equal merged side_info)
+                      if not (info_equal merged side_info) then fail
                         "B-part: inner tree class differs from the part info"
                     end
                     else
                       (* the declared root member cannot hide its
                          tree-rootness: a cleared bit would disable the
                          two checks above *)
-                      require (Some (fst member).node_id <> root_member)
+                      if not (Some (fst member).node_id <> root_member) then fail
                         "B-part: root member does not claim tree-rootness"
                 | _ -> fail "B-part: side edge without inner frame"
               end)
@@ -464,10 +446,10 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
           let accept_claim = (List.hd labels).accept_state in
           List.iter
             (fun (l : A.state label) ->
-              require (l.accept_state = accept_claim)
+              if l.accept_state <> accept_claim then fail
                 "inconsistent accept bits")
             labels;
-          require accept_claim "the prover admits the property fails";
+          if not (accept_claim) then fail "the prover admits the property fails";
           (* global pointer *)
           (match
              Spanning_tree.verify
@@ -504,7 +486,7 @@ module Make (A : Lcp_algebra.Algebra_sig.S) = struct
                   | B_frame _ -> false)
                 tgroups false
             in
-            require has_root "pointer target is not in the root member"
+            if not (has_root) then fail "pointer target is not in the root member"
           end;
           Hashtbl.iter
             (fun _ g -> check_t_group ~my_id ~accept_claim tgroups g)

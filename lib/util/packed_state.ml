@@ -1,0 +1,99 @@
+(** Flat packed representation of algebra states.
+
+    Every property algebra lays its state down as a sequence of native
+    integer words in a reusable growable arena ({!Buf}); a {!cursor}
+    reads the words back strictly left to right. The format is the
+    algebra's own [pack]/[unpack] pair (see [Algebra_sig.S]); this
+    module only supplies the arena, the cursor, and the shared
+    length-prefixed list helpers, so that two packs concatenated into
+    one buffer still parse unambiguously (each [unpack] consumes
+    exactly the words its [pack] wrote).
+
+    Words are full native [int]s stored in an [int array] — no width
+    truncation, no sign tricks — so pushing the raw field values is
+    already injective, including the transient negative temp slots the
+    composition engine creates while gluing. The composition memo hashes
+    the words with the allocation-free word-wise FNV-1a below ({!hash})
+    and compares the words themselves on bucket collision, which is what
+    makes hash-equal sound: equal hashes alone never certify a hit. *)
+
+type layout = {
+  fixed_words : int;
+      (** words a [pack] writes independently of the boundary size *)
+  words_per_slot : int;
+      (** amortized upper-bound estimate of additional words per
+          boundary slot; exact for fixed-width algebras, a sizing hint
+          for table-shaped ones (profile tables can be exponential in
+          the pathwidth, never in [n]) *)
+}
+
+(** Reusable push-only arena of integer words. [reset] rewinds without
+    shrinking, so steady-state packing allocates nothing. *)
+module Buf = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let create n = { data = Array.make (max 8 n) 0; len = 0 }
+  let reset b = b.len <- 0
+
+  let push b x =
+    let n = Array.length b.data in
+    if b.len = n then begin
+      let d = Array.make (2 * n) 0 in
+      Array.blit b.data 0 d 0 b.len;
+      b.data <- d
+    end;
+    Array.unsafe_set b.data b.len x;
+    b.len <- b.len + 1
+
+  let len b = b.len
+
+  (* the live prefix [0, len) of the underlying array; valid until the
+     next push (which may reallocate) or reset *)
+  let data b = b.data
+  let contents b = Array.sub b.data 0 b.len
+end
+
+type cursor = { words : int array; mutable pos : int }
+
+let cursor words = { words; pos = 0 }
+
+let read c =
+  if c.pos >= Array.length c.words then
+    invalid_arg "Packed_state.read: past the end of the packed words";
+  let x = Array.unsafe_get c.words c.pos in
+  c.pos <- c.pos + 1;
+  x
+
+let push_bool b x = Buf.push b (if x then 1 else 0)
+let read_bool c = read c <> 0
+
+let push_list b f xs =
+  Buf.push b (List.length xs);
+  List.iter (f b) xs
+
+(* reads strictly left to right ([List.init] order is unspecified) *)
+let read_list c f =
+  let n = read c in
+  if n < 0 then invalid_arg "Packed_state.read_list: negative length";
+  let rec go k acc = if k = 0 then List.rev acc else go (k - 1) (f c :: acc) in
+  go n []
+
+(* word-wise FNV-1a over untagged native ints: one xor/multiply round
+   per word, all in registers — hashing a key allocates nothing (the
+   Int64 variant in [Hash64] boxes every intermediate). The basis is the
+   canonical 64-bit FNV offset basis truncated to OCaml's 63-bit int.
+   Mixing is weaker than the byte-at-a-time variant, so callers must
+   disambiguate collisions by comparing the words themselves — the
+   composition memo does exactly that. *)
+let hash_basis = Int64.to_int 0xcbf29ce484222325L
+let hash_prime = 0x100000001b3
+let hash_word h x = (h lxor x) * hash_prime
+
+let hash_words (a : int array) ~len =
+  let h = ref hash_basis in
+  for i = 0 to len - 1 do
+    h := hash_word !h (Array.unsafe_get a i)
+  done;
+  !h
+
+let hash b = hash_words (Buf.data b) ~len:(Buf.len b)

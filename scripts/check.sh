@@ -20,6 +20,11 @@ dune runtest
 # differential oracle: Theorem 1 vs the FMR baseline, >= 500 instances
 dune build @difftest
 
+# packed-state differential suite: unpack.pack = id per algebra, packed
+# memo vs reference compose, hash audit, exact memo semantics
+# (see test/test_packed.ml)
+dune build @packed
+
 # sharded pool: a 2-worker smoke run of the example manifest must exit 0
 # and agree with the sequential run on the canonical JSONL
 tmp=$(mktemp -d)

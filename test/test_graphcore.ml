@@ -18,8 +18,10 @@
       (byte-level, via the canonical bundle encoding) and identical
       verifier outcomes across every property in the service registry.
       This is the executable form of the memo-soundness argument in
-      DESIGN.md: keys are Marshal images of the exact inputs, so a hit
-      can only return what recomputation would have produced. *)
+      DESIGN.md: keys are the packed flat images ([A.pack] words) of
+      the exact inputs, so a hit can only return what recomputation
+      would have produced. The packed representation itself has its own
+      differential suite in test_packed.ml (`dune build @packed`). *)
 
 module G = Lcp_graph.Graph
 module Gref = Lcp_graph.Graph_ref
