@@ -471,9 +471,12 @@ let run_client ~socket_path ~window ~deadline_ms ~server_stats
       | _ -> ());
       finish (if !failed then 1 else 0)
 
+exception Stream_input of string
+(** a manifest parse/read error surfaced mid-stream (--stream) *)
+
 let run manifest base_dir cache_cap cache_dir disk_cap faults jsonl canonical
     passes njobs quiet list_props connect window deadline_ms server_stats
-    server_shutdown edits edits_full session =
+    server_shutdown edits edits_full session stream workload write_batch =
   if list_props then begin
     list_properties ();
     exit 0
@@ -482,6 +485,12 @@ let run manifest base_dir cache_cap cache_dir disk_cap faults jsonl canonical
   | Some socket_path ->
       if window < 1 then begin
         prerr_endline "certd: --window must be >= 1";
+        exit 2
+      end;
+      if stream || workload <> None || write_batch <> 1 then begin
+        prerr_endline
+          "certd: --stream/--workload/--write-batch are batch-mode flags \
+           (not with --connect)";
         exit 2
       end;
       run_client ~socket_path ~window ~deadline_ms ~server_stats
@@ -496,14 +505,34 @@ let run manifest base_dir cache_cap cache_dir disk_cap faults jsonl canonical
         prerr_endline "certd: --edits/--edits-full/--session need --connect";
         exit 2
       end);
+  if write_batch < 1 then begin
+    prerr_endline "certd: --write-batch must be >= 1";
+    exit 2
+  end;
+  let workload_spec =
+    match workload with
+    | None -> None
+    | Some s -> (
+        match Service.Workload.parse_spec s with
+        | Ok spec -> Some spec
+        | Error e ->
+            Printf.eprintf "certd: --workload: %s\n" e;
+            exit 2)
+  in
   let manifest =
-    match manifest with
-    | Some m -> m
-    | None ->
+    match (manifest, workload_spec) with
+    | Some _, Some _ ->
+        prerr_endline "certd: --manifest and --workload are exclusive";
+        exit 2
+    | Some m, None -> Some m
+    | None, Some _ -> None
+    | None, None ->
         prerr_endline
-          "certd: --manifest is required (or --list-properties); see --help";
+          "certd: --manifest is required (or --workload / --list-properties); \
+           see --help";
         exit 2
   in
+  let streaming = stream || workload_spec <> None in
   let workers =
     match njobs with
     | 0 -> Service.Pool.default_workers ()
@@ -531,16 +560,25 @@ let run manifest base_dir cache_cap cache_dir disk_cap faults jsonl canonical
         (fun plan -> fst (Service.Blob_io.inject ~plan Service.Blob_io.real))
         plan
     in
-    Service.Engine.create ~cache_cap ?cache_dir ~cache_disk_cap:disk_cap ?io
-      ~base_dir ?timing ()
+    Service.Engine.create ~cache_cap ?cache_dir ~cache_disk_cap:disk_cap
+      ~write_batch ?io ~base_dir ?timing ()
   in
-  match Service.Manifest.load_file manifest with
-  | Error e ->
-      Printf.eprintf "certd: %s\n" e;
-      exit 2
-  | Ok jobs ->
+  let jobs_or_stream =
+    if streaming then `Stream
+    else
+      match Service.Manifest.load_file (Option.get manifest) with
+      | Error e ->
+          Printf.eprintf "certd: %s\n" e;
+          exit 2
+      | Ok jobs -> `Jobs jobs
+  in
+  match jobs_or_stream with
+  | (`Jobs _ | `Stream) as jobs_or_stream ->
       let base_dir =
-        match base_dir with Some d -> d | None -> Filename.dirname manifest
+        match base_dir with
+        | Some d -> d
+        | None -> (
+            match manifest with Some m -> Filename.dirname m | None -> ".")
       in
       let make_engine = make_engine ~base_dir in
       let timing = Service.Timing.create () in
@@ -599,58 +637,108 @@ let run manifest base_dir cache_cap cache_dir disk_cap faults jsonl canonical
         exit code
       in
       (try
-         if workers = 1 then begin
-           (* classic path: one engine for every pass, so --passes warms
-              the in-memory tier even without --cache-dir *)
-           let engine = first_engine in
-           for pass = 1 to passes do
-             if not quiet && passes > 1 then
-               Printf.printf "--- pass %d/%d %s\n" pass passes
-                 (if pass = 1 then "(cold)" else "(warm)");
-             let _, summary = Service.Engine.run_jobs ~emit engine jobs in
-             Format.printf "%a@." Service.Stats.pp_summary summary;
-             let store = Service.Engine.store engine in
-             last_store :=
-               Some
-                 ( Service.Cert_store.stats store,
-                   Service.Cert_store.degraded store )
-           done
-         end
-         else begin
-           let probe_stats =
-             Service.Cert_store.stats (Service.Engine.store first_engine)
-           in
-           for pass = 1 to passes do
-             if not quiet && passes > 1 then
-               Printf.printf "--- pass %d/%d %s\n" pass passes
-                 (if pass = 1 then "(cold)"
-                  else "(warm via shared disk tier)");
-             let outcome =
-               (* on Ctrl-C the pool reaps its workers, then this sweep
-                  removes their half-written .tmp spool files from the
-                  shared disk tier *)
-               Service.Pool.run ~emit ~timing ~workers ~make_engine
-                 ?on_interrupt:
-                   (Option.map
-                      (fun dir () ->
-                        ignore (Service.Pool.sweep_tmp_files dir : int))
-                      cache_dir)
-                 jobs
+         match jobs_or_stream with
+         | `Jobs jobs ->
+             if workers = 1 then begin
+               (* classic path: one engine for every pass, so --passes
+                  warms the in-memory tier even without --cache-dir *)
+               let engine = first_engine in
+               for pass = 1 to passes do
+                 if not quiet && passes > 1 then
+                   Printf.printf "--- pass %d/%d %s\n" pass passes
+                     (if pass = 1 then "(cold)" else "(warm)");
+                 let _, summary = Service.Engine.run_jobs ~emit engine jobs in
+                 Format.printf "%a@." Service.Stats.pp_summary summary;
+                 let store = Service.Engine.store engine in
+                 last_store :=
+                   Some
+                     ( Service.Cert_store.stats store,
+                       Service.Cert_store.degraded store )
+               done
+             end
+             else begin
+               let probe_stats =
+                 Service.Cert_store.stats (Service.Engine.store first_engine)
+               in
+               for pass = 1 to passes do
+                 if not quiet && passes > 1 then
+                   Printf.printf "--- pass %d/%d %s\n" pass passes
+                     (if pass = 1 then "(cold)"
+                      else "(warm via shared disk tier)");
+                 let outcome =
+                   (* on Ctrl-C the pool reaps its workers, then this
+                      sweep removes their half-written .tmp spool files
+                      from the shared disk tier *)
+                   Service.Pool.run ~emit ~timing ~workers ~make_engine
+                     ?on_interrupt:
+                       (Option.map
+                          (fun dir () ->
+                            ignore (Service.Pool.sweep_tmp_files dir : int))
+                          cache_dir)
+                     jobs
+                 in
+                 Format.printf "%a@." Service.Stats.pp_summary
+                   outcome.Service.Pool.summary;
+                 let stats =
+                   if pass = 1 then
+                     Service.Cert_store.add_stats probe_stats
+                       outcome.Service.Pool.store_stats
+                   else outcome.Service.Pool.store_stats
+                 in
+                 last_store := Some (stats, outcome.Service.Pool.degraded)
+               done
+             end
+         | `Stream ->
+             (* corpus-scale path: never a whole-corpus job list. Jobs
+                stream from the manifest (or the workload generator)
+                into Pool.run_stream, which emits reports in feed
+                order. A generated workload's ids are sorted, so its
+                stream is byte-identical to the batch driver's
+                id-sorted canonical JSONL at any --jobs count. *)
+             let produce feed =
+               match workload_spec with
+               | Some spec -> Service.Workload.iter spec ~f:feed
+               | None -> (
+                   match
+                     Service.Manifest.iter_file (Option.get manifest) ~f:feed
+                   with
+                   | Ok () -> ()
+                   | Error e -> raise (Stream_input e))
              in
-             Format.printf "%a@." Service.Stats.pp_summary
-               outcome.Service.Pool.summary;
-             let stats =
-               if pass = 1 then
-                 Service.Cert_store.add_stats probe_stats
-                   outcome.Service.Pool.store_stats
-               else outcome.Service.Pool.store_stats
+             let probe_stats =
+               Service.Cert_store.stats (Service.Engine.store first_engine)
              in
-             last_store := Some (stats, outcome.Service.Pool.degraded)
-           done
-         end
-       with Service.Blob_io.Crashed p ->
-         Printf.eprintf "certd: simulated crash (fault plan) at %s\n" p;
-         finish 3);
+             for pass = 1 to passes do
+               if not quiet && passes > 1 then
+                 Printf.printf "--- pass %d/%d %s\n" pass passes
+                   (if pass = 1 then "(cold)"
+                    else "(warm via shared disk tier)");
+               let outcome =
+                 Service.Pool.run_stream ~emit ~timing ~workers ~make_engine
+                   ?on_interrupt:
+                     (Option.map
+                        (fun dir () ->
+                          ignore (Service.Pool.sweep_tmp_files dir : int))
+                        cache_dir)
+                   produce
+               in
+               Format.printf "%a@." Service.Stats.pp_summary
+                 outcome.Service.Pool.stream_summary;
+               let stats =
+                 if pass = 1 then
+                   Service.Cert_store.add_stats probe_stats
+                     outcome.Service.Pool.stream_store
+                 else outcome.Service.Pool.stream_store
+               in
+               last_store := Some (stats, outcome.Service.Pool.stream_degraded)
+             done
+       with
+       | Service.Blob_io.Crashed p ->
+           Printf.eprintf "certd: simulated crash (fault plan) at %s\n" p;
+           finish 3
+       | Stream_input e ->
+           Printf.eprintf "certd: %s\n" e;
+           finish 2);
       finish (if !failed then 1 else 0)
 
 open Cmdliner
@@ -828,6 +916,41 @@ let session =
            against a journal-backed daemon after a crash or disconnect \
            (default: a fresh id derived from this process).")
 
+let stream =
+  Arg.(
+    value & flag
+    & info [ "stream" ]
+        ~doc:
+          "Batch mode: stream the manifest through the engine in constant \
+           memory — jobs are parsed, run, and reported one at a time, never \
+           materialized as a list, so corpus size is bounded by disk, not \
+           RAM. Reports are emitted in manifest order (the batch default \
+           sorts by job id; the two agree whenever the manifest is \
+           id-sorted, e.g. any --workload stream). Implied by --workload.")
+
+let workload =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "workload" ] ~docv:"SPEC"
+        ~doc:
+          "Generate the job stream instead of reading a manifest: \
+           Zipf-distributed popularity over a hot universe with seeded \
+           cold/corrupt adversarial mixes, e.g. \
+           'zipf:u=2000,t=1000000,s=1.05,seed=42,cold=0.01,corrupt=0.002'. \
+           Deterministic in the spec; exclusive with --manifest.")
+
+let write_batch =
+  Arg.(
+    value & opt int 1
+    & info [ "write-batch" ] ~docv:"B"
+        ~doc:
+          "Group-commit the certificate store's disk writes: pool up to \
+           $(docv) new records and write them in one burst with a single \
+           directory fsync per batch (1, the default, writes through). A \
+           crash loses at most the unflushed tail — future cache misses, \
+           never corruption.")
+
 let cmd =
   let doc = "batch certification service driver (cached Theorem 1 pipeline)" in
   Cmd.v
@@ -836,6 +959,6 @@ let cmd =
       const run $ manifest $ base_dir $ cache_cap $ cache_dir $ disk_cap
       $ faults $ jsonl $ canonical $ passes $ njobs $ quiet $ list_props
       $ connect $ window $ deadline_ms $ server_stats $ server_shutdown
-      $ edits $ edits_full $ session)
+      $ edits $ edits_full $ session $ stream $ workload $ write_batch)
 
 let () = exit (Cmd.eval cmd)

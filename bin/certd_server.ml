@@ -100,9 +100,13 @@ let supervise serve =
 
 let run socket workers queue_cap client_cap cache_cap cache_dir disk_cap
     degrade_after deadline_ms faults base_dir timed quiet journal_dir fsync
-    checkpoint_every supervise_flag =
+    checkpoint_every supervise_flag write_batch =
   if workers < 1 then begin
     prerr_endline "certd-server: --workers must be >= 1";
+    exit 2
+  end;
+  if write_batch < 1 then begin
+    prerr_endline "certd-server: --write-batch must be >= 1";
     exit 2
   end;
   if queue_cap < 1 then begin
@@ -141,7 +145,7 @@ let run socket workers queue_cap client_cap cache_cap cache_dir disk_cap
         plan
     in
     Service.Engine.create ~cache_cap ?cache_dir ~cache_disk_cap:disk_cap
-      ~degrade_after ?io ~retry ~base_dir ?timing ()
+      ~degrade_after ~write_batch ?io ~retry ~base_dir ?timing ()
   in
   let journal_fsync =
     match Service.Journal.fsync_policy_of_string fsync with
@@ -319,6 +323,16 @@ let supervise_flag =
            --journal-dir, a respawn replays the journal, so in-flight \
            edit sessions survive the crash.")
 
+let write_batch =
+  Arg.(
+    value & opt int 1
+    & info [ "write-batch" ] ~docv:"B"
+        ~doc:
+          "Group-commit the on-disk tier: each worker coalesces up to \
+           $(docv) new certificates into one batch (single directory \
+           fsync), instead of one write per job. 1 (the default) keeps \
+           the write-through behaviour.")
+
 let cmd =
   let doc = "persistent certification daemon (serves certd --connect)" in
   Cmd.v
@@ -327,6 +341,6 @@ let cmd =
       const run $ socket $ workers $ queue_cap $ client_cap $ cache_cap
       $ cache_dir $ disk_cap $ degrade_after $ deadline_ms $ faults
       $ base_dir $ timed $ quiet $ journal_dir $ fsync $ checkpoint_every
-      $ supervise_flag)
+      $ supervise_flag $ write_batch)
 
 let () = exit (Cmd.eval cmd)

@@ -159,68 +159,132 @@ let max_degree g =
   done;
   !best
 
+(* Reusable scratch for [add_edges]: parallel endpoint arrays for the
+   sort/dedupe pass and a delta-CSR pair for the merge pass. Module
+   state is per-process (fork-safe; the library is not threaded),
+   grown geometrically and retained, so a steady stream of insertion
+   batches settles at zero minor allocation beyond the result CSR. *)
+let scr_u = ref [||]
+let scr_v = ref [||]
+let scr_off = ref [||]
+let scr_adj = ref [||]
+
+let scratch r len =
+  if Array.length !r < len then r := Array.make (max len (2 * Array.length !r)) 0;
+  !r
+
 (* Incremental edge insertion: validate and dedupe the additions, then
    merge each sorted row with its sorted delta in one linear pass — the
    full edge list is never materialized (the seed rebuilt the whole
-   graph through [new_edges @ edges g]). *)
+   graph through [new_edges @ edges g]), and the additions live in int
+   scratch arrays instead of boxed tuple lists. *)
 let add_edges g new_edges =
   let check v =
     if v < 0 || v >= g.n then
       invalid_arg
         (Printf.sprintf "Graph.of_edges: vertex %d out of [0,%d)" v g.n)
   in
-  let es = Array.of_list new_edges in
-  for i = 0 to Array.length es - 1 do
-    let u, v = es.(i) in
-    let (u, v) = canonical_edge u v in
-    check u;
-    check v;
-    es.(i) <- (u, v)
+  let ne = List.length new_edges in
+  let us = scratch scr_u ne and vs = scratch scr_v ne in
+  List.iteri
+    (fun i (u, v) ->
+      let u, v = canonical_edge u v in
+      check u;
+      check v;
+      us.(i) <- u;
+      vs.(i) <- v)
+    new_edges;
+  (* in-place heapsort of the parallel endpoint arrays by (u, v):
+     no comparator closure handed to a polymorphic sort, no boxing *)
+  let less i j = us.(i) < us.(j) || (us.(i) = us.(j) && vs.(i) < vs.(j)) in
+  let swap i j =
+    let tu = us.(i) and tv = vs.(i) in
+    us.(i) <- us.(j);
+    vs.(i) <- vs.(j);
+    us.(j) <- tu;
+    vs.(j) <- tv
+  in
+  let rec sift i len =
+    let l = (2 * i) + 1 in
+    if l < len then begin
+      let c = if l + 1 < len && less l (l + 1) then l + 1 else l in
+      if less i c then begin
+        swap i c;
+        sift c len
+      end
+    end
+  in
+  for i = (ne / 2) - 1 downto 0 do
+    sift i ne
   done;
-  Array.sort compare es;
-  (* keep each addition once, and only if not already an edge *)
-  let fresh = ref [] and nfresh = ref 0 in
-  Array.iteri
-    (fun i e ->
-      if (i = 0 || es.(i - 1) <> e) && not (mem_edge g (fst e) (snd e)) then begin
-        fresh := e :: !fresh;
-        incr nfresh
-      end)
-    es;
-  if !nfresh = 0 then g
+  for last = ne - 1 downto 1 do
+    swap 0 last;
+    sift 0 last
+  done;
+  (* compact in place: keep each addition once (sorted, so duplicates
+     are adjacent — compare against the last KEPT pair, since earlier
+     slots may have been overwritten), and only if not already an edge *)
+  let nfresh = ref 0 in
+  for i = 0 to ne - 1 do
+    let u = us.(i) and v = vs.(i) in
+    let dup = !nfresh > 0 && us.(!nfresh - 1) = u && vs.(!nfresh - 1) = v in
+    if (not dup) && not (mem_edge g u v) then begin
+      us.(!nfresh) <- u;
+      vs.(!nfresh) <- v;
+      incr nfresh
+    end
+  done;
+  let nf = !nfresh in
+  if nf = 0 then g
   else begin
-    let delta =
-      of_sorted_edge_array ~n:g.n ~m:!nfresh
-        (Array.of_list (List.rev !fresh))
-    in
-    let off = Array.make (g.n + 1) 0 in
-    for v = 0 to g.n - 1 do
-      off.(v + 1) <-
-        off.(v) + (g.off.(v + 1) - g.off.(v))
-        + (delta.off.(v + 1) - delta.off.(v))
+    (* delta CSR (both directions) in scratch. Scanning the compacted
+       pairs in lexicographic order appends every row's neighbors in
+       increasing order: row x first receives u's from pairs (u, x)
+       with u < x (increasing, since the scan is sorted by first
+       endpoint), then v's from its own contiguous block (x, v) with
+       v > x (increasing within the block). *)
+    let doff = scratch scr_off (g.n + 1) in
+    Array.fill doff 0 (g.n + 1) 0;
+    for i = 0 to nf - 1 do
+      doff.(us.(i) + 1) <- doff.(us.(i) + 1) + 1;
+      doff.(vs.(i) + 1) <- doff.(vs.(i) + 1) + 1
     done;
-    let adj = Array.make (2 * (g.m + !nfresh)) 0 in
     for v = 0 to g.n - 1 do
+      doff.(v + 1) <- doff.(v + 1) + doff.(v)
+    done;
+    let dadj = scratch scr_adj (2 * nf) in
+    (* fill via doff as a cursor; afterwards doff.(v) is the END of
+       row v, so row v spans [doff.(v-1), doff.(v)) (0 for v = 0) *)
+    for i = 0 to nf - 1 do
+      let u = us.(i) and v = vs.(i) in
+      dadj.(doff.(u)) <- v;
+      doff.(u) <- doff.(u) + 1;
+      dadj.(doff.(v)) <- u;
+      doff.(v) <- doff.(v) + 1
+    done;
+    let off = Array.make (g.n + 1) 0 in
+    let adj = Array.make (2 * (g.m + nf)) 0 in
+    let k = ref 0 in
+    for v = 0 to g.n - 1 do
+      off.(v) <- !k;
       (* merge the two sorted, disjoint rows *)
-      let i = ref g.off.(v) and j = ref delta.off.(v) in
-      let ihi = g.off.(v + 1) and jhi = delta.off.(v + 1) in
-      let k = ref off.(v) in
+      let i = ref g.off.(v) and ihi = g.off.(v + 1) in
+      let j = ref (if v = 0 then 0 else doff.(v - 1)) and jhi = doff.(v) in
       while !i < ihi || !j < jhi do
-        let take_old =
-          !j >= jhi || (!i < ihi && g.adj.(!i) < delta.adj.(!j))
-        in
+        let take_old = !j >= jhi || (!i < ihi && g.adj.(!i) < dadj.(!j)) in
         if take_old then begin
           adj.(!k) <- g.adj.(!i);
           incr i
         end
         else begin
-          adj.(!k) <- delta.adj.(!j);
+          adj.(!k) <- dadj.(!j);
           incr j
         end;
         incr k
       done
     done;
-    { n = g.n; m = g.m + !nfresh; off; adj }
+    off.(g.n) <- !k;
+    { n = g.n; m = g.m + nf; off; adj }
   end
 
 let union_edges = add_edges

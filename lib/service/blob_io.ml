@@ -37,9 +37,10 @@ type t = {
           A mutating op like [write_file] — [torn@]/[flip@]/[crash@]
           plans apply to the appended chunk. *)
   sync : string -> unit;
-      (** fsync the file's contents to stable storage. Not counted as a
-          mutating op (plans written against the PR 3 numbering keep
-          firing at the same points), but dead after a crash. *)
+      (** fsync the file's — or directory's, for group commit — contents
+          to stable storage. Not counted as a mutating op (plans written
+          against the PR 3 numbering keep firing at the same points),
+          but dead after a crash. *)
   rename : string -> string -> unit;
   remove : string -> unit;
   list_dir : string -> string array;
@@ -80,7 +81,11 @@ let real : t =
     sync =
       (fun p ->
         try
-          let fd = Unix.openfile p [ Unix.O_WRONLY ] 0o644 in
+          (* O_RDONLY so directories can be synced too: the cert
+             store's group commit fsyncs the cache directory once per
+             batch to make its renames durable. fsync on a read-only
+             fd flushes the same inode either way. *)
+          let fd = Unix.openfile p [ Unix.O_RDONLY ] 0o644 in
           Fun.protect
             ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
             (fun () -> Unix.fsync fd)

@@ -27,6 +27,21 @@
       answering, just without persistence. A simulated crash
       ([Blob_io.Crashed]) {e does} propagate, by design.
 
+    Two scale controls sit in front of and behind the disk tier:
+
+    - a {e negative-lookup filter} ([Lcp_util.Negf], a blocked Bloom
+      filter over the key hashes this process has written or seeded
+      from the directory) lets guaranteed-miss lookups skip the
+      filesystem probe entirely; it has no false negatives within a
+      process, and across processes a stale "absent" only costs a
+      recompute of a byte-identical content-addressed record;
+    - {e group commit} ([write_batch] > 1): admitted records pool in a
+      bounded dirty set and are written tmp-then-rename in one burst
+      with a single directory fsync per batch. A crash loses at most
+      the unflushed tail (future cache misses, never corruption); a
+      torn record inside a batch is caught by its checksum like any
+      other.
+
     Soundness note: the store caches {e bytes}, never trust. The
     checksum defends availability (detect corruption before decode);
     the engine still decodes and locally re-verifies every bundle it
@@ -90,6 +105,16 @@ type stats = {
   mutable gc_evictions : int;  (** disk records removed by capacity GC *)
   mutable quarantine_evictions : int;
       (** quarantined records dropped by the quarantine capacity cap *)
+  mutable filter_hits : int;
+      (** disk probes the negative-lookup filter let through that found
+          a record *)
+  mutable filter_skips : int;
+      (** filesystem probes skipped because the filter proved the key
+          was never written by this process *)
+  mutable filter_fps : int;
+      (** filter said "maybe" but the probe found nothing: false
+          positives (includes keys removed/GCed after insertion) *)
+  mutable flushes : int;  (** group commits of the batched write path *)
 }
 
 type t = {
@@ -99,11 +124,22 @@ type t = {
   disk_cap : int;  (** max .cert files on disk; <= 0 means unbounded *)
   quarantine_cap : int;  (** max files kept in quarantine/; <= 0 unbounded *)
   degrade_after : int;
+  write_batch : int;  (** group-commit size; <= 1 writes through *)
   mutable degraded : bool;
   mutable disk_failures_in_row : int;
   table : (Hash64.t, node) Hashtbl.t;
   mutable first : node option; (* most recently used *)
   mutable last : node option; (* least recently used *)
+  (* group-commit dirty set: entries admitted to the disk tier but not
+     yet written. [dirty_q] remembers insertion order so a flush
+     commits records in admission order; superseded/removed hashes are
+     skipped at flush time. Bounded by [write_batch]. *)
+  dirty : (Hash64.t, entry) Hashtbl.t;
+  dirty_q : Hash64.t Queue.t;
+  (* negative-lookup filter over every key this process has written to
+     (or seeded from) the disk tier; [None] when the filter is
+     disabled or there is no disk tier *)
+  filter : Lcp_util.Negf.t option;
   stats : stats;
 }
 
@@ -143,8 +179,26 @@ let sweep_orphans t dir =
       (t.io.Blob.list_dir dir)
   with Sys_error _ -> disk_error t
 
+(* Seed the negative-lookup filter from the records already on disk:
+   file names are the hex key hashes, so a directory listing is enough
+   — no record is opened. Records written later by sibling workers
+   sharing this directory are invisible to the filter; skipping their
+   probe only costs a recompute of byte-identical content-addressed
+   records, never a judgement (see the soundness note above). *)
+let seed_filter t dir filter =
+  try
+    Array.iter
+      (fun f ->
+        if Filename.check_suffix f ".cert" then
+          match Hash64.of_hex (Filename.chop_suffix f ".cert") with
+          | Some h -> Lcp_util.Negf.add filter h
+          | None -> ())
+      (t.io.Blob.list_dir dir)
+  with Sys_error _ -> disk_error t
+
 let create ?(cap = 4096) ?dir ?(disk_cap = 0) ?(quarantine_cap = 64)
-    ?(degrade_after = 3) ?(io = Blob.real) () =
+    ?(degrade_after = 3) ?(write_batch = 1) ?(filter_bits = 1 lsl 17)
+    ?(io = Blob.real) () =
   if cap < 1 then invalid_arg "Cert_store.create: cap must be >= 1";
   if degrade_after < 1 then
     invalid_arg "Cert_store.create: degrade_after must be >= 1";
@@ -157,6 +211,11 @@ let create ?(cap = 4096) ?dir ?(disk_cap = 0) ?(quarantine_cap = 64)
              (Printf.sprintf
                 "Cert_store.create: cannot create cache directory %S: %s" d e)))
   | None -> ());
+  let filter =
+    match dir with
+    | Some _ when filter_bits > 0 -> Some (Lcp_util.Negf.create ~bits:filter_bits ())
+    | _ -> None
+  in
   let t =
     {
       cap;
@@ -165,11 +224,15 @@ let create ?(cap = 4096) ?dir ?(disk_cap = 0) ?(quarantine_cap = 64)
       disk_cap;
       quarantine_cap;
       degrade_after;
+      write_batch = max 1 write_batch;
       degraded = false;
       disk_failures_in_row = 0;
       table = Hashtbl.create 64;
       first = None;
       last = None;
+      dirty = Hashtbl.create 64;
+      dirty_q = Queue.create ();
+      filter;
       stats =
         {
           hits = 0;
@@ -184,10 +247,18 @@ let create ?(cap = 4096) ?dir ?(disk_cap = 0) ?(quarantine_cap = 64)
           orphans_swept = 0;
           gc_evictions = 0;
           quarantine_evictions = 0;
+          filter_hits = 0;
+          filter_skips = 0;
+          filter_fps = 0;
+          flushes = 0;
         };
     }
   in
-  (match dir with Some d -> sweep_orphans t d | None -> ());
+  (match dir with
+  | Some d ->
+      sweep_orphans t d;
+      (match filter with Some f -> seed_filter t d f | None -> ())
+  | None -> ());
   t
 
 let size t = Hashtbl.length t.table
@@ -375,7 +446,9 @@ let gc_disk t dir ~keep =
     with Sys_error _ -> disk_error t
   end
 
-let write_disk t dir entry =
+(* One record to disk, no GC: returns the basename on success so the
+   caller can protect it from the capacity GC it runs afterwards. *)
+let write_record t dir entry =
   let path = entry_path dir entry.e_key in
   (* the tmp name carries the pid so concurrent workers sharing this
      disk tier (Pool) never interleave writes inside one tmp file; the
@@ -385,11 +458,50 @@ let write_disk t dir entry =
     t.io.Blob.write_file tmp (record_string entry);
     t.io.Blob.rename tmp path;
     disk_ok t;
-    gc_disk t dir ~keep:(Filename.basename path)
+    Some (Filename.basename path)
   with Sys_error _ ->
     (* best-effort cleanup of a half-written tmp; never fatal *)
     (try t.io.Blob.remove tmp with Sys_error _ -> ());
-    disk_error t
+    disk_error t;
+    None
+
+let write_disk t dir entry =
+  match write_record t dir entry with
+  | Some keep -> gc_disk t dir ~keep
+  | None -> ()
+
+(* Group commit: drain the dirty set in admission order — each record
+   still goes tmp-then-rename, so a fault mid-flush tears at most the
+   record being renamed (caught by its checksum on read) — then pay a
+   single directory fsync for the whole batch and one capacity-GC
+   pass. A store demoted to memory-only drops its dirty set: those
+   entries survive in the memory tier and their loss costs only future
+   cache misses. *)
+let flush t =
+  match t.dir with
+  | Some dir when (not t.degraded) && not (Queue.is_empty t.dirty_q) ->
+      let last_written = ref None in
+      while not (Queue.is_empty t.dirty_q) do
+        let h = Queue.pop t.dirty_q in
+        match Hashtbl.find_opt t.dirty h with
+        | None -> () (* superseded or removed while dirty *)
+        | Some entry -> (
+            Hashtbl.remove t.dirty h;
+            match write_record t dir entry with
+            | Some keep -> last_written := Some keep
+            | None -> ())
+      done;
+      (match !last_written with
+      | Some keep ->
+          (* the renames above are atomic but only as durable as the
+             page cache; one directory fsync commits them all *)
+          (try t.io.Blob.sync dir with Sys_error _ -> disk_error t);
+          t.stats.flushes <- t.stats.flushes + 1;
+          gc_disk t dir ~keep
+      | None -> ())
+  | _ ->
+      Hashtbl.reset t.dirty;
+      Queue.clear t.dirty_q
 
 let read_disk t dir key =
   let path = entry_path dir key in
@@ -436,7 +548,19 @@ let add t entry =
       t.stats.insertions <- t.stats.insertions + 1;
       evict_overflow t);
   match t.dir with
-  | Some dir when not t.degraded -> write_disk t dir entry
+  | Some dir when not t.degraded ->
+      (* the filter tracks admission, not durability: a failed write
+         leaves a stale positive, which only costs a wasted probe *)
+      (match t.filter with
+      | Some f -> Lcp_util.Negf.add f entry.e_key.hash
+      | None -> ());
+      if t.write_batch <= 1 then write_disk t dir entry
+      else begin
+        if not (Hashtbl.mem t.dirty entry.e_key.hash) then
+          Queue.push entry.e_key.hash t.dirty_q;
+        Hashtbl.replace t.dirty entry.e_key.hash entry;
+        if Hashtbl.length t.dirty >= t.write_batch then flush t
+      end
   | _ -> ()
 
 let find t key =
@@ -453,18 +577,50 @@ let find t key =
   | None -> (
       match t.dir with
       | Some dir when not t.degraded -> (
-          match read_disk t dir key with
-          | Some entry ->
-              t.stats.disk_loads <- t.stats.disk_loads + 1;
+          let install entry =
+            let node = { entry; prev = None; next = None } in
+            Hashtbl.replace t.table key.hash node;
+            push_front t node;
+            evict_overflow t;
+            Some entry
+          in
+          (* evicted from memory while still awaiting its group commit:
+             serve straight from the dirty set, no filesystem touched *)
+          match Hashtbl.find_opt t.dirty key.hash with
+          | Some entry when Bytes.equal entry.e_key.canon key.canon ->
               t.stats.hits <- t.stats.hits + 1;
-              let node = { entry; prev = None; next = None } in
-              Hashtbl.replace t.table key.hash node;
-              push_front t node;
-              evict_overflow t;
-              Some entry
-          | None ->
-              t.stats.misses <- t.stats.misses + 1;
-              None)
+              install entry
+          | _ -> (
+              let probe =
+                match t.filter with
+                | None -> true
+                | Some f ->
+                    if Lcp_util.Negf.mem f key.hash then true
+                    else begin
+                      t.stats.filter_skips <- t.stats.filter_skips + 1;
+                      false
+                    end
+              in
+              if not probe then begin
+                t.stats.misses <- t.stats.misses + 1;
+                None
+              end
+              else
+                match read_disk t dir key with
+                | Some entry ->
+                    (match t.filter with
+                    | Some _ ->
+                        t.stats.filter_hits <- t.stats.filter_hits + 1
+                    | None -> ());
+                    t.stats.disk_loads <- t.stats.disk_loads + 1;
+                    t.stats.hits <- t.stats.hits + 1;
+                    install entry
+                | None ->
+                    (match t.filter with
+                    | Some _ -> t.stats.filter_fps <- t.stats.filter_fps + 1
+                    | None -> ());
+                    t.stats.misses <- t.stats.misses + 1;
+                    None))
       | _ ->
           t.stats.misses <- t.stats.misses + 1;
           None)
@@ -476,6 +632,9 @@ let remove t key =
       Hashtbl.remove t.table key.hash;
       t.stats.drops <- t.stats.drops + 1
   | None -> ());
+  (* a pending dirty entry must not be resurrected by a later flush;
+     its queue slot stays behind and is skipped at flush time *)
+  Hashtbl.remove t.dirty key.hash;
   match t.dir with
   | Some dir when not t.degraded -> (
       let path = entry_path dir key in
@@ -499,6 +658,10 @@ let add_stats a b =
     orphans_swept = a.orphans_swept + b.orphans_swept;
     gc_evictions = a.gc_evictions + b.gc_evictions;
     quarantine_evictions = a.quarantine_evictions + b.quarantine_evictions;
+    filter_hits = a.filter_hits + b.filter_hits;
+    filter_skips = a.filter_skips + b.filter_skips;
+    filter_fps = a.filter_fps + b.filter_fps;
+    flushes = a.flushes + b.flushes;
   }
 
 (** The persisted records of the disk tier as (file name, content hash)
@@ -509,6 +672,7 @@ let add_stats a b =
     serving path it lets [Sys_error] escape, because a determinism
     check that silently skipped unreadable records would be vacuous. *)
 let disk_snapshot t =
+  flush t;
   match t.dir with
   | None -> []
   | Some dir ->
@@ -522,7 +686,8 @@ let pp_stats ppf s =
   Format.fprintf ppf
     "hits=%d misses=%d insertions=%d evictions=%d disk_loads=%d drops=%d \
      disk_errors=%d corrupt=%d quarantined=%d quarantine_evictions=%d \
-     orphans_swept=%d gc_evictions=%d"
+     orphans_swept=%d gc_evictions=%d filter_hits=%d filter_skips=%d \
+     filter_fps=%d flushes=%d"
     s.hits s.misses s.insertions s.evictions s.disk_loads s.drops s.disk_errors
     s.corrupt s.quarantined s.quarantine_evictions s.orphans_swept
-    s.gc_evictions
+    s.gc_evictions s.filter_hits s.filter_skips s.filter_fps s.flushes

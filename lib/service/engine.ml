@@ -54,18 +54,23 @@ type t = {
 }
 
 let create ?(cache_cap = 4096) ?cache_dir ?(cache_disk_cap = 0)
-    ?(degrade_after = 3) ?io ?(retry = default_retry) ?(base_dir = ".") ?timing
-    () =
+    ?(degrade_after = 3) ?write_batch ?filter_bits ?io ?(retry = default_retry)
+    ?(base_dir = ".") ?timing () =
   {
     store =
       Cert_store.create ~cap:cache_cap ?dir:cache_dir ~disk_cap:cache_disk_cap
-        ~degrade_after ?io ();
+        ~degrade_after ?write_batch ?filter_bits ?io ();
     base_dir;
     retry;
     timing;
   }
 
 let store t = t.store
+
+(* Commit any records still pooled in the store's group-commit dirty
+   set. Runners call this at batch/stream boundaries and on worker
+   exit; with the default [write_batch = 1] it is a no-op. *)
+let flush t = Cert_store.flush t.store
 
 let retry t = t.retry
 
@@ -400,6 +405,13 @@ let snapshot_counters t =
       List.iter
         (fun (name, v) -> Timing.set_counter timing name v)
         (Lcp_cert.Memo.counters ());
+      (* negative-lookup filter and group-commit traffic, so the certd
+         footer and --server-stats can show disk probes saved/paid *)
+      let s = Cert_store.stats t.store in
+      Timing.set_counter timing "filter_hit" s.Cert_store.filter_hits;
+      Timing.set_counter timing "filter_skip" s.Cert_store.filter_skips;
+      Timing.set_counter timing "filter_fp" s.Cert_store.filter_fps;
+      Timing.set_counter timing "store_flush" s.Cert_store.flushes;
       Timing.set_counter timing "minor_words"
         (int_of_float (Gc.minor_words ()))
 
@@ -409,5 +421,6 @@ let snapshot_counters t =
 let run_jobs ?(emit = fun (_ : Stats.job_report) -> ()) t jobs =
   let reports = Stats.sort_reports (List.map (run_job t) jobs) in
   List.iter emit reports;
+  flush t;
   snapshot_counters t;
   (reports, Stats.summarize reports)

@@ -104,6 +104,25 @@ let parse_job ~line l =
   in
   Ok { job_id; source; property; k; seed }
 
+(* One raw manifest line -> [Ok None] (blank/comment), [Ok (Some job)],
+   or a line-numbered error. Both the whole-string parser and the
+   streaming reader go through here, so their tokenization and error
+   text cannot drift apart. *)
+let parse_line ~line raw =
+  let l =
+    match String.index_opt raw '#' with
+    | Some i -> String.sub raw 0 i
+    | None -> raw
+  in
+  let toks =
+    String.split_on_char ' ' l
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun t -> t <> "" && t <> "\r")
+  in
+  match toks with
+  | [] -> Ok None
+  | toks -> Result.map Option.some (parse_job ~line toks)
+
 let parse s =
   let lines = String.split_on_char '\n' s in
   let ( let* ) = Result.bind in
@@ -111,21 +130,10 @@ let parse s =
     List.fold_left
       (fun acc raw ->
         let* line, jobs = acc in
-        let l =
-          match String.index_opt raw '#' with
-          | Some i -> String.sub raw 0 i
-          | None -> raw
-        in
-        let toks =
-          String.split_on_char ' ' l
-          |> List.concat_map (String.split_on_char '\t')
-          |> List.filter (fun t -> t <> "" && t <> "\r")
-        in
-        match toks with
-        | [] -> Ok (line + 1, jobs)
-        | toks ->
-            let* job = parse_job ~line toks in
-            Ok (line + 1, job :: jobs))
+        match parse_line ~line raw with
+        | Error _ as e -> e
+        | Ok None -> Ok (line + 1, jobs)
+        | Ok (Some job) -> Ok (line + 1, job :: jobs))
       (Ok (1, []))
       lines
   in
@@ -143,17 +151,33 @@ let print_job j =
 
 let print jobs = String.concat "\n" (List.map print_job jobs) ^ "\n"
 
-let load_file file =
-  match
-    try
-      let ic = open_in_bin file in
+(* Streaming reader: fold [f] over the jobs of [file] one line at a
+   time, never materializing the job list. Memory is O(longest line).
+   Line numbering, tokenization, and error text are byte-identical to
+   [load_file] (both run [parse_line]); the first bad line stops the
+   fold with its error, after [f] has already seen every job above it.
+   This is the corpus-scale entry point: a 10^6-line manifest streams
+   through in constant space. *)
+let fold_file file ~init ~f =
+  match open_in_bin file with
+  | exception Sys_error e -> Error (Printf.sprintf "%s: %s" file e)
+  | ic ->
       Fun.protect
         ~finally:(fun () -> close_in_noerr ic)
-        (fun () -> Ok (really_input_string ic (in_channel_length ic)))
-    with Sys_error e -> Error e
-  with
-  | Error e -> Error (Printf.sprintf "%s: %s" file e)
-  | Ok contents -> (
-      match parse contents with
-      | Ok jobs -> Ok jobs
-      | Error e -> Error (Printf.sprintf "%s: %s" file e))
+        (fun () ->
+          let rec go line acc =
+            match input_line ic with
+            | exception End_of_file -> Ok acc
+            | exception Sys_error e -> Error (Printf.sprintf "%s: %s" file e)
+            | raw -> (
+                match parse_line ~line raw with
+                | Error e -> Error (Printf.sprintf "%s: %s" file e)
+                | Ok None -> go (line + 1) acc
+                | Ok (Some job) -> go (line + 1) (f acc job))
+          in
+          go 1 init)
+
+let iter_file file ~f = fold_file file ~init:() ~f:(fun () job -> f job)
+
+let load_file file =
+  Result.map List.rev (fold_file file ~init:[] ~f:(fun acc job -> job :: acc))

@@ -199,13 +199,20 @@ let worker_main ~make_engine ~timed ~idx rfd wfd =
            })
     with Sys_error _ | Unix.Unix_error _ -> Unix._exit 1
   in
+  (* group-commit any dirty records before dying; a flush that crashes
+     or faults must not turn a clean exit into a hang (the records it
+     loses are future cache misses, nothing more) *)
+  let exit_clean () =
+    (try Engine.flush engine with _ -> ());
+    Unix._exit 0
+  in
   let rec serve () =
     match Wire.read_frame rfd with
-    | None | Some "" -> Unix._exit 0 (* parent is gone: die quietly *)
-    | exception (Sys_error _ | Unix.Unix_error _) -> Unix._exit 0
+    | None | Some "" -> exit_clean () (* parent is gone: die quietly *)
+    | exception (Sys_error _ | Unix.Unix_error _) -> exit_clean ()
     | Some payload -> (
         match (Marshal.from_string payload 0 : to_worker) with
-        | Quit -> Unix._exit 0
+        | Quit -> exit_clean ()
         | Job { token; job; deadline_ms } -> (
             match
               with_memo_counters (fun () ->
@@ -831,7 +838,7 @@ let stats_json t =
       | None -> "null")
   in
   Printf.sprintf
-    "{\"uptime_s\":%.3f,\"draining\":%b,\"queue\":{\"depth\":%d,\"cap\":%d,\"max_depth\":%d,\"client_cap\":%d,\"inflight\":%d},\"jobs\":{\"submitted\":%d,\"completed\":%d,\"served\":%d,\"served_degraded\":%d,\"declined\":%d,\"failed\":%d,\"input_error\":%d,\"unsound\":%d,\"requeued\":%d,\"dropped\":%d},\"admission\":{\"rejected_overload\":%d,\"rejected_quota\":%d,\"parse_errors\":%d},\"workers\":{\"configured\":%d,\"live\":%d,\"restarts\":%d,\"stopped\":%d,\"degraded\":%b},\"store\":{\"hits\":%d,\"misses\":%d,\"insertions\":%d,\"corrupt\":%d,\"quarantined\":%d,\"quarantine_evictions\":%d,\"orphans_swept\":%d,\"disk_errors\":%d,\"gc_evictions\":%d},\"durability\":%s,\"counters\":%s,\"stages\":%s}"
+    "{\"uptime_s\":%.3f,\"draining\":%b,\"queue\":{\"depth\":%d,\"cap\":%d,\"max_depth\":%d,\"client_cap\":%d,\"inflight\":%d},\"jobs\":{\"submitted\":%d,\"completed\":%d,\"served\":%d,\"served_degraded\":%d,\"declined\":%d,\"failed\":%d,\"input_error\":%d,\"unsound\":%d,\"requeued\":%d,\"dropped\":%d},\"admission\":{\"rejected_overload\":%d,\"rejected_quota\":%d,\"parse_errors\":%d},\"workers\":{\"configured\":%d,\"live\":%d,\"restarts\":%d,\"stopped\":%d,\"degraded\":%b},\"store\":{\"hits\":%d,\"misses\":%d,\"insertions\":%d,\"corrupt\":%d,\"quarantined\":%d,\"quarantine_evictions\":%d,\"orphans_swept\":%d,\"disk_errors\":%d,\"gc_evictions\":%d,\"filter_hits\":%d,\"filter_skips\":%d,\"filter_fps\":%d,\"flushes\":%d},\"durability\":%s,\"counters\":%s,\"stages\":%s}"
     (Unix.gettimeofday () -. t.started)
     t.draining (queue_depth t) t.cfg.queue_cap t.c.max_queue t.cfg.client_cap
     (inflight t) t.c.submitted t.c.completed t.c.served t.c.served_degraded
@@ -841,7 +848,9 @@ let stats_json t =
     s.Cert_store.misses s.Cert_store.insertions s.Cert_store.corrupt
     s.Cert_store.quarantined s.Cert_store.quarantine_evictions
     s.Cert_store.orphans_swept s.Cert_store.disk_errors
-    s.Cert_store.gc_evictions durability
+    s.Cert_store.gc_evictions s.Cert_store.filter_hits
+    s.Cert_store.filter_skips s.Cert_store.filter_fps s.Cert_store.flushes
+    durability
     (Timing.counters_json t.timing)
     (Timing.report_json t.timing)
 
@@ -1674,6 +1683,10 @@ let run (cfg : config) =
           orphans_swept = 0;
           gc_evictions = 0;
           quarantine_evictions = 0;
+          filter_hits = 0;
+          filter_skips = 0;
+          filter_fps = 0;
+          flushes = 0;
         };
       started = Unix.gettimeofday ();
       c =

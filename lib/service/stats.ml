@@ -195,59 +195,78 @@ type summary = {
   s_retries : int;  (** total retry attempts across all jobs *)
 }
 
-let summarize reports =
-  let count p = List.length (List.filter p reports) in
-  let fresh = count (fun r -> r.r_status = Served_fresh) in
-  let cached = count (fun r -> r.r_status = Served_cached) in
-  let degraded = count (fun r -> r.r_status = Served_degraded) in
-  let declined = count (fun r -> r.r_status = Declined) in
-  let errors =
-    count (fun r -> match r.r_status with Input_error _ -> true | _ -> false)
-  in
-  let unsound =
-    count (fun r -> match r.r_status with Unsound _ -> true | _ -> false)
-  in
-  let failed =
-    count (fun r -> match r.r_status with Failed _ -> true | _ -> false)
-  in
-  let sum f = List.fold_left (fun acc r -> acc +. f r) 0.0 reports in
-  let total_ms = sum (fun r -> r.r_total_ms) in
-  let served = fresh + cached + degraded in
-  let hits =
-    count (fun r ->
-        r.r_cache_hit
-        &&
-        match r.r_status with
-        | Served_fresh | Served_cached | Served_degraded -> true
-        | _ -> false)
-  in
+let summary_zero =
   {
-    s_jobs = List.length reports;
+    s_jobs = 0;
+    s_served = 0;
+    s_fresh = 0;
+    s_cached = 0;
+    s_degraded = 0;
+    s_declined = 0;
+    s_errors = 0;
+    s_unsound = 0;
+    s_failed = 0;
+    s_total_ms = 0.0;
+    s_prove_ms = 0.0;
+    s_verify_ms = 0.0;
+    s_jobs_per_sec = 0.0;
+    s_hit_rate = 0.0;
+    s_max_label_bits = 0;
+    s_cache_rejects = 0;
+    s_retries = 0;
+  }
+
+(* Fold one report into a running summary. The streaming runners use
+   this so a million-job pass never holds a report list; [summarize]
+   is the same fold, so batch and stream share one definition of the
+   aggregate semantics. The two derived rates are recomputed from the
+   running totals each step; the cache-hit count is recovered exactly
+   from the previous rate (it was hits/served with both far below
+   2^53, so round-tripping through the float is lossless). *)
+let summary_add s r =
+  let served_status =
+    match r.r_status with
+    | Served_fresh | Served_cached | Served_degraded -> true
+    | Declined | Input_error _ | Unsound _ | Failed _ -> false
+  in
+  let hits =
+    int_of_float (Float.round (s.s_hit_rate *. float_of_int s.s_served))
+    + if r.r_cache_hit && served_status then 1 else 0
+  in
+  let bump status n = if r.r_status = status then n + 1 else n in
+  let fresh = bump Served_fresh s.s_fresh in
+  let cached = bump Served_cached s.s_cached in
+  let degraded = bump Served_degraded s.s_degraded in
+  let served = fresh + cached + degraded in
+  let jobs = s.s_jobs + 1 in
+  let total_ms = s.s_total_ms +. r.r_total_ms in
+  {
+    s_jobs = jobs;
     s_served = served;
     s_fresh = fresh;
     s_cached = cached;
     s_degraded = degraded;
-    s_declined = declined;
-    s_errors = errors;
-    s_unsound = unsound;
-    s_failed = failed;
+    s_declined = bump Declined s.s_declined;
+    s_errors =
+      (s.s_errors
+      + match r.r_status with Input_error _ -> 1 | _ -> 0);
+    s_unsound =
+      (s.s_unsound + match r.r_status with Unsound _ -> 1 | _ -> 0);
+    s_failed = (s.s_failed + match r.r_status with Failed _ -> 1 | _ -> 0);
     s_total_ms = total_ms;
-    s_prove_ms = sum (fun r -> r.r_prove_ms);
-    s_verify_ms = sum (fun r -> r.r_verify_ms);
+    s_prove_ms = s.s_prove_ms +. r.r_prove_ms;
+    s_verify_ms = s.s_verify_ms +. r.r_verify_ms;
     s_jobs_per_sec =
-      (if total_ms > 0.0 then
-         1000.0 *. float_of_int (List.length reports) /. total_ms
+      (if total_ms > 0.0 then 1000.0 *. float_of_int jobs /. total_ms
        else 0.0);
     s_hit_rate =
       (if served > 0 then float_of_int hits /. float_of_int served else 0.0);
-    s_max_label_bits =
-      List.fold_left (fun acc r -> max acc r.r_label_bits) 0 reports;
-    s_cache_rejects =
-      List.fold_left
-        (fun acc r -> acc + List.length r.r_reject_reasons)
-        0 reports;
-    s_retries = List.fold_left (fun acc r -> acc + r.r_retries) 0 reports;
+    s_max_label_bits = max s.s_max_label_bits r.r_label_bits;
+    s_cache_rejects = s.s_cache_rejects + List.length r.r_reject_reasons;
+    s_retries = s.s_retries + r.r_retries;
   }
+
+let summarize reports = List.fold_left summary_add summary_zero reports
 
 let pp_summary ppf s =
   Format.fprintf ppf

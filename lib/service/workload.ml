@@ -1,0 +1,279 @@
+(** Synthetic corpus-scale traffic: a seeded generator of certification
+    job streams with Zipf-distributed popularity and adversarial
+    cold/corrupt mixes, produced one job at a time so a 10^6-job replay
+    never materializes a list.
+
+    A spec names everything:
+
+    {v zipf:u=2000,t=1000000,s=1.05,seed=42,cold=0.01,corrupt=0.002 v}
+
+    - [u] — the hot universe: distinct popular instances, ranked; rank
+      r is drawn with probability proportional to 1/(r+1)^s;
+    - [t] — total jobs in the stream;
+    - [s] — the Zipf exponent (> 0; higher = more skew);
+    - [seed] — PRNG seed; the same spec always yields byte-identical
+      job streams (generation never consults time or pids);
+    - [cold] — probability that a position is a first-touch instance
+      outside the hot universe (a guaranteed cache miss);
+    - [corrupt] — probability of an adversarial job: parse-valid but
+      rejected by the engine (unknown property, unknown generator
+      family, degenerate n), exercising the input-error path.
+
+    Job ids are ["w%09d"] of the stream position, so the feed order is
+    also job-id order: a streamed run ({!Pool.run_stream} emits in feed
+    order) produces canonical JSONL byte-identical to the batch
+    driver's id-sorted output, at any worker count.
+
+    Rank identity is instance identity: the same rank always maps to
+    the same (family, n, gseed, property, k, seed) tuple, so repeats of
+    a hot rank are true cache hits — same content-addressed key, same
+    id-assignment seed, byte-identical stored record. *)
+
+module Hash64 = Lcp_util.Hash64
+
+type mix = Std | Light
+
+type spec = {
+  universe : int;  (** distinct hot instances, ranked 0..universe-1 *)
+  total : int;  (** jobs in the stream *)
+  exponent : float;  (** Zipf exponent s > 0 *)
+  seed : int;
+  cold : float;  (** P(first-touch instance beyond the universe) *)
+  corrupt : float;  (** P(parse-valid job the engine must reject) *)
+  mix : mix;
+      (** [Std] spans every certifiable (property, family) pair,
+          including k=3 tree algebras whose proofs dominate wall time;
+          [Light] sticks to small k<=2 path/random instances, so a
+          million-job replay stresses the service layer (streaming,
+          store, filter, batching) instead of the prover. *)
+}
+
+let default =
+  {
+    universe = 2000;
+    total = 10_000;
+    exponent = 1.05;
+    seed = 1;
+    cold = 0.01;
+    corrupt = 0.002;
+    mix = Std;
+  }
+
+let to_string s =
+  Printf.sprintf "zipf:u=%d,t=%d,s=%g,seed=%d,cold=%g,corrupt=%g,mix=%s"
+    s.universe s.total s.exponent s.seed s.cold s.corrupt
+    (match s.mix with Std -> "std" | Light -> "light")
+
+let validate s =
+  if s.universe < 1 then Error "workload: u= must be >= 1"
+  else if s.total < 0 then Error "workload: t= must be >= 0"
+  else if not (s.exponent > 0.0) then Error "workload: s= must be > 0"
+  else if s.cold < 0.0 || s.corrupt < 0.0 || s.cold +. s.corrupt > 1.0 then
+    Error "workload: cold= and corrupt= must be >= 0 and sum to <= 1"
+  else Ok s
+
+(** Parse a spec string. The leading ["zipf:"] tag is optional; every
+    field defaults from {!default}, so ["t=1000000"] alone is valid. *)
+let parse_spec str =
+  let ( let* ) = Result.bind in
+  let body =
+    match String.index_opt str ':' with
+    | Some i when String.sub str 0 i = "zipf" ->
+        Ok (String.sub str (i + 1) (String.length str - i - 1))
+    | Some i -> Error (Printf.sprintf "workload: unknown kind %S" (String.sub str 0 i))
+    | None -> Ok str
+  in
+  let* body = body in
+  let* spec =
+    List.fold_left
+      (fun acc tok ->
+        let* spec = acc in
+        if tok = "" then Ok spec
+        else
+          match String.index_opt tok '=' with
+          | None ->
+              Error
+                (Printf.sprintf "workload: token %S is not key=value" tok)
+          | Some i -> (
+              let k = String.sub tok 0 i in
+              let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+              let int () =
+                match int_of_string_opt v with
+                | Some x -> Ok x
+                | None ->
+                    Error (Printf.sprintf "workload: %s=%S is not an integer" k v)
+              in
+              let flt () =
+                match float_of_string_opt v with
+                | Some x -> Ok x
+                | None ->
+                    Error (Printf.sprintf "workload: %s=%S is not a number" k v)
+              in
+              match k with
+              | "u" -> Result.map (fun u -> { spec with universe = u }) (int ())
+              | "t" -> Result.map (fun t -> { spec with total = t }) (int ())
+              | "s" -> Result.map (fun s -> { spec with exponent = s }) (flt ())
+              | "seed" -> Result.map (fun x -> { spec with seed = x }) (int ())
+              | "cold" -> Result.map (fun c -> { spec with cold = c }) (flt ())
+              | "corrupt" ->
+                  Result.map (fun c -> { spec with corrupt = c }) (flt ())
+              | "mix" -> (
+                  match v with
+                  | "std" -> Ok { spec with mix = Std }
+                  | "light" -> Ok { spec with mix = Light }
+                  | _ ->
+                      Error
+                        (Printf.sprintf
+                           "workload: mix=%S is not a mix (std, light)" v))
+              | _ ->
+                  Error
+                    (Printf.sprintf
+                       "workload: unknown key %S (known: u, t, s, seed, cold, \
+                        corrupt, mix)"
+                       k)))
+      (Ok default)
+      (String.split_on_char ',' body)
+  in
+  validate spec
+
+(* ---------------------------------------------------------------- *)
+(* rank -> instance                                                  *)
+
+(* A rank's instance recipe is a pure function of (spec seed, rank):
+   small exactly-checkable graphs (n <= 20, within the test oracle's
+   DP range) across the certifiable (property, family) pairs of the
+   registry. gseed = seed (id-assignment) = rank, so rank identity is
+   instance identity and warm hits are real hits. *)
+let job_of_rank spec i rank =
+  let h =
+    (Hash64.init
+    |> Fun.flip Hash64.int spec.seed
+    |> Fun.flip Hash64.int rank
+    |> Int64.to_int)
+    land max_int
+  in
+  let property, family, n, k =
+    match spec.mix with
+    | Std -> (
+        match (h lsr 4) mod 5 with
+        | 0 -> ("connected", "random", 10 + (h mod 11), 1 + ((h lsr 7) mod 2))
+        | 1 -> ("acyclic", "tree", 10 + (h mod 11), 3)
+        | 2 -> ("bipartite", "tree", 10 + (h mod 11), 3)
+        | 3 -> ("triangle_free", "tree", 10 + (h mod 11), 3)
+        | _ -> ("perfect_matching", "path", 10 + (2 * (h mod 6)), 1))
+    | Light -> (
+        (* [random] graphs keyed by gen_seed = rank keep every rank a
+           distinct content-addressed certificate, so the store and
+           filter see the full Zipf universe even at tiny n *)
+        match (h lsr 4) mod 3 with
+        | 0 -> ("connected", "random", 4 + (h mod 5), 1)
+        | 1 -> ("connected", "random", 4 + (h mod 5), 2)
+        | _ -> ("perfect_matching", "path", 2 + (2 * (h mod 4)), 1))
+  in
+  {
+    Manifest.job_id = Printf.sprintf "w%09d" i;
+    source = Manifest.Generated { family; n; gen_seed = rank };
+    property;
+    k;
+    seed = rank;
+  }
+
+(* Adversarial jobs: parse-valid, deterministically rejected by the
+   engine. Three rotating kinds, so the input-error path sees unknown
+   properties, unknown generator families, and degenerate sizes. *)
+let corrupt_job i kind =
+  let job_id = Printf.sprintf "w%09d" i in
+  match kind mod 3 with
+  | 0 ->
+      {
+        Manifest.job_id;
+        source = Manifest.Generated { family = "path"; n = 8; gen_seed = 0 };
+        property = "no_such_property";
+        k = 1;
+        seed = 0;
+      }
+  | 1 ->
+      {
+        Manifest.job_id;
+        source = Manifest.Generated { family = "warp"; n = 8; gen_seed = 0 };
+        property = "connected";
+        k = 1;
+        seed = 0;
+      }
+  | _ ->
+      {
+        Manifest.job_id;
+        source = Manifest.Generated { family = "path"; n = 0; gen_seed = 0 };
+        property = "connected";
+        k = 1;
+        seed = 0;
+      }
+
+(* ---------------------------------------------------------------- *)
+(* Zipf sampling                                                     *)
+
+(* Cumulative (unnormalized) Zipf weights over the hot universe; a
+   draw is a uniform in [0, Z) binary-searched to the first rank whose
+   cumulative weight exceeds it. O(u) setup once, O(log u) per draw. *)
+let zipf_cdf spec =
+  let a = Array.make spec.universe 0.0 in
+  let acc = ref 0.0 in
+  for r = 0 to spec.universe - 1 do
+    acc := !acc +. (1.0 /. (Float.of_int (r + 1) ** spec.exponent));
+    a.(r) <- !acc
+  done;
+  a
+
+let zipf_rank cdf u =
+  let target = u *. cdf.(Array.length cdf - 1) in
+  let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) > target then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+(* ---------------------------------------------------------------- *)
+(* the stream                                                        *)
+
+(** [fold spec ~init ~f] folds [f] over the [spec.total] jobs of the
+    stream, generating each on demand — O(universe) memory for the CDF,
+    O(1) per job. Deterministic in [spec] alone. *)
+let fold spec ~init ~f =
+  let cdf = zipf_cdf spec in
+  let rng = Random.State.make [| spec.seed |] in
+  let cold_seen = ref 0 in
+  let corrupt_seen = ref 0 in
+  let acc = ref init in
+  for i = 0 to spec.total - 1 do
+    let x = Random.State.float rng 1.0 in
+    let job =
+      if x < spec.corrupt then begin
+        incr corrupt_seen;
+        corrupt_job i (!corrupt_seen - 1)
+      end
+      else if x < spec.corrupt +. spec.cold then begin
+        (* cold: a fresh rank past the hot universe, never repeated *)
+        incr cold_seen;
+        job_of_rank spec i (spec.universe + !cold_seen - 1)
+      end
+      else job_of_rank spec i (zipf_rank cdf (Random.State.float rng 1.0))
+    in
+    acc := f !acc job
+  done;
+  !acc
+
+let iter spec ~f = fold spec ~init:() ~f:(fun () job -> f job)
+
+(** Write the stream as a manifest file (streamed line by line), so
+    the same traffic can replay through a file-based driver or a
+    daemon client. Returns the job count. *)
+let write_manifest spec path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      fold spec ~init:0 ~f:(fun n job ->
+          output_string oc (Manifest.print_job job);
+          output_char oc '\n';
+          n + 1))

@@ -1,0 +1,94 @@
+(* Negative-lookup filter: a blocked Bloom filter over 64-bit keys.
+
+   The cert store's disk tier pays a filesystem probe (`file_exists` +
+   open/read) for every memory-tier miss, even when the record was
+   never written. At corpus scale most cold lookups are guaranteed
+   misses, so we keep an approximate-membership filter in front of the
+   disk probe: `mem` returning false proves the key was never `add`ed
+   by this process (no false negatives); `mem` returning true is only
+   a hint (false positives send us to the probe we would have done
+   anyway).
+
+   Blocked layout: the bit array is split into 8-word (512-bit) blocks
+   sized to a cache line; all k probe bits of a key land in one block,
+   so a lookup touches a single line instead of k scattered ones. Bits
+   per probe come from successive multiplicative mixes of the key, and
+   each OCaml word contributes 63 usable bits (the unboxed-int width),
+   which costs nothing in accuracy — only the bits-per-block constant.
+
+   Not thread-safe; the service is single-threaded per process and
+   pool/daemon workers fork, so each worker owns a private copy. *)
+
+type t = {
+  words : int array; (* nblocks * words_per_block, 63 bits per word *)
+  nblocks : int;
+  k : int; (* probe bits per key, all within one block *)
+  mutable added : int; (* keys inserted, for load diagnostics *)
+}
+
+let words_per_block = 8
+let bits_per_word = 63
+let bits_per_block = words_per_block * bits_per_word
+
+(* Fibonacci-style multiplicative mixers; distinct odd constants give
+   (near-)independent streams of block/bit indices from one 64-bit
+   key. Constants are the usual splitmix64 / golden-ratio multipliers
+   truncated into OCaml's 63-bit int. *)
+let mix_a = 0x2545f4914f6cdd1d
+let mix_b = Int64.to_int 0x9e3779b97f4a7c15L land max_int
+
+let fold_key (key : int64) = Int64.to_int key land max_int
+
+(* [create ~bits ()] rounds the requested size up to whole blocks.
+   [bits = 0] is allowed and means "no filter" at the call sites that
+   treat the filter as optional; here it still builds a (useless)
+   1-block filter so the module itself stays total. *)
+let create ?(bits = 1 lsl 17) ?(k = 4) () =
+  if k < 1 || k > 16 then invalid_arg "Negf.create: k out of range";
+  let nblocks = max 1 ((bits + bits_per_block - 1) / bits_per_block) in
+  {
+    words = Array.make (nblocks * words_per_block) 0;
+    nblocks;
+    k;
+    added = 0;
+  }
+
+let block_of t h = (h * mix_a) land max_int mod t.nblocks
+
+(* Bit j of key h inside its block: double hashing h1 + j*h2 over the
+   block's bit space; h2 forced odd so the walk cycles through all
+   residues. *)
+let bit_index h j =
+  let h1 = (h * mix_b) land max_int in
+  let h2 = ((h lsr 17) lor 1) land max_int in
+  (h1 + (j * h2)) land max_int mod bits_per_block
+
+let add t key =
+  let h = fold_key key in
+  let base = block_of t h * words_per_block in
+  for j = 0 to t.k - 1 do
+    let b = bit_index h j in
+    let w = base + (b / bits_per_word) in
+    t.words.(w) <- t.words.(w) lor (1 lsl (b mod bits_per_word))
+  done;
+  t.added <- t.added + 1
+
+let mem t key =
+  let h = fold_key key in
+  let base = block_of t h * words_per_block in
+  let ok = ref true in
+  let j = ref 0 in
+  while !ok && !j < t.k do
+    let b = bit_index h !j in
+    let w = base + (b / bits_per_word) in
+    if t.words.(w) land (1 lsl (b mod bits_per_word)) = 0 then ok := false;
+    incr j
+  done;
+  !ok
+
+let added t = t.added
+let bits t = t.nblocks * bits_per_block
+
+let clear t =
+  Array.fill t.words 0 (Array.length t.words) 0;
+  t.added <- 0

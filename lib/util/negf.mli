@@ -1,0 +1,36 @@
+(** Negative-lookup filter: a blocked Bloom filter over 64-bit keys.
+
+    Sits in front of {!Lcp_service.Cert_store}'s disk tier so
+    guaranteed-miss lookups skip the filesystem probe. Within one
+    process the filter has no false negatives: [mem t key = false]
+    proves [add t key] never ran on [t]. [mem t key = true] is only a
+    hint — the caller must still probe and treat an absent record as a
+    (counted) false positive.
+
+    All k probe bits of a key land in a single 512-bit block, so a
+    lookup touches one cache line. Not thread-safe; every forked
+    worker owns its own filter. *)
+
+type t
+
+val create : ?bits:int -> ?k:int -> unit -> t
+(** [create ~bits ~k ()] builds a filter of at least [bits] bits
+    (rounded up to whole 8-word blocks; default [2^17] = 16 KiB) with
+    [k] probe bits per key (default 4, must be in [1..16]). *)
+
+val add : t -> int64 -> unit
+(** Insert a key. Never fails; an over-full filter only degrades the
+    false-positive rate, never soundness. *)
+
+val mem : t -> int64 -> bool
+(** [mem t key] is [true] for every key previously [add]ed (no false
+    negatives) and [false] for most others. *)
+
+val added : t -> int
+(** Number of [add] calls, for load diagnostics. *)
+
+val bits : t -> int
+(** Actual capacity in usable bits after block rounding. *)
+
+val clear : t -> unit
+(** Reset to empty. *)

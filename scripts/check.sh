@@ -135,7 +135,10 @@ wait "$dyn_pid" || true
 # clients — backpressure, crash/respawn, degraded serving, clean drain
 ./_build/default/bench/main.exe chaos quick
 
-# E10 quick sweep: pool determinism on the bench corpus (< 30 s)
+# E16 + E10 quick sweep: streaming corpus (10^4 jobs under a heap
+# budget, canonical digests equal across batch / streamed N in {1,2} /
+# file replay, filter counters live) then pool determinism on the
+# bench corpus (< 30 s total)
 ./_build/default/bench/main.exe scale quick
 
 # E11 perf gate: hot-path microbenchmarks vs the committed BENCH_PERF.json
